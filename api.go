@@ -1,0 +1,143 @@
+package passivelight
+
+import (
+	"passivelight/internal/capacity"
+	"passivelight/internal/coding"
+	"passivelight/internal/core"
+	"passivelight/internal/decoder"
+	"passivelight/internal/frontend"
+	"passivelight/internal/trace"
+)
+
+// Packet is a passive packet payload (preamble handling is implicit).
+type Packet = coding.Packet
+
+// Symbol is a reflective stripe value (High or Low).
+type Symbol = coding.Symbol
+
+// Stripe symbol values.
+const (
+	Low  = coding.Low
+	High = coding.High
+)
+
+// NewPacket parses a bit string such as "10" into a Packet.
+func NewPacket(bits string) (Packet, error) { return coding.NewPacket(bits) }
+
+// MustPacket is NewPacket that panics on invalid input.
+func MustPacket(bits string) Packet { return coding.MustPacket(bits) }
+
+// Codebook selects payloads with a guaranteed minimum pairwise
+// Hamming distance (Sec. 4.2 of the paper).
+type Codebook = coding.Codebook
+
+// NewCodebook builds a codebook of nBits-long words at the given
+// minimum distance; maxWords <= 0 keeps all found words.
+func NewCodebook(nBits, minDist, maxWords int) (*Codebook, error) {
+	return coding.NewCodebook(nBits, minDist, maxWords)
+}
+
+// Link is a fully configured passive optical link (scene + receiver +
+// front end).
+type Link = core.Link
+
+// IndoorBench is the paper's Sec. 4 controlled bench: an LED lamp and
+// receiver at equal height, a tag passing underneath.
+type IndoorBench = core.BenchSetup
+
+// OutdoorCarPass is the paper's Sec. 5 application: a tagged car
+// passing under a pole-mounted receiver in daylight.
+type OutdoorCarPass = core.OutdoorSetup
+
+// RunResult is the outcome of an end-to-end run.
+type RunResult = core.RunResult
+
+// DecodeOptions tunes the adaptive threshold decoder.
+type DecodeOptions = decoder.Options
+
+// DecodeResult is the threshold decoder output.
+type DecodeResult = decoder.Result
+
+// TwoPhaseResult is the outdoor (car-shape + stripe) decode output.
+type TwoPhaseResult = decoder.TwoPhaseResult
+
+// Classifier matches distorted waveforms against clean baselines with
+// DTW (Sec. 4.2).
+type Classifier = decoder.Classifier
+
+// CollisionReport is the FFT collision analysis output (Sec. 4.3).
+type CollisionReport = decoder.CollisionReport
+
+// CollisionOptions tunes the FFT collision analyzer.
+type CollisionOptions = decoder.CollisionOptions
+
+// Trace is a sampled RSS time series.
+type Trace = trace.Trace
+
+// ReceiverDevice is an optical receiver model (photodiode gain levels
+// or the RX-LED of Sec. 4.4).
+type ReceiverDevice = frontend.Receiver
+
+// Receiver devices from the paper's Fig. 11.
+func PDReceiver(g frontend.GainLevel) ReceiverDevice { return frontend.PD(g) }
+
+// RXLEDReceiver returns the LED-as-receiver model.
+func RXLEDReceiver() ReceiverDevice { return frontend.RXLED() }
+
+// Photodiode gain levels.
+const (
+	GainG1 = frontend.G1
+	GainG2 = frontend.G2
+	GainG3 = frontend.G3
+)
+
+// SelectReceiver picks the most sensitive receiver that does not
+// saturate at the given ambient level (the paper's dual-receiver
+// policy). With no candidates, the four Fig. 11 devices are used.
+func SelectReceiver(noiseFloorLux float64, candidates ...ReceiverDevice) (ReceiverDevice, error) {
+	return frontend.SelectReceiver(noiseFloorLux, candidates...)
+}
+
+// RunEndToEnd simulates a link and decodes the result, comparing the
+// decoded payload against the packet physically present on the tag.
+func RunEndToEnd(l *Link, sent Packet, opt DecodeOptions) (RunResult, error) {
+	return core.EndToEnd(l, sent, opt)
+}
+
+// Decode runs the paper's Sec. 4.1 adaptive threshold decoder on a
+// trace.
+func Decode(tr *Trace, opt DecodeOptions) (DecodeResult, error) {
+	return decoder.Decode(tr, opt)
+}
+
+// DecodeCarPass runs the Sec. 5 two-phase decode: detect the car's
+// optical signature (long-duration preamble), then threshold-decode
+// the roof tag.
+func DecodeCarPass(tr *Trace, opt DecodeOptions) (TwoPhaseResult, error) {
+	return decoder.DecodeCarPass(tr, opt)
+}
+
+// NewClassifier builds a DTW waveform classifier; length <= 0 selects
+// 256 resampled points.
+func NewClassifier(length int) *Classifier { return decoder.NewClassifier(length) }
+
+// AnalyzeCollision runs the Sec. 4.3 FFT analysis on a trace.
+func AnalyzeCollision(tr *Trace, opt CollisionOptions) (CollisionReport, error) {
+	return decoder.AnalyzeCollision(tr, opt)
+}
+
+// CapacitySweep is the configuration for decodable-region and
+// throughput measurements (Fig. 6).
+type CapacitySweep = capacity.SweepConfig
+
+// DecodableRegion sweeps symbol widths and reports the maximal
+// decodable height for each (Fig. 6(a)).
+func DecodableRegion(widths []float64, hLo, hHi, hStep float64, cfg CapacitySweep) ([]capacity.RegionPoint, error) {
+	return capacity.DecodableRegion(widths, hLo, hHi, hStep, cfg)
+}
+
+// ThroughputCurve reports symbols/second against receiver height
+// (Fig. 6(b)).
+func ThroughputCurve(heights []float64, wLo, wHi, wStep float64, cfg CapacitySweep) ([]capacity.ThroughputPoint, error) {
+	return capacity.ThroughputCurve(heights, wLo, wHi, wStep, cfg)
+}

@@ -1,0 +1,232 @@
+package passivelight
+
+// The benchmark harness: one testing.B benchmark per table/figure of
+// the paper (see DESIGN.md section 4 and EXPERIMENTS.md). Each bench
+// regenerates its experiment; run with
+//
+//	go test -bench=. -benchmem
+//
+// Figure-level benches measure the full simulate+decode pipeline, so
+// their ns/op is the cost of reproducing that figure once.
+
+import (
+	"testing"
+
+	"passivelight/internal/capacity"
+	"passivelight/internal/experiments"
+	"passivelight/internal/frontend"
+)
+
+func benchErr(b *testing.B, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFig5Decode regenerates Fig. 5: the clean indoor packets
+// ('00' and '10') end to end.
+func BenchmarkFig5Decode(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5()
+		benchErr(b, err)
+		if !res.Runs[0].Success || !res.Runs[1].Success {
+			b.Fatal("fig5 decode failed")
+		}
+	}
+}
+
+// BenchmarkFig6aPoint measures one decodable-region probe (Fig. 6(a)):
+// is (h=30 cm, w=4.5 cm) decodable?
+func BenchmarkFig6aPoint(b *testing.B) {
+	cfg := capacity.SweepConfig{Trials: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ok, err := capacity.Decodable(0.30, 0.045, cfg)
+		benchErr(b, err)
+		if !ok {
+			b.Fatal("point should decode")
+		}
+	}
+}
+
+// BenchmarkFig6bPoint measures one narrowest-width search at h=25 cm
+// (Fig. 6(b) inner loop).
+func BenchmarkFig6bPoint(b *testing.B) {
+	cfg := capacity.SweepConfig{Trials: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, ok, err := capacity.NarrowestWidth(0.25, 0.02, 0.075, 0.01, cfg)
+		benchErr(b, err)
+		if !ok {
+			b.Fatal("no decodable width")
+		}
+	}
+}
+
+// BenchmarkFig7Decode regenerates Fig. 7: decode under rippling
+// fluorescent ceiling light.
+func BenchmarkFig7Decode(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7()
+		benchErr(b, err)
+		if !res.Success {
+			b.Fatal("fig7 decode failed")
+		}
+	}
+}
+
+// BenchmarkDTWClassify regenerates the Sec. 4.2 study: distorted
+// packet classified against two baselines (Fig. 8).
+func BenchmarkDTWClassify(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8DTW()
+		benchErr(b, err)
+		if res.Classified != "10" {
+			b.Fatal("misclassified")
+		}
+	}
+}
+
+// BenchmarkFFTCollision regenerates Fig. 10: the three collision
+// cases with FFT analysis.
+func BenchmarkFFTCollision(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10()
+		benchErr(b, err)
+		if len(res.Cases) != 3 {
+			b.Fatal("collision cases missing")
+		}
+	}
+}
+
+// BenchmarkFrontendRespond regenerates the Fig. 11 device table
+// (saturation sweep + sensitivity measurement for all receivers).
+func BenchmarkFrontendRespond(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11Table()
+		benchErr(b, err)
+		if len(res.Rows) != 4 {
+			b.Fatal("fig11 rows missing")
+		}
+	}
+}
+
+// BenchmarkCarSignature regenerates Figs. 13-14: both bare-car
+// optical signatures and their classification.
+func BenchmarkCarSignature(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig13_14()
+		benchErr(b, err)
+		if res.VolvoModel != "hatchback" || res.BMWModel != "sedan" {
+			b.Fatal("signature mismatch")
+		}
+	}
+}
+
+// BenchmarkFig15 regenerates Fig. 15: RX-LED at 450 vs 100 lux.
+func BenchmarkFig15(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig15()
+		benchErr(b, err)
+		if !res.Runs[0].Success || res.Runs[1].Success {
+			b.Fatal("fig15 outcome drifted")
+		}
+	}
+}
+
+// BenchmarkFig16 regenerates Fig. 16: PD bare vs capped at 100 lux.
+func BenchmarkFig16(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig16()
+		benchErr(b, err)
+		if res.Runs[0].Success || !res.Runs[1].Success {
+			b.Fatal("fig16 outcome drifted")
+		}
+	}
+}
+
+// BenchmarkFig17 regenerates Fig. 17: the three well-illuminated
+// outdoor decodes.
+func BenchmarkFig17(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig17()
+		benchErr(b, err)
+		for _, run := range res.Runs {
+			if !run.Success {
+				b.Fatal("fig17 run failed")
+			}
+		}
+	}
+}
+
+// BenchmarkOutdoorSimulate isolates the channel+front-end simulation
+// cost of one 18 km/h car pass (no decode).
+func BenchmarkOutdoorSimulate(b *testing.B) {
+	link, _, err := (OutdoorCarPass{
+		Payload:        "00",
+		NoiseFloorLux:  6200,
+		ReceiverHeight: 0.75,
+		Seed:           1,
+	}).Build()
+	benchErr(b, err)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := link.Simulate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTwoPhaseDecode isolates the Sec. 5 decode (shape detection
+// + threshold decode) on a pre-rendered trace.
+func BenchmarkTwoPhaseDecode(b *testing.B) {
+	link, _, err := (OutdoorCarPass{
+		Payload:        "00",
+		NoiseFloorLux:  6200,
+		ReceiverHeight: 0.75,
+		Seed:           1,
+	}).Build()
+	benchErr(b, err)
+	tr, err := link.Simulate()
+	benchErr(b, err)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeCarPass(tr, DecodeOptions{ExpectedSymbols: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReceiverSelection measures the Sec. 4.4 dual-receiver
+// policy across the ambient sweep.
+func BenchmarkReceiverSelection(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := frontend.SelectReceiver(6200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodebookBuild measures restricted-codebook generation
+// (Sec. 4.2 code design, ablation A5).
+func BenchmarkCodebookBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCodebook(8, 3, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

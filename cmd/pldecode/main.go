@@ -1,0 +1,91 @@
+// Command pldecode decodes a trace CSV produced by plsim (or captured
+// from real hardware in the same format).
+//
+// Usage:
+//
+//	pldecode -mode threshold -symbols 8 trace.csv
+//	pldecode -mode carpass -symbols 8 pass.csv
+//	pldecode -mode fft trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"passivelight/internal/decoder"
+	"passivelight/internal/trace"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "threshold", "threshold | carpass | fft")
+		symbols = flag.Int("symbols", 0, "expected symbol count (0 = auto)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pldecode [-mode m] [-symbols n] trace.csv")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pldecode:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pldecode:", err)
+		os.Exit(1)
+	}
+	if err := run(tr, *mode, *symbols); err != nil {
+		fmt.Fprintln(os.Stderr, "pldecode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tr *trace.Trace, mode string, symbols int) error {
+	opt := decoder.Options{ExpectedSymbols: symbols}
+	switch mode {
+	case "threshold":
+		res, err := decoder.Decode(tr, opt)
+		if err != nil {
+			return err
+		}
+		printResult(res)
+	case "carpass":
+		tp, err := decoder.DecodeCarPass(tr, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("car shape: hood@%.3fs windshield@%.3fs model=%s\n",
+			tr.TimeAt(tp.Signature.HoodPeakIndex),
+			tr.TimeAt(tp.Signature.WindshieldValleyIndex),
+			decoder.MatchCarModel(tp.Signature))
+		printResult(tp.Decode)
+	case "fft":
+		rep, err := decoder.AnalyzeCollision(tr, decoder.CollisionOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dominant=%.2f Hz significant tones=%d\n", rep.DominantFreq, rep.SignificantTones)
+		for _, p := range rep.Peaks {
+			fmt.Printf("  peak %.2f Hz power %.1f\n", p.Freq, p.Power)
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	return nil
+}
+
+func printResult(res decoder.Result) {
+	fmt.Printf("symbols: %s\n", res.SymbolString())
+	if res.ParseErr == nil {
+		fmt.Printf("payload: %s\n", res.Packet.BitString())
+	} else {
+		fmt.Printf("payload: <invalid: %v>\n", res.ParseErr)
+	}
+	fmt.Printf("tau_r=%.2f tau_t=%.4fs baseline=%.2f (A@%.3fs B@%.3fs C@%.3fs)\n",
+		res.Thresholds.TauR, res.Thresholds.TauT, res.Thresholds.Baseline,
+		res.Preamble.ATime, res.Preamble.BTime, res.Preamble.CTime)
+}

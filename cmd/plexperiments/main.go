@@ -1,0 +1,55 @@
+// Command plexperiments regenerates every table and figure of the
+// paper's evaluation (and the DESIGN.md ablations) and prints the
+// results as text tables. See EXPERIMENTS.md for the paper-vs-measured
+// record.
+//
+// Usage:
+//
+//	plexperiments            # full sweeps (minutes)
+//	plexperiments -quick     # coarse grids (seconds)
+//	plexperiments -only fig10,fig11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"passivelight/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "coarse sweep grids")
+		only  = flag.String("only", "", "comma-separated experiment ids to print (default all)")
+	)
+	flag.Parse()
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	start := time.Now()
+	reports, err := experiments.All(*quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plexperiments:", err)
+		os.Exit(1)
+	}
+	printed := 0
+	for _, rep := range reports {
+		if len(want) > 0 && !want[rep.ID] {
+			continue
+		}
+		fmt.Print(rep)
+		fmt.Println()
+		printed++
+	}
+	if printed == 0 {
+		fmt.Fprintf(os.Stderr, "plexperiments: no experiment matched %q\n", *only)
+		os.Exit(1)
+	}
+	fmt.Printf("(%d experiments in %.1fs)\n", printed, time.Since(start).Seconds())
+}

@@ -1,0 +1,129 @@
+// Command plsim simulates a passive-light scenario and writes the
+// received RSS trace as CSV (readable by pldecode and any plotting
+// tool).
+//
+// Usage:
+//
+//	plsim -scenario indoor -payload 10 -height 0.2 -width 0.03 -speed 0.08 -o trace.csv
+//	plsim -scenario outdoor -payload 00 -height 0.75 -lux 6200 -receiver rx-led -o pass.csv
+//	plsim -scenario car -car bmw3 -height 0.75 -lux 6200 -o bmw.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"passivelight/internal/core"
+	"passivelight/internal/frontend"
+	"passivelight/internal/scene"
+	"passivelight/internal/trace"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "indoor", "indoor | outdoor | car (bare car, no tag)")
+		payload  = flag.String("payload", "10", "payload bits")
+		height   = flag.Float64("height", 0.20, "receiver height (m)")
+		width    = flag.Float64("width", 0.03, "symbol width (m)")
+		speed    = flag.Float64("speed", 0.08, "object speed (m/s, indoor) ")
+		speedKmh = flag.Float64("speed-kmh", 18, "car speed (km/h, outdoor)")
+		lux      = flag.Float64("lux", 450, "outdoor ambient noise floor (lux)")
+		receiver = flag.String("receiver", "rx-led", "outdoor receiver: rx-led | pd-g1 | pd-g2 | pd-g3 | pd-g2-cap")
+		car      = flag.String("car", "volvo", "car model: volvo | bmw3")
+		seed     = flag.Int64("seed", 1, "noise seed")
+		out      = flag.String("o", "", "output CSV path (default stdout)")
+	)
+	flag.Parse()
+
+	tr, err := simulate(*scenario, *payload, *height, *width, *speed, *speedKmh, *lux, *receiver, *car, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plsim:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		fmt.Fprintln(os.Stderr, "plsim:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		st := tr.Stats()
+		fmt.Fprintf(os.Stderr, "wrote %d samples (fs=%g Hz, rss %.0f..%.0f) to %s\n",
+			tr.Len(), tr.Fs, st.Min, st.Max, *out)
+	}
+}
+
+func simulate(scenario, payload string, height, width, speed, speedKmh, lux float64, receiver, car string, seed int64) (*trace.Trace, error) {
+	switch scenario {
+	case "indoor":
+		link, _, err := core.BenchSetup{
+			Height:      height,
+			SymbolWidth: width,
+			Speed:       speed,
+			Payload:     payload,
+			Seed:        seed,
+		}.Build()
+		if err != nil {
+			return nil, err
+		}
+		return link.Simulate()
+	case "outdoor", "car":
+		dev, err := receiverByName(receiver)
+		if err != nil {
+			return nil, err
+		}
+		setup := core.OutdoorSetup{
+			Payload:        payload,
+			SymbolWidth:    width,
+			SpeedKmh:       speedKmh,
+			ReceiverHeight: height,
+			NoiseFloorLux:  lux,
+			Receiver:       dev,
+			Seed:           seed,
+		}
+		if scenario == "car" {
+			setup.Payload = "" // bare car: shape signature only
+		}
+		switch car {
+		case "volvo", "":
+			setup.Car = scene.VolvoV40()
+		case "bmw3", "bmw":
+			setup.Car = scene.BMW3()
+		default:
+			return nil, fmt.Errorf("unknown car %q", car)
+		}
+		link, _, err := setup.Build()
+		if err != nil {
+			return nil, err
+		}
+		return link.Simulate()
+	default:
+		return nil, fmt.Errorf("unknown scenario %q", scenario)
+	}
+}
+
+func receiverByName(name string) (frontend.Receiver, error) {
+	switch name {
+	case "rx-led", "":
+		return frontend.RXLED(), nil
+	case "pd-g1":
+		return frontend.PD(frontend.G1), nil
+	case "pd-g2":
+		return frontend.PD(frontend.G2), nil
+	case "pd-g3":
+		return frontend.PD(frontend.G3), nil
+	case "pd-g2-cap":
+		return frontend.PD(frontend.G2).WithCap(), nil
+	default:
+		return frontend.Receiver{}, fmt.Errorf("unknown receiver %q", name)
+	}
+}

@@ -1,0 +1,39 @@
+// Package passivelight is a library-scale reproduction of
+// "Passive Communication with Ambient Light" (Wang, Zuniga,
+// Giustiniano — CoNEXT 2016): a communication system in which
+// unmodulated ambient light (a lamp, ceiling lights, the sun) is
+// reflected by patterned surfaces worn by mobile objects and decoded
+// by a single cheap photodiode or an LED used as a receiver.
+//
+// The package exposes the end-to-end pipeline:
+//
+//   - encode payload bits into a reflective-stripe "packet"
+//     (Manchester code behind an HLHL preamble, Fig. 4 of the paper);
+//   - simulate the passive optical channel (light source, moving
+//     reflectance profile, receiver field-of-view kernel, front-end
+//     electronics, ADC) — the hardware testbed of the paper replaced
+//     by physics per DESIGN.md;
+//   - decode received traces with the paper's adaptive threshold
+//     algorithm (per-packet tau_r/tau_t), classify distorted traces
+//     with DTW, and analyze packet collisions with an FFT;
+//   - measure channel capacity envelopes and run every experiment of
+//     the paper's evaluation (see EXPERIMENTS.md).
+//
+// Quickstart:
+//
+//	bench := passivelight.IndoorBench{
+//		Height:      0.20, // m
+//		SymbolWidth: 0.03, // m
+//		Speed:       0.08, // m/s
+//		Payload:     "10",
+//	}
+//	link, packet, err := bench.Build()
+//	if err != nil { ... }
+//	result, err := passivelight.RunEndToEnd(link, packet, passivelight.DecodeOptions{})
+//	if err != nil { ... }
+//	fmt.Println(result.Decode.SymbolString(), result.Success)
+//
+// The runnable programs under cmd/ and the examples/ directory cover
+// the paper's indoor bench, the outdoor car application and the
+// networked-receivers extension.
+package passivelight

@@ -1,0 +1,73 @@
+// Foodtruck: the paper's Fig. 1 scenario. Food trucks wear reflective
+// codes from a Hamming-separated codebook; a curbside photodiode box
+// reads the code as each truck drives past in daylight and looks up
+// the vendor — even correcting a bit flipped by a dirty stripe.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"passivelight"
+)
+
+var vendors = []string{
+	"Taco Cart", "Noodle Wagon", "Burger Van", "Smoothie Bus",
+}
+
+func main() {
+	// 6-bit codewords at minimum Hamming distance 3: corrects any
+	// single-bit decode error (Sec. 4.2's restricted code sets).
+	codebook, err := passivelight.NewCodebook(6, 3, len(vendors))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("codebook: %d words, min distance %d, corrects %d bit error(s)\n\n",
+		codebook.Len(), codebook.MinDistance(), codebook.CorrectableErrors())
+
+	for id, vendor := range vendors {
+		word, err := codebook.Encode(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		payload := ""
+		for _, b := range word {
+			payload += string('0' + byte(b))
+		}
+		// Each truck passes the curbside receiver at 18 km/h under a
+		// cloudy-noon sky. 16 stripes at 8 cm fill the 1.3 m roof, so
+		// the receiver sits at 50 cm where its footprint still
+		// resolves the narrower symbols.
+		pass := passivelight.OutdoorCarPass{
+			Payload:        payload,
+			SymbolWidth:    0.08,
+			NoiseFloorLux:  6200,
+			ReceiverHeight: 0.50,
+			Seed:           int64(200 + id),
+		}
+		link, packet, err := pass.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := link.Simulate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		twoPhase, err := passivelight.DecodeCarPass(tr, passivelight.DecodeOptions{
+			ExpectedSymbols: 4 + 2*len(payload),
+		})
+		if err != nil {
+			fmt.Printf("%-14s code=%s  -> no read (%v)\n", vendor, payload, err)
+			continue
+		}
+		decoded := twoPhase.Decode.Packet.Data
+		gotID, dist := codebook.Decode(decoded)
+		status := "exact"
+		if dist > 0 {
+			status = fmt.Sprintf("corrected %d bit(s)", dist)
+		}
+		fmt.Printf("%-14s code=%s sent=%s read=%s -> %q (%s)\n",
+			vendor, payload, packet.BitString(), twoPhase.Decode.Packet.BitString(),
+			vendors[gotID], status)
+	}
+}

@@ -1,0 +1,92 @@
+// Receivernet: the paper's future-work item (5) — networked
+// receivers sharing observations. Three pole receivers along a lane
+// each decode the same tagged car locally and publish detections to
+// an aggregator, which fuses them into a track with speed and
+// direction.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"passivelight"
+	"passivelight/internal/rxnet"
+)
+
+func main() {
+	agg := rxnet.NewAggregator(rxnet.AggregatorOptions{TrackGap: time.Minute})
+	addr, err := agg.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agg.Close()
+
+	const (
+		payload  = "1001"
+		speedMS  = 5.0  // 18 km/h
+		poleGapM = 25.0 // pole spacing
+	)
+	base := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	for i := 0; i < 3; i++ {
+		// Each pole decodes its own pass locally...
+		link, _, err := passivelight.OutdoorCarPass{
+			Payload:        payload,
+			NoiseFloorLux:  6200,
+			ReceiverHeight: 0.75,
+			Seed:           int64(400 + i),
+		}.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := link.Simulate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		twoPhase, err := passivelight.DecodeCarPass(tr, passivelight.DecodeOptions{
+			ExpectedSymbols: 4 + 2*len(payload),
+		})
+		if err != nil {
+			log.Fatalf("pole %d: %v", i+1, err)
+		}
+		bits := make([]byte, len(twoPhase.Decode.Packet.Data))
+		for j, b := range twoPhase.Decode.Packet.Data {
+			bits[j] = byte(b)
+		}
+		// ...and publishes the compact detection to the aggregator.
+		node, err := rxnet.Dial(ctx, addr, rxnet.Hello{
+			NodeID: uint32(i + 1),
+			PosX:   float64(i) * poleGapM,
+			Height: 0.75,
+			Name:   fmt.Sprintf("pole-%d", i+1),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		det := rxnet.Detection{
+			Time:       base.Add(time.Duration(float64(i)*poleGapM/speedMS) * time.Second),
+			Bits:       bits,
+			RSSPeak:    tr.Stats().Max,
+			NoiseFloor: 6200,
+			SymbolRate: 1 / twoPhase.Decode.Thresholds.TauT,
+		}
+		if err := node.Publish(det); err != nil {
+			log.Fatal(err)
+		}
+		node.Close()
+		fmt.Printf("pole-%d published %s (%.0f sym/s)\n", i+1, rxnet.BitsString(bits), det.SymbolRate)
+	}
+
+	tracks := agg.Tracks()
+	if len(tracks) == 0 {
+		log.Fatal("no track fused")
+	}
+	track := tracks[len(tracks)-1]
+	fmt.Printf("\nfused track: object=%s speed=%.2f m/s (ground truth %.2f) over %d receivers, %0.fs dwell\n",
+		rxnet.BitsString(track.ObjectBits), track.SpeedMS, speedMS,
+		track.Confirmations, track.LastSeen.Sub(track.FirstSeen).Seconds())
+}

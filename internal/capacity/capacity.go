@@ -1,0 +1,215 @@
+// Package capacity measures the passive channel's capacity envelope
+// the way the paper does (Sec. 4.1, Fig. 6): sweep the
+// emitter/receiver height and the symbol width, test whether packets
+// decode, and derive (a) the decodable region — maximal height per
+// symbol width, which is close to linear — and (b) the throughput
+// curve — symbols/second at a fixed speed using the narrowest
+// decodable width per height, which falls off steeply (the paper
+// calls it exponential) as the receiver moves up.
+package capacity
+
+import (
+	"errors"
+	"math"
+
+	"passivelight/internal/core"
+	"passivelight/internal/decoder"
+	"passivelight/internal/dsp"
+)
+
+// SweepConfig controls the decodability sweeps.
+type SweepConfig struct {
+	// Payload used in the probe packets. Default "10".
+	Payload string
+	// Speed of the moving tag (m/s). The paper uses 0.08.
+	Speed float64
+	// Trials per operating point (different noise seeds); a point is
+	// decodable when every trial decodes. Default 3.
+	Trials int
+	// Fs is the sweep sampling rate. Capacity sweeps run at a reduced
+	// 250 S/s: the slowest symbol is >0.15 s so this keeps >35
+	// samples per symbol while making the sweep tractable. Default
+	// 250.
+	Fs float64
+	// BaseSeed offsets the per-trial noise seeds.
+	BaseSeed int64
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if c.Payload == "" {
+		c.Payload = "10"
+	}
+	if c.Speed == 0 {
+		c.Speed = 0.08
+	}
+	if c.Trials == 0 {
+		c.Trials = 3
+	}
+	if c.Fs == 0 {
+		c.Fs = 250
+	}
+	return c
+}
+
+// Decodable runs the indoor bench at (height, symbol width) and
+// reports whether all trials decode correctly.
+func Decodable(height, width float64, cfg SweepConfig) (bool, error) {
+	cfg = cfg.withDefaults()
+	for trial := 0; trial < cfg.Trials; trial++ {
+		b := core.BenchSetup{
+			Height:      height,
+			SymbolWidth: width,
+			Speed:       cfg.Speed,
+			Payload:     cfg.Payload,
+			Fs:          cfg.Fs,
+			Seed:        cfg.BaseSeed + int64(trial)*7919,
+		}
+		link, pkt, err := b.Build()
+		if err != nil {
+			return false, err
+		}
+		res, err := core.EndToEnd(link, pkt, decoder.Options{})
+		if err != nil {
+			return false, err
+		}
+		if !res.Success {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// MaxHeight scans heights from lo to hi (inclusive) in the given step
+// and returns the largest decodable height for the symbol width, or
+// ok=false when even the lowest height fails.
+func MaxHeight(width, lo, hi, step float64, cfg SweepConfig) (float64, bool, error) {
+	if step <= 0 || hi < lo {
+		return 0, false, errors.New("capacity: invalid height scan range")
+	}
+	best, ok := 0.0, false
+	for h := lo; h <= hi+1e-9; h += step {
+		dec, err := Decodable(h, width, cfg)
+		if err != nil {
+			return 0, false, err
+		}
+		if dec {
+			best, ok = h, true
+		}
+	}
+	return best, ok, nil
+}
+
+// NarrowestWidth scans symbol widths downward from hi to lo and
+// returns the narrowest width that still decodes at the given height,
+// or ok=false when even the widest fails.
+func NarrowestWidth(height, lo, hi, step float64, cfg SweepConfig) (float64, bool, error) {
+	if step <= 0 || hi < lo {
+		return 0, false, errors.New("capacity: invalid width scan range")
+	}
+	best, ok := 0.0, false
+	for w := hi; w >= lo-1e-9; w -= step {
+		dec, err := Decodable(height, w, cfg)
+		if err != nil {
+			return 0, false, err
+		}
+		if !dec {
+			break
+		}
+		best, ok = w, true
+	}
+	return best, ok, nil
+}
+
+// RegionPoint is one point of the Fig. 6(a) decodable boundary.
+type RegionPoint struct {
+	SymbolWidth float64 // m
+	MaxHeight   float64 // m; 0 when not decodable anywhere in range
+	Decodable   bool
+}
+
+// DecodableRegion sweeps symbol widths and finds the maximal
+// decodable height for each (Fig. 6(a)).
+func DecodableRegion(widths []float64, hLo, hHi, hStep float64, cfg SweepConfig) ([]RegionPoint, error) {
+	out := make([]RegionPoint, 0, len(widths))
+	for _, w := range widths {
+		h, ok, err := MaxHeight(w, hLo, hHi, hStep, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RegionPoint{SymbolWidth: w, MaxHeight: h, Decodable: ok})
+	}
+	return out, nil
+}
+
+// ThroughputPoint is one point of the Fig. 6(b) curve.
+type ThroughputPoint struct {
+	Height     float64 // m
+	Width      float64 // narrowest decodable symbol width (m)
+	Throughput float64 // symbols/second = speed / width
+	Decodable  bool
+}
+
+// ThroughputCurve finds, for each height, the narrowest decodable
+// symbol width at the configured speed and converts it to
+// symbols/second (Fig. 6(b)).
+func ThroughputCurve(heights []float64, wLo, wHi, wStep float64, cfg SweepConfig) ([]ThroughputPoint, error) {
+	cfg = cfg.withDefaults()
+	out := make([]ThroughputPoint, 0, len(heights))
+	for _, h := range heights {
+		w, ok, err := NarrowestWidth(h, wLo, wHi, wStep, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p := ThroughputPoint{Height: h, Width: w, Decodable: ok}
+		if ok {
+			p.Throughput = cfg.Speed / w
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// FitRegion fits maxHeight = a + b*width over the decodable points and
+// returns the coefficients with R^2 (the paper reports an
+// approximately linear boundary).
+func FitRegion(points []RegionPoint) (a, b, r2 float64) {
+	var xs, ys []float64
+	for _, p := range points {
+		if p.Decodable {
+			xs = append(xs, p.SymbolWidth)
+			ys = append(ys, p.MaxHeight)
+		}
+	}
+	a, b = dsp.LinearFit(xs, ys)
+	pred := make([]float64, len(xs))
+	for i, x := range xs {
+		pred[i] = a + b*x
+	}
+	r2 = dsp.RSquared(ys, pred)
+	return a, b, r2
+}
+
+// FitThroughput fits throughput = A*exp(b*height) over decodable
+// points (the paper describes an exponential decrease with height)
+// and returns A, b and R^2 in log space.
+func FitThroughput(points []ThroughputPoint) (A, b, r2 float64) {
+	var xs, ys []float64
+	for _, p := range points {
+		if p.Decodable && p.Throughput > 0 {
+			xs = append(xs, p.Height)
+			ys = append(ys, p.Throughput)
+		}
+	}
+	A, b = dsp.ExpFit(xs, ys)
+	if A == 0 {
+		return 0, 0, 0
+	}
+	logPred := make([]float64, len(xs))
+	logObs := make([]float64, len(xs))
+	for i, x := range xs {
+		logPred[i] = math.Log(A) + b*x
+		logObs[i] = math.Log(ys[i])
+	}
+	r2 = dsp.RSquared(logObs, logPred)
+	return A, b, r2
+}

@@ -1,0 +1,155 @@
+package capacity
+
+import (
+	"math"
+	"testing"
+)
+
+func quickCfg() SweepConfig { return SweepConfig{Trials: 1} }
+
+func TestDecodableKnownPoints(t *testing.T) {
+	// The Fig. 5 operating point decodes.
+	ok, err := Decodable(0.20, 0.03, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Fig. 5 point (h=20cm, w=3cm) should decode")
+	}
+	// Far above the decodable boundary it fails: 1.5 cm symbols from
+	// 55 cm is hopeless (footprint ~9.6 cm >> symbol width).
+	ok, err = Decodable(0.55, 0.015, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("h=55cm, w=1.5cm should not decode")
+	}
+}
+
+func TestMaxHeightGrowsWithWidth(t *testing.T) {
+	cfg := quickCfg()
+	hNarrow, okN, err := MaxHeight(0.03, 0.20, 0.50, 0.05, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hWide, okW, err := MaxHeight(0.06, 0.20, 0.50, 0.05, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okN || !okW {
+		t.Fatalf("both widths should decode somewhere: %v %v", okN, okW)
+	}
+	if hWide < hNarrow {
+		t.Fatalf("wider symbols should reach higher: %.2f vs %.2f", hWide, hNarrow)
+	}
+}
+
+func TestNarrowestWidthGrowsWithHeight(t *testing.T) {
+	cfg := quickCfg()
+	wLow, okL, err := NarrowestWidth(0.20, 0.01, 0.075, 0.005, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wHigh, okH, err := NarrowestWidth(0.45, 0.01, 0.075, 0.005, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okL || !okH {
+		t.Fatalf("both heights should decode at some width")
+	}
+	if wHigh < wLow {
+		t.Fatalf("higher receiver should need wider symbols: %.3f vs %.3f", wHigh, wLow)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, _, err := MaxHeight(0.03, 0.5, 0.2, 0.05, quickCfg()); err == nil {
+		t.Fatal("inverted range should fail")
+	}
+	if _, _, err := MaxHeight(0.03, 0.2, 0.5, 0, quickCfg()); err == nil {
+		t.Fatal("zero step should fail")
+	}
+	if _, _, err := NarrowestWidth(0.2, 0.075, 0.01, 0.005, quickCfg()); err == nil {
+		t.Fatal("inverted width range should fail")
+	}
+}
+
+func TestFitRegionLinear(t *testing.T) {
+	pts := []RegionPoint{
+		{SymbolWidth: 0.02, MaxHeight: 0.2, Decodable: true},
+		{SymbolWidth: 0.04, MaxHeight: 0.3, Decodable: true},
+		{SymbolWidth: 0.06, MaxHeight: 0.4, Decodable: true},
+		{SymbolWidth: 0.01, Decodable: false}, // excluded from fit
+	}
+	a, b, r2 := FitRegion(pts)
+	if math.Abs(a-0.1) > 1e-9 || math.Abs(b-5) > 1e-9 {
+		t.Fatalf("fit a=%v b=%v", a, b)
+	}
+	if r2 < 0.999 {
+		t.Fatalf("r2 %v", r2)
+	}
+}
+
+func TestFitThroughputExponential(t *testing.T) {
+	pts := []ThroughputPoint{
+		{Height: 0.2, Throughput: 8 * math.Exp(-3*0.2), Decodable: true},
+		{Height: 0.3, Throughput: 8 * math.Exp(-3*0.3), Decodable: true},
+		{Height: 0.4, Throughput: 8 * math.Exp(-3*0.4), Decodable: true},
+		{Height: 0.5, Decodable: false},
+	}
+	A, b, r2 := FitThroughput(pts)
+	if math.Abs(A-8) > 1e-6 || math.Abs(b+3) > 1e-6 {
+		t.Fatalf("fit A=%v b=%v", A, b)
+	}
+	if r2 < 0.999 {
+		t.Fatalf("r2 %v", r2)
+	}
+	// Degenerate input.
+	A, b, r2 = FitThroughput(nil)
+	if A != 0 || b != 0 || r2 != 0 {
+		t.Fatal("empty fit should be zeros")
+	}
+}
+
+func TestDecodableRegionShapeIsLinear(t *testing.T) {
+	// Coarse sweep; the boundary fit should be positive-slope linear
+	// with a decent R^2, the paper's qualitative claim.
+	pts, err := DecodableRegion([]float64{0.03, 0.05, 0.07}, 0.20, 0.55, 0.05, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodable := 0
+	for _, p := range pts {
+		if p.Decodable {
+			decodable++
+		}
+	}
+	if decodable < 3 {
+		t.Fatalf("only %d widths decodable", decodable)
+	}
+	_, b, r2 := FitRegion(pts)
+	if b <= 0 {
+		t.Fatalf("boundary slope %v, want positive", b)
+	}
+	if r2 < 0.8 {
+		t.Fatalf("boundary linearity r2=%v", r2)
+	}
+}
+
+func TestThroughputCurveFallsWithHeight(t *testing.T) {
+	pts, err := ThroughputCurve([]float64{0.20, 0.35, 0.50}, 0.01, 0.075, 0.005, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = math.Inf(1)
+	for _, p := range pts {
+		if !p.Decodable {
+			t.Fatalf("h=%.2f not decodable", p.Height)
+		}
+		if p.Throughput > prev {
+			t.Fatalf("throughput rose with height: %+v", pts)
+		}
+		prev = p.Throughput
+	}
+}

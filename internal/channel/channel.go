@@ -1,0 +1,203 @@
+// Package channel renders the passive optical channel: it computes the
+// light level incident on a downward-looking receiver as the scene's
+// mobile reflective surfaces sweep through its field of view.
+//
+// The physical model is a FoV-footprint kernel. A receiver at height h
+// with FoV half-angle psi sees the ground interval |x - x0| <=
+// h*tan(psi). Each ground point contributes illuminance-times-
+// reflectance, weighted by cos^4(theta) (Lambert factor at the surface
+// and at the detector, plus inverse-square growth of the slant path).
+// The received level is
+//
+//	L(t) = eta * sum_i w_i * E(x_i, t) * rho(x_i, t)  +  stray * E(x0, t)
+//
+// where w_i are the normalized kernel weights, eta the collection
+// efficiency of the reflected path and stray the coupling of ambient
+// light that reaches the detector without bouncing off the scene.
+// The kernel width is what produces inter-symbol interference: wide
+// FoV or large height smears narrow stripes together (paper Fig. 2(b),
+// Fig. 6(a), and the Fig. 16 cap/shield result).
+package channel
+
+import (
+	"errors"
+	"math"
+
+	"passivelight/internal/geom"
+	"passivelight/internal/scene"
+)
+
+// Receiver describes the geometry and optics of one receiver.
+type Receiver struct {
+	// X is the horizontal position of the receiver (m).
+	X float64
+	// Height above the ground plane (m); must be > 0.
+	Height float64
+	// FoVHalfAngleDeg is the optical half-angle of the receiver
+	// (degrees). Bare photodiode ~40, PD with the paper's physical
+	// cap ~10, RX-LED ~14, focused indoor bench ~5.
+	FoVHalfAngleDeg float64
+	// CollectionEfficiency eta in (0, 1] scales the reflected path.
+	// Zero selects the default 0.5.
+	CollectionEfficiency float64
+	// StrayCoupling scales the ambient light reaching the detector
+	// without reflecting off the scene (sets the DC pedestal and
+	// drives saturation outdoors). Zero selects the default 0.25.
+	StrayCoupling float64
+	// KernelSamples is the number of quadrature points across the
+	// footprint. Zero selects the default 129.
+	KernelSamples int
+}
+
+// Defaults applied by Render for zero-valued optional fields.
+const (
+	DefaultCollectionEfficiency = 0.5
+	DefaultStrayCoupling        = 0.25
+	DefaultKernelSamples        = 129
+)
+
+func (r Receiver) withDefaults() Receiver {
+	if r.CollectionEfficiency == 0 {
+		r.CollectionEfficiency = DefaultCollectionEfficiency
+	}
+	if r.StrayCoupling == 0 {
+		r.StrayCoupling = DefaultStrayCoupling
+	}
+	if r.KernelSamples == 0 {
+		r.KernelSamples = DefaultKernelSamples
+	}
+	return r
+}
+
+// Validate checks the receiver geometry.
+func (r Receiver) Validate() error {
+	if r.Height <= 0 {
+		return errors.New("channel: receiver height must be positive")
+	}
+	if r.FoVHalfAngleDeg <= 0 || r.FoVHalfAngleDeg >= 90 {
+		return errors.New("channel: FoV half-angle must be in (0, 90) degrees")
+	}
+	if r.CollectionEfficiency < 0 || r.CollectionEfficiency > 1 {
+		return errors.New("channel: collection efficiency outside [0, 1]")
+	}
+	if r.StrayCoupling < 0 || r.StrayCoupling > 1 {
+		return errors.New("channel: stray coupling outside [0, 1]")
+	}
+	if r.KernelSamples < 0 {
+		return errors.New("channel: kernel samples must be non-negative")
+	}
+	return nil
+}
+
+// FootprintRadius returns the ground radius of the FoV.
+func (r Receiver) FootprintRadius() float64 {
+	return geom.NewConeDeg(r.FoVHalfAngleDeg).FootprintRadius(r.Height)
+}
+
+// Kernel returns the quadrature offsets and normalized weights of the
+// receiver's footprint kernel.
+func (r Receiver) Kernel() (offsets, weights []float64) {
+	r = r.withDefaults()
+	n := r.KernelSamples
+	if n < 3 {
+		n = 3
+	}
+	if n%2 == 0 {
+		n++
+	}
+	rad := r.FootprintRadius()
+	offsets = make([]float64, n)
+	weights = make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		dx := -rad + 2*rad*float64(i)/float64(n-1)
+		offsets[i] = dx
+		c := geom.IncidenceCos(dx, r.Height)
+		w := c * c * c * c
+		weights[i] = w
+		sum += w
+	}
+	for i := range weights {
+		weights[i] /= sum
+	}
+	return offsets, weights
+}
+
+// LevelAt computes the instantaneous incident level (lux) on the
+// receiver at time t.
+func LevelAt(s *scene.Scene, r Receiver, t float64) float64 {
+	r = r.withDefaults()
+	offsets, weights := r.Kernel()
+	var reflected float64
+	for i, dx := range offsets {
+		x := r.X + dx
+		e := s.IlluminanceAt(x, t)
+		sample := s.SampleAt(x, t)
+		reflected += weights[i] * e * sample.Reflectance
+	}
+	stray := r.StrayCoupling * s.IlluminanceAt(r.X, t)
+	return r.CollectionEfficiency*reflected + stray
+}
+
+// Render produces the incident-level time series for t in [t0, t0+dur)
+// sampled at fs Hz.
+func Render(s *scene.Scene, r Receiver, t0, dur, fs float64) ([]float64, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if dur <= 0 || fs <= 0 {
+		return nil, errors.New("channel: duration and sample rate must be positive")
+	}
+	n := int(math.Round(dur * fs))
+	if n < 1 {
+		return nil, errors.New("channel: window shorter than one sample")
+	}
+	r = r.withDefaults()
+	offsets, weights := r.Kernel()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := t0 + float64(i)/fs
+		var reflected float64
+		for k, dx := range offsets {
+			x := r.X + dx
+			e := s.IlluminanceAt(x, t)
+			sample := s.SampleAt(x, t)
+			reflected += weights[k] * e * sample.Reflectance
+		}
+		stray := r.StrayCoupling * s.IlluminanceAt(r.X, t)
+		out[i] = r.CollectionEfficiency*reflected + stray
+	}
+	return out, nil
+}
+
+// PassWindow computes the time interval during which an object's
+// profile overlaps the receiver footprint, given the object's
+// trajectory is monotonic with positive speed. It scans [0, maxT]
+// with the given step and returns the first/last overlap times padded
+// by pad seconds (clamped at 0 and maxT). ok is false if the object
+// never enters the FoV.
+func PassWindow(obj *scene.Object, r Receiver, maxT, step, pad float64) (t0, t1 float64, ok bool) {
+	if step <= 0 {
+		step = 1e-3
+	}
+	rad := r.FootprintRadius()
+	length := obj.Profile.Length()
+	first, last := -1.0, -1.0
+	for t := 0.0; t <= maxT; t += step {
+		lead := obj.Trajectory.PositionAt(t)
+		tail := lead - length
+		// Overlap if [tail, lead] intersects [r.X-rad, r.X+rad].
+		if lead >= r.X-rad && tail <= r.X+rad {
+			if first < 0 {
+				first = t
+			}
+			last = t
+		}
+	}
+	if first < 0 {
+		return 0, 0, false
+	}
+	t0 = math.Max(0, first-pad)
+	t1 = math.Min(maxT, last+pad)
+	return t0, t1, true
+}

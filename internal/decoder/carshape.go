@@ -1,0 +1,137 @@
+package decoder
+
+import (
+	"errors"
+	"fmt"
+
+	"passivelight/internal/dsp"
+	"passivelight/internal/trace"
+)
+
+// CarSignature is the detected long-duration preamble of Sec. 5.1:
+// the car's own optical shape (hood peak, windshield valley, roof,
+// ...) announcing that a tag decode should start.
+type CarSignature struct {
+	// HoodPeakIndex and WindshieldValleyIndex anchor the car within
+	// the trace.
+	HoodPeakIndex         int
+	WindshieldValleyIndex int
+	// RoofStartIndex is where the tag search window begins.
+	RoofStartIndex int
+	// Extrema lists all prominent peaks/valleys of the pass in time
+	// order, for signature matching against car models (Figs. 13-14).
+	Extrema []ShapeExtremum
+}
+
+// ShapeExtremum is one labeled feature of a car signature.
+type ShapeExtremum struct {
+	Index  int
+	Value  float64
+	IsPeak bool
+}
+
+// DetectCarShape finds the hood-peak / windshield-valley pattern that
+// marks an approaching car. The smoothing window is wide (tens of
+// milliseconds) so stripe-level detail does not hide the body shape.
+func DetectCarShape(tr *trace.Trace) (CarSignature, error) {
+	if tr == nil || tr.Len() < 16 {
+		return CarSignature{}, errors.New("decoder: trace too short for shape detection")
+	}
+	// Smooth at ~40 ms: keeps car body features (hundreds of ms at
+	// 18 km/h) while flattening 10 cm stripes (~20 ms).
+	win := int(tr.Fs * 0.04)
+	if win < 3 {
+		win = 3
+	}
+	smooth := dsp.MovingAverage(tr.Samples, win)
+	lo, hi := dsp.MinMax(smooth)
+	rng := hi - lo
+	if rng <= 0 {
+		return CarSignature{}, errors.New("decoder: flat trace")
+	}
+	prom := 0.2 * rng
+	// Car body features are >= 100 ms apart at street speeds;
+	// suppress plateau double-peaks and glint spikes closer than that.
+	minDist := int(tr.Fs * 0.1)
+	peaks := dsp.FindPeaks(smooth, dsp.PeakOptions{MinProminence: prom, MinDistance: minDist})
+	valleys := dsp.FindValleys(smooth, dsp.PeakOptions{MinProminence: prom, MinDistance: minDist})
+	if len(peaks) == 0 || len(valleys) == 0 {
+		return CarSignature{}, errors.New("decoder: no car-shape features found")
+	}
+	sig := CarSignature{HoodPeakIndex: -1, WindshieldValleyIndex: -1}
+	// Hood = first prominent peak; windshield = first prominent
+	// valley after it.
+	sig.HoodPeakIndex = peaks[0].Index
+	for _, v := range valleys {
+		if v.Index > sig.HoodPeakIndex {
+			sig.WindshieldValleyIndex = v.Index
+			break
+		}
+	}
+	if sig.WindshieldValleyIndex < 0 {
+		return CarSignature{}, errors.New("decoder: hood peak without windshield valley")
+	}
+	sig.RoofStartIndex = sig.WindshieldValleyIndex
+	// Collect the merged, time-ordered extrema list.
+	pi, vi := 0, 0
+	for pi < len(peaks) || vi < len(valleys) {
+		switch {
+		case pi == len(peaks):
+			sig.Extrema = append(sig.Extrema, ShapeExtremum{valleys[vi].Index, valleys[vi].Value, false})
+			vi++
+		case vi == len(valleys):
+			sig.Extrema = append(sig.Extrema, ShapeExtremum{peaks[pi].Index, peaks[pi].Value, true})
+			pi++
+		case peaks[pi].Index < valleys[vi].Index:
+			sig.Extrema = append(sig.Extrema, ShapeExtremum{peaks[pi].Index, peaks[pi].Value, true})
+			pi++
+		default:
+			sig.Extrema = append(sig.Extrema, ShapeExtremum{valleys[vi].Index, valleys[vi].Value, false})
+			vi++
+		}
+	}
+	return sig, nil
+}
+
+// TwoPhaseResult bundles the Sec. 5.2 two-phase decode.
+type TwoPhaseResult struct {
+	Signature CarSignature
+	Decode    Result
+}
+
+// DecodeCarPass runs the outdoor two-phase algorithm: (1) detect the
+// car-shape long preamble (hood peak + windshield valley), (2) run
+// the Sec. 4.1 adaptive threshold decoder starting at the roof.
+func DecodeCarPass(tr *trace.Trace, opt Options) (TwoPhaseResult, error) {
+	sig, err := DetectCarShape(tr)
+	if err != nil {
+		return TwoPhaseResult{}, fmt.Errorf("phase 1 (shape): %w", err)
+	}
+	opt.SearchFrom = sig.RoofStartIndex
+	res, err := Decode(tr, opt)
+	if err != nil {
+		return TwoPhaseResult{Signature: sig}, fmt.Errorf("phase 2 (decode): %w", err)
+	}
+	return TwoPhaseResult{Signature: sig, Decode: res}, nil
+}
+
+// MatchCarModel compares a detected signature's peak pattern against
+// expectations: a hatchback (Volvo V40, Fig. 13) shows two body peaks
+// (hood A, roof C); a sedan (BMW 3, Fig. 14) shows three (hood A,
+// roof C, trunk E). It returns "sedan", "hatchback" or "unknown".
+func MatchCarModel(sig CarSignature) string {
+	peaks := 0
+	for _, e := range sig.Extrema {
+		if e.IsPeak {
+			peaks++
+		}
+	}
+	switch {
+	case peaks >= 3:
+		return "sedan"
+	case peaks == 2:
+		return "hatchback"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,99 @@
+package decoder
+
+import (
+	"errors"
+
+	"passivelight/internal/dsp"
+	"passivelight/internal/trace"
+)
+
+// CollisionReport is the outcome of the Sec. 4.3 frequency-domain
+// analysis of overlapping packets.
+type CollisionReport struct {
+	// Spectrum is the one-sided power spectrum of the trace.
+	Spectrum dsp.Spectrum
+	// Peaks are the dominant spectral peaks (strongest first).
+	Peaks []dsp.SpectralPeak
+	// SignificantTones counts peaks within SignificanceRatio of the
+	// strongest — the number of distinct packet symbol rates present.
+	SignificantTones int
+	// DominantFreq is the strongest tone (Hz); 0 when no tone found.
+	DominantFreq float64
+}
+
+// CollisionOptions tunes the analyzer.
+type CollisionOptions struct {
+	// MinFreq ignores spectral content below this frequency (Hz),
+	// cutting the residual DC/drift skirt. Zero selects 0.5 Hz.
+	MinFreq float64
+	// MaxFreq truncates the analysis band (Hz); packet symbol rates
+	// live at a few Hz, anything above is noise. Zero keeps the full
+	// band.
+	MaxFreq float64
+	// MinSeparation merges peaks closer than this (Hz). Zero selects
+	// 0.8 Hz.
+	MinSeparation float64
+	// SignificanceRatio: peaks with power >= ratio * strongest count
+	// as distinct tones. Zero selects 0.35.
+	SignificanceRatio float64
+	// MaxPeaks caps the reported peak list. Zero selects 5.
+	MaxPeaks int
+}
+
+func (o CollisionOptions) withDefaults() CollisionOptions {
+	if o.MinFreq == 0 {
+		o.MinFreq = 0.5
+	}
+	if o.MinSeparation == 0 {
+		o.MinSeparation = 0.8
+	}
+	if o.SignificanceRatio == 0 {
+		o.SignificanceRatio = 0.35
+	}
+	if o.MaxPeaks == 0 {
+		o.MaxPeaks = 5
+	}
+	return o
+}
+
+// AnalyzeCollision computes the FFT of the trace and extracts the
+// dominant symbol-rate tones. One significant tone means a single
+// (or fully dominant) packet — decodable in the time domain (Cases 1
+// and 2 of Fig. 10); two or more tones reveal a collision of packets
+// with different symbol widths (Case 3): undecodable in time, but the
+// FFT still identifies "the presence of two different types of
+// object".
+func AnalyzeCollision(tr *trace.Trace, opt CollisionOptions) (CollisionReport, error) {
+	opt = opt.withDefaults()
+	if tr == nil || tr.Len() < 8 {
+		return CollisionReport{}, errors.New("decoder: trace too short for spectral analysis")
+	}
+	spec, err := dsp.PowerSpectrum(tr.Samples, tr.Fs, dsp.HannWindow)
+	if err != nil {
+		return CollisionReport{}, err
+	}
+	if opt.MaxFreq > 0 {
+		cut := len(spec.Freqs)
+		for i, f := range spec.Freqs {
+			if f > opt.MaxFreq {
+				cut = i
+				break
+			}
+		}
+		spec.Freqs = spec.Freqs[:cut]
+		spec.Power = spec.Power[:cut]
+	}
+	peaks := spec.DominantPeaks(opt.MinFreq, opt.MinSeparation, opt.MaxPeaks)
+	rep := CollisionReport{Spectrum: spec, Peaks: peaks}
+	if len(peaks) == 0 {
+		return rep, nil
+	}
+	rep.DominantFreq = peaks[0].Freq
+	strongest := peaks[0].Power
+	for _, p := range peaks {
+		if p.Power >= opt.SignificanceRatio*strongest {
+			rep.SignificantTones++
+		}
+	}
+	return rep, nil
+}

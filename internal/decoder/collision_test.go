@@ -1,0 +1,105 @@
+package decoder
+
+import (
+	"math"
+	"testing"
+
+	"passivelight/internal/trace"
+)
+
+func twoToneTrace(fs, f1, a1, f2, a2 float64, n int) *trace.Trace {
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i) / fs
+		x[i] = 50 + a1*math.Sin(2*math.Pi*f1*ti) + a2*math.Sin(2*math.Pi*f2*ti)
+	}
+	return trace.New(fs, 0, x)
+}
+
+func TestAnalyzeCollisionSingleTone(t *testing.T) {
+	tr := twoToneTrace(1000, 3, 10, 0, 0, 4000)
+	rep, err := AnalyzeCollision(tr, CollisionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SignificantTones != 1 {
+		t.Fatalf("tones %d, want 1 (peaks %+v)", rep.SignificantTones, rep.Peaks)
+	}
+	if math.Abs(rep.DominantFreq-3) > 0.5 {
+		t.Fatalf("dominant %.2f Hz, want 3", rep.DominantFreq)
+	}
+}
+
+func TestAnalyzeCollisionTwoTones(t *testing.T) {
+	tr := twoToneTrace(1000, 3, 10, 6, 8, 4000)
+	rep, err := AnalyzeCollision(tr, CollisionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SignificantTones != 2 {
+		t.Fatalf("tones %d, want 2 (peaks %+v)", rep.SignificantTones, rep.Peaks)
+	}
+	if math.Abs(rep.DominantFreq-3) > 0.5 {
+		t.Fatalf("dominant %.2f Hz", rep.DominantFreq)
+	}
+	// Both packet tones reported.
+	found6 := false
+	for _, p := range rep.Peaks {
+		if math.Abs(p.Freq-6) < 0.5 {
+			found6 = true
+		}
+	}
+	if !found6 {
+		t.Fatalf("6 Hz tone missing: %+v", rep.Peaks)
+	}
+}
+
+func TestAnalyzeCollisionWeakToneBelowSignificance(t *testing.T) {
+	tr := twoToneTrace(1000, 3, 10, 6, 1, 4000) // second tone at 10%
+	rep, err := AnalyzeCollision(tr, CollisionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SignificantTones != 1 {
+		t.Fatalf("tones %d, want 1", rep.SignificantTones)
+	}
+}
+
+func TestAnalyzeCollisionMaxFreqBand(t *testing.T) {
+	tr := twoToneTrace(1000, 3, 10, 50, 30, 4000) // strong out-of-band tone
+	rep, err := AnalyzeCollision(tr, CollisionOptions{MaxFreq: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Peaks {
+		if p.Freq > 10 {
+			t.Fatalf("peak above MaxFreq: %+v", p)
+		}
+	}
+	if math.Abs(rep.DominantFreq-3) > 0.5 {
+		t.Fatalf("dominant %.2f Hz, want 3 (50 Hz excluded)", rep.DominantFreq)
+	}
+}
+
+func TestAnalyzeCollisionErrors(t *testing.T) {
+	if _, err := AnalyzeCollision(nil, CollisionOptions{}); err == nil {
+		t.Fatal("nil trace should fail")
+	}
+	if _, err := AnalyzeCollision(trace.New(1000, 0, []float64{1, 2}), CollisionOptions{}); err == nil {
+		t.Fatal("short trace should fail")
+	}
+}
+
+func TestAnalyzeCollisionQuietTrace(t *testing.T) {
+	x := make([]float64, 1024)
+	for i := range x {
+		x[i] = 50
+	}
+	rep, err := AnalyzeCollision(trace.New(1000, 0, x), CollisionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SignificantTones != 0 || rep.DominantFreq != 0 {
+		t.Fatalf("quiet trace produced tones: %+v", rep)
+	}
+}

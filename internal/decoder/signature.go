@@ -1,0 +1,97 @@
+package decoder
+
+import (
+	"errors"
+	"sort"
+
+	"passivelight/internal/dsp"
+	"passivelight/internal/trace"
+)
+
+// SignatureClassifier identifies car models from their optical
+// signatures (Sec. 5.1: "their optical signatures should be unique").
+// It matches the body-scale waveform of a pass against registered
+// template passes using DTW — the same machinery as the packet
+// classifier, but at the car-shape timescale (tens of milliseconds of
+// smoothing instead of milliseconds).
+type SignatureClassifier struct {
+	length    int
+	templates []Baseline
+}
+
+// NewSignatureClassifier builds a classifier; length <= 0 selects 192
+// resampled points (car bodies carry less detail than stripe codes).
+func NewSignatureClassifier(length int) *SignatureClassifier {
+	if length <= 0 {
+		length = 192
+	}
+	return &SignatureClassifier{length: length}
+}
+
+// prepare extracts the body-scale waveform: smooth at ~40 ms, crop to
+// the region where the signal departs from the baseline, then
+// normalize and resample.
+func (c *SignatureClassifier) prepare(tr *trace.Trace) ([]float64, error) {
+	if tr == nil || tr.Len() < 32 {
+		return nil, errors.New("decoder: trace too short for signature")
+	}
+	win := int(tr.Fs * 0.04)
+	if win < 3 {
+		win = 3
+	}
+	smooth := dsp.MovingAverage(tr.Samples, win)
+	lo, hi := dsp.MinMax(smooth)
+	if hi <= lo {
+		return nil, errors.New("decoder: flat trace")
+	}
+	// Crop to where the signal exceeds 15% of its excursion — the
+	// car's dwell under the FoV — so template alignment does not
+	// depend on how much quiet road is recorded around the pass.
+	thresh := lo + 0.15*(hi-lo)
+	start, end := -1, -1
+	for i, v := range smooth {
+		if v > thresh {
+			if start < 0 {
+				start = i
+			}
+			end = i
+		}
+	}
+	if start < 0 || end-start < 8 {
+		return nil, errors.New("decoder: no pass found in trace")
+	}
+	crop := smooth[start : end+1]
+	return dsp.ResampleLinear(dsp.NormalizeMinMax(crop), c.length), nil
+}
+
+// AddTemplate registers a labeled reference pass.
+func (c *SignatureClassifier) AddTemplate(label string, tr *trace.Trace) error {
+	prepared, err := c.prepare(tr)
+	if err != nil {
+		return err
+	}
+	c.templates = append(c.templates, Baseline{Label: label, Samples: prepared})
+	return nil
+}
+
+// Identify returns templates ordered by ascending DTW distance to the
+// trace.
+func (c *SignatureClassifier) Identify(tr *trace.Trace) ([]Match, error) {
+	if len(c.templates) == 0 {
+		return nil, errors.New("decoder: signature classifier has no templates")
+	}
+	probe, err := c.prepare(tr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, 0, len(c.templates))
+	for _, tpl := range c.templates {
+		d, err := dsp.DTWWith(probe, tpl.Samples, dsp.DTWOptions{Window: c.length / 4})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Match{Label: tpl.Label, Distance: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	return out, nil
+}

@@ -1,0 +1,53 @@
+package decoder
+
+import (
+	"testing"
+
+	"passivelight/internal/trace"
+)
+
+func TestSignatureClassifierIdentifiesShapes(t *testing.T) {
+	cls := NewSignatureClassifier(0)
+	hatch := syntheticCarTrace(2000, false, nil)
+	sedan := syntheticCarTrace(2000, true, nil)
+	if err := cls.AddTemplate("hatch", hatch); err != nil {
+		t.Fatal(err)
+	}
+	if err := cls.AddTemplate("sedan", sedan); err != nil {
+		t.Fatal(err)
+	}
+	// Probe with a time-scaled hatchback pass (different speed).
+	fast := syntheticCarTrace(1500, false, nil) // same shape, fewer samples
+	m, err := cls.Identify(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0].Label != "hatch" {
+		t.Fatalf("identified %q", m[0].Label)
+	}
+	// And a sedan probe.
+	m, err = cls.Identify(syntheticCarTrace(2500, true, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0].Label != "sedan" {
+		t.Fatalf("identified %q", m[0].Label)
+	}
+}
+
+func TestSignatureClassifierErrors(t *testing.T) {
+	cls := NewSignatureClassifier(64)
+	if _, err := cls.Identify(syntheticCarTrace(2000, false, nil)); err == nil {
+		t.Fatal("no templates should fail")
+	}
+	if err := cls.AddTemplate("x", nil); err == nil {
+		t.Fatal("nil template should fail")
+	}
+	flat := make([]float64, 4000)
+	for i := range flat {
+		flat[i] = 40
+	}
+	if err := cls.AddTemplate("flat", trace.New(2000, 0, flat)); err == nil {
+		t.Fatal("flat template should fail")
+	}
+}

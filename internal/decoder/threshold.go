@@ -1,0 +1,487 @@
+// Package decoder implements the paper's receiver-side algorithms:
+// the adaptive threshold decoder of Sec. 4.1 (per-packet tau_r/tau_t
+// derived from the preamble's first two peaks and first valley), the
+// DTW waveform classifier of Sec. 4.2 for distorted packets, the
+// FFT-based collision analyzer of Sec. 4.3, and the two-phase
+// car-shape decode of Sec. 5 (optical signature as long-duration
+// preamble, then stripe decode).
+package decoder
+
+import (
+	"errors"
+	"fmt"
+
+	"passivelight/internal/coding"
+	"passivelight/internal/dsp"
+	"passivelight/internal/trace"
+)
+
+// Errors returned by the threshold decoder.
+var (
+	// ErrNoPreamble means the A/B/C preamble points could not be
+	// located in the trace.
+	ErrNoPreamble = errors.New("decoder: preamble peaks/valley not found")
+	// ErrLowContrast means the preamble was found but the HIGH/LOW
+	// excursion is too small to decode reliably.
+	ErrLowContrast = errors.New("decoder: insufficient HIGH/LOW contrast")
+)
+
+// PreamblePoints are the paper's A, B, C anchors: the first two peaks
+// and the first valley of the preamble, each as an <RSS, time> tuple
+// (Fig. 5(a)).
+type PreamblePoints struct {
+	AIndex, BIndex, CIndex int
+	AValue, BValue, CValue float64
+	ATime, BTime, CTime    float64
+}
+
+// Thresholds are the per-packet adaptive decision parameters.
+type Thresholds struct {
+	// TauR is the magnitude threshold:
+	// ((rA-rB) + (rC-rB)) / 2, applied relative to the valley level.
+	TauR float64
+	// TauT is the symbol duration estimate:
+	// ((tB-tA) + (tC-tB)) / 2 seconds.
+	TauT float64
+	// Baseline is the valley level rB the threshold is referenced to.
+	Baseline float64
+}
+
+// Options tunes the threshold decoder.
+type Options struct {
+	// ExpectedSymbols bounds the number of symbols to slice
+	// (preamble + data). Zero decodes until the trace ends and trims
+	// trailing LOW symbols.
+	ExpectedSymbols int
+	// SmoothWindow applies a centered moving average before peak
+	// detection (samples). Zero picks an automatic small window.
+	SmoothWindow int
+	// MinProminence for peak/valley detection as a fraction of the
+	// trace's min-max range. Zero selects 0.25.
+	MinProminence float64
+	// MinContrast is the minimum acceptable (peak - valley) excursion
+	// as a fraction of the trace range... it is an absolute RSS value
+	// when AbsoluteContrast is set. Zero selects 4.0 counts, roughly
+	// 4x the front-end quantization step: below that the signal is
+	// indistinguishable from noise (the paper's undecodable 100 lux
+	// RX-LED case).
+	MinContrast float64
+	// SearchFrom restricts preamble search to samples at or after
+	// this index (used by the two-phase car decoder).
+	SearchFrom int
+	// WindowFraction is the central share of each tau_t window over
+	// which the maximum is taken. Smoothing blurs symbol transitions,
+	// so sampling the full window lets a LOW window catch the skirt
+	// of its HIGH neighbours; the central region avoids that. Zero
+	// selects 0.6.
+	WindowFraction float64
+	// DisableTimingRecovery turns off the post-preamble grid search
+	// and decodes exactly as Sec. 4.1 describes (fixed tau_t grid
+	// anchored at peak A). The Fig. 8 experiment uses this to show
+	// the paper's algorithm failing under variable speed.
+	DisableTimingRecovery bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinProminence == 0 {
+		o.MinProminence = 0.25
+	}
+	if o.MinContrast == 0 {
+		o.MinContrast = 4.0
+	}
+	if o.WindowFraction == 0 {
+		o.WindowFraction = 0.5
+	}
+	return o
+}
+
+// Result is the outcome of a threshold decode.
+type Result struct {
+	Symbols    []coding.Symbol
+	Packet     coding.Packet
+	ParseErr   error // non-nil when symbols don't form a valid packet
+	Preamble   PreamblePoints
+	Thresholds Thresholds
+	// WindowMax records the per-symbol window maxima used for the
+	// HIGH/LOW decision (diagnostics).
+	WindowMax []float64
+}
+
+// SymbolString renders the decoded symbols in the paper's notation
+// ("HLHL.LHHL" when a valid packet was parsed, plain run otherwise).
+func (r Result) SymbolString() string {
+	if r.ParseErr == nil {
+		return r.Packet.SymbolString()
+	}
+	s := ""
+	for i, sym := range r.Symbols {
+		if i == coding.PreambleLen {
+			s += "."
+		}
+		s += sym.String()
+	}
+	return s
+}
+
+// Decode runs the Sec. 4.1 adaptive threshold algorithm on a trace.
+func Decode(tr *trace.Trace, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	if tr == nil || tr.Len() < 8 {
+		return Result{}, errors.New("decoder: trace too short")
+	}
+	x := tr.Samples
+	if opt.SearchFrom > 0 {
+		if opt.SearchFrom >= len(x)-8 {
+			return Result{}, fmt.Errorf("decoder: SearchFrom %d beyond trace", opt.SearchFrom)
+		}
+		x = x[opt.SearchFrom:]
+	}
+	x = suppressMainsRipple(x, tr.Fs)
+	smoothWin := opt.SmoothWindow
+	if smoothWin == 0 {
+		// Automatic: ~2.5 ms at the trace rate, at least 3 samples.
+		smoothWin = int(tr.Fs * 0.0025)
+		if smoothWin < 3 {
+			smoothWin = 3
+		}
+	}
+	smooth := dsp.MovingAverage(x, smoothWin)
+	pts, err := findPreamble(smooth, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	dt := 1 / tr.Fs
+	th := computeThresholds(pts, dt)
+	// Second pass: with the symbol duration roughly known, re-detect
+	// the preamble on a tau_t/3-smoothed signal. Heavier smoothing
+	// rounds the HIGH plateaus so their maxima sit at the symbol
+	// centers, which fixes the grid phase/step estimate under
+	// FoV-induced inter-symbol interference.
+	if w := int(th.TauT * tr.Fs / 3); w > smoothWin {
+		smooth2 := dsp.MovingAverage(x, w)
+		if pts2, err2 := findPreamble(smooth2, opt); err2 == nil {
+			th2 := computeThresholds(pts2, dt)
+			if th2.TauT > 0 && th2.TauR > 0 {
+				pts, th = pts2, th2
+				// Keep amplitude anchors from the lightly smoothed
+				// signal (heavy smoothing deflates the contrast).
+				pts.AValue = smooth[pts.AIndex]
+				pts.BValue = smooth[pts.BIndex]
+				pts.CValue = smooth[pts.CIndex]
+				th.TauR = ((pts.AValue - pts.BValue) + (pts.CValue - pts.BValue)) / 2
+				th.Baseline = pts.BValue
+			}
+		}
+	}
+	pts.ATime = float64(pts.AIndex) * dt
+	pts.BTime = float64(pts.BIndex) * dt
+	pts.CTime = float64(pts.CIndex) * dt
+	if th.TauR < opt.MinContrast {
+		return Result{Preamble: pts, Thresholds: th}, fmt.Errorf("%w: tau_r %.2f < %.2f", ErrLowContrast, th.TauR, opt.MinContrast)
+	}
+	if th.TauT <= 0 {
+		return Result{Preamble: pts, Thresholds: th}, ErrNoPreamble
+	}
+	// Slice symbol windows of length tau_t centered on the symbol
+	// grid anchored at peak A (the center of the first HIGH symbol).
+	tauSamples := th.TauT * tr.Fs
+	// Now that the symbol duration is known, re-smooth at tau_t/8 so
+	// window maxima ride the symbol level rather than noise spikes
+	// (the analog front end of the real board does this for free).
+	if resmooth := int(tauSamples / 8); resmooth > smoothWin {
+		smooth = dsp.MovingAverage(x, resmooth)
+	}
+	decision := pts.BValue + th.TauR/2
+	// Fine timing recovery. The A/B/C extrema shift under FoV-induced
+	// inter-symbol interference (a HIGH stripe next to a bright car
+	// roof has its apparent peak pulled toward the roof), so the raw
+	// tau_t estimate can be off by >10%, enough for the symbol grid
+	// to drift onto neighbours by the end of the data field. Search a
+	// small neighbourhood of (step, phase) for the grid that (a)
+	// reproduces the known HLHL preamble and (b) maximizes the margin
+	// of every window decision; this is standard clock recovery on
+	// top of the paper's estimator.
+	var symbols []coding.Symbol
+	var windowMax []float64
+	if opt.DisableTimingRecovery {
+		symbols, windowMax = sliceGrid(smooth, float64(pts.AIndex), tauSamples, opt.WindowFraction, decision, opt.ExpectedSymbols)
+	} else {
+		var bestStep float64
+		symbols, windowMax, bestStep, _ = refineGrid(smooth, pts.AIndex, tauSamples, decision, opt)
+		th.TauT = bestStep / tr.Fs
+	}
+	if opt.ExpectedSymbols == 0 {
+		// Trim trailing LOWs produced after the tag left the FoV.
+		for len(symbols) > 0 && symbols[len(symbols)-1] == coding.Low {
+			symbols = symbols[:len(symbols)-1]
+			windowMax = windowMax[:len(windowMax)-1]
+		}
+		// A Manchester stream always has even symbol count; pad one
+		// LOW back if a trailing LOW of the last bit was trimmed.
+		if len(symbols)%2 == 1 {
+			symbols = append(symbols, coding.Low)
+		}
+	}
+	res := Result{Symbols: symbols, Preamble: pts, Thresholds: th, WindowMax: windowMax}
+	pkt, perr := coding.ParsePacket(symbols)
+	if perr != nil {
+		res.ParseErr = perr
+	} else {
+		res.Packet = pkt
+	}
+	return res, nil
+}
+
+// suppressMainsRipple detects the double-line-frequency flicker of
+// mains-powered luminaires (100 Hz in 50 Hz grids, 120 Hz in 60 Hz
+// grids — the "thicker lines" of the paper's Fig. 7) and, when it
+// carries a meaningful share of the AC energy, averages the signal
+// over exactly one ripple period. Symbols are orders of magnitude
+// slower, so the code content is untouched.
+func suppressMainsRipple(x []float64, fs float64) []float64 {
+	if len(x) < 16 || fs < 400 {
+		return x
+	}
+	mean := dsp.Mean(x)
+	ac := make([]float64, len(x))
+	for i, v := range x {
+		ac[i] = v - mean
+	}
+	total := dsp.RMS(ac) * float64(len(ac))
+	if total == 0 {
+		return x
+	}
+	for _, f := range []float64{100, 120} {
+		if f+15 >= fs/2 {
+			continue
+		}
+		mag := dsp.Goertzel(ac, fs, f)
+		// A mains line is a narrow tone: it must dominate its
+		// spectral neighbourhood, otherwise the energy at f is just
+		// broadband symbol content (e.g. a fast packet whose symbol
+		// rate happens to sit near 100 Hz) and must not be filtered.
+		side := dsp.Goertzel(ac, fs, f-15)
+		if s2 := dsp.Goertzel(ac, fs, f+15); s2 > side {
+			side = s2
+		}
+		if mag/total > 0.02 && mag > 3*side {
+			period := int(fs/f + 0.5)
+			if period >= 2 {
+				return dsp.MovingAverage(x, period)
+			}
+		}
+	}
+	return x
+}
+
+// DecodeFixed decodes a trace using externally supplied thresholds —
+// no per-packet adaptation and no timing refinement. It anchors the
+// symbol grid at the first upward crossing of the decision level.
+// This is the ablation baseline showing why the paper's thresholds
+// "need to be highly adaptive": fixed values calibrated under one
+// light level misread packets under another.
+func DecodeFixed(tr *trace.Trace, th Thresholds, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	if tr == nil || tr.Len() < 8 {
+		return Result{}, errors.New("decoder: trace too short")
+	}
+	if th.TauT <= 0 || th.TauR <= 0 {
+		return Result{}, errors.New("decoder: invalid fixed thresholds")
+	}
+	smoothWin := opt.SmoothWindow
+	if smoothWin == 0 {
+		smoothWin = int(th.TauT * tr.Fs / 8)
+		if smoothWin < 3 {
+			smoothWin = 3
+		}
+	}
+	smooth := dsp.MovingAverage(tr.Samples, smoothWin)
+	decision := th.Baseline + th.TauR/2
+	anchorIdx := -1
+	for i := 1; i < len(smooth); i++ {
+		if smooth[i-1] <= decision && smooth[i] > decision {
+			anchorIdx = i
+			break
+		}
+	}
+	if anchorIdx < 0 {
+		return Result{Thresholds: th}, fmt.Errorf("%w: signal never crosses fixed decision level %.1f", ErrNoPreamble, decision)
+	}
+	tauSamples := th.TauT * tr.Fs
+	// The crossing is the leading edge of the first HIGH symbol; its
+	// center is half a symbol later.
+	anchor := float64(anchorIdx) + tauSamples/2
+	symbols, windowMax := sliceGrid(smooth, anchor, tauSamples, opt.WindowFraction, decision, opt.ExpectedSymbols)
+	res := Result{Symbols: symbols, Thresholds: th, WindowMax: windowMax}
+	pkt, perr := coding.ParsePacket(symbols)
+	if perr != nil {
+		res.ParseErr = perr
+	} else {
+		res.Packet = pkt
+	}
+	return res, nil
+}
+
+// sliceGrid samples symbol windows on a (anchor, step) grid and
+// returns the HIGH/LOW decisions plus per-window maxima.
+func sliceGrid(smooth []float64, anchor, step, frac, decision float64, maxSymbols int) ([]coding.Symbol, []float64) {
+	var symbols []coding.Symbol
+	var windowMax []float64
+	half := step * frac / 2
+	for k := 0; ; k++ {
+		if maxSymbols > 0 && k == maxSymbols {
+			break
+		}
+		center := anchor + float64(k)*step
+		lo := int(center - half)
+		hi := int(center + half)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(smooth) {
+			hi = len(smooth)
+		}
+		if lo >= len(smooth) || hi-lo < 1 {
+			break
+		}
+		maxV := smooth[lo]
+		for _, v := range smooth[lo+1 : hi] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		windowMax = append(windowMax, maxV)
+		if maxV > decision {
+			symbols = append(symbols, coding.High)
+		} else {
+			symbols = append(symbols, coding.Low)
+		}
+	}
+	return symbols, windowMax
+}
+
+// refineGrid searches step in [0.8, 1.2]*tauSamples and phase in
+// +-0.5*tauSamples around anchor A for the symbol grid with the best
+// decision margins, preferring grids whose first four symbols decode
+// to the HLHL preamble.
+func refineGrid(smooth []float64, aIndex int, tauSamples, decision float64, opt Options) (symbols []coding.Symbol, windowMax []float64, bestStep, bestAnchor float64) {
+	const stepSteps, phaseSteps = 17, 17
+	type cand struct {
+		score    float64
+		preamble bool
+		parses   bool
+		symbols  []coding.Symbol
+		winMax   []float64
+		step     float64
+		anchor   float64
+	}
+	best := cand{score: -1}
+	for si := 0; si < stepSteps; si++ {
+		step := tauSamples * (0.8 + 0.4*float64(si)/float64(stepSteps-1))
+		for pi := 0; pi < phaseSteps; pi++ {
+			anchor := float64(aIndex) + step*(-0.5+float64(pi)/float64(phaseSteps-1))
+			syms, wm := sliceGrid(smooth, anchor, step, opt.WindowFraction, decision, opt.ExpectedSymbols)
+			if len(syms) < coding.PreambleLen {
+				continue
+			}
+			pre := syms[0] == coding.High && syms[1] == coding.Low &&
+				syms[2] == coding.High && syms[3] == coding.Low
+			_, perr := coding.ParsePacket(syms)
+			var margin float64
+			for _, v := range wm {
+				d := v - decision
+				if d < 0 {
+					d = -d
+				}
+				margin += d
+			}
+			margin /= float64(len(wm))
+			c := cand{
+				score: margin, preamble: pre, parses: pre && perr == nil,
+				symbols: syms, winMax: wm, step: step, anchor: anchor,
+			}
+			// Rank: full Manchester validity > preamble validity >
+			// decision margin. A half-symbol phase shift can still
+			// read HLHL at the front, but its data pairs degenerate
+			// to HH/LL, which Manchester forbids.
+			better := false
+			switch {
+			case c.parses != best.parses:
+				better = c.parses
+			case c.preamble != best.preamble:
+				better = c.preamble
+			default:
+				better = c.score > best.score
+			}
+			if better {
+				best = c
+			}
+		}
+	}
+	if best.score < 0 {
+		// Fall back to the unrefined grid.
+		syms, wm := sliceGrid(smooth, float64(aIndex), tauSamples, opt.WindowFraction, decision, opt.ExpectedSymbols)
+		return syms, wm, tauSamples, float64(aIndex)
+	}
+	return best.symbols, best.winMax, best.step, best.anchor
+}
+
+// computeThresholds derives the paper's tau_r/tau_t from the A/B/C
+// anchors (times are filled in from indices).
+func computeThresholds(pts PreamblePoints, dt float64) Thresholds {
+	pts.ATime = float64(pts.AIndex) * dt
+	pts.BTime = float64(pts.BIndex) * dt
+	pts.CTime = float64(pts.CIndex) * dt
+	return Thresholds{
+		TauR:     ((pts.AValue - pts.BValue) + (pts.CValue - pts.BValue)) / 2,
+		TauT:     ((pts.BTime - pts.ATime) + (pts.CTime - pts.BTime)) / 2,
+		Baseline: pts.BValue,
+	}
+}
+
+// findPreamble locates A (first peak), B (first valley after A) and C
+// (first peak after B).
+func findPreamble(x []float64, opt Options) (PreamblePoints, error) {
+	lo, hi := dsp.MinMax(x)
+	rng := hi - lo
+	if rng <= 0 {
+		return PreamblePoints{}, ErrNoPreamble
+	}
+	prom := opt.MinProminence * rng
+	peaks := dsp.FindPeaks(x, dsp.PeakOptions{MinProminence: prom})
+	valleys := dsp.FindValleys(x, dsp.PeakOptions{MinProminence: prom})
+	if len(peaks) < 2 || len(valleys) < 1 {
+		return PreamblePoints{}, ErrNoPreamble
+	}
+	a := peaks[0]
+	// First valley after A.
+	var b dsp.Peak
+	foundB := false
+	for _, v := range valleys {
+		if v.Index > a.Index {
+			b = v
+			foundB = true
+			break
+		}
+	}
+	if !foundB {
+		return PreamblePoints{}, ErrNoPreamble
+	}
+	// First peak after B.
+	var c dsp.Peak
+	foundC := false
+	for _, p := range peaks {
+		if p.Index > b.Index {
+			c = p
+			foundC = true
+			break
+		}
+	}
+	if !foundC {
+		return PreamblePoints{}, ErrNoPreamble
+	}
+	return PreamblePoints{
+		AIndex: a.Index, BIndex: b.Index, CIndex: c.Index,
+		AValue: a.Value, BValue: b.Value, CValue: c.Value,
+	}, nil
+}

@@ -1,0 +1,241 @@
+package decoder
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"passivelight/internal/coding"
+	"passivelight/internal/trace"
+)
+
+// syntheticPacketTrace builds an idealized RSS trace for a packet:
+// baseline lead-in, then one plateau per symbol, then lead-out, plus
+// an optional 100 Hz ripple.
+func syntheticPacketTrace(payload string, fs float64, symbolDur float64, high, low, baseline float64, ripple float64) *trace.Trace {
+	pkt := coding.MustPacket(payload)
+	symbols := pkt.Symbols()
+	perSymbol := int(symbolDur * fs)
+	lead := perSymbol * 2
+	var samples []float64
+	for i := 0; i < lead; i++ {
+		samples = append(samples, baseline)
+	}
+	for _, s := range symbols {
+		level := low
+		if s == coding.High {
+			level = high
+		}
+		for i := 0; i < perSymbol; i++ {
+			samples = append(samples, level)
+		}
+	}
+	for i := 0; i < lead; i++ {
+		samples = append(samples, baseline)
+	}
+	if ripple > 0 {
+		for i := range samples {
+			samples[i] += ripple * math.Sin(2*math.Pi*100*float64(i)/fs)
+		}
+	}
+	return trace.New(fs, 0, samples)
+}
+
+func TestDecodeCleanPacket(t *testing.T) {
+	for _, payload := range []string{"00", "10", "0110", "111000"} {
+		tr := syntheticPacketTrace(payload, 1000, 0.2, 90, 12, 10, 0)
+		res, err := Decode(tr, Options{ExpectedSymbols: 4 + 2*len(payload)})
+		if err != nil {
+			t.Fatalf("%q: %v", payload, err)
+		}
+		if res.ParseErr != nil {
+			t.Fatalf("%q: parse: %v (symbols %s)", payload, res.ParseErr, res.SymbolString())
+		}
+		if got := res.Packet.BitString(); got != payload {
+			t.Fatalf("decoded %q, want %q", got, payload)
+		}
+		// tau_t should approximate the true symbol duration.
+		if math.Abs(res.Thresholds.TauT-0.2) > 0.05 {
+			t.Fatalf("%q: tau_t %v, want ~0.2", payload, res.Thresholds.TauT)
+		}
+	}
+}
+
+func TestDecodeAutoSymbolCount(t *testing.T) {
+	tr := syntheticPacketTrace("10", 1000, 0.2, 90, 12, 10, 0)
+	res, err := Decode(tr, Options{}) // ExpectedSymbols = 0: auto
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ParseErr != nil {
+		t.Fatalf("parse: %v (%s)", res.ParseErr, res.SymbolString())
+	}
+	if got := res.Packet.BitString(); got != "10" {
+		t.Fatalf("auto decode %q", got)
+	}
+}
+
+func TestDecodeThresholdFormula(t *testing.T) {
+	// With clean plateaus, tau_r = ((rA-rB)+(rC-rB))/2 ~ high - low.
+	tr := syntheticPacketTrace("00", 1000, 0.2, 100, 20, 18, 0)
+	res, err := Decode(tr, Options{ExpectedSymbols: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Thresholds.TauR-80) > 12 {
+		t.Fatalf("tau_r %v, want ~80", res.Thresholds.TauR)
+	}
+	if res.Preamble.AIndex >= res.Preamble.BIndex || res.Preamble.BIndex >= res.Preamble.CIndex {
+		t.Fatalf("A/B/C not ordered: %d %d %d", res.Preamble.AIndex, res.Preamble.BIndex, res.Preamble.CIndex)
+	}
+}
+
+func TestDecodeLowContrastError(t *testing.T) {
+	// 2-count swing: below the default 4-count MinContrast.
+	tr := syntheticPacketTrace("00", 1000, 0.2, 12, 10, 10, 0)
+	_, err := Decode(tr, Options{ExpectedSymbols: 8})
+	if !errors.Is(err, ErrLowContrast) {
+		t.Fatalf("err = %v, want ErrLowContrast", err)
+	}
+}
+
+func TestDecodeFlatTraceError(t *testing.T) {
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = 50
+	}
+	_, err := Decode(trace.New(1000, 0, samples), Options{})
+	if !errors.Is(err, ErrNoPreamble) {
+		t.Fatalf("err = %v, want ErrNoPreamble", err)
+	}
+}
+
+func TestDecodeShortTraceError(t *testing.T) {
+	if _, err := Decode(trace.New(1000, 0, []float64{1, 2}), Options{}); err == nil {
+		t.Fatal("expected error for short trace")
+	}
+	if _, err := Decode(nil, Options{}); err == nil {
+		t.Fatal("expected error for nil trace")
+	}
+}
+
+func TestDecodeWithMainsRipple(t *testing.T) {
+	// Strong 100 Hz ripple (the Fig. 7 condition): the ripple
+	// suppressor must keep the decode working.
+	tr := syntheticPacketTrace("10", 1000, 0.2, 90, 12, 10, 15)
+	res, err := Decode(tr, Options{ExpectedSymbols: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ParseErr != nil || res.Packet.BitString() != "10" {
+		t.Fatalf("rippled decode: %s", res.SymbolString())
+	}
+}
+
+func TestRippleSuppressionSparesFastSymbols(t *testing.T) {
+	// A packet whose symbol rate is near 100 Hz must NOT be smoothed
+	// away by the mains filter (narrow-line test).
+	fs := 4000.0
+	tr := syntheticPacketTrace("00", fs, 0.011, 90, 12, 10, 0) // ~91 sym/s
+	res, err := Decode(tr, Options{ExpectedSymbols: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ParseErr != nil || res.Packet.BitString() != "00" {
+		t.Fatalf("fast decode: %s", res.SymbolString())
+	}
+}
+
+func TestDecodeSearchFrom(t *testing.T) {
+	// A decoy pulse before the packet; SearchFrom skips it.
+	tr := syntheticPacketTrace("00", 1000, 0.2, 90, 12, 10, 0)
+	decoy := make([]float64, 300)
+	for i := range decoy {
+		decoy[i] = 10
+	}
+	for i := 100; i < 180; i++ {
+		decoy[i] = 95
+	}
+	combined := append(decoy, tr.Samples...)
+	tr2 := trace.New(1000, 0, combined)
+	res, err := Decode(tr2, Options{ExpectedSymbols: 8, SearchFrom: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ParseErr != nil || res.Packet.BitString() != "00" {
+		t.Fatalf("SearchFrom decode: %s", res.SymbolString())
+	}
+}
+
+func TestDecodeFixedMatchesCalibration(t *testing.T) {
+	tr := syntheticPacketTrace("10", 1000, 0.2, 90, 12, 10, 0)
+	// Calibrate with the plain Sec. 4.1 estimator: its tau_t is the
+	// raw A/B/C spacing, which is what a fixed-threshold deployment
+	// would copy into its configuration.
+	adaptive, err := Decode(tr, Options{ExpectedSymbols: 8, DisableTimingRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := DecodeFixed(tr, adaptive.Thresholds, Options{ExpectedSymbols: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.ParseErr != nil || fixed.Packet.BitString() != "10" {
+		t.Fatalf("fixed decode on calibration trace: %s", fixed.SymbolString())
+	}
+}
+
+func TestDecodeFixedFailsOnLevelShift(t *testing.T) {
+	tr := syntheticPacketTrace("10", 1000, 0.2, 90, 12, 10, 0)
+	adaptive, err := Decode(tr, Options{ExpectedSymbols: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same packet under 3x dimmer light.
+	dim := syntheticPacketTrace("10", 1000, 0.2, 30, 4, 3, 0)
+	fixed, err := DecodeFixed(dim, adaptive.Thresholds, Options{ExpectedSymbols: 8})
+	if err == nil && fixed.ParseErr == nil && fixed.Packet.BitString() == "10" {
+		t.Fatal("fixed thresholds should not survive a 3x light change")
+	}
+	// The adaptive decoder handles it.
+	redo, err := Decode(dim, Options{ExpectedSymbols: 8, MinContrast: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if redo.ParseErr != nil || redo.Packet.BitString() != "10" {
+		t.Fatalf("adaptive decode under dim light: %s", redo.SymbolString())
+	}
+}
+
+func TestDecodeFixedValidation(t *testing.T) {
+	tr := syntheticPacketTrace("10", 1000, 0.2, 90, 12, 10, 0)
+	if _, err := DecodeFixed(tr, Thresholds{}, Options{}); err == nil {
+		t.Fatal("zero thresholds should fail")
+	}
+	if _, err := DecodeFixed(nil, Thresholds{TauR: 10, TauT: 0.1}, Options{}); err == nil {
+		t.Fatal("nil trace should fail")
+	}
+	// Decision level far above the signal: no crossing.
+	if _, err := DecodeFixed(tr, Thresholds{TauR: 1000, TauT: 0.2, Baseline: 500}, Options{}); err == nil {
+		t.Fatal("uncrossable decision level should fail")
+	}
+}
+
+func TestDisableTimingRecoveryStillDecodesClean(t *testing.T) {
+	tr := syntheticPacketTrace("0110", 1000, 0.2, 90, 12, 10, 0)
+	res, err := Decode(tr, Options{ExpectedSymbols: 12, DisableTimingRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ParseErr != nil || res.Packet.BitString() != "0110" {
+		t.Fatalf("plain decode: %s", res.SymbolString())
+	}
+}
+
+func TestSymbolStringFormatting(t *testing.T) {
+	res := Result{Symbols: []coding.Symbol{coding.High, coding.Low, coding.High, coding.Low, coding.High, coding.Low}}
+	res.ParseErr = coding.ErrNoPreamble
+	if s := res.SymbolString(); s != "HLHL.HL" {
+		t.Fatalf("raw symbol string %q", s)
+	}
+}

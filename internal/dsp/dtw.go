@@ -1,0 +1,169 @@
+package dsp
+
+import (
+	"errors"
+	"math"
+)
+
+// DTWOptions configures a Dynamic Time Warping computation.
+type DTWOptions struct {
+	// Window is the Sakoe-Chiba band half-width in samples. Zero or
+	// negative means an unconstrained (full) alignment.
+	Window int
+	// Dist is the local distance between two samples. Nil means
+	// absolute difference.
+	Dist func(a, b float64) float64
+}
+
+// DTW computes the Dynamic Time Warping distance between a and b with
+// default options (unconstrained band, absolute difference). This is
+// the similarity measure the paper uses to classify variable-speed
+// distorted packets against clean baselines (Sec. 4.2).
+func DTW(a, b []float64) (float64, error) {
+	return DTWWith(a, b, DTWOptions{})
+}
+
+// DTWWith computes the DTW distance with explicit options. It uses a
+// two-row dynamic program, O(len(a)*len(b)) time and O(len(b)) space.
+func DTWWith(a, b []float64, opt DTWOptions) (float64, error) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0, ErrEmptyInput
+	}
+	dist := opt.Dist
+	if dist == nil {
+		dist = func(x, y float64) float64 { return math.Abs(x - y) }
+	}
+	w := opt.Window
+	if w > 0 {
+		// The band must be at least |n-m| wide for a path to exist.
+		if d := n - m; d < 0 {
+			if w < -d {
+				w = -d
+			}
+		} else if w < d {
+			w = d
+		}
+	}
+	inf := math.Inf(1)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo, hi := 1, m
+		if w > 0 {
+			lo = max(1, i-w)
+			hi = min(m, i+w)
+		}
+		for j := lo; j <= hi; j++ {
+			d := dist(a[i-1], b[j-1])
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			cur[j] = d + best
+		}
+		prev, cur = cur, prev
+	}
+	if math.IsInf(prev[m], 1) {
+		return 0, errors.New("dsp: DTW window too narrow for any path")
+	}
+	return prev[m], nil
+}
+
+// DTWPath computes the DTW distance and the optimal alignment path as
+// (i, j) index pairs from (0,0) to (len(a)-1, len(b)-1). It needs the
+// full O(n*m) cost matrix, so prefer DTWWith when only the distance is
+// required.
+func DTWPath(a, b []float64) (float64, [][2]int, error) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0, nil, ErrEmptyInput
+	}
+	inf := math.Inf(1)
+	cost := make([][]float64, n+1)
+	for i := range cost {
+		cost[i] = make([]float64, m+1)
+		for j := range cost[i] {
+			cost[i][j] = inf
+		}
+	}
+	cost[0][0] = 0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			d := math.Abs(a[i-1] - b[j-1])
+			best := cost[i-1][j]
+			if cost[i-1][j-1] < best {
+				best = cost[i-1][j-1]
+			}
+			if cost[i][j-1] < best {
+				best = cost[i][j-1]
+			}
+			cost[i][j] = d + best
+		}
+	}
+	// Backtrack.
+	var path [][2]int
+	i, j := n, m
+	for i > 1 || j > 1 {
+		path = append(path, [2]int{i - 1, j - 1})
+		switch {
+		case i == 1:
+			j--
+		case j == 1:
+			i--
+		default:
+			diag, up, left := cost[i-1][j-1], cost[i-1][j], cost[i][j-1]
+			if diag <= up && diag <= left {
+				i, j = i-1, j-1
+			} else if up <= left {
+				i--
+			} else {
+				j--
+			}
+		}
+	}
+	path = append(path, [2]int{0, 0})
+	// Reverse in place.
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	return cost[n][m], path, nil
+}
+
+// EuclideanDistance is the point-wise L2 distance between equal-length
+// prefixes of a and b (the shorter length is used, mimicking a naive
+// classifier that ignores time warping). It serves as the ablation
+// baseline against DTW.
+func EuclideanDistance(a, b []float64) float64 {
+	n := min(len(a), len(b))
+	var sum float64
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,263 @@
+// Package dsp implements the signal-processing primitives the passive
+// visible-light receiver needs: FFT and power spectra (collision
+// analysis, Sec. 4.3 of the paper), Dynamic Time Warping (variable
+// speed classification, Sec. 4.2), digital filters, peak detection
+// (preamble A/B/C points, Sec. 4.1) and basic statistics.
+//
+// Everything is implemented from scratch on the standard library.
+package dsp
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// ErrEmptyInput is returned by transforms that require at least one
+// sample.
+var ErrEmptyInput = errors.New("dsp: empty input")
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPowerOfTwo returns the smallest power of two >= n (and >= 1).
+func NextPowerOfTwo(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// FFT computes the in-place iterative radix-2 Cooley-Tukey transform
+// of x. len(x) must be a power of two. The forward transform is
+// unnormalized (matching common DSP convention).
+func FFT(x []complex128) error {
+	n := len(x)
+	if n == 0 {
+		return ErrEmptyInput
+	}
+	if !IsPowerOfTwo(n) {
+		return errors.New("dsp: FFT length must be a power of two")
+	}
+	bitReverse(x)
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := -2 * math.Pi / float64(size)
+		wstep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wstep
+			}
+		}
+	}
+	return nil
+}
+
+// IFFT computes the inverse transform of x in place, normalizing by
+// 1/N. len(x) must be a power of two.
+func IFFT(x []complex128) error {
+	n := len(x)
+	if n == 0 {
+		return ErrEmptyInput
+	}
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := FFT(x); err != nil {
+		return err
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * inv
+	}
+	return nil
+}
+
+func bitReverse(x []complex128) {
+	n := len(x)
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+}
+
+// FFTAny computes the DFT of x for arbitrary length using the
+// Bluestein chirp-z algorithm (radix-2 FFT under the hood). The input
+// is not modified; a new slice is returned.
+func FFTAny(x []complex128) ([]complex128, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, ErrEmptyInput
+	}
+	if IsPowerOfTwo(n) {
+		out := make([]complex128, n)
+		copy(out, x)
+		if err := FFT(out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	return bluestein(x)
+}
+
+// bluestein implements the chirp-z transform: express the DFT as a
+// convolution and evaluate it with power-of-two FFTs.
+func bluestein(x []complex128) ([]complex128, error) {
+	n := len(x)
+	m := NextPowerOfTwo(2*n + 1)
+	// chirp[k] = exp(-i*pi*k^2/n)
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// Use k*k mod 2n to avoid float blowup for large k.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Exp(complex(0, -math.Pi*float64(kk)/float64(n)))
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	if err := FFT(a); err != nil {
+		return nil, err
+	}
+	if err := FFT(b); err != nil {
+		return nil, err
+	}
+	for i := range a {
+		a[i] *= b[i]
+	}
+	if err := IFFT(a); err != nil {
+		return nil, err
+	}
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * chirp[k]
+	}
+	return out, nil
+}
+
+// Spectrum holds a one-sided power spectrum.
+type Spectrum struct {
+	Freqs []float64 // Hz, bin centers from 0 to fs/2
+	Power []float64 // |X(f)| magnitude per bin
+}
+
+// PowerSpectrum computes the one-sided magnitude spectrum of a real
+// signal sampled at fs Hz. The mean is removed first (the passive
+// channel rides on a large DC ambient level which would otherwise
+// dominate every bin). A window function may be nil for rectangular.
+func PowerSpectrum(samples []float64, fs float64, window func(n, i int) float64) (Spectrum, error) {
+	n := len(samples)
+	if n == 0 {
+		return Spectrum{}, ErrEmptyInput
+	}
+	if fs <= 0 {
+		return Spectrum{}, errors.New("dsp: sample rate must be positive")
+	}
+	mean := Mean(samples)
+	x := make([]complex128, NextPowerOfTwo(n))
+	for i, s := range samples {
+		w := 1.0
+		if window != nil {
+			w = window(n, i)
+		}
+		x[i] = complex((s-mean)*w, 0)
+	}
+	if err := FFT(x); err != nil {
+		return Spectrum{}, err
+	}
+	m := len(x)
+	half := m/2 + 1
+	sp := Spectrum{
+		Freqs: make([]float64, half),
+		Power: make([]float64, half),
+	}
+	for k := 0; k < half; k++ {
+		sp.Freqs[k] = float64(k) * fs / float64(m)
+		sp.Power[k] = cmplx.Abs(x[k])
+	}
+	return sp, nil
+}
+
+// SpectralPeak is a local maximum in a power spectrum.
+type SpectralPeak struct {
+	Freq  float64
+	Power float64
+}
+
+// DominantPeaks returns the strongest local maxima of the spectrum
+// above minFreq, sorted by descending power, at most max entries.
+// Peaks closer than minSeparation Hz to a stronger peak are suppressed
+// (they are skirts of the same tone).
+func (s Spectrum) DominantPeaks(minFreq, minSeparation float64, max int) []SpectralPeak {
+	var candidates []SpectralPeak
+	for k := 1; k < len(s.Power)-1; k++ {
+		if s.Freqs[k] < minFreq {
+			continue
+		}
+		if s.Power[k] >= s.Power[k-1] && s.Power[k] > s.Power[k+1] {
+			candidates = append(candidates, SpectralPeak{Freq: s.Freqs[k], Power: s.Power[k]})
+		}
+	}
+	// Selection sort by power: candidate lists are tiny.
+	for i := 0; i < len(candidates); i++ {
+		best := i
+		for j := i + 1; j < len(candidates); j++ {
+			if candidates[j].Power > candidates[best].Power {
+				best = j
+			}
+		}
+		candidates[i], candidates[best] = candidates[best], candidates[i]
+	}
+	var out []SpectralPeak
+	for _, c := range candidates {
+		tooClose := false
+		for _, p := range out {
+			if math.Abs(p.Freq-c.Freq) < minSeparation {
+				tooClose = true
+				break
+			}
+		}
+		if !tooClose {
+			out = append(out, c)
+			if len(out) == max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Goertzel evaluates the magnitude of a single DFT bin at frequency f
+// for a signal sampled at fs. It is the cheap way to test for one
+// known tone (e.g. the 100 Hz fluorescent ripple) without a full FFT.
+func Goertzel(samples []float64, fs, f float64) float64 {
+	n := len(samples)
+	if n == 0 || fs <= 0 {
+		return 0
+	}
+	w := 2 * math.Pi * f / fs
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, x := range samples {
+		s0 = x + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	re := s1 - s2*math.Cos(w)
+	im := s2 * math.Sin(w)
+	return math.Hypot(re, im)
+}

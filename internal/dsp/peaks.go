@@ -1,0 +1,164 @@
+package dsp
+
+// Peak describes a local extremum found by FindPeaks/FindValleys.
+type Peak struct {
+	Index      int     // sample index of the extremum
+	Value      float64 // signal value at the extremum
+	Prominence float64 // height above the higher of the two flanking minima
+}
+
+// PeakOptions tunes peak detection.
+type PeakOptions struct {
+	// MinProminence discards peaks whose prominence is below this
+	// value. Zero keeps everything.
+	MinProminence float64
+	// MinDistance suppresses peaks within this many samples of an
+	// already-accepted higher peak.
+	MinDistance int
+	// MinValue discards peaks whose value is below this threshold.
+	MinValue float64
+}
+
+// FindPeaks locates local maxima of x, handling flat tops by placing
+// the peak at the center of the plateau. Results are ordered by index.
+func FindPeaks(x []float64, opt PeakOptions) []Peak {
+	n := len(x)
+	if n < 3 {
+		return nil
+	}
+	var raw []Peak
+	i := 1
+	for i < n-1 {
+		if x[i] > x[i-1] {
+			// Walk across a potential plateau.
+			j := i
+			for j < n-1 && x[j+1] == x[j] {
+				j++
+			}
+			if j < n-1 && x[j+1] < x[j] {
+				mid := (i + j) / 2
+				raw = append(raw, Peak{Index: mid, Value: x[mid]})
+				i = j + 1
+				continue
+			}
+			i = j + 1
+			continue
+		}
+		i++
+	}
+	for k := range raw {
+		raw[k].Prominence = prominence(x, raw[k].Index)
+	}
+	return filterPeaks(raw, opt)
+}
+
+// FindValleys locates local minima of x by negating the signal.
+func FindValleys(x []float64, opt PeakOptions) []Peak {
+	neg := make([]float64, len(x))
+	for i, v := range x {
+		neg[i] = -v
+	}
+	negOpt := opt
+	negOpt.MinValue = -opt.MinValue
+	if opt.MinValue == 0 {
+		negOpt.MinValue = 0
+	}
+	peaks := FindPeaks(neg, PeakOptions{MinProminence: opt.MinProminence, MinDistance: opt.MinDistance})
+	out := peaks[:0]
+	for _, p := range peaks {
+		p.Value = -p.Value
+		if opt.MinValue != 0 && p.Value > opt.MinValue {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// prominence computes the classical topographic prominence of the peak
+// at index idx: its height above the higher of the two key saddles
+// found walking left and right until a higher peak (or the signal
+// edge) is reached.
+func prominence(x []float64, idx int) float64 {
+	h := x[idx]
+	// Left saddle.
+	leftMin := h
+	for i := idx - 1; i >= 0; i-- {
+		if x[i] > h {
+			break
+		}
+		if x[i] < leftMin {
+			leftMin = x[i]
+		}
+	}
+	// Right saddle.
+	rightMin := h
+	for i := idx + 1; i < len(x); i++ {
+		if x[i] > h {
+			break
+		}
+		if x[i] < rightMin {
+			rightMin = x[i]
+		}
+	}
+	saddle := leftMin
+	if rightMin > saddle {
+		saddle = rightMin
+	}
+	return h - saddle
+}
+
+func filterPeaks(raw []Peak, opt PeakOptions) []Peak {
+	var kept []Peak
+	for _, p := range raw {
+		if opt.MinProminence > 0 && p.Prominence < opt.MinProminence {
+			continue
+		}
+		if opt.MinValue != 0 && p.Value < opt.MinValue {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	if opt.MinDistance <= 0 || len(kept) < 2 {
+		return kept
+	}
+	// Greedy suppression: prefer higher peaks.
+	order := make([]int, len(kept))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by value descending (lists are short).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && kept[order[j]].Value > kept[order[j-1]].Value; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	suppressed := make([]bool, len(kept))
+	for _, i := range order {
+		if suppressed[i] {
+			continue
+		}
+		for j := range kept {
+			if j == i || suppressed[j] {
+				continue
+			}
+			if abs(kept[j].Index-kept[i].Index) < opt.MinDistance {
+				suppressed[j] = true
+			}
+		}
+	}
+	var out []Peak
+	for i, p := range kept {
+		if !suppressed[i] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

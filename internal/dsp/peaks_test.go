@@ -1,0 +1,116 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFindPeaksSimple(t *testing.T) {
+	x := []float64{0, 1, 0, 2, 0, 3, 0}
+	peaks := FindPeaks(x, PeakOptions{})
+	if len(peaks) != 3 {
+		t.Fatalf("got %d peaks, want 3: %+v", len(peaks), peaks)
+	}
+	wantIdx := []int{1, 3, 5}
+	for i, p := range peaks {
+		if p.Index != wantIdx[i] {
+			t.Fatalf("peak %d at index %d, want %d", i, p.Index, wantIdx[i])
+		}
+	}
+}
+
+func TestFindPeaksPlateauCenter(t *testing.T) {
+	x := []float64{0, 1, 1, 1, 0}
+	peaks := FindPeaks(x, PeakOptions{})
+	if len(peaks) != 1 {
+		t.Fatalf("got %d peaks, want 1", len(peaks))
+	}
+	if peaks[0].Index != 2 {
+		t.Fatalf("plateau peak at %d, want center 2", peaks[0].Index)
+	}
+}
+
+func TestFindPeaksMinProminence(t *testing.T) {
+	// Small ripple on a big peak: prominence filter keeps only the
+	// big one.
+	x := []float64{0, 10, 9.8, 10.1, 9.9, 10, 0}
+	all := FindPeaks(x, PeakOptions{})
+	if len(all) < 2 {
+		t.Fatalf("expected ripple peaks, got %d", len(all))
+	}
+	big := FindPeaks(x, PeakOptions{MinProminence: 5})
+	if len(big) != 1 {
+		t.Fatalf("got %d prominent peaks, want 1: %+v", len(big), big)
+	}
+}
+
+func TestFindPeaksMinDistanceKeepsHigher(t *testing.T) {
+	x := []float64{0, 5, 0, 9, 0, 4, 0}
+	peaks := FindPeaks(x, PeakOptions{MinDistance: 3})
+	// The 9 at index 3 suppresses both neighbours (2 samples away).
+	if len(peaks) != 1 || peaks[0].Index != 3 {
+		t.Fatalf("suppression failed: %+v", peaks)
+	}
+}
+
+func TestFindValleys(t *testing.T) {
+	x := []float64{3, 1, 3, 0.5, 3}
+	valleys := FindValleys(x, PeakOptions{})
+	if len(valleys) != 2 {
+		t.Fatalf("got %d valleys, want 2", len(valleys))
+	}
+	if valleys[0].Index != 1 || valleys[1].Index != 3 {
+		t.Fatalf("valley indices %d, %d", valleys[0].Index, valleys[1].Index)
+	}
+	if valleys[1].Value != 0.5 {
+		t.Fatalf("valley value %v, want 0.5", valleys[1].Value)
+	}
+}
+
+func TestProminenceOfIsolatedPeak(t *testing.T) {
+	// Isolated peak over a flat floor: prominence equals height.
+	x := []float64{0, 0, 7, 0, 0}
+	peaks := FindPeaks(x, PeakOptions{})
+	if len(peaks) != 1 {
+		t.Fatalf("got %d peaks", len(peaks))
+	}
+	if math.Abs(peaks[0].Prominence-7) > 1e-12 {
+		t.Fatalf("prominence %v, want 7", peaks[0].Prominence)
+	}
+}
+
+func TestFindPeaksShortInput(t *testing.T) {
+	if p := FindPeaks([]float64{1, 2}, PeakOptions{}); p != nil {
+		t.Fatalf("short input produced peaks: %+v", p)
+	}
+	if p := FindPeaks(nil, PeakOptions{}); p != nil {
+		t.Fatalf("nil input produced peaks: %+v", p)
+	}
+}
+
+func TestFindPeaksOnPreambleWaveform(t *testing.T) {
+	// The decoder's actual use case: an HLHL preamble as a smoothed
+	// square wave. Expect exactly two prominent peaks and one valley
+	// between them.
+	// Lead-in/lead-out at the LOW level, as in a real pass where the
+	// tag approaches from outside the FoV.
+	var x []float64
+	level := []float64{0, 1, 0, 1, 0}
+	for _, l := range level {
+		for i := 0; i < 50; i++ {
+			x = append(x, l)
+		}
+	}
+	sm := MovingAverage(x, 9)
+	peaks := FindPeaks(sm, PeakOptions{MinProminence: 0.5})
+	valleys := FindValleys(sm, PeakOptions{MinProminence: 0.5})
+	if len(peaks) != 2 {
+		t.Fatalf("got %d peaks, want 2", len(peaks))
+	}
+	if len(valleys) < 1 {
+		t.Fatalf("got %d valleys, want >= 1", len(valleys))
+	}
+	if !(peaks[0].Index < valleys[0].Index && valleys[0].Index < peaks[1].Index) {
+		t.Fatalf("A/B/C ordering violated: %d, %d, %d", peaks[0].Index, valleys[0].Index, peaks[1].Index)
+	}
+}

@@ -1,0 +1,277 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBasicStats(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(x); m != 5 {
+		t.Fatalf("mean %v", m)
+	}
+	if s := Std(x); !almostEqual(s, 2, 1e-12) {
+		t.Fatalf("std %v", s)
+	}
+	if r := RMS([]float64{3, 4}); !almostEqual(r, math.Sqrt(12.5), 1e-12) {
+		t.Fatalf("rms %v", r)
+	}
+	lo, hi := MinMax(x)
+	if lo != 2 || hi != 9 {
+		t.Fatalf("minmax %v %v", lo, hi)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 || RMS(nil) != 0 {
+		t.Fatal("empty-input stats not zero")
+	}
+}
+
+func TestArgMinMax(t *testing.T) {
+	x := []float64{3, 1, 4, 1, 5}
+	if i := ArgMax(x); i != 4 {
+		t.Fatalf("argmax %d", i)
+	}
+	if i := ArgMin(x); i != 1 {
+		t.Fatalf("argmin %d (first minimum wins)", i)
+	}
+	if ArgMax(nil) != -1 || ArgMin(nil) != -1 {
+		t.Fatal("empty input should return -1")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(x, 0); q != 1 {
+		t.Fatalf("q0 %v", q)
+	}
+	if q := Quantile(x, 1); q != 5 {
+		t.Fatalf("q1 %v", q)
+	}
+	if q := Quantile(x, 0.5); q != 3 {
+		t.Fatalf("median %v", q)
+	}
+	if q := Quantile(x, 0.25); q != 2 {
+		t.Fatalf("q25 %v", q)
+	}
+	// Input must not be mutated (sorted copy inside).
+	if x[0] != 1 || x[4] != 5 {
+		t.Fatal("quantile mutated input")
+	}
+}
+
+func TestNormalizeMinMax(t *testing.T) {
+	out := NormalizeMinMax([]float64{10, 20, 30})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if !almostEqual(out[i], want[i], 1e-12) {
+			t.Fatalf("normalized %v", out)
+		}
+	}
+	flat := NormalizeMinMax([]float64{5, 5, 5})
+	for _, v := range flat {
+		if v != 0 {
+			t.Fatalf("constant signal should map to zeros: %v", flat)
+		}
+	}
+}
+
+func TestNormalizeZScore(t *testing.T) {
+	out := NormalizeZScore([]float64{1, 2, 3, 4, 5})
+	if !almostEqual(Mean(out), 0, 1e-12) {
+		t.Fatalf("mean %v", Mean(out))
+	}
+	if !almostEqual(Std(out), 1, 1e-12) {
+		t.Fatalf("std %v", Std(out))
+	}
+}
+
+func TestCrossCorrelationPeakAtTemplateOffset(t *testing.T) {
+	x := make([]float64, 50)
+	tpl := []float64{1, 2, 1}
+	copy(x[20:], tpl)
+	cc := CrossCorrelation(x, tpl)
+	if best := ArgMax(cc); best != 20 {
+		t.Fatalf("correlation peak at %d, want 20", best)
+	}
+	if CrossCorrelation(tpl, x) != nil {
+		t.Fatal("template longer than signal should return nil")
+	}
+}
+
+func TestAutoCorrelationPeriodDetection(t *testing.T) {
+	// Period-8 square wave: autocorrelation peaks at lag 8.
+	n := 128
+	x := make([]float64, n)
+	for i := range x {
+		if (i/4)%2 == 0 {
+			x[i] = 1
+		}
+	}
+	ac := AutoCorrelation(x, 16)
+	if !almostEqual(ac[0], 1, 1e-12) {
+		t.Fatalf("lag-0 autocorrelation %v, want 1", ac[0])
+	}
+	// Lag 8 (full period) should be the strongest non-trivial lag.
+	best := 1
+	for lag := 2; lag < len(ac); lag++ {
+		if ac[lag] > ac[best] {
+			best = lag
+		}
+	}
+	if best != 8 {
+		t.Fatalf("period detected at lag %d, want 8", best)
+	}
+}
+
+func TestResampleLinear(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	up := ResampleLinear(x, 7)
+	if len(up) != 7 {
+		t.Fatalf("length %d", len(up))
+	}
+	if up[0] != 0 || up[6] != 3 {
+		t.Fatalf("endpoints %v %v", up[0], up[6])
+	}
+	if !almostEqual(up[3], 1.5, 1e-12) {
+		t.Fatalf("midpoint %v, want 1.5", up[3])
+	}
+	down := ResampleLinear(x, 2)
+	if down[0] != 0 || down[1] != 3 {
+		t.Fatalf("downsampled %v", down)
+	}
+	if ResampleLinear(x, 0) != nil {
+		t.Fatal("newLen=0 should return nil")
+	}
+	single := ResampleLinear([]float64{7}, 3)
+	for _, v := range single {
+		if v != 7 {
+			t.Fatalf("single-sample resample %v", single)
+		}
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	x := make([]float64, 10)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	out := Decimate(x, 2)
+	if len(out) != 5 {
+		t.Fatalf("length %d, want 5", len(out))
+	}
+	same := Decimate(x, 1)
+	for i := range x {
+		if same[i] != x[i] {
+			t.Fatal("factor 1 altered signal")
+		}
+	}
+}
+
+func TestEnvelopeOfAmplitudeModulatedTone(t *testing.T) {
+	const fs = 1000.0
+	n := 1000
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i) / fs
+		amp := 1 + 0.8*math.Sin(2*math.Pi*2*ti)
+		x[i] = amp * math.Sin(2*math.Pi*100*ti)
+	}
+	env := Envelope(x, 21)
+	// The envelope should vary with the 2 Hz modulation, not the
+	// 100 Hz carrier: check variance at modulation scale.
+	lo, hi := MinMax(env[100 : n-100])
+	if hi/math.Max(lo, 1e-9) < 1.5 {
+		t.Fatalf("envelope flat: lo=%v hi=%v", lo, hi)
+	}
+}
+
+func TestLinearFitRecoversLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 + 3*x
+	}
+	a, b := LinearFit(xs, ys)
+	if !almostEqual(a, 2, 1e-9) || !almostEqual(b, 3, 1e-9) {
+		t.Fatalf("fit a=%v b=%v", a, b)
+	}
+}
+
+func TestExpFitRecoversExponential(t *testing.T) {
+	xs := []float64{0, 0.5, 1, 1.5, 2}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 4 * math.Exp(-1.5*x)
+	}
+	A, b := ExpFit(xs, ys)
+	if !almostEqual(A, 4, 1e-6) || !almostEqual(b, -1.5, 1e-6) {
+		t.Fatalf("fit A=%v b=%v", A, b)
+	}
+	// Non-positive ys are skipped; with fewer than 2 usable points the
+	// fit degenerates to zeros.
+	A, b = ExpFit([]float64{1, 2}, []float64{-1, 0})
+	if A != 0 || b != 0 {
+		t.Fatalf("degenerate fit A=%v b=%v", A, b)
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	y := []float64{1, 2, 3}
+	if r := RSquared(y, y); !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("perfect fit r2 %v", r)
+	}
+	if r := RSquared(y, []float64{2, 2, 2}); r >= 1 {
+		t.Fatalf("mean predictor r2 %v", r)
+	}
+}
+
+func TestNormalizePropertyRange(t *testing.T) {
+	f := func(raw []float64) bool {
+		for _, v := range raw {
+			// Near-max-float ranges make 1/(hi-lo) subnormal and lose
+			// precision; that is a float64 limit, not a scaling bug.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300 {
+				return true
+			}
+		}
+		out := NormalizeMinMax(raw)
+		for _, v := range out {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMovingAveragePropertyBounds(t *testing.T) {
+	// A moving average never exceeds the input's min/max bounds.
+	f := func(raw []float64, w uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			// Skip pathological magnitudes whose prefix sums overflow
+			// float64 — that is an arithmetic limit, not a filter bug.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300 {
+				return true
+			}
+		}
+		lo, hi := MinMax(raw)
+		out := MovingAverage(raw, int(w%16)+1)
+		for _, v := range out {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package energy models the sustainability claims of the paper's
+// introduction: a single-photodiode receiver consumes ~1.5 mW (the
+// OPT101 measured in their lab) against upwards of 1000 mW for a
+// camera, so "a small solar panel — the size of a credit card — could
+// harvest enough energy from the surrounding lights for our system to
+// work autonomously".
+package energy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Receiver power draws (milliwatts).
+const (
+	// PhotodiodeMW is the OPT101 consumption the paper measured.
+	PhotodiodeMW = 1.5
+	// RXLEDMW: an LED in photovoltaic mode consumes essentially
+	// nothing itself; budget the bias/readout path.
+	RXLEDMW = 0.3
+	// ADCMW is an MCP3008-class ADC at a 2 kS/s duty.
+	ADCMW = 1.0
+	// MCUSleepyMW is a duty-cycled microcontroller doing threshold
+	// decoding.
+	MCUSleepyMW = 3.0
+	// CameraMW is the paper's camera comparison point ("upwards of
+	// 1000 mW").
+	CameraMW = 1000.0
+)
+
+// Budget is a receiver power budget.
+type Budget struct {
+	Name  string
+	Parts map[string]float64 // mW per component
+}
+
+// TotalMW sums the budget.
+func (b Budget) TotalMW() float64 {
+	var sum float64
+	for _, mw := range b.Parts {
+		sum += mw
+	}
+	return sum
+}
+
+// TinyBoxBudget is the paper's "tiny box": photodiode + RX-LED + ADC
+// + duty-cycled MCU.
+func TinyBoxBudget() Budget {
+	return Budget{
+		Name: "tiny-box",
+		Parts: map[string]float64{
+			"photodiode": PhotodiodeMW,
+			"rx-led":     RXLEDMW,
+			"adc":        ADCMW,
+			"mcu":        MCUSleepyMW,
+		},
+	}
+}
+
+// CameraBudget is the camera-based alternative.
+func CameraBudget() Budget {
+	return Budget{
+		Name:  "camera",
+		Parts: map[string]float64{"camera": CameraMW},
+	}
+}
+
+// SolarPanel models a small harvesting panel.
+type SolarPanel struct {
+	// AreaCM2 is the panel area in square centimeters (a credit card
+	// is ~46 cm^2).
+	AreaCM2 float64
+	// Efficiency of the cell in (0, 1]; ~0.18 for commodity silicon.
+	Efficiency float64
+}
+
+// CreditCardPanel returns the paper's "size of a credit card" panel.
+func CreditCardPanel() SolarPanel {
+	return SolarPanel{AreaCM2: 46, Efficiency: 0.18}
+}
+
+// HarvestMW returns the electrical power harvested under the given
+// illuminance. Illuminance is converted to irradiance via luminous
+// efficacy: daylight carries ~1 W/m^2 per 120 lux; LED/fluorescent
+// light is more "efficient" per watt (~250 lux per W/m^2), so a lux
+// of indoor light carries less harvestable radiant power.
+func (p SolarPanel) HarvestMW(lux float64, daylight bool) (float64, error) {
+	if p.AreaCM2 <= 0 || p.Efficiency <= 0 || p.Efficiency > 1 {
+		return 0, errors.New("energy: invalid panel")
+	}
+	if lux < 0 {
+		return 0, errors.New("energy: negative illuminance")
+	}
+	luxPerWm2 := 120.0
+	if !daylight {
+		luxPerWm2 = 250.0
+	}
+	irradianceWm2 := lux / luxPerWm2
+	areaM2 := p.AreaCM2 / 1e4
+	return irradianceWm2 * areaM2 * p.Efficiency * 1000, nil
+}
+
+// SelfSustaining reports whether the panel covers the budget at the
+// given ambient level, and the harvest margin (harvest/budget).
+func SelfSustaining(panel SolarPanel, budget Budget, lux float64, daylight bool) (bool, float64, error) {
+	harvest, err := panel.HarvestMW(lux, daylight)
+	if err != nil {
+		return false, 0, err
+	}
+	need := budget.TotalMW()
+	if need <= 0 {
+		return false, 0, errors.New("energy: empty budget")
+	}
+	margin := harvest / need
+	return margin >= 1, margin, nil
+}
+
+// BreakEvenLux returns the ambient level at which the panel exactly
+// covers the budget.
+func BreakEvenLux(panel SolarPanel, budget Budget, daylight bool) (float64, error) {
+	// Harvest is linear in lux: harvest(lux) = k * lux.
+	k, err := panel.HarvestMW(1, daylight)
+	if err != nil {
+		return 0, err
+	}
+	if k <= 0 {
+		return 0, errors.New("energy: panel harvests nothing")
+	}
+	return budget.TotalMW() / k, nil
+}
+
+// CompareReport renders the paper's energy argument as rows.
+func CompareReport(lux float64, daylight bool) ([]string, error) {
+	panel := CreditCardPanel()
+	var rows []string
+	for _, budget := range []Budget{TinyBoxBudget(), CameraBudget()} {
+		ok, margin, err := SelfSustaining(panel, budget, lux, daylight)
+		if err != nil {
+			return nil, err
+		}
+		breakeven, err := BreakEvenLux(panel, budget, daylight)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, fmt.Sprintf(
+			"%-8s draw=%7.1f mW  credit-card harvest margin at %6.0f lux: %5.2fx (self-sustaining=%v, break-even %.0f lux)",
+			budget.Name, budget.TotalMW(), lux, margin, ok, breakeven))
+	}
+	ratio := CameraBudget().TotalMW() / TinyBoxBudget().TotalMW()
+	rows = append(rows, fmt.Sprintf("camera / tiny-box consumption ratio: %.0fx (paper: 'orders of magnitude')", ratio))
+	return rows, nil
+}

@@ -1,0 +1,116 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBudgets(t *testing.T) {
+	tiny := TinyBoxBudget()
+	if tiny.TotalMW() <= 0 || tiny.TotalMW() > 10 {
+		t.Fatalf("tiny box draw %.1f mW", tiny.TotalMW())
+	}
+	cam := CameraBudget()
+	if cam.TotalMW() != CameraMW {
+		t.Fatalf("camera draw %.1f", cam.TotalMW())
+	}
+	// The paper's "orders of magnitude" claim.
+	if cam.TotalMW()/tiny.TotalMW() < 100 {
+		t.Fatal("camera/tiny-box ratio below two orders of magnitude")
+	}
+}
+
+func TestHarvestScalesLinearly(t *testing.T) {
+	p := CreditCardPanel()
+	h1, err := p.HarvestMW(1000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := p.HarvestMW(2000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h2-2*h1) > 1e-9 {
+		t.Fatalf("harvest not linear: %v vs %v", h1, h2)
+	}
+	// Indoor spectra are less favorable per lux.
+	indoor, err := p.HarvestMW(1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if indoor >= h1 {
+		t.Fatal("indoor lux should harvest less than daylight lux")
+	}
+}
+
+func TestHarvestValidation(t *testing.T) {
+	bad := SolarPanel{AreaCM2: 0, Efficiency: 0.18}
+	if _, err := bad.HarvestMW(100, true); err == nil {
+		t.Fatal("zero area should fail")
+	}
+	bad = SolarPanel{AreaCM2: 46, Efficiency: 1.5}
+	if _, err := bad.HarvestMW(100, true); err == nil {
+		t.Fatal("efficiency > 1 should fail")
+	}
+	p := CreditCardPanel()
+	if _, err := p.HarvestMW(-1, true); err == nil {
+		t.Fatal("negative lux should fail")
+	}
+}
+
+func TestSelfSustainingCrossover(t *testing.T) {
+	panel := CreditCardPanel()
+	tiny := TinyBoxBudget()
+	breakeven, err := BreakEvenLux(panel, tiny, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's outdoor noise floors (3700-6200 lux) must sustain
+	// the tiny box; a dim 100 lux scene must not.
+	ok, margin, err := SelfSustaining(panel, tiny, 6200, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || margin <= 1 {
+		t.Fatalf("6200 lux: ok=%v margin=%v", ok, margin)
+	}
+	ok, _, err = SelfSustaining(panel, tiny, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("100 lux should not sustain the receiver")
+	}
+	// Break-even sits between those operating points.
+	if breakeven <= 100 || breakeven >= 6200 {
+		t.Fatalf("break-even %.0f lux outside (100, 6200)", breakeven)
+	}
+	// Exactly at break-even the margin is 1.
+	_, margin, err = SelfSustaining(panel, tiny, breakeven, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(margin-1) > 1e-9 {
+		t.Fatalf("margin at break-even %v", margin)
+	}
+}
+
+func TestCameraNotSustainable(t *testing.T) {
+	ok, _, err := SelfSustaining(CreditCardPanel(), CameraBudget(), 10000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("a credit-card panel cannot power a camera")
+	}
+}
+
+func TestCompareReport(t *testing.T) {
+	rows, err := CompareReport(6200, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+}

@@ -1,0 +1,451 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"passivelight/internal/channel"
+	"passivelight/internal/coding"
+	"passivelight/internal/core"
+	"passivelight/internal/decoder"
+	"passivelight/internal/frontend"
+	"passivelight/internal/noise"
+	"passivelight/internal/optics"
+	"passivelight/internal/scene"
+	"passivelight/internal/tag"
+)
+
+// AblationAdaptiveResult contrasts the paper's per-packet adaptive
+// thresholds against fixed thresholds calibrated under a different
+// light level (DESIGN.md A1).
+type AblationAdaptiveResult struct {
+	Report Report
+	// AdaptiveOK / FixedOK: did each decoder recover the packet under
+	// the *changed* lighting?
+	AdaptiveOK, FixedOK bool
+	FixedDecoded        string
+}
+
+// AblationAdaptive calibrates thresholds on a 6200 lux pass, then
+// decodes a 2500 lux pass with (a) those frozen thresholds and (b)
+// the adaptive decoder.
+func AblationAdaptive() (AblationAdaptiveResult, error) {
+	res := AblationAdaptiveResult{Report: Report{ID: "ablation-adaptive", Title: "adaptive tau_r/tau_t vs fixed thresholds under a lighting change (6200 -> 2500 lux)"}}
+	calib := core.OutdoorSetup{Payload: "00", NoiseFloorLux: 6200, ReceiverHeight: 0.75, Seed: 80}
+	calibLink, _, err := calib.Build()
+	if err != nil {
+		return res, err
+	}
+	calibTrace, err := calibLink.Simulate()
+	if err != nil {
+		return res, err
+	}
+	calibDec, err := decoder.DecodeCarPass(calibTrace, decoder.Options{ExpectedSymbols: 8})
+	if err != nil {
+		return res, fmt.Errorf("calibration pass failed: %w", err)
+	}
+	frozen := calibDec.Decode.Thresholds
+
+	test := core.OutdoorSetup{Payload: "00", NoiseFloorLux: 2500, ReceiverHeight: 0.75, Seed: 81}
+	testLink, pkt, err := test.Build()
+	if err != nil {
+		return res, err
+	}
+	testTrace, err := testLink.Simulate()
+	if err != nil {
+		return res, err
+	}
+	// Adaptive: the paper's two-phase decode.
+	if tp, err := decoder.DecodeCarPass(testTrace, decoder.Options{ExpectedSymbols: 8}); err == nil {
+		res.AdaptiveOK = tp.Decode.ParseErr == nil && tp.Decode.Packet.BitString() == pkt.BitString()
+	}
+	// Fixed: frozen thresholds, no adaptation.
+	if fd, err := decoder.DecodeFixed(testTrace, frozen, decoder.Options{ExpectedSymbols: 8}); err == nil {
+		res.FixedDecoded = fd.SymbolString()
+		res.FixedOK = fd.ParseErr == nil && fd.Packet.BitString() == pkt.BitString()
+	}
+	res.Report.addf("adaptive decode under new lighting: ok=%v", res.AdaptiveOK)
+	res.Report.addf("fixed thresholds (calibrated at 6200 lux): ok=%v decoded=%q", res.FixedOK, res.FixedDecoded)
+	res.Report.addf("paper: thresholds are obtained per packet and 'need to be highly adaptive'")
+	return res, nil
+}
+
+// AblationManchesterResult compares Manchester against NRZ stripes
+// under rippling mains light (DESIGN.md A2).
+type AblationManchesterResult struct {
+	Report Report
+	// Success rates over random payloads.
+	ManchesterRate, NRZRate float64
+	Trials                  int
+}
+
+// AblationManchester encodes random 4-bit payloads both ways on the
+// indoor bench under a fluorescent source with baseline drift and
+// measures decode success.
+func AblationManchester(quick bool) (AblationManchesterResult, error) {
+	res := AblationManchesterResult{Report: Report{ID: "ablation-manchester", Title: "Manchester vs NRZ stripes under fluorescent ripple + drift"}}
+	trials := 12
+	if quick {
+		trials = 4
+	}
+	res.Trials = trials
+	rng := rand.New(rand.NewSource(90))
+	manOK, nrzOK := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		bits := make([]coding.Bit, 4)
+		payload := ""
+		for i := range bits {
+			bits[i] = coding.Bit(rng.Intn(2))
+			payload += string('0' + byte(bits[i]))
+		}
+		seed := int64(100 + trial)
+		// Shared bench geometry under a rippling ceiling light with
+		// slow drift.
+		nm := noise.Model{ShotCoeff: 0.02, ThermalSigma: 0.2, DriftSigma: 0.05, Seed: seed}
+		// Manchester run (standard packet tag).
+		b := core.BenchSetup{
+			Height: 0.20, SymbolWidth: 0.03, Speed: 0.08,
+			Payload: payload, Seed: seed, NoiseModel: &nm,
+		}
+		link, pkt, err := b.Build()
+		if err != nil {
+			return res, err
+		}
+		link.Scene.Source = optics.CeilingLight{Lux: 300, RippleDepth: 0.12, MainsHz: 50}
+		run, err := core.EndToEnd(link, pkt, decoder.Options{})
+		if err != nil {
+			return res, err
+		}
+		if run.Success {
+			manOK++
+		}
+		// NRZ run: preamble HLHL + NRZ data stripes.
+		symbols := append(append([]coding.Symbol{}, coding.Preamble...), coding.NRZEncode(bits)...)
+		nrzTag, err := tag.NewFromSymbols(symbols, tag.Config{SymbolWidth: 0.03})
+		if err != nil {
+			return res, err
+		}
+		nrzLink, err := benchWithTag(nrzTag, 0.20, 0.08, seed, &nm)
+		if err != nil {
+			return res, err
+		}
+		nrzLink.Scene.Source = optics.CeilingLight{Lux: 300, RippleDepth: 0.12, MainsHz: 50}
+		tr, err := nrzLink.Simulate()
+		if err != nil {
+			return res, err
+		}
+		dec, derr := decoder.Decode(tr, decoder.Options{ExpectedSymbols: len(symbols)})
+		if derr == nil && len(dec.Symbols) == len(symbols) {
+			good := true
+			for i, want := range coding.Preamble {
+				if dec.Symbols[i] != want {
+					good = false
+					break
+				}
+			}
+			if good {
+				got := coding.NRZDecode(dec.Symbols[coding.PreambleLen:])
+				if coding.HammingDistance(got, bits) == 0 {
+					nrzOK++
+				}
+			}
+		}
+	}
+	res.ManchesterRate = float64(manOK) / float64(trials)
+	res.NRZRate = float64(nrzOK) / float64(trials)
+	res.Report.addf("Manchester success: %.0f%%  NRZ success: %.0f%% over %d random 4-bit payloads",
+		100*res.ManchesterRate, 100*res.NRZRate, trials)
+	res.Report.addf("Manchester guarantees a transition per bit: self-clocking and DC-balanced under ripple/drift")
+	return res, nil
+}
+
+// benchWithTag builds an indoor link around an arbitrary tag.
+func benchWithTag(tg *tag.Tag, height, speed float64, seed int64, nm *noise.Model) (*core.Link, error) {
+	rx := channel.Receiver{X: 0, Height: height, FoVHalfAngleDeg: core.IndoorFoVDeg}
+	start := -(rx.FootprintRadius() + 0.15)
+	obj, err := scene.NewTagObject("bench-tag", tg, scene.ConstantSpeed{Start: start, Speed: speed}, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	lamp := optics.PointLamp{X: 0.12, Height: height, Intensity: core.IndoorLampLux * core.IndoorRefHeight * core.IndoorRefHeight, LambertOrder: 4}
+	fe, err := frontend.NewChain(frontend.PD(frontend.G1), 1000, seed)
+	if err != nil {
+		return nil, err
+	}
+	n := noise.Indoor(seed)
+	if nm != nil {
+		n = *nm
+	}
+	dur := (-start + tg.Length() + rx.FootprintRadius() + 0.05) / speed
+	return &core.Link{
+		Scene:    scene.New(lamp, obj),
+		Receiver: rx,
+		Frontend: fe,
+		Noise:    n,
+		Duration: dur,
+	}, nil
+}
+
+// AblationDTWResult compares DTW against plain Euclidean matching on
+// variable-speed packets (DESIGN.md A3).
+type AblationDTWResult struct {
+	Report Report
+	// Accuracy of each classifier over the distorted trials.
+	DTWAccuracy, EuclideanAccuracy float64
+	Trials                         int
+}
+
+// AblationDTW distorts '00'/'10' packets with random mid-pass speed
+// multipliers and classifies with both distance measures.
+func AblationDTW(quick bool) (AblationDTWResult, error) {
+	res := AblationDTWResult{Report: Report{ID: "ablation-dtw", Title: "DTW vs Euclidean classification of variable-speed packets"}}
+	trials := 10
+	if quick {
+		trials = 4
+	}
+	res.Trials = trials
+	dtwCls := decoder.NewClassifier(256)
+	eucCls := decoder.NewClassifier(256)
+	eucCls.UseEuclidean = true
+	for i, payload := range []string{"00", "10"} {
+		link, _, err := fig5Bench(payload, int64(110+i)).Build()
+		if err != nil {
+			return res, err
+		}
+		tr, err := link.Simulate()
+		if err != nil {
+			return res, err
+		}
+		if err := dtwCls.AddBaseline(payload, tr); err != nil {
+			return res, err
+		}
+		if err := eucCls.AddBaseline(payload, tr); err != nil {
+			return res, err
+		}
+	}
+	rng := rand.New(rand.NewSource(120))
+	dtwOK, eucOK := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		payload := "00"
+		if rng.Intn(2) == 1 {
+			payload = "10"
+		}
+		factor := 1.5 + rng.Float64()*1.5 // speed multiplier 1.5-3.0
+		b := fig5Bench(payload, int64(130+trial))
+		startX := -(0.2*0.0875 + 0.15)
+		tagLen := 8 * b.SymbolWidth
+		// Switch point: somewhere between 30% and 70% of the tag.
+		switchAt := tagLen * (0.3 + 0.4*rng.Float64())
+		dist := switchAt - startX
+		tSwitch := dist / b.Speed
+		traj, err := scene.NewPiecewiseSpeed(startX, []scene.SpeedSegment{
+			{Until: tSwitch, Speed: b.Speed},
+			{Until: 1e9, Speed: b.Speed * factor},
+		})
+		if err != nil {
+			return res, err
+		}
+		b.Trajectory = traj
+		link, _, err := b.Build()
+		if err != nil {
+			return res, err
+		}
+		tr, err := link.Simulate()
+		if err != nil {
+			return res, err
+		}
+		if m, err := dtwCls.Classify(tr); err == nil && m[0].Label == payload {
+			dtwOK++
+		}
+		if m, err := eucCls.Classify(tr); err == nil && m[0].Label == payload {
+			eucOK++
+		}
+	}
+	res.DTWAccuracy = float64(dtwOK) / float64(trials)
+	res.EuclideanAccuracy = float64(eucOK) / float64(trials)
+	res.Report.addf("DTW accuracy: %.0f%%  Euclidean accuracy: %.0f%% over %d distorted packets",
+		100*res.DTWAccuracy, 100*res.EuclideanAccuracy, trials)
+	return res, nil
+}
+
+// AblationFoVResult quantifies the Fig. 2(b) trade-off: narrow FoV
+// raises the signal-to-interference margin, wide FoV raises coverage
+// (DESIGN.md A4).
+type AblationFoVResult struct {
+	Report Report
+	Points []FoVPoint
+}
+
+// FoVPoint is one FoV sweep sample.
+type FoVPoint struct {
+	FoVDeg     float64
+	Success    bool
+	TauR       float64 // decision margin (counts)
+	FootprintM float64 // ground coverage diameter (m)
+}
+
+// AblationFoV sweeps the receiver FoV on the outdoor pole.
+func AblationFoV() (AblationFoVResult, error) {
+	res := AblationFoVResult{Report: Report{ID: "ablation-fov", Title: "FoV sweep at h=75 cm, 6200 lux: decode margin vs coverage"}}
+	for i, fov := range []float64{2, 4, 6, 10, 14, 20, 30, 40} {
+		dev := frontend.RXLED()
+		dev.FoVHalfAngleDeg = fov
+		run, err := runCarPass("fov-sweep", core.OutdoorSetup{
+			Payload:        "00",
+			NoiseFloorLux:  6200,
+			ReceiverHeight: 0.75,
+			Receiver:       dev,
+			Seed:           int64(140 + i),
+		})
+		if err != nil {
+			return res, err
+		}
+		rx := channel.Receiver{Height: 0.75, FoVHalfAngleDeg: fov}
+		pt := FoVPoint{
+			FoVDeg:     fov,
+			Success:    run.Success,
+			FootprintM: 2 * rx.FootprintRadius(),
+		}
+		res.Points = append(res.Points, pt)
+		res.Report.addf("fov=+-%2.0f deg  footprint=%.2f m  decode ok=%v", fov, pt.FootprintM, pt.Success)
+	}
+	res.Report.addf("narrow FoV -> higher signal-to-interference, less coverage; wide FoV -> opposite (Fig. 2(b))")
+	return res, nil
+}
+
+// AblationCodebookResult measures how the restricted codebooks of
+// Sec. 4.2 trade capacity for error tolerance (DESIGN.md A5).
+type AblationCodebookResult struct {
+	Report Report
+	Rows   []CodebookRow
+}
+
+// CodebookRow is one (minDist, flips) operating point.
+type CodebookRow struct {
+	MinDist    int
+	Words      int
+	Flips      int
+	SuccessPct float64
+}
+
+// AblationCodebook builds 8-bit codebooks at increasing minimum
+// Hamming distance and measures nearest-codeword recovery under
+// random bit flips.
+func AblationCodebook(quick bool) (AblationCodebookResult, error) {
+	res := AblationCodebookResult{Report: Report{ID: "ablation-codebook", Title: "codebook minimum Hamming distance vs size vs recovery under bit flips (8-bit words)"}}
+	trials := 400
+	if quick {
+		trials = 100
+	}
+	rng := rand.New(rand.NewSource(150))
+	for _, minDist := range []int{1, 2, 3, 4, 5} {
+		cb, err := coding.NewCodebook(8, minDist, 0)
+		if err != nil {
+			return res, err
+		}
+		for _, flips := range []int{1, 2} {
+			ok := 0
+			for trial := 0; trial < trials; trial++ {
+				idx := rng.Intn(cb.Len())
+				w, err := cb.Encode(idx)
+				if err != nil {
+					return res, err
+				}
+				// Flip `flips` distinct random positions.
+				perm := rng.Perm(len(w))
+				for f := 0; f < flips; f++ {
+					w[perm[f]] ^= 1
+				}
+				if got, _ := cb.Decode(w); got == idx {
+					ok++
+				}
+			}
+			row := CodebookRow{MinDist: minDist, Words: cb.Len(), Flips: flips, SuccessPct: 100 * float64(ok) / float64(trials)}
+			res.Rows = append(res.Rows, row)
+			res.Report.addf("minDist=%d words=%3d flips=%d -> recovered %.0f%%", row.MinDist, row.Words, row.Flips, row.SuccessPct)
+		}
+	}
+	res.Report.addf("paper: under distortion use 'far less codes ... inter-Hamming distances maximized'")
+	return res, nil
+}
+
+// MaxSpeedResult probes future work (3): the maximal supported object
+// speed for the outdoor link at 2 kS/s.
+type MaxSpeedResult struct {
+	Report Report
+	// MaxKmh is the fastest speed that still decoded.
+	MaxKmh float64
+	Points []SpeedPoint
+}
+
+// SpeedPoint is one sweep sample.
+type SpeedPoint struct {
+	Kmh              float64
+	Success          bool
+	SamplesPerSymbol float64
+}
+
+// MaxSpeed sweeps car speed at h=75 cm, 6200 lux.
+func MaxSpeed(quick bool) (MaxSpeedResult, error) {
+	res := MaxSpeedResult{Report: Report{ID: "max-speed", Title: "maximal supported car speed (RX-LED, h=75 cm, 6200 lux, 2 kS/s)"}}
+	speeds := []float64{18, 36, 54, 72, 90, 108, 126, 144}
+	if quick {
+		speeds = []float64{18, 54, 90, 126}
+	}
+	for i, kmh := range speeds {
+		run, err := runCarPass("speed-sweep", core.OutdoorSetup{
+			Payload:        "00",
+			NoiseFloorLux:  6200,
+			ReceiverHeight: 0.75,
+			SpeedKmh:       kmh,
+			Seed:           int64(160 + i),
+		})
+		if err != nil {
+			return res, err
+		}
+		symbolDur := core.OutdoorSymbolWidth / scene.KmhToMs(kmh)
+		pt := SpeedPoint{Kmh: kmh, Success: run.Success, SamplesPerSymbol: symbolDur * core.OutdoorFs}
+		res.Points = append(res.Points, pt)
+		if run.Success {
+			res.MaxKmh = kmh
+		}
+		res.Report.addf("%3.0f km/h (%4.1f samples/symbol): decode ok=%v", kmh, pt.SamplesPerSymbol, pt.Success)
+	}
+	res.Report.addf("bound set by receiver response time and sampling rate (paper future work (3))")
+	return res, nil
+}
+
+// ReceiverSelectionResult exercises the Sec. 4.4 dual-receiver policy.
+type ReceiverSelectionResult struct {
+	Report Report
+	Rows   []SelectionRow
+}
+
+// SelectionRow is one ambient operating point.
+type SelectionRow struct {
+	NoiseFloorLux float64
+	Selected      string
+	Err           string
+}
+
+// ReceiverSelection picks the best receiver across ambient levels.
+func ReceiverSelection() (ReceiverSelectionResult, error) {
+	res := ReceiverSelectionResult{Report: Report{ID: "receiver-selection", Title: "dual-receiver policy: most sensitive non-saturating receiver per noise floor"}}
+	for _, lux := range []float64{50, 100, 440, 450, 1200, 3000, 5000, 10000, 34000, 40000} {
+		row := SelectionRow{NoiseFloorLux: lux}
+		dev, err := frontend.SelectReceiver(lux)
+		if err != nil {
+			row.Err = err.Error()
+		} else {
+			row.Selected = dev.Name
+		}
+		res.Rows = append(res.Rows, row)
+		if row.Err != "" {
+			res.Report.addf("%6.0f lux -> no usable receiver (%s)", lux, row.Err)
+		} else {
+			res.Report.addf("%6.0f lux -> %s", lux, row.Selected)
+		}
+	}
+	res.Report.addf("paper: PD for low light, RX-LED for outdoor noise floors up to 35 klux")
+	return res, nil
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import "testing"
+
+func TestDistortionSweep(t *testing.T) {
+	res, err := Distortion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean points decode both ways.
+	if !res.Dirt[0].ThresholdOK || !res.Dirt[0].ClassifiedOK {
+		t.Fatal("clean bench should decode and classify")
+	}
+	if !res.Fog[0].ThresholdOK {
+		t.Fatal("clear air should decode")
+	}
+	// Moderate distortion survives (the adaptive thresholds are per
+	// packet); extreme dirt kills the contrast.
+	if !res.Dirt[2].ThresholdOK {
+		t.Fatal("60% dirt should still decode (contrast reduced, not erased)")
+	}
+	last := res.Dirt[len(res.Dirt)-1]
+	if last.ThresholdOK {
+		t.Fatal("95% dirt should erase the contrast")
+	}
+	lastFog := res.Fog[len(res.Fog)-1]
+	if lastFog.ThresholdOK {
+		t.Fatal("96% fog should erase the contrast")
+	}
+}
+
+func TestSignatureIDAllCorrect(t *testing.T) {
+	res, err := SignatureID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total < 6 {
+		t.Fatalf("only %d probes", res.Total)
+	}
+	if res.Correct != res.Total {
+		t.Fatalf("identified %d/%d", res.Correct, res.Total)
+	}
+}
+
+func TestEnergyClaims(t *testing.T) {
+	res, err := Energy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TinyBoxSelfSustainingAt6200 {
+		t.Fatal("tiny box should be solar-sustainable at 6200 lux")
+	}
+	if res.CameraRatio < 100 {
+		t.Fatalf("camera ratio %.0f, want 'orders of magnitude'", res.CameraRatio)
+	}
+}
+
+func TestDynamicTagTwoFrames(t *testing.T) {
+	res, err := DynamicTag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BothCorrect {
+		t.Fatalf("frames decoded %q / %q", res.FirstDecoded, res.SecondDecoded)
+	}
+}

@@ -1,0 +1,138 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Secs. 4-5) on the simulated substrate, plus the
+// ablations listed in DESIGN.md. Each driver returns a typed result
+// and a printable Report whose rows mirror what the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is a printable experiment summary.
+type Report struct {
+	// ID is the paper anchor ("fig5", "fig11", "ablation-fov", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Lines are preformatted result rows.
+	Lines []string
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		sb.WriteString("  ")
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func (r *Report) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// All runs every experiment in paper order and returns the reports.
+// Expensive sweeps honor the quick flag by coarsening their grids.
+func All(quick bool) ([]Report, error) {
+	var reports []Report
+	add := func(rep Report, err error) error {
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+		return nil
+	}
+	f5, err := Fig5()
+	if err := add(f5.Report, err); err != nil {
+		return nil, fmt.Errorf("fig5: %w", err)
+	}
+	f6a, err := Fig6a(quick)
+	if err := add(f6a.Report, err); err != nil {
+		return nil, fmt.Errorf("fig6a: %w", err)
+	}
+	f6b, err := Fig6b(quick)
+	if err := add(f6b.Report, err); err != nil {
+		return nil, fmt.Errorf("fig6b: %w", err)
+	}
+	f7, err := Fig7()
+	if err := add(f7.Report, err); err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
+	f8, err := Fig8DTW()
+	if err := add(f8.Report, err); err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+	f10, err := Fig10()
+	if err := add(f10.Report, err); err != nil {
+		return nil, fmt.Errorf("fig10: %w", err)
+	}
+	f11, err := Fig11Table()
+	if err := add(f11.Report, err); err != nil {
+		return nil, fmt.Errorf("fig11: %w", err)
+	}
+	f13, err := Fig13_14()
+	if err := add(f13.Report, err); err != nil {
+		return nil, fmt.Errorf("fig13-14: %w", err)
+	}
+	f15, err := Fig15()
+	if err := add(f15.Report, err); err != nil {
+		return nil, fmt.Errorf("fig15: %w", err)
+	}
+	f16, err := Fig16()
+	if err := add(f16.Report, err); err != nil {
+		return nil, fmt.Errorf("fig16: %w", err)
+	}
+	f17, err := Fig17()
+	if err := add(f17.Report, err); err != nil {
+		return nil, fmt.Errorf("fig17: %w", err)
+	}
+	aa, err := AblationAdaptive()
+	if err := add(aa.Report, err); err != nil {
+		return nil, fmt.Errorf("ablation-adaptive: %w", err)
+	}
+	am, err := AblationManchester(quick)
+	if err := add(am.Report, err); err != nil {
+		return nil, fmt.Errorf("ablation-manchester: %w", err)
+	}
+	ad, err := AblationDTW(quick)
+	if err := add(ad.Report, err); err != nil {
+		return nil, fmt.Errorf("ablation-dtw: %w", err)
+	}
+	af, err := AblationFoV()
+	if err := add(af.Report, err); err != nil {
+		return nil, fmt.Errorf("ablation-fov: %w", err)
+	}
+	ac, err := AblationCodebook(quick)
+	if err := add(ac.Report, err); err != nil {
+		return nil, fmt.Errorf("ablation-codebook: %w", err)
+	}
+	ms, err := MaxSpeed(quick)
+	if err := add(ms.Report, err); err != nil {
+		return nil, fmt.Errorf("max-speed: %w", err)
+	}
+	sel, err := ReceiverSelection()
+	if err := add(sel.Report, err); err != nil {
+		return nil, fmt.Errorf("receiver-selection: %w", err)
+	}
+	dist, err := Distortion()
+	if err := add(dist.Report, err); err != nil {
+		return nil, fmt.Errorf("distortion: %w", err)
+	}
+	sid, err := SignatureID()
+	if err := add(sid.Report, err); err != nil {
+		return nil, fmt.Errorf("signature-id: %w", err)
+	}
+	en, err := Energy()
+	if err := add(en.Report, err); err != nil {
+		return nil, fmt.Errorf("energy: %w", err)
+	}
+	dyn, err := DynamicTag()
+	if err := add(dyn.Report, err); err != nil {
+		return nil, fmt.Errorf("dynamic-tag: %w", err)
+	}
+	return reports, nil
+}

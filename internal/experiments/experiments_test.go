@@ -1,0 +1,384 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The experiment drivers are the reproduction record: these tests pin
+// each figure's qualitative outcome to the paper's.
+
+func TestFig5BothPacketsDecode(t *testing.T) {
+	res, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 2 {
+		t.Fatalf("runs %d", len(res.Runs))
+	}
+	for _, r := range res.Runs {
+		if !r.Success {
+			t.Fatalf("payload %q: decoded %s", r.Payload, r.Decoded)
+		}
+		// tau_t should match width/speed = 0.03/0.08 = 0.375 s.
+		if math.Abs(r.TauT-0.375) > 0.05 {
+			t.Fatalf("payload %q: tau_t %.3f, want ~0.375", r.Payload, r.TauT)
+		}
+	}
+}
+
+func TestFig6aLinearBoundary(t *testing.T) {
+	res, err := Fig6a(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.B <= 0 {
+		t.Fatalf("boundary slope %v, want positive", res.B)
+	}
+	if res.R2 < 0.8 {
+		t.Fatalf("boundary linearity R2 %v", res.R2)
+	}
+	// The slope should be within a factor ~2 of the paper's 5.4 m/m.
+	if res.B < 2.5 || res.B > 11 {
+		t.Fatalf("slope %v too far from paper's ~5.4", res.B)
+	}
+}
+
+func TestFig6bThroughputFalls(t *testing.T) {
+	res, err := Fig6b(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.B >= 0 {
+		t.Fatalf("throughput exponent %v, want negative", res.B)
+	}
+	prev := math.Inf(1)
+	for _, p := range res.Points {
+		if !p.Decodable {
+			continue
+		}
+		if p.Throughput > prev {
+			t.Fatalf("throughput not monotone: %+v", res.Points)
+		}
+		prev = p.Throughput
+	}
+}
+
+func TestFig7CeilingLight(t *testing.T) {
+	res, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("ceiling-light decode failed: %s", res.Decoded)
+	}
+	if res.RippleRatio < 10 {
+		t.Fatalf("ripple ratio %v, want >> 1 (the 'thicker lines')", res.RippleRatio)
+	}
+	if res.GapRatio >= 1 {
+		t.Fatalf("gap ratio %v, want < 1 (smaller HIGH-LOW difference)", res.GapRatio)
+	}
+}
+
+func TestFig8ThresholdFailsDTWClassifies(t *testing.T) {
+	res, err := Fig8DTW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThresholdCorrect {
+		t.Fatal("threshold decode should fail under the speed doubling")
+	}
+	if res.Classified != "10" {
+		t.Fatalf("classified %q, want 10", res.Classified)
+	}
+	// Distance ordering as in the paper: correct < incorrect, self
+	// scale smallest.
+	if res.DistTo10 >= res.DistTo00 {
+		t.Fatalf("distance to correct baseline %v >= incorrect %v", res.DistTo10, res.DistTo00)
+	}
+	if res.SelfDist >= res.DistTo10 {
+		t.Fatalf("self distance %v >= correct distance %v", res.SelfDist, res.DistTo10)
+	}
+}
+
+func TestFig10CollisionCases(t *testing.T) {
+	res, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 3 {
+		t.Fatalf("cases %d", len(res.Cases))
+	}
+	c1, c2, c3 := res.Cases[0], res.Cases[1], res.Cases[2]
+	if !c1.TimeDecodable {
+		t.Fatalf("case1 should decode in time domain: %s", c1.Decoded)
+	}
+	if c1.Tones != 1 {
+		t.Fatalf("case1 tones %d", c1.Tones)
+	}
+	if math.Abs(c1.DominantFreq-1.5) > 0.4 {
+		t.Fatalf("case1 dominant %.2f Hz, want ~1.5", c1.DominantFreq)
+	}
+	if !c2.TimeDecodable {
+		t.Fatalf("case2 should decode in time domain: %s", c2.Decoded)
+	}
+	if c2.Tones != 1 {
+		t.Fatalf("case2 tones %d", c2.Tones)
+	}
+	if math.Abs(c2.DominantFreq-3.0) > 0.4 {
+		t.Fatalf("case2 dominant %.2f Hz, want ~3", c2.DominantFreq)
+	}
+	if c3.TimeDecodable {
+		t.Fatal("case3 should be undecodable in the time domain")
+	}
+	if c3.Tones < 2 {
+		t.Fatalf("case3 tones %d, want >= 2 (two object types visible)", c3.Tones)
+	}
+}
+
+func TestFig11SpecVsMeasured(t *testing.T) {
+	res, err := Fig11Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// Measured saturation within 15% of the Fig. 11 spec.
+		ratio := row.MeasuredSaturationLux / row.SpecSaturationLux
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("%s: measured saturation %.0f vs spec %.0f", row.Receiver, row.MeasuredSaturationLux, row.SpecSaturationLux)
+		}
+		// Measured sensitivity within 25% (quantization at the low end).
+		if row.SpecSensitivity > 0 {
+			r := row.MeasuredSensitivity / row.SpecSensitivity
+			if r < 0.75 || r > 1.25 {
+				t.Errorf("%s: measured sensitivity %.3f vs spec %.3f", row.Receiver, row.MeasuredSensitivity, row.SpecSensitivity)
+			}
+		}
+	}
+}
+
+func TestFig13_14CarSignatures(t *testing.T) {
+	res, err := Fig13_14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VolvoModel != "hatchback" {
+		t.Fatalf("volvo classified %q", res.VolvoModel)
+	}
+	if res.BMWModel != "sedan" {
+		t.Fatalf("bmw classified %q", res.BMWModel)
+	}
+	if res.BMWPeaks <= res.VolvoPeaks {
+		t.Fatalf("sedan should show more metal peaks: %d vs %d", res.BMWPeaks, res.VolvoPeaks)
+	}
+}
+
+func TestFig15NoiseFloorCrossover(t *testing.T) {
+	res, err := Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Runs[0].Success {
+		t.Fatalf("450 lux should decode: %s / %s", res.Runs[0].Decoded, res.Runs[0].DecodeErr)
+	}
+	if res.Runs[1].Success {
+		t.Fatal("100 lux should fail")
+	}
+}
+
+func TestFig16CapResult(t *testing.T) {
+	res, err := Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs[0].Success {
+		t.Fatal("bare PD should fail at 100 lux over the car roof")
+	}
+	if !res.Runs[1].Success {
+		t.Fatalf("capped PD should decode: %s", res.Runs[1].DecodeErr)
+	}
+	// The cap costs RSS (the paper notes the drop).
+	bare := res.Runs[0].Trace.Stats().Mean
+	capped := res.Runs[1].Trace.Stats().Mean
+	if capped >= bare {
+		t.Fatalf("cap should reduce mean RSS: %v vs %v", capped, bare)
+	}
+}
+
+func TestFig17WellIlluminated(t *testing.T) {
+	res, err := Fig17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range res.Runs {
+		if !run.Success {
+			t.Fatalf("%s failed: %s / %s", run.Name, run.Decoded, run.DecodeErr)
+		}
+	}
+	// Fig. 17(a): ~50 symbols/s.
+	if math.Abs(res.Runs[0].ThroughputSym-50) > 5 {
+		t.Fatalf("throughput %.1f, want ~50", res.Runs[0].ThroughputSym)
+	}
+}
+
+func TestAblationAdaptiveBeatsFixed(t *testing.T) {
+	res, err := AblationAdaptive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AdaptiveOK {
+		t.Fatal("adaptive decode should survive the lighting change")
+	}
+	if res.FixedOK {
+		t.Fatal("fixed thresholds should fail after the lighting change")
+	}
+}
+
+func TestAblationManchesterBeatsNRZ(t *testing.T) {
+	res, err := AblationManchester(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ManchesterRate < res.NRZRate {
+		t.Fatalf("Manchester %.2f below NRZ %.2f", res.ManchesterRate, res.NRZRate)
+	}
+	if res.ManchesterRate < 0.75 {
+		t.Fatalf("Manchester success %.2f too low", res.ManchesterRate)
+	}
+}
+
+func TestAblationDTWBeatsEuclidean(t *testing.T) {
+	res, err := AblationDTW(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DTWAccuracy < res.EuclideanAccuracy {
+		t.Fatalf("DTW %.2f below Euclidean %.2f", res.DTWAccuracy, res.EuclideanAccuracy)
+	}
+	if res.DTWAccuracy < 0.75 {
+		t.Fatalf("DTW accuracy %.2f too low", res.DTWAccuracy)
+	}
+}
+
+func TestAblationFoVTradeoff(t *testing.T) {
+	res, err := AblationFoV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Narrow FoVs decode, wide ones do not; coverage grows with FoV.
+	if !res.Points[0].Success {
+		t.Fatal("narrowest FoV should decode")
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.Success {
+		t.Fatal("widest FoV should fail (ISI)")
+	}
+	if last.FootprintM <= res.Points[0].FootprintM {
+		t.Fatal("coverage should grow with FoV")
+	}
+	// Success must be prefix-monotone: once it fails it stays failed.
+	failed := false
+	for _, p := range res.Points {
+		if failed && p.Success {
+			t.Fatalf("non-monotone FoV outcome: %+v", res.Points)
+		}
+		if !p.Success {
+			failed = true
+		}
+	}
+}
+
+func TestAblationCodebookDistanceHelps(t *testing.T) {
+	res, err := AblationCodebook(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(d, flips int) float64 {
+		for _, r := range res.Rows {
+			if r.MinDist == d && r.Flips == flips {
+				return r.SuccessPct
+			}
+		}
+		t.Fatalf("row d=%d flips=%d missing", d, flips)
+		return 0
+	}
+	if get(3, 1) < 99 || get(5, 1) < 99 {
+		t.Fatal("distance >= 3 should correct single flips")
+	}
+	if get(1, 1) > 5 {
+		t.Fatal("distance 1 cannot correct flips")
+	}
+	if get(5, 2) < 99 {
+		t.Fatal("distance 5 should correct double flips")
+	}
+}
+
+func TestMaxSpeedBound(t *testing.T) {
+	res, err := MaxSpeed(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxKmh < 18 {
+		t.Fatalf("max speed %.0f km/h, the paper's 18 km/h must work", res.MaxKmh)
+	}
+	// The sweep should find a breaking point below 150 km/h at 2 kS/s.
+	last := res.Points[len(res.Points)-1]
+	if last.Success {
+		t.Fatalf("fastest sweep point (%.0f km/h) unexpectedly decoded", last.Kmh)
+	}
+}
+
+func TestReceiverSelectionTable(t *testing.T) {
+	res, err := ReceiverSelection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLux := map[float64]SelectionRow{}
+	for _, r := range res.Rows {
+		byLux[r.NoiseFloorLux] = r
+	}
+	if byLux[100].Selected != "pd-G1" {
+		t.Fatalf("100 lux -> %q", byLux[100].Selected)
+	}
+	if byLux[10000].Selected != "rx-led" {
+		t.Fatalf("10 klux -> %q", byLux[10000].Selected)
+	}
+	if byLux[40000].Err == "" {
+		t.Fatal("40 klux should saturate every receiver")
+	}
+}
+
+func TestAllQuickProducesReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment battery")
+	}
+	reps, err := All(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) < 15 {
+		t.Fatalf("only %d reports", len(reps))
+	}
+	seen := map[string]bool{}
+	for _, r := range reps {
+		if r.ID == "" || len(r.Lines) == 0 {
+			t.Fatalf("empty report: %+v", r)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate report id %q", r.ID)
+		}
+		seen[r.ID] = true
+		if !strings.Contains(r.String(), r.Title) {
+			t.Fatal("report string missing title")
+		}
+	}
+	for _, id := range []string{"fig5", "fig6a", "fig6b", "fig7", "fig8", "fig10", "fig11", "fig13-14", "fig15", "fig16", "fig17"} {
+		if !seen[id] {
+			t.Fatalf("missing paper experiment %q", id)
+		}
+	}
+}

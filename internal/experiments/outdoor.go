@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"passivelight/internal/core"
+	"passivelight/internal/decoder"
+	"passivelight/internal/frontend"
+	"passivelight/internal/scene"
+	"passivelight/internal/trace"
+)
+
+// CarRun is one outdoor pass result.
+type CarRun struct {
+	Name          string
+	NoiseFloorLux float64
+	HeightM       float64
+	Receiver      string
+	Sent          string
+	Decoded       string
+	Success       bool
+	DecodeErr     string
+	ThroughputSym float64 // symbols/second while the tag crosses
+	Trace         *trace.Trace
+}
+
+// runCarPass builds and evaluates one outdoor configuration with the
+// two-phase decoder.
+func runCarPass(name string, setup core.OutdoorSetup) (CarRun, error) {
+	link, pkt, err := setup.Build()
+	if err != nil {
+		return CarRun{}, err
+	}
+	tr, err := link.Simulate()
+	if err != nil {
+		return CarRun{}, err
+	}
+	run := CarRun{
+		Name:          name,
+		NoiseFloorLux: setup.NoiseFloorLux,
+		HeightM:       setup.ReceiverHeight,
+		Receiver:      link.Frontend.Receiver.Name,
+		Sent:          pkt.SymbolString(),
+		Trace:         tr,
+	}
+	expected := 4 + 2*len(pkt.Data)
+	tp, derr := decoder.DecodeCarPass(tr, decoder.Options{ExpectedSymbols: expected})
+	if derr != nil {
+		run.DecodeErr = derr.Error()
+		return run, nil
+	}
+	run.Decoded = tp.Decode.SymbolString()
+	run.Success = tp.Decode.ParseErr == nil && tp.Decode.Packet.BitString() == pkt.BitString()
+	// Throughput: symbols per second at the measured symbol duration.
+	if tau := tp.Decode.Thresholds.TauT; tau > 0 {
+		run.ThroughputSym = 1 / tau
+	}
+	return run, nil
+}
+
+// Fig13_14Result reproduces the car optical signatures.
+type Fig13_14Result struct {
+	Report Report
+	// Volvo/BMW classification outcomes and feature counts.
+	VolvoModel, BMWModel string
+	VolvoPeaks, BMWPeaks int
+}
+
+// Fig13_14 drives both bare cars under the RX-LED and matches their
+// shape signatures.
+func Fig13_14() (Fig13_14Result, error) {
+	res := Fig13_14Result{Report: Report{ID: "fig13-14", Title: "car optical signatures as long-duration preambles (bare cars, RX-LED, 18 km/h)"}}
+	for _, tc := range []struct {
+		car  scene.CarModel
+		dest *string
+		npk  *int
+	}{
+		{scene.VolvoV40(), &res.VolvoModel, &res.VolvoPeaks},
+		{scene.BMW3(), &res.BMWModel, &res.BMWPeaks},
+	} {
+		link, _, err := core.OutdoorSetup{
+			Car:            tc.car,
+			NoiseFloorLux:  6200,
+			ReceiverHeight: 0.75,
+			Seed:           40,
+		}.Build()
+		if err != nil {
+			return res, err
+		}
+		tr, err := link.Simulate()
+		if err != nil {
+			return res, err
+		}
+		sig, err := decoder.DetectCarShape(tr)
+		if err != nil {
+			return res, err
+		}
+		peaks := 0
+		for _, e := range sig.Extrema {
+			if e.IsPeak {
+				peaks++
+			}
+		}
+		*tc.dest = decoder.MatchCarModel(sig)
+		*tc.npk = peaks
+		res.Report.addf("%-10s peaks=%d (metal sections) -> classified %q", tc.car.Name, peaks, *tc.dest)
+	}
+	res.Report.addf("paper: hoods/roofs/trunks reflect much more than windshields; designs distinguish the cars")
+	return res, nil
+}
+
+// Fig15Result reproduces Fig. 15: RX-LED, h=25 cm, 18 km/h,
+// code HLHL.HLHL — decodes at 450 lux, fails at 100 lux.
+type Fig15Result struct {
+	Report Report
+	Runs   []CarRun
+}
+
+// Fig15 runs the two noise floors.
+func Fig15() (Fig15Result, error) {
+	res := Fig15Result{Report: Report{ID: "fig15", Title: "RX-LED outdoors, h=25 cm, 18 km/h, code HLHL.HLHL"}}
+	for i, floor := range []float64{450, 100} {
+		run, err := runCarPass("rx-led", core.OutdoorSetup{
+			Payload:        "00",
+			NoiseFloorLux:  floor,
+			ReceiverHeight: 0.25,
+			Seed:           int64(50 + i),
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Runs = append(res.Runs, run)
+		res.Report.addf("noise floor %4.0f lux: success=%v decoded=%s err=%s", floor, run.Success, run.Decoded, run.DecodeErr)
+	}
+	res.Report.addf("paper: works at 450 lux, undecodable at 100 lux (too little ambient light to modulate)")
+	return res, nil
+}
+
+// Fig16Result reproduces Fig. 16: PD at G2, 100 lux — fails bare
+// (wide FoV picks up roof interference), decodes with the cap.
+type Fig16Result struct {
+	Report Report
+	Runs   []CarRun
+}
+
+// Fig16 runs the PD with and without the FoV-reducing cap.
+func Fig16() (Fig16Result, error) {
+	res := Fig16Result{Report: Report{ID: "fig16", Title: "PD(G2) outdoors at 100 lux, h=25 cm: bare vs physical cap"}}
+	configs := []struct {
+		name string
+		dev  frontend.Receiver
+	}{
+		{"pd-g2 bare", frontend.PD(frontend.G2)},
+		{"pd-g2 +cap", frontend.PD(frontend.G2).WithCap()},
+	}
+	for i, cfg := range configs {
+		run, err := runCarPass(cfg.name, core.OutdoorSetup{
+			Payload:        "00",
+			NoiseFloorLux:  100,
+			ReceiverHeight: 0.25,
+			Receiver:       cfg.dev,
+			Seed:           int64(60 + i),
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Runs = append(res.Runs, run)
+		mean := run.Trace.Stats().Mean
+		res.Report.addf("%s: success=%v decoded=%s err=%s mean RSS=%.0f", cfg.name, run.Success, run.Decoded, run.DecodeErr, mean)
+	}
+	res.Report.addf("paper: bare PD fails (roof interference in wide FoV); cap decodes despite lower RSS")
+	return res, nil
+}
+
+// Fig17Result reproduces Fig. 17: well-illuminated RX-LED runs.
+type Fig17Result struct {
+	Report Report
+	Runs   []CarRun
+}
+
+// Fig17 runs (a) h=75 cm @6200 lux, (b) h=100 cm @3700 lux, (c)
+// h=100 cm @5500 lux with code HLHL.LHHL.
+func Fig17() (Fig17Result, error) {
+	res := Fig17Result{Report: Report{ID: "fig17", Title: "RX-LED well illuminated, 18 km/h"}}
+	cases := []struct {
+		name    string
+		payload string
+		floor   float64
+		height  float64
+	}{
+		{"(a) h=75cm 6200lux code HLHL.HLHL", "00", 6200, 0.75},
+		{"(b) h=100cm 3700lux code HLHL.HLHL", "00", 3700, 1.00},
+		{"(c) h=100cm 5500lux code HLHL.LHHL", "10", 5500, 1.00},
+	}
+	for i, tc := range cases {
+		run, err := runCarPass(tc.name, core.OutdoorSetup{
+			Payload:        tc.payload,
+			NoiseFloorLux:  tc.floor,
+			ReceiverHeight: tc.height,
+			Seed:           int64(70 + i),
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Runs = append(res.Runs, run)
+		res.Report.addf("%s: success=%v decoded=%s throughput=%.0f sym/s", tc.name, run.Success, run.Decoded, run.ThroughputSym)
+	}
+	res.Report.addf("paper: all three decode; throughput ~50 sym/s at 18 km/h with 10 cm symbols")
+	return res, nil
+}

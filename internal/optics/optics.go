@@ -1,0 +1,189 @@
+// Package optics models the unmodulated ambient light sources that
+// power the passive channel: a point Lambertian LED lamp (the paper's
+// controlled dark-room emitter), fluorescent/incandescent ceiling
+// lights with the 100 Hz AC ripple that makes Fig. 7's signal
+// "thicker", and the sun (the Sec. 5 outdoor emitter). A source
+// reports the illuminance (lux) it deposits on a ground point at a
+// given time; the channel then reflects that off the scene into the
+// receiver.
+package optics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Source is an unmodulated ambient light source.
+type Source interface {
+	// IlluminanceAt returns the illuminance (lux) on the ground plane
+	// at horizontal position x (meters, along the motion axis) at time
+	// t (seconds).
+	IlluminanceAt(x, t float64) float64
+	// Name identifies the source type for traces and experiment logs.
+	Name() string
+}
+
+// PointLamp is a Lambertian point source (the LED lamp of Sec. 4.1)
+// at height Height above the ground and horizontal position X.
+type PointLamp struct {
+	// X is the horizontal position of the lamp (m).
+	X float64
+	// Height above the ground plane (m); must be > 0.
+	Height float64
+	// Intensity is the luminous intensity on-axis (candela).
+	Intensity float64
+	// LambertOrder m shapes the beam: radiant intensity falls as
+	// cos^m(phi) off-axis. m = 1 is an ideal Lambertian emitter; LED
+	// lamps with lenses have m of several tens. Values < 1 are
+	// clamped to 1.
+	LambertOrder float64
+}
+
+// Name implements Source.
+func (p PointLamp) Name() string { return "point-lamp" }
+
+// IlluminanceAt computes E = I * cos^m(phi) * cos(theta) / d^2 where
+// phi is the emission angle off the lamp's downward axis, theta the
+// incidence angle at the ground (equal to phi for a level ground
+// plane) and d the slant distance.
+func (p PointLamp) IlluminanceAt(x, _ float64) float64 {
+	if p.Height <= 0 {
+		return 0
+	}
+	dx := x - p.X
+	d2 := dx*dx + p.Height*p.Height
+	d := math.Sqrt(d2)
+	cos := p.Height / d
+	m := p.LambertOrder
+	if m < 1 {
+		m = 1
+	}
+	return p.Intensity * math.Pow(cos, m) * cos / d2
+}
+
+// CenterIlluminance returns the lux directly under the lamp; handy
+// for calibrating experiments by their reported noise floor.
+func (p PointLamp) CenterIlluminance() float64 {
+	if p.Height <= 0 {
+		return 0
+	}
+	return p.Intensity / (p.Height * p.Height)
+}
+
+// LampForLux builds a PointLamp at (x, height) whose illuminance
+// directly underneath equals lux.
+func LampForLux(x, height, lux, lambertOrder float64) PointLamp {
+	return PointLamp{X: x, Height: height, Intensity: lux * height * height, LambertOrder: lambertOrder}
+}
+
+// CeilingLight models mains-powered luminaires (fluorescent tubes or
+// incandescent bulbs, Sec. 4.1 "Impact of other light sources"). The
+// illuminance is roughly uniform over the small experiment area but
+// carries a double-line-frequency ripple from the AC supply, plus
+// optional harmonics. This ripple is what the paper attributes the
+// "larger variance in the signal, 'thicker lines'" to.
+type CeilingLight struct {
+	// Lux is the mean illuminance on the work plane.
+	Lux float64
+	// RippleDepth is the peak ripple amplitude relative to the mean
+	// (e.g. 0.1 = ±10%). Fluorescent tubes on magnetic ballasts reach
+	// 0.2-0.4; incandescent bulbs ~0.05-0.15 (thermal inertia).
+	RippleDepth float64
+	// MainsHz is the line frequency (50 in Europe); the optical
+	// ripple appears at twice this frequency.
+	MainsHz float64
+	// Harmonics adds odd harmonics of the ripple with amplitudes
+	// Harmonics[i] relative to the fundamental ripple (i=0 is the 2nd
+	// optical harmonic, i.e. 4x mains).
+	Harmonics []float64
+	// Phase offsets the ripple (radians).
+	Phase float64
+}
+
+// Name implements Source.
+func (c CeilingLight) Name() string { return "ceiling-light" }
+
+// IlluminanceAt implements Source: uniform in x, rippling in t.
+func (c CeilingLight) IlluminanceAt(_, t float64) float64 {
+	mains := c.MainsHz
+	if mains <= 0 {
+		mains = 50
+	}
+	w := 2 * math.Pi * 2 * mains // optical ripple at 2x line frequency
+	ripple := c.RippleDepth * math.Sin(w*t+c.Phase)
+	for i, h := range c.Harmonics {
+		ripple += c.RippleDepth * h * math.Sin(w*float64(i+2)*t+c.Phase)
+	}
+	e := c.Lux * (1 + ripple)
+	if e < 0 {
+		e = 0
+	}
+	return e
+}
+
+// Sun models daylight: spatially uniform and constant over the
+// seconds-long duration of one packet. Lux is the ambient noise floor
+// the paper reports per experiment (e.g. 6200 lux, 450 lux, 100 lux).
+type Sun struct {
+	// Lux is the ground illuminance.
+	Lux float64
+	// SlowDriftAmp optionally adds a very slow illuminance drift
+	// (clouds) of this relative amplitude over DriftPeriod.
+	SlowDriftAmp float64
+	// DriftPeriod is the drift period in seconds (default 60).
+	DriftPeriod float64
+}
+
+// Name implements Source.
+func (s Sun) Name() string { return "sun" }
+
+// IlluminanceAt implements Source.
+func (s Sun) IlluminanceAt(_, t float64) float64 {
+	e := s.Lux
+	if s.SlowDriftAmp > 0 {
+		period := s.DriftPeriod
+		if period <= 0 {
+			period = 60
+		}
+		e *= 1 + s.SlowDriftAmp*math.Sin(2*math.Pi*t/period)
+	}
+	if e < 0 {
+		e = 0
+	}
+	return e
+}
+
+// Composite sums several sources (e.g. ceiling lights plus daylight
+// through a window).
+type Composite struct {
+	Sources []Source
+}
+
+// Name implements Source.
+func (c Composite) Name() string {
+	return fmt.Sprintf("composite(%d)", len(c.Sources))
+}
+
+// IlluminanceAt implements Source.
+func (c Composite) IlluminanceAt(x, t float64) float64 {
+	var sum float64
+	for _, s := range c.Sources {
+		sum += s.IlluminanceAt(x, t)
+	}
+	return sum
+}
+
+// MeanLux estimates the time-averaged illuminance of a source at
+// ground position x by sampling n points over the window [0, dur].
+// Used to report the "noise floor" of an experiment configuration.
+func MeanLux(s Source, x, dur float64, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		t := dur * float64(i) / float64(n)
+		sum += s.IlluminanceAt(x, t)
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,159 @@
+package rxnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Discovery lets receiver nodes find the aggregator without
+// configuration: the aggregator answers UDP probes with its TCP
+// address. Low-end receivers broadcast a probe at boot and connect to
+// whoever answers first.
+
+// discoveryMagic opens every discovery datagram.
+var discoveryMagic = [4]byte{'P', 'L', 'D', Version}
+
+const (
+	probeType  = 0x01
+	answerType = 0x02
+)
+
+// Responder answers discovery probes on a UDP port.
+type Responder struct {
+	conn      *net.UDPConn
+	tcpAddr   string
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// NewResponder starts answering probes on udpAddr (e.g. ":7411" or
+// "127.0.0.1:0"), advertising tcpAddr as the aggregator endpoint. It
+// returns the bound UDP address.
+func NewResponder(udpAddr, tcpAddr string) (*Responder, string, error) {
+	if tcpAddr == "" {
+		return nil, "", errors.New("rxnet: empty TCP address to advertise")
+	}
+	addr, err := net.ResolveUDPAddr("udp", udpAddr)
+	if err != nil {
+		return nil, "", err
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	r := &Responder{conn: conn, tcpAddr: tcpAddr, closed: make(chan struct{})}
+	r.wg.Add(1)
+	go r.serve()
+	return r, conn.LocalAddr().String(), nil
+}
+
+func (r *Responder) serve() {
+	defer r.wg.Done()
+	buf := make([]byte, 512)
+	for {
+		n, peer, err := r.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-r.closed:
+			default:
+			}
+			return
+		}
+		if n < 5 || !bytes.Equal(buf[:4], discoveryMagic[:]) || buf[4] != probeType {
+			continue
+		}
+		answer := r.buildAnswer()
+		// Best effort: a lost answer just means the node probes again.
+		_, _ = r.conn.WriteToUDP(answer, peer)
+	}
+}
+
+func (r *Responder) buildAnswer() []byte {
+	var buf bytes.Buffer
+	buf.Write(discoveryMagic[:])
+	buf.WriteByte(answerType)
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(r.tcpAddr)))
+	buf.Write(l[:])
+	buf.WriteString(r.tcpAddr)
+	return buf.Bytes()
+}
+
+// Close stops the responder.
+func (r *Responder) Close() error {
+	var err error
+	r.closeOnce.Do(func() {
+		close(r.closed)
+		err = r.conn.Close()
+		r.wg.Wait()
+	})
+	return err
+}
+
+// Discover probes the given UDP address (unicast or broadcast) and
+// returns the advertised aggregator TCP address. It retries until the
+// timeout elapses.
+func Discover(udpAddr string, timeout time.Duration) (string, error) {
+	if timeout <= 0 {
+		timeout = 3 * time.Second
+	}
+	raddr, err := net.ResolveUDPAddr("udp", udpAddr)
+	if err != nil {
+		return "", err
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	probe := append(append([]byte{}, discoveryMagic[:]...), probeType)
+	buf := make([]byte, 512)
+	for attempt := 0; time.Now().Before(deadline); attempt++ {
+		if _, err := conn.Write(probe); err != nil {
+			return "", err
+		}
+		wait := 200 * time.Millisecond << uint(min(attempt, 3))
+		if err := conn.SetReadDeadline(time.Now().Add(wait)); err != nil {
+			return "", err
+		}
+		n, err := conn.Read(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return "", err
+		}
+		addr, err := parseAnswer(buf[:n])
+		if err != nil {
+			continue // malformed datagram from something else
+		}
+		return addr, nil
+	}
+	return "", fmt.Errorf("rxnet: no aggregator answered on %s within %s", udpAddr, timeout)
+}
+
+func parseAnswer(b []byte) (string, error) {
+	if len(b) < 7 || !bytes.Equal(b[:4], discoveryMagic[:]) || b[4] != answerType {
+		return "", errors.New("rxnet: not a discovery answer")
+	}
+	n := int(binary.BigEndian.Uint16(b[5:7]))
+	if len(b) < 7+n || n == 0 {
+		return "", ErrTruncated
+	}
+	return string(b[7 : 7+n]), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,129 @@
+package rxnet
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestDiscoveryRoundTrip(t *testing.T) {
+	resp, udpAddr, err := NewResponder("127.0.0.1:0", "127.0.0.1:7410")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Close()
+	got, err := Discover(udpAddr, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "127.0.0.1:7410" {
+		t.Fatalf("discovered %q", got)
+	}
+}
+
+func TestDiscoveryTimeoutWithoutResponder(t *testing.T) {
+	// Nothing listens on this address: Discover must time out.
+	if _, err := Discover("127.0.0.1:9", 400*time.Millisecond); err == nil {
+		t.Fatal("expected timeout")
+	}
+}
+
+func TestDiscoveryIgnoresGarbageProbes(t *testing.T) {
+	resp, udpAddr, err := NewResponder("127.0.0.1:0", "127.0.0.1:7410")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Close()
+	// The responder must survive junk datagrams and still answer a
+	// proper probe afterwards. Send junk directly.
+	conn, err := netDial(udpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	got, err := Discover(udpAddr, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "127.0.0.1:7410" {
+		t.Fatalf("discovered %q", got)
+	}
+}
+
+func TestDiscoveryEndToEndWithAggregator(t *testing.T) {
+	agg := NewAggregator(AggregatorOptions{})
+	tcpAddr, err := agg.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	resp, udpAddr, err := NewResponder("127.0.0.1:0", tcpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Close()
+	// A node discovers the aggregator and connects.
+	found, err := Discover(udpAddr, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	node, err := Dial(ctx, found, Hello{NodeID: 9, Name: "auto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if err := node.Publish(Detection{Time: time.Now(), Bits: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResponderRejectsEmptyAdvertisement(t *testing.T) {
+	if _, _, err := NewResponder("127.0.0.1:0", ""); err == nil {
+		t.Fatal("empty TCP address should fail")
+	}
+}
+
+func TestResponderCloseIdempotent(t *testing.T) {
+	resp, _, err := NewResponder("127.0.0.1:0", "x:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Close(); err != nil {
+		t.Fatal("second close should be a no-op")
+	}
+}
+
+func TestParseAnswerValidation(t *testing.T) {
+	if _, err := parseAnswer([]byte{1, 2}); err == nil {
+		t.Fatal("short answer should fail")
+	}
+	bad := append(append([]byte{}, discoveryMagic[:]...), answerType, 0, 10, 'x')
+	if _, err := parseAnswer(bad); err == nil {
+		t.Fatal("truncated payload should fail")
+	}
+}
+
+// netDial is a tiny helper wrapping net.Dial for the garbage test.
+func netDial(addr string) (interface {
+	Write([]byte) (int, error)
+	Close() error
+}, error) {
+	return netDialUDP(addr)
+}
+
+func netDialUDP(addr string) (*net.UDPConn, error) {
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return net.DialUDP("udp", nil, raddr)
+}

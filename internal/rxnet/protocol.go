@@ -1,0 +1,320 @@
+// Package rxnet implements the paper's future-work item (5):
+// networking the low-end receivers so they can share information
+// about tracked objects. Receiver nodes decode passive packets
+// locally and publish compact detection records to an aggregator
+// over TCP; the aggregator fuses detections from receivers at known
+// positions into object tracks (direction, speed, identity).
+//
+// The wire protocol is a length-prefixed binary framing (big endian)
+// designed for microcontroller-class senders: no allocations beyond
+// the payload, fixed header, bounded frame size.
+package rxnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Protocol limits.
+const (
+	// MagicByte opens every frame.
+	MagicByte = 0xA7
+	// Version of the wire protocol.
+	Version = 1
+	// MaxFrameSize bounds a frame body (sanity limit against corrupt
+	// length prefixes).
+	MaxFrameSize = 64 * 1024
+	// MaxBitsLen bounds the decoded payload length in a detection.
+	MaxBitsLen = 256
+)
+
+// FrameType discriminates messages.
+type FrameType uint8
+
+// Frame types.
+const (
+	// FrameHello announces a receiver node and its position.
+	FrameHello FrameType = iota + 1
+	// FrameDetection carries one decoded passive packet.
+	FrameDetection
+	// FrameAck acknowledges a detection (aggregator -> node).
+	FrameAck
+	// FrameTrack carries a fused track (aggregator -> subscribers).
+	FrameTrack
+)
+
+// Errors.
+var (
+	ErrBadMagic    = errors.New("rxnet: bad frame magic")
+	ErrBadVersion  = errors.New("rxnet: unsupported protocol version")
+	ErrFrameTooBig = errors.New("rxnet: frame exceeds size limit")
+	ErrTruncated   = errors.New("rxnet: truncated frame")
+)
+
+// Hello announces a node.
+type Hello struct {
+	NodeID uint32
+	// X position of the receiver along the monitored lane (m).
+	PosX float64
+	// Height of the receiver (m).
+	Height float64
+	// Name is a short label (<= 64 bytes).
+	Name string
+}
+
+// Detection is one decoded passive packet at one receiver.
+type Detection struct {
+	NodeID uint32
+	// Seq is a per-node monotonically increasing sequence number.
+	Seq uint32
+	// Time the packet's preamble crossed the receiver.
+	Time time.Time
+	// Bits is the decoded payload ('0'/'1' per entry).
+	Bits []byte
+	// RSSPeak and NoiseFloor summarize link quality.
+	RSSPeak    float64
+	NoiseFloor float64
+	// SymbolRate is the measured symbols/second (1/tau_t).
+	SymbolRate float64
+}
+
+// Track is a fused multi-receiver observation of one object.
+type Track struct {
+	ObjectBits []byte
+	// FirstNode/LastNode are the receivers that saw the object first
+	// and last.
+	FirstNode, LastNode uint32
+	// SpeedMS is the estimated speed (m/s), positive in +x direction.
+	SpeedMS float64
+	// FirstSeen/LastSeen timestamps.
+	FirstSeen, LastSeen time.Time
+	// Confirmations is the number of receivers that saw the object.
+	Confirmations int
+}
+
+// Ack confirms receipt of a detection.
+type Ack struct {
+	NodeID uint32
+	Seq    uint32
+}
+
+// WriteFrame writes one frame: magic, version, type, 4-byte length,
+// body.
+func WriteFrame(w io.Writer, t FrameType, body []byte) error {
+	if len(body) > MaxFrameSize {
+		return ErrFrameTooBig
+	}
+	var hdr [7]byte
+	hdr[0] = MagicByte
+	hdr[1] = Version
+	hdr[2] = byte(t)
+	binary.BigEndian.PutUint32(hdr[3:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame, returning its type and body.
+func ReadFrame(r io.Reader) (FrameType, []byte, error) {
+	var hdr [7]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0] != MagicByte {
+		return 0, nil, ErrBadMagic
+	}
+	if hdr[1] != Version {
+		return 0, nil, ErrBadVersion
+	}
+	n := binary.BigEndian.Uint32(hdr[3:])
+	if n > MaxFrameSize {
+		return 0, nil, ErrFrameTooBig
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, ErrTruncated
+		}
+		return 0, nil, err
+	}
+	return FrameType(hdr[2]), body, nil
+}
+
+func putF64(buf *bytes.Buffer, v float64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+	buf.Write(b[:])
+}
+
+func getF64(b []byte) float64 {
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+// MarshalHello encodes a Hello body.
+func MarshalHello(h Hello) ([]byte, error) {
+	if len(h.Name) > 64 {
+		return nil, fmt.Errorf("rxnet: node name %q too long", h.Name)
+	}
+	var buf bytes.Buffer
+	var id [4]byte
+	binary.BigEndian.PutUint32(id[:], h.NodeID)
+	buf.Write(id[:])
+	putF64(&buf, h.PosX)
+	putF64(&buf, h.Height)
+	buf.WriteByte(byte(len(h.Name)))
+	buf.WriteString(h.Name)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalHello decodes a Hello body.
+func UnmarshalHello(b []byte) (Hello, error) {
+	if len(b) < 4+8+8+1 {
+		return Hello{}, ErrTruncated
+	}
+	h := Hello{
+		NodeID: binary.BigEndian.Uint32(b[0:4]),
+		PosX:   getF64(b[4:12]),
+		Height: getF64(b[12:20]),
+	}
+	nameLen := int(b[20])
+	if len(b) < 21+nameLen {
+		return Hello{}, ErrTruncated
+	}
+	h.Name = string(b[21 : 21+nameLen])
+	return h, nil
+}
+
+// MarshalDetection encodes a Detection body.
+func MarshalDetection(d Detection) ([]byte, error) {
+	if len(d.Bits) > MaxBitsLen {
+		return nil, fmt.Errorf("rxnet: %d bits exceeds limit %d", len(d.Bits), MaxBitsLen)
+	}
+	for i, bit := range d.Bits {
+		if bit != 0 && bit != 1 {
+			return nil, fmt.Errorf("rxnet: bit %d has invalid value %d", i, bit)
+		}
+	}
+	var buf bytes.Buffer
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], d.NodeID)
+	buf.Write(u32[:])
+	binary.BigEndian.PutUint32(u32[:], d.Seq)
+	buf.Write(u32[:])
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], uint64(d.Time.UnixNano()))
+	buf.Write(u64[:])
+	putF64(&buf, d.RSSPeak)
+	putF64(&buf, d.NoiseFloor)
+	putF64(&buf, d.SymbolRate)
+	buf.WriteByte(byte(len(d.Bits)))
+	buf.Write(d.Bits)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalDetection decodes a Detection body.
+func UnmarshalDetection(b []byte) (Detection, error) {
+	const fixed = 4 + 4 + 8 + 8 + 8 + 8 + 1
+	if len(b) < fixed {
+		return Detection{}, ErrTruncated
+	}
+	d := Detection{
+		NodeID:     binary.BigEndian.Uint32(b[0:4]),
+		Seq:        binary.BigEndian.Uint32(b[4:8]),
+		Time:       time.Unix(0, int64(binary.BigEndian.Uint64(b[8:16]))),
+		RSSPeak:    getF64(b[16:24]),
+		NoiseFloor: getF64(b[24:32]),
+		SymbolRate: getF64(b[32:40]),
+	}
+	n := int(b[40])
+	if len(b) < fixed+n {
+		return Detection{}, ErrTruncated
+	}
+	d.Bits = append([]byte(nil), b[fixed:fixed+n]...)
+	for i, bit := range d.Bits {
+		if bit != 0 && bit != 1 {
+			return Detection{}, fmt.Errorf("rxnet: bit %d has invalid value %d", i, bit)
+		}
+	}
+	return d, nil
+}
+
+// MarshalAck encodes an Ack body.
+func MarshalAck(a Ack) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint32(b[0:4], a.NodeID)
+	binary.BigEndian.PutUint32(b[4:8], a.Seq)
+	return b[:]
+}
+
+// UnmarshalAck decodes an Ack body.
+func UnmarshalAck(b []byte) (Ack, error) {
+	if len(b) < 8 {
+		return Ack{}, ErrTruncated
+	}
+	return Ack{
+		NodeID: binary.BigEndian.Uint32(b[0:4]),
+		Seq:    binary.BigEndian.Uint32(b[4:8]),
+	}, nil
+}
+
+// MarshalTrack encodes a Track body.
+func MarshalTrack(t Track) ([]byte, error) {
+	if len(t.ObjectBits) > MaxBitsLen {
+		return nil, fmt.Errorf("rxnet: %d bits exceeds limit %d", len(t.ObjectBits), MaxBitsLen)
+	}
+	var buf bytes.Buffer
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], t.FirstNode)
+	buf.Write(u32[:])
+	binary.BigEndian.PutUint32(u32[:], t.LastNode)
+	buf.Write(u32[:])
+	putF64(&buf, t.SpeedMS)
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], uint64(t.FirstSeen.UnixNano()))
+	buf.Write(u64[:])
+	binary.BigEndian.PutUint64(u64[:], uint64(t.LastSeen.UnixNano()))
+	buf.Write(u64[:])
+	binary.BigEndian.PutUint32(u32[:], uint32(t.Confirmations))
+	buf.Write(u32[:])
+	buf.WriteByte(byte(len(t.ObjectBits)))
+	buf.Write(t.ObjectBits)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalTrack decodes a Track body.
+func UnmarshalTrack(b []byte) (Track, error) {
+	const fixed = 4 + 4 + 8 + 8 + 8 + 4 + 1
+	if len(b) < fixed {
+		return Track{}, ErrTruncated
+	}
+	t := Track{
+		FirstNode:     binary.BigEndian.Uint32(b[0:4]),
+		LastNode:      binary.BigEndian.Uint32(b[4:8]),
+		SpeedMS:       getF64(b[8:16]),
+		FirstSeen:     time.Unix(0, int64(binary.BigEndian.Uint64(b[16:24]))),
+		LastSeen:      time.Unix(0, int64(binary.BigEndian.Uint64(b[24:32]))),
+		Confirmations: int(binary.BigEndian.Uint32(b[32:36])),
+	}
+	n := int(b[36])
+	if len(b) < fixed+n {
+		return Track{}, ErrTruncated
+	}
+	t.ObjectBits = append([]byte(nil), b[fixed:fixed+n]...)
+	return t, nil
+}
+
+// BitsString renders a bit slice as "0"/"1" text.
+func BitsString(bits []byte) string {
+	out := make([]byte, len(bits))
+	for i, b := range bits {
+		out[i] = '0' + b
+	}
+	return string(out)
+}

@@ -1,0 +1,214 @@
+package rxnet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte{1, 2, 3, 4}
+	if err := WriteFrame(&buf, FrameDetection, body); err != nil {
+		t.Fatal(err)
+	}
+	ft, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != FrameDetection {
+		t.Fatalf("frame type %d", ft)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("body %v", got)
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	// Bad magic.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0x00, 1, 1, 0, 0, 0, 0})); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	// Bad version.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{MagicByte, 99, 1, 0, 0, 0, 0})); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+	// Oversized length prefix.
+	big := []byte{MagicByte, Version, 1, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := ReadFrame(bytes.NewReader(big)); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized: %v", err)
+	}
+	// Truncated body.
+	trunc := []byte{MagicByte, Version, 1, 0, 0, 0, 10, 1, 2}
+	if _, _, err := ReadFrame(bytes.NewReader(trunc)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated: %v", err)
+	}
+	// Oversized write rejected.
+	if err := WriteFrame(&bytes.Buffer{}, FrameHello, make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized write: %v", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{NodeID: 42, PosX: -12.5, Height: 0.75, Name: "pole-42"}
+	body, err := MarshalHello(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalHello(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("roundtrip %+v -> %+v", h, got)
+	}
+	// Name too long.
+	long := Hello{Name: string(make([]byte, 65))}
+	if _, err := MarshalHello(long); err == nil {
+		t.Fatal("expected error for long name")
+	}
+	// Truncated body.
+	if _, err := UnmarshalHello(body[:10]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated hello: %v", err)
+	}
+}
+
+func TestDetectionRoundTrip(t *testing.T) {
+	d := Detection{
+		NodeID:     7,
+		Seq:        99,
+		Time:       time.Unix(1720000000, 123456789),
+		Bits:       []byte{1, 0, 0, 1},
+		RSSPeak:    412.5,
+		NoiseFloor: 6200,
+		SymbolRate: 50.2,
+	}
+	body, err := MarshalDetection(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalDetection(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NodeID != d.NodeID || got.Seq != d.Seq || !got.Time.Equal(d.Time) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !bytes.Equal(got.Bits, d.Bits) {
+		t.Fatalf("bits %v", got.Bits)
+	}
+	if got.RSSPeak != d.RSSPeak || got.NoiseFloor != d.NoiseFloor || got.SymbolRate != d.SymbolRate {
+		t.Fatalf("floats mismatch: %+v", got)
+	}
+}
+
+func TestDetectionValidation(t *testing.T) {
+	// Invalid bit values rejected on both paths.
+	bad := Detection{Bits: []byte{0, 2}}
+	if _, err := MarshalDetection(bad); err == nil {
+		t.Fatal("bit value 2 should fail to marshal")
+	}
+	good := Detection{Bits: []byte{1}, Time: time.Now()}
+	body, err := MarshalDetection(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body[len(body)-1] = 7 // corrupt the bit on the wire
+	if _, err := UnmarshalDetection(body); err == nil {
+		t.Fatal("corrupt bit should fail to unmarshal")
+	}
+	// Oversized payload rejected.
+	huge := Detection{Bits: make([]byte, MaxBitsLen+1)}
+	if _, err := MarshalDetection(huge); err == nil {
+		t.Fatal("oversized bits should fail")
+	}
+	if _, err := UnmarshalDetection([]byte{1, 2, 3}); !errors.Is(err, ErrTruncated) {
+		t.Fatal("truncated detection should fail")
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	a := Ack{NodeID: 3, Seq: 17}
+	got, err := UnmarshalAck(MarshalAck(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("roundtrip %+v", got)
+	}
+	if _, err := UnmarshalAck([]byte{1}); !errors.Is(err, ErrTruncated) {
+		t.Fatal("truncated ack should fail")
+	}
+}
+
+func TestTrackRoundTrip(t *testing.T) {
+	tr := Track{
+		ObjectBits:    []byte{1, 0, 1},
+		FirstNode:     1,
+		LastNode:      3,
+		SpeedMS:       5.25,
+		FirstSeen:     time.Unix(100, 0),
+		LastSeen:      time.Unix(110, 0),
+		Confirmations: 3,
+	}
+	body, err := MarshalTrack(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalTrack(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FirstNode != 1 || got.LastNode != 3 || got.SpeedMS != 5.25 || got.Confirmations != 3 {
+		t.Fatalf("track %+v", got)
+	}
+	if !bytes.Equal(got.ObjectBits, tr.ObjectBits) {
+		t.Fatalf("bits %v", got.ObjectBits)
+	}
+	if !got.FirstSeen.Equal(tr.FirstSeen) || !got.LastSeen.Equal(tr.LastSeen) {
+		t.Fatalf("times %+v", got)
+	}
+	if _, err := UnmarshalTrack([]byte{1}); !errors.Is(err, ErrTruncated) {
+		t.Fatal("truncated track should fail")
+	}
+}
+
+func TestBitsString(t *testing.T) {
+	if s := BitsString([]byte{1, 0, 0, 1}); s != "1001" {
+		t.Fatalf("bits string %q", s)
+	}
+	if s := BitsString(nil); s != "" {
+		t.Fatalf("empty bits string %q", s)
+	}
+}
+
+func TestDetectionRoundTripProperty(t *testing.T) {
+	f := func(node, seq uint32, rss, floor, rate float64, rawBits []byte) bool {
+		if len(rawBits) > MaxBitsLen {
+			rawBits = rawBits[:MaxBitsLen]
+		}
+		bits := make([]byte, len(rawBits))
+		for i, b := range rawBits {
+			bits[i] = b & 1
+		}
+		d := Detection{
+			NodeID: node, Seq: seq,
+			Time: time.Unix(0, int64(node)*1e9),
+			Bits: bits, RSSPeak: rss, NoiseFloor: floor, SymbolRate: rate,
+		}
+		body, err := MarshalDetection(d)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalDetection(body)
+		if err != nil {
+			return false
+		}
+		return got.NodeID == node && got.Seq == seq && bytes.Equal(got.Bits, bits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package scene
+
+import (
+	"math"
+	"testing"
+
+	"passivelight/internal/coding"
+	"passivelight/internal/tag"
+)
+
+func TestCarModelGeometry(t *testing.T) {
+	volvo := VolvoV40()
+	if volvo.Length() <= 0 {
+		t.Fatal("zero-length car")
+	}
+	var sum float64
+	for _, s := range volvo.Segments {
+		sum += s.Length
+	}
+	if math.Abs(volvo.Length()-sum) > 1e-12 {
+		t.Fatalf("length %v != segment sum %v", volvo.Length(), sum)
+	}
+	if volvo.Segments[volvo.RoofIndex].Name != "roof" {
+		t.Fatalf("roof index points at %q", volvo.Segments[volvo.RoofIndex].Name)
+	}
+	wantOffset := volvo.Segments[0].Length + volvo.Segments[1].Length
+	if math.Abs(volvo.RoofOffset()-wantOffset) > 1e-12 {
+		t.Fatalf("roof offset %v, want %v", volvo.RoofOffset(), wantOffset)
+	}
+}
+
+func TestBMWHasTrunk(t *testing.T) {
+	bmw := BMW3()
+	last := bmw.Segments[len(bmw.Segments)-1]
+	if last.Name != "trunk" {
+		t.Fatalf("sedan tail is %q", last.Name)
+	}
+	volvo := VolvoV40()
+	vLast := volvo.Segments[len(volvo.Segments)-1]
+	if vLast.Name == "trunk" {
+		t.Fatal("hatchback should not have a trunk segment")
+	}
+}
+
+func TestBareCarProfileSegments(t *testing.T) {
+	volvo := VolvoV40()
+	obj, err := NewCarObject(volvo, ConstantSpeed{Start: 0, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe the center of each segment: metal bright, glass dark.
+	offset := 0.0
+	for _, seg := range volvo.Segments {
+		u := offset + seg.Length/2
+		rho, ok := obj.Profile.ReflectanceAtLocal(u)
+		if !ok {
+			t.Fatalf("segment %s: no reflectance", seg.Name)
+		}
+		if math.Abs(rho-seg.Material.Reflectance) > 1e-12 {
+			t.Fatalf("segment %s: rho %v want %v", seg.Name, rho, seg.Material.Reflectance)
+		}
+		offset += seg.Length
+	}
+	if _, ok := obj.Profile.ReflectanceAtLocal(-0.1); ok {
+		t.Fatal("before car front")
+	}
+	if _, ok := obj.Profile.ReflectanceAtLocal(volvo.Length()); ok {
+		t.Fatal("past car tail (exclusive)")
+	}
+}
+
+func TestTaggedCarReplacesRoofReflectance(t *testing.T) {
+	volvo := VolvoV40()
+	tg, err := tag.New(coding.MustPacket("00"), tag.Config{SymbolWidth: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := NewTaggedCarObject(volvo, tg, ConstantSpeed{Start: 0, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tag is centered on the roof: find its start.
+	roof := volvo.Segments[volvo.RoofIndex]
+	tagStart := volvo.RoofOffset() + (roof.Length-tg.Length())/2
+	// First stripe (preamble H: aluminum 0.85, brighter than roof 0.65).
+	rho, ok := obj.Profile.ReflectanceAtLocal(tagStart + 0.05)
+	if !ok || math.Abs(rho-0.85) > 1e-9 {
+		t.Fatalf("first stripe rho %v", rho)
+	}
+	// Second stripe (L: napkin 0.06).
+	rho, ok = obj.Profile.ReflectanceAtLocal(tagStart + 0.15)
+	if !ok || math.Abs(rho-0.06) > 1e-9 {
+		t.Fatalf("second stripe rho %v", rho)
+	}
+	// Roof before the tag keeps the car paint.
+	rho, ok = obj.Profile.ReflectanceAtLocal(volvo.RoofOffset() + 0.01)
+	if !ok || math.Abs(rho-0.65) > 1e-9 {
+		t.Fatalf("roof-before-tag rho %v", rho)
+	}
+	if obj.Name != "volvo-v40+tag" {
+		t.Fatalf("object name %q", obj.Name)
+	}
+}
+
+func TestTaggedCarRejectsOversizedTag(t *testing.T) {
+	volvo := VolvoV40()
+	big, err := tag.New(coding.MustPacket("000000"), tag.Config{SymbolWidth: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 stripes * 0.1 m = 1.6 m > 1.3 m roof.
+	if _, err := NewTaggedCarObject(volvo, big, ConstantSpeed{}); err == nil {
+		t.Fatal("oversized tag should fail")
+	}
+	if _, err := NewTaggedCarObject(volvo, nil, ConstantSpeed{}); err == nil {
+		t.Fatal("nil tag should fail")
+	}
+}
+
+func TestCarProfileValidation(t *testing.T) {
+	bad := CarModel{Name: "bad"}
+	if _, err := NewCarObject(bad, ConstantSpeed{}); err == nil {
+		t.Fatal("empty car should fail")
+	}
+	badRoof := VolvoV40()
+	badRoof.RoofIndex = 99
+	if _, err := NewCarObject(badRoof, ConstantSpeed{}); err == nil {
+		t.Fatal("bad roof index should fail")
+	}
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewCopiesSamples(t *testing.T) {
+	src := []float64{1, 2, 3}
+	tr := New(1000, 0, src)
+	src[0] = 99
+	if tr.Samples[0] != 1 {
+		t.Fatal("New aliased the input slice")
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len %d", tr.Len())
+	}
+	if tr.Duration() != 0.003 {
+		t.Fatalf("duration %v", tr.Duration())
+	}
+}
+
+func TestTimeIndexConversions(t *testing.T) {
+	tr := New(100, 2.0, make([]float64, 500))
+	if got := tr.TimeAt(100); math.Abs(got-3.0) > 1e-12 {
+		t.Fatalf("TimeAt %v", got)
+	}
+	if got := tr.IndexAt(3.0); got != 100 {
+		t.Fatalf("IndexAt %v", got)
+	}
+	if got := tr.IndexAt(-10); got != 0 {
+		t.Fatalf("clamped low index %v", got)
+	}
+	if got := tr.IndexAt(1e9); got != 499 {
+		t.Fatalf("clamped high index %v", got)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := New(10, 0, []float64{0, 1, 2, 3, 4, 5})
+	tr.WithMeta("k", "v")
+	sub, err := tr.Slice(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 3 || sub.Samples[0] != 2 {
+		t.Fatalf("slice %+v", sub.Samples)
+	}
+	if math.Abs(sub.T0-0.2) > 1e-12 {
+		t.Fatalf("slice T0 %v", sub.T0)
+	}
+	if sub.Meta["k"] != "v" {
+		t.Fatal("metadata not propagated")
+	}
+	if _, err := tr.Slice(4, 2); err == nil {
+		t.Fatal("inverted slice should fail")
+	}
+	if _, err := tr.Slice(0, 99); err == nil {
+		t.Fatal("out-of-range slice should fail")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	tr := New(10, 0, []float64{10, 20, 30})
+	n := tr.Normalized()
+	if n.Samples[0] != 0 || n.Samples[2] != 1 {
+		t.Fatalf("normalized %+v", n.Samples)
+	}
+	if n.Meta["normalized"] != "minmax" {
+		t.Fatal("normalization not recorded in metadata")
+	}
+	// Original untouched.
+	if tr.Samples[0] != 10 {
+		t.Fatal("Normalized mutated the original")
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := New(10, 0, []float64{1, 3, 5})
+	st := tr.Stats()
+	if st.Min != 1 || st.Max != 5 || st.Mean != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := New(2000, 1.5, []float64{10.25, 11, 9.75})
+	tr.WithMeta("receiver", "rx-led")
+	tr.WithMeta("experiment", "fig15")
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fs != 2000 || got.T0 != 1.5 {
+		t.Fatalf("fs=%v t0=%v", got.Fs, got.T0)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("len %d", got.Len())
+	}
+	for i := range tr.Samples {
+		if math.Abs(got.Samples[i]-tr.Samples[i]) > 1e-6 {
+			t.Fatalf("sample %d: %v vs %v", i, got.Samples[i], tr.Samples[i])
+		}
+	}
+	if got.Meta["receiver"] != "rx-led" || got.Meta["experiment"] != "fig15" {
+		t.Fatalf("metadata %+v", got.Meta)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing fs": "time,rss\n0,1\n",
+		"no samples": "# fs=100\ntime,rss\n",
+		"bad rss":    "# fs=100\ntime,rss\n0,abc\n",
+		"bad row":    "# fs=100\ntime,rss\n0,1,2\n",
+		"bad fs":     "# fs=abc\ntime,rss\n0,1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteCSVRejectsReservedMetadata(t *testing.T) {
+	tr := New(100, 0, []float64{1})
+	tr.WithMeta("bad=key", "v")
+	if err := tr.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("metadata with '=' in key should fail")
+	}
+	tr2 := New(100, 0, []float64{1})
+	tr2.WithMeta("k", "line1\nline2")
+	if err := tr2.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("metadata with newline should fail")
+	}
+}
+
+func TestReadCSVIgnoresUnknownCommentsAndBlanks(t *testing.T) {
+	in := "# fs=100\n# t0=0\n\n# weird comment without equals\ntime,rss\n0,1\n0.01,2\n"
+	tr, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len %d", tr.Len())
+	}
+}
