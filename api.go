@@ -6,6 +6,7 @@ import (
 	"passivelight/internal/core"
 	"passivelight/internal/decoder"
 	"passivelight/internal/frontend"
+	"passivelight/internal/stream"
 	"passivelight/internal/trace"
 )
 
@@ -125,6 +126,41 @@ func NewClassifier(length int) *Classifier { return decoder.NewClassifier(length
 func AnalyzeCollision(tr *Trace, opt CollisionOptions) (CollisionReport, error) {
 	return decoder.AnalyzeCollision(tr, opt)
 }
+
+// StreamConfig tunes one streaming decode session (sample rate,
+// decoder options, pre-roll / quiet-hold windows).
+type StreamConfig = stream.Config
+
+// StreamDetection is one decoded packet event from a streaming
+// session.
+type StreamDetection = stream.Detection
+
+// StreamDecoder is a single online decode session: feed RSS samples
+// in chunks, get detections as packets complete, in bounded memory.
+type StreamDecoder = stream.Decoder
+
+// StreamEngineConfig tunes the concurrent session manager (worker
+// pool, per-session queues, idle eviction).
+type StreamEngineConfig = stream.EngineConfig
+
+// StreamEngine multiplexes thousands of concurrent streaming decode
+// sessions over a worker pool.
+type StreamEngine = stream.Engine
+
+// StreamStats is the engine's operational snapshot (sessions,
+// samples/s, detections, drops).
+type StreamStats = stream.Stats
+
+// NewStreamDecoder builds a streaming decode session. With
+// PreRollSec < 0 (batch-equivalent mode, unbounded memory) a chunked
+// stream decode of a trace is bit-identical to the batch Decode of
+// the same trace; the default online mode bounds memory by
+// segmenting around detected activity, so it decodes the same
+// packets but is not guaranteed sample-for-sample batch parity.
+func NewStreamDecoder(cfg StreamConfig) (*StreamDecoder, error) { return stream.NewDecoder(cfg) }
+
+// NewStreamEngine starts a concurrent streaming decode engine.
+func NewStreamEngine(cfg StreamEngineConfig) (*StreamEngine, error) { return stream.NewEngine(cfg) }
 
 // CapacitySweep is the configuration for decodable-region and
 // throughput measurements (Fig. 6).

@@ -104,6 +104,62 @@ func TestFacadeOutdoorCarPass(t *testing.T) {
 	}
 }
 
+func TestFacadeStreaming(t *testing.T) {
+	bench := IndoorBench{
+		Height:      0.20,
+		SymbolWidth: 0.03,
+		Speed:       0.08,
+		Payload:     "10",
+		Seed:        42,
+	}
+	link, packet, err := bench.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := link.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewStreamDecoder(StreamConfig{Fs: tr.Fs, Decode: DecodeOptions{ExpectedSymbols: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dets []StreamDetection
+	for chunk := range tr.Chunks(500) {
+		dets = append(dets, dec.Feed(chunk)...)
+	}
+	dets = append(dets, dec.Flush()...)
+	var got []string
+	for _, d := range dets {
+		if d.Err == nil {
+			got = append(got, d.BitString())
+		}
+	}
+	if len(got) != 1 || got[0] != packet.BitString() {
+		t.Fatalf("streamed decode %v, want [%s]", got, packet.BitString())
+	}
+
+	eng, err := NewStreamEngine(StreamEngineConfig{Session: StreamConfig{Fs: tr.Fs, Decode: DecodeOptions{ExpectedSymbols: 8}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.Feed(1, 0, tr.Samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.FlushSession(1); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Sessions != 1 || st.SamplesIn != int64(tr.Len()) || st.Detections != 1 {
+		t.Fatalf("engine stats %+v", st)
+	}
+	det := <-eng.Detections()
+	if det.Err != nil || det.BitString() != packet.BitString() {
+		t.Fatalf("engine detection %q (err %v)", det.BitString(), det.Err)
+	}
+}
+
 func TestFacadeCollisionAnalysis(t *testing.T) {
 	// Re-decode a trace through the facade collision API.
 	pass := OutdoorCarPass{Payload: "00", NoiseFloorLux: 6200, ReceiverHeight: 0.75, Seed: 5}

@@ -10,12 +10,15 @@ package passivelight
 // their ns/op is the cost of reproducing that figure once.
 
 import (
+	"math/rand"
 	"testing"
 
 	"passivelight/internal/capacity"
 	"passivelight/internal/experiments"
 	"passivelight/internal/frontend"
 )
+
+func benchRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 func benchErr(b *testing.B, err error) {
 	b.Helper()
@@ -227,6 +230,156 @@ func BenchmarkCodebookBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := NewCodebook(8, 3, 0); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchTrace renders one indoor '10' pass for the decode benchmarks.
+func benchTrace(b *testing.B) *Trace {
+	b.Helper()
+	link, _, err := (IndoorBench{
+		Height:      0.20,
+		SymbolWidth: 0.03,
+		Speed:       0.08,
+		Payload:     "10",
+		Seed:        42,
+	}).Build()
+	benchErr(b, err)
+	tr, err := link.Simulate()
+	benchErr(b, err)
+	return tr
+}
+
+// BenchmarkBatchDecode is the baseline the streaming decoder is
+// measured against: one full-trace adaptive threshold decode.
+func BenchmarkBatchDecode(b *testing.B) {
+	tr := benchTrace(b)
+	b.SetBytes(int64(8 * tr.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Decode(tr, DecodeOptions{ExpectedSymbols: 8})
+		benchErr(b, err)
+		if res.ParseErr != nil {
+			b.Fatal(res.ParseErr)
+		}
+	}
+}
+
+// BenchmarkStreamDecodeChunked decodes the same trace through a
+// streaming session fed in 512-sample chunks (online segmentation +
+// per-segment decode), for comparison against BenchmarkBatchDecode.
+func BenchmarkStreamDecodeChunked(b *testing.B) {
+	tr := benchTrace(b)
+	b.SetBytes(int64(8 * tr.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec, err := NewStreamDecoder(StreamConfig{Fs: tr.Fs, Decode: DecodeOptions{ExpectedSymbols: 8}})
+		benchErr(b, err)
+		got := 0
+		for chunk := range tr.Chunks(512) {
+			for _, det := range dec.Feed(chunk) {
+				if det.Err == nil {
+					got++
+				}
+			}
+		}
+		for _, det := range dec.Flush() {
+			if det.Err == nil {
+				got++
+			}
+		}
+		if got != 1 {
+			b.Fatalf("decoded %d packets, want 1", got)
+		}
+	}
+}
+
+// engineBenchStream synthesizes one session's observation (quiet,
+// packet, quiet) for the engine throughput benchmark.
+func engineBenchStream(payload string, fs float64, seed int64) []float64 {
+	const high, low, baseline = 90.0, 12.0, 10.0
+	rng := benchRand(seed)
+	gap := int(2.0 * fs)
+	perSymbol := int(0.2 * fs)
+	var out []float64
+	quiet := func(n int) {
+		for i := 0; i < n; i++ {
+			out = append(out, baseline+0.3*rng.NormFloat64())
+		}
+	}
+	quiet(gap)
+	for _, s := range MustPacket(payload).Symbols() {
+		level := low
+		if s == High {
+			level = high
+		}
+		for i := 0; i < perSymbol; i++ {
+			out = append(out, level+0.3*rng.NormFloat64())
+		}
+	}
+	quiet(gap)
+	return out
+}
+
+// BenchmarkEngineSessions128 drives 128 concurrent streaming sessions
+// through the engine per iteration: every session receives its own
+// packet pass chunk by chunk, all sessions decode on the worker pool,
+// and the iteration ends when every detection is out. ns/op is the
+// cost of one 128-way concurrent decode round; MB/s is aggregate
+// sample ingest throughput.
+func BenchmarkEngineSessions128(b *testing.B) {
+	const sessions = 128
+	payloads := []string{"1001", "0110", "1100", "0011"}
+	streams := make([][]float64, sessions)
+	total := 0
+	for i := range streams {
+		streams[i] = engineBenchStream(payloads[i%len(payloads)], 1000, int64(i+1))
+		total += len(streams[i])
+	}
+	b.SetBytes(int64(8 * total))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := NewStreamEngine(StreamEngineConfig{
+			Session:     StreamConfig{Fs: 1000, Decode: DecodeOptions{ExpectedSymbols: 12}},
+			IdleTimeout: -1,
+		})
+		benchErr(b, err)
+		done := make(chan int)
+		go func() {
+			got := 0
+			for det := range eng.Detections() {
+				if det.Err == nil {
+					got++
+				}
+			}
+			done <- got
+		}()
+		for id, s := range streams {
+			for lo := 0; lo < len(s); lo += 1024 {
+				hi := lo + 1024
+				if hi > len(s) {
+					hi = len(s)
+				}
+				if err := eng.Feed(uint64(id), 0, s[lo:hi]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		eng.FlushAll()
+		st := eng.Stats()
+		eng.Close()
+		if got := <-done; got != sessions {
+			b.Fatalf("decoded %d of %d sessions", got, sessions)
+		}
+		if st.DroppedSamples != 0 {
+			b.Fatalf("dropped %d samples", st.DroppedSamples)
+		}
+		// Memory bound: the engine must never retain whole streams.
+		if st.BufferedSamples > int64(sessions)*4000 {
+			b.Fatalf("buffered %d samples across %d sessions", st.BufferedSamples, sessions)
 		}
 	}
 }

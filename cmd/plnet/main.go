@@ -7,6 +7,8 @@
 //	plnet -mode aggregator -listen :7410
 //	plnet -mode node -connect host:7410 -id 2 -x 25 -payload 1001
 //	plnet -mode demo            # in-process aggregator + 3 simulated nodes
+//	plnet -mode stream -nodes 3 # nodes stream raw samples; the
+//	                            # aggregator decodes them server-side
 package main
 
 import (
@@ -20,17 +22,20 @@ import (
 	"passivelight/internal/core"
 	"passivelight/internal/decoder"
 	"passivelight/internal/rxnet"
+	"passivelight/internal/stream"
 )
 
 func main() {
 	var (
-		mode     = flag.String("mode", "demo", "aggregator | node | demo")
+		mode     = flag.String("mode", "demo", "aggregator | node | demo | stream")
 		listen   = flag.String("listen", ":7410", "aggregator listen address")
 		connect  = flag.String("connect", "127.0.0.1:7410", "aggregator address for nodes")
 		discover = flag.String("discover", "", "UDP discovery address (nodes: probe it instead of -connect; aggregator: answer probes on it)")
 		nodeID   = flag.Uint("id", 1, "node id")
 		posX     = flag.Float64("x", 0, "node position along the lane (m)")
 		payload  = flag.String("payload", "1001", "payload the simulated node observes")
+		nodes    = flag.Int("nodes", 3, "simulated node count (stream mode)")
+		chunk    = flag.Int("chunk", 1024, "samples per streamed chunk (stream mode)")
 	)
 	flag.Parse()
 	var err error
@@ -50,6 +55,8 @@ func main() {
 		}
 	case "demo":
 		err = runDemo()
+	case "stream":
+		err = runStream(*nodes, *chunk, *payload)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -152,6 +159,108 @@ func observe(payload string, seed int64) (rxnet.Detection, error) {
 		NoiseFloor: 6200,
 		SymbolRate: 1 / tp.Decode.Thresholds.TauT,
 	}, nil
+}
+
+// runStream is the streaming variant of the demo: an in-process
+// aggregator with a server-side decode engine, and N simulated nodes
+// that ship their raw RSS traces live in chunks — the paper's
+// testbed inverted, with all DSP running at the aggregator.
+func runStream(nodeCount, chunkSize int, payload string) error {
+	if nodeCount < 2 {
+		return fmt.Errorf("stream mode needs at least 2 nodes to fuse a track, got %d", nodeCount)
+	}
+	agg := rxnet.NewAggregator(rxnet.AggregatorOptions{
+		Logf:     rxnet.StdLogf,
+		TrackGap: time.Minute,
+		Streaming: &stream.EngineConfig{
+			Session: stream.Config{
+				Decode:   decoder.Options{ExpectedSymbols: 4 + 2*len(payload)},
+				CarShape: true,
+			},
+		},
+	})
+	addr, err := agg.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer agg.Close()
+	fmt.Println("streaming aggregator on", addr)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var sent int64
+	for i := 0; i < nodeCount; i++ {
+		node, err := rxnet.Dial(ctx, addr, rxnet.Hello{
+			NodeID: uint32(i + 1),
+			PosX:   float64(i) * 25,
+			Height: 0.75,
+			Name:   fmt.Sprintf("pole-%d", i+1),
+		})
+		if err != nil {
+			return err
+		}
+		// Render this node's car pass and ship the raw trace.
+		link, _, err := core.OutdoorSetup{
+			Payload:        payload,
+			NoiseFloorLux:  6200,
+			ReceiverHeight: 0.75,
+			Seed:           int64(i + 1),
+		}.Build()
+		if err != nil {
+			node.Close()
+			return err
+		}
+		tr, err := link.Simulate()
+		if err != nil {
+			node.Close()
+			return err
+		}
+		for chunk := range tr.Chunks(chunkSize) {
+			if err := node.StreamChunk(0, tr.Fs, chunk); err != nil {
+				node.Close()
+				return err
+			}
+		}
+		node.Close()
+		fmt.Printf("pole-%d streamed %d samples (%.1f s at %.0f S/s)\n", i+1, tr.Len(), tr.Duration(), tr.Fs)
+		// Wait for the server to ingest everything sent so far, then
+		// flush so the open segment decodes now instead of waiting
+		// out the quiet hold (dial-order spacing also keeps detection
+		// timestamps ordered for fusion).
+		sent += int64(tr.Len())
+		ingestDeadline := time.Now().Add(30 * time.Second)
+		for {
+			st, ok := agg.StreamStats()
+			if !ok || st.SamplesIn >= sent {
+				break
+			}
+			if time.Now().After(ingestDeadline) {
+				return fmt.Errorf("aggregator ingested %d of %d streamed samples (dropped %d)",
+					st.SamplesIn, sent, st.DroppedSamples)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		agg.FlushStreams()
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if st, ok := agg.StreamStats(); ok {
+		fmt.Printf("engine: %d sessions, %d samples in, %d detections, %d decode errors, %d buffered\n",
+			st.Sessions, st.SamplesIn, st.Detections, st.DecodeErrors, st.BufferedSamples)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if tracks := agg.Tracks(); len(tracks) > 0 {
+			t := tracks[len(tracks)-1]
+			fmt.Printf("fused track: object=%s across %d receivers (%d -> %d)\n",
+				rxnet.BitsString(t.ObjectBits), t.Confirmations, t.FirstNode, t.LastNode)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no track fused from streamed samples")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }
 
 // runDemo spins up an in-process aggregator and three nodes along a

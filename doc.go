@@ -33,6 +33,40 @@
 //	if err != nil { ... }
 //	fmt.Println(result.Decode.SymbolString(), result.Success)
 //
+// # Streaming architecture
+//
+// Beyond the paper's record-then-decode workflow, the library has an
+// online tier for samples that arrive live. The adaptive-threshold
+// state machine (noise-floor tracking, activity detection, symbol
+// clocking) is resumable, so a StreamDecoder accepts RSS chunks of
+// any size and emits detections as packets complete, in bounded
+// memory; the batch Decode is the same machine fed one chunk, and in
+// the batch-equivalent configuration (PreRollSec < 0) a chunked
+// stream decode of a trace is bit-identical to it. A
+// StreamEngine multiplexes thousands of concurrent sessions over a
+// worker pool with per-session ring buffers and idle eviction:
+//
+//	engine, err := passivelight.NewStreamEngine(passivelight.StreamEngineConfig{
+//		Session: passivelight.StreamConfig{Fs: 2000},
+//	})
+//	if err != nil { ... }
+//	defer engine.Close()
+//	go func() {
+//		for det := range engine.Detections() {
+//			if det.Err == nil {
+//				fmt.Printf("session %d decoded %s\n", det.Session, det.BitString())
+//			}
+//		}
+//	}()
+//	// One session per receiver; chunks arrive from the network.
+//	engine.Feed(sessionID, fs, chunk)
+//	fmt.Printf("%+v\n", engine.Stats()) // sessions, samples/s, detections
+//
+// The receiver network (internal/rxnet, cmd/plnet) builds on this:
+// nodes may either decode locally and publish compact detections, or
+// ship raw SampleChunk frames and let the aggregator decode them
+// server-side through an engine before fusing tracks.
+//
 // The runnable programs under cmd/ and the examples/ directory cover
 // the paper's indoor bench, the outdoor car application and the
 // networked-receivers extension.

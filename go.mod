@@ -1,0 +1,3 @@
+module passivelight
+
+go 1.24

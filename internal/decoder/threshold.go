@@ -10,6 +10,7 @@ package decoder
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"passivelight/internal/coding"
 	"passivelight/internal/dsp"
@@ -124,23 +125,43 @@ func (r Result) SymbolString() string {
 }
 
 // Decode runs the Sec. 4.1 adaptive threshold algorithm on a trace.
+// It is a thin wrapper over the resumable state machine: the whole
+// trace is fed as one chunk and flushed, so batch and streaming
+// decodes share one code path (see Incremental).
 func Decode(tr *trace.Trace, opt Options) (Result, error) {
-	opt = opt.withDefaults()
 	if tr == nil || tr.Len() < 8 {
 		return Result{}, errors.New("decoder: trace too short")
 	}
-	x := tr.Samples
+	inc := NewIncremental(tr.Fs, opt, BatchConfig())
+	inc.feedAlias(tr.Samples)
+	segs := inc.Flush()
+	if len(segs) != 1 {
+		return Result{}, fmt.Errorf("decoder: batch flush produced %d segments, want 1", len(segs))
+	}
+	return segs[0].Result, segs[0].Err
+}
+
+// decodePass runs one full adaptive-threshold pass over a sample
+// window: preamble search, tau_r/tau_t estimation, timing recovery
+// and symbol slicing. It is the shared core of the batch Decode and
+// the streaming Incremental decoder.
+func decodePass(samples []float64, fs float64, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	if len(samples) < 8 {
+		return Result{}, errors.New("decoder: trace too short")
+	}
+	x := samples
 	if opt.SearchFrom > 0 {
 		if opt.SearchFrom >= len(x)-8 {
 			return Result{}, fmt.Errorf("decoder: SearchFrom %d beyond trace", opt.SearchFrom)
 		}
 		x = x[opt.SearchFrom:]
 	}
-	x = suppressMainsRipple(x, tr.Fs)
+	x = suppressMainsRipple(x, fs)
 	smoothWin := opt.SmoothWindow
 	if smoothWin == 0 {
 		// Automatic: ~2.5 ms at the trace rate, at least 3 samples.
-		smoothWin = int(tr.Fs * 0.0025)
+		smoothWin = int(fs * 0.0025)
 		if smoothWin < 3 {
 			smoothWin = 3
 		}
@@ -150,14 +171,14 @@ func Decode(tr *trace.Trace, opt Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	dt := 1 / tr.Fs
+	dt := 1 / fs
 	th := computeThresholds(pts, dt)
 	// Second pass: with the symbol duration roughly known, re-detect
 	// the preamble on a tau_t/3-smoothed signal. Heavier smoothing
 	// rounds the HIGH plateaus so their maxima sit at the symbol
 	// centers, which fixes the grid phase/step estimate under
 	// FoV-induced inter-symbol interference.
-	if w := int(th.TauT * tr.Fs / 3); w > smoothWin {
+	if w := int(th.TauT * fs / 3); w > smoothWin {
 		smooth2 := dsp.MovingAverage(x, w)
 		if pts2, err2 := findPreamble(smooth2, opt); err2 == nil {
 			th2 := computeThresholds(pts2, dt)
@@ -184,7 +205,7 @@ func Decode(tr *trace.Trace, opt Options) (Result, error) {
 	}
 	// Slice symbol windows of length tau_t centered on the symbol
 	// grid anchored at peak A (the center of the first HIGH symbol).
-	tauSamples := th.TauT * tr.Fs
+	tauSamples := th.TauT * fs
 	// Now that the symbol duration is known, re-smooth at tau_t/8 so
 	// window maxima ride the symbol level rather than noise spikes
 	// (the analog front end of the real board does this for free).
@@ -208,7 +229,7 @@ func Decode(tr *trace.Trace, opt Options) (Result, error) {
 	} else {
 		var bestStep float64
 		symbols, windowMax, bestStep, _ = refineGrid(smooth, pts.AIndex, tauSamples, decision, opt)
-		th.TauT = bestStep / tr.Fs
+		th.TauT = bestStep / fs
 	}
 	if opt.ExpectedSymbols == 0 {
 		// Trim trailing LOWs produced after the tag left the FoV.
@@ -367,56 +388,123 @@ func sliceGrid(smooth []float64, anchor, step, frac, decision float64, maxSymbol
 func refineGrid(smooth []float64, aIndex int, tauSamples, decision float64, opt Options) (symbols []coding.Symbol, windowMax []float64, bestStep, bestAnchor float64) {
 	const stepSteps, phaseSteps = 17, 17
 	type cand struct {
-		score    float64
-		preamble bool
-		parses   bool
-		symbols  []coding.Symbol
-		winMax   []float64
-		step     float64
-		anchor   float64
+		score     float64 // mean decision margin
+		minMargin float64 // worst-case window margin (eye opening)
+		preamble  bool
+		parses    bool
+		symbols   []coding.Symbol
+		winMax    []float64
+		step      float64
+		anchor    float64
 	}
 	best := cand{score: -1}
-	for si := 0; si < stepSteps; si++ {
-		step := tauSamples * (0.8 + 0.4*float64(si)/float64(stepSteps-1))
-		for pi := 0; pi < phaseSteps; pi++ {
-			anchor := float64(aIndex) + step*(-0.5+float64(pi)/float64(phaseSteps-1))
-			syms, wm := sliceGrid(smooth, anchor, step, opt.WindowFraction, decision, opt.ExpectedSymbols)
-			if len(syms) < coding.PreambleLen {
-				continue
-			}
-			pre := syms[0] == coding.High && syms[1] == coding.Low &&
-				syms[2] == coding.High && syms[3] == coding.Low
-			_, perr := coding.ParsePacket(syms)
-			var margin float64
-			for _, v := range wm {
-				d := v - decision
-				if d < 0 {
-					d = -d
+	// edgeClock, when non-zero, is the crossing-derived symbol
+	// duration used by the re-acquisition rounds to rank parsing
+	// candidates (set before round 2 runs, so round 1 keeps the
+	// original margin ranking).
+	var edgeClock float64
+	search := func(stepLo, stepHi float64, stepSteps int) {
+		for si := 0; si < stepSteps; si++ {
+			step := tauSamples * (stepLo + (stepHi-stepLo)*float64(si)/float64(stepSteps-1))
+			for pi := 0; pi < phaseSteps; pi++ {
+				anchor := float64(aIndex) + step*(-0.5+float64(pi)/float64(phaseSteps-1))
+				syms, wm := sliceGrid(smooth, anchor, step, opt.WindowFraction, decision, opt.ExpectedSymbols)
+				if len(syms) < coding.PreambleLen {
+					continue
 				}
-				margin += d
-			}
-			margin /= float64(len(wm))
-			c := cand{
-				score: margin, preamble: pre, parses: pre && perr == nil,
-				symbols: syms, winMax: wm, step: step, anchor: anchor,
-			}
-			// Rank: full Manchester validity > preamble validity >
-			// decision margin. A half-symbol phase shift can still
-			// read HLHL at the front, but its data pairs degenerate
-			// to HH/LL, which Manchester forbids.
-			better := false
-			switch {
-			case c.parses != best.parses:
-				better = c.parses
-			case c.preamble != best.preamble:
-				better = c.preamble
-			default:
-				better = c.score > best.score
-			}
-			if better {
-				best = c
+				pre := syms[0] == coding.High && syms[1] == coding.Low &&
+					syms[2] == coding.High && syms[3] == coding.Low
+				// In auto mode the stream runs to the end of the trace,
+				// so parseability is judged the way Decode judges it
+				// downstream: with trailing LOW windows trimmed and the
+				// stream padded back to even length.
+				evalSyms := syms
+				if opt.ExpectedSymbols == 0 {
+					end := len(syms)
+					for end > 0 && syms[end-1] == coding.Low {
+						end--
+					}
+					evalSyms = syms[:end]
+					if end%2 == 1 {
+						evalSyms = append(append([]coding.Symbol(nil), evalSyms...), coding.Low)
+					}
+				}
+				_, perr := coding.ParsePacket(evalSyms)
+				var margin, minMargin float64
+				for i, v := range wm {
+					d := v - decision
+					if d < 0 {
+						d = -d
+					}
+					margin += d
+					if i == 0 || d < minMargin {
+						minMargin = d
+					}
+				}
+				margin /= float64(len(wm))
+				c := cand{
+					score: margin, minMargin: minMargin,
+					preamble: pre, parses: pre && perr == nil,
+					symbols: syms, winMax: wm, step: step, anchor: anchor,
+				}
+				// Rank: full Manchester validity > preamble validity >
+				// decision margin. A half-symbol phase shift can still
+				// read HLHL at the front, but its data pairs degenerate
+				// to HH/LL, which Manchester forbids. Between two
+				// parsing candidates the mean margin cannot be
+				// trusted: a slightly-off clock can read a spurious
+				// Manchester-valid stream whose windows all sit on
+				// plateaus. The crossing-derived clock (set during
+				// re-acquisition) is the strongest referee, then the
+				// worst-case window margin — a drifting grid always
+				// has at least one badly-placed window, the true clock
+				// does not.
+				better := false
+				switch {
+				case c.parses != best.parses:
+					better = c.parses
+				case c.parses && edgeClock > 0:
+					better = math.Abs(c.step-edgeClock) < math.Abs(best.step-edgeClock)
+				case c.parses:
+					better = c.minMargin > best.minMargin
+				case c.preamble != best.preamble:
+					better = c.preamble
+				default:
+					better = c.score > best.score
+				}
+				if better {
+					best = c
+				}
 			}
 		}
+	}
+	search(0.8, 1.2, stepSteps)
+	// Re-acquisition. On noisy flat-topped plateaus the A/B/C extrema
+	// can sit anywhere on their plateau, so the tau_t estimate can be
+	// off by well over the nominal +-20% — the search then either
+	// finds no Manchester-valid grid at all, or locks onto an aliased
+	// clock that happens to read valid pairs. Round 2 re-derives the
+	// symbol clock from decision-level crossings: the shortest
+	// significant run between edges is one symbol long in a
+	// Manchester stream, and unlike the extrema it cannot alias to a
+	// multiple of the true clock. It runs when round 1 parsed nothing
+	// or when round 1's winner disagrees with the edge clock; a
+	// winner that agrees (every cleanly decodable trace) is returned
+	// untouched, so batch results are unchanged.
+	edgeClock = edgeTauSamples(smooth, decision, tauSamples)
+	reacquire := !best.parses
+	if !reacquire && edgeClock > 0 {
+		if r := best.step / edgeClock; r < 0.8 || r > 1.25 {
+			reacquire = true
+		}
+	}
+	if reacquire && edgeClock > 0 {
+		f := edgeClock / tauSamples
+		search(0.8*f, 1.2*f, stepSteps)
+	}
+	if !best.parses {
+		// Round 3: coarse sweep as a last resort.
+		search(0.6, 1.45, 2*stepSteps)
 	}
 	if best.score < 0 {
 		// Fall back to the unrefined grid.
@@ -424,6 +512,50 @@ func refineGrid(smooth []float64, aIndex int, tauSamples, decision float64, opt 
 		return syms, wm, tauSamples, float64(aIndex)
 	}
 	return best.symbols, best.winMax, best.step, best.anchor
+}
+
+// edgeTauSamples estimates the symbol duration from decision-level
+// crossings: the shortest significant same-side run between the first
+// and last crossing. Manchester guarantees isolated single symbols,
+// so that minimum is one symbol long. Returns 0 when there are too
+// few transitions to trust the estimate. tauHint only sets the
+// flicker-rejection floor; the estimate does not otherwise depend on
+// it.
+func edgeTauSamples(smooth []float64, decision, tauHint float64) float64 {
+	minRun := int(tauHint / 4)
+	if minRun < 5 {
+		minRun = 5
+	}
+	first, last := -1, -1
+	for i := 1; i < len(smooth); i++ {
+		if (smooth[i-1] > decision) != (smooth[i] > decision) {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 || last-first < 2*minRun {
+		return 0
+	}
+	best := 0
+	runStart := first
+	count := 0
+	for i := first + 1; i <= last; i++ {
+		if (smooth[i-1] > decision) != (smooth[i] > decision) {
+			if run := i - runStart; run >= minRun {
+				count++
+				if best == 0 || run < best {
+					best = run
+				}
+			}
+			runStart = i
+		}
+	}
+	if count < 3 {
+		return 0
+	}
+	return float64(best)
 }
 
 // computeThresholds derives the paper's tau_r/tau_t from the A/B/C

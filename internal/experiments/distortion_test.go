@@ -21,7 +21,7 @@ func TestDistortionSweep(t *testing.T) {
 	}
 	last := res.Dirt[len(res.Dirt)-1]
 	if last.ThresholdOK {
-		t.Fatal("95% dirt should erase the contrast")
+		t.Fatal("97% dirt should erase the contrast")
 	}
 	lastFog := res.Fog[len(res.Fog)-1]
 	if lastFog.ThresholdOK {

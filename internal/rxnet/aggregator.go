@@ -9,10 +9,14 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"passivelight/internal/stream"
 )
 
 // Aggregator is the fusion server: it accepts receiver-node
 // connections, collects detections and maintains object tracks.
+// With streaming enabled it also accepts raw SampleChunk frames and
+// decodes them server-side through a stream.Engine before fusion.
 type Aggregator struct {
 	mu        sync.Mutex
 	nodes     map[uint32]Hello
@@ -25,6 +29,13 @@ type Aggregator struct {
 	trackGap  time.Duration
 	closeOnce sync.Once
 	closed    chan struct{}
+
+	engine   *stream.Engine
+	engineWG sync.WaitGroup
+	// cursors tracks each stream's expected chunk continuation
+	// across connections, keyed by SessionKey, so reconnects and
+	// gaps are detected rather than spliced into the decode.
+	cursors map[uint64]*chunkCursor
 }
 
 // AggregatorOptions configures the server.
@@ -34,6 +45,11 @@ type AggregatorOptions struct {
 	TrackGap time.Duration
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
+	// Streaming, when non-nil, enables server-side decoding of
+	// SampleChunk frames through a stream.Engine with this
+	// configuration. Session.Fs may be zero — each stream's chunks
+	// carry their own sample rate.
+	Streaming *stream.EngineConfig
 }
 
 // NewAggregator builds an idle aggregator.
@@ -46,12 +62,87 @@ func NewAggregator(opt AggregatorOptions) *Aggregator {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Aggregator{
+	a := &Aggregator{
 		nodes:    make(map[uint32]Hello),
 		pending:  make(map[string][]Detection),
 		logf:     logf,
 		trackGap: gap,
 		closed:   make(chan struct{}),
+		cursors:  make(map[uint64]*chunkCursor),
+	}
+	if opt.Streaming != nil {
+		cfg := *opt.Streaming
+		if cfg.Session.Fs == 0 {
+			// Placeholder default; every session adopts the rate its
+			// chunks declare.
+			cfg.Session.Fs = 1000
+		}
+		eng, err := stream.NewEngine(cfg)
+		if err != nil {
+			// Config errors are programming mistakes; surface loudly
+			// but keep the detection-only aggregator usable.
+			a.logf("rxnet: streaming disabled: %v", err)
+		} else {
+			a.engine = eng
+			a.engineWG.Add(1)
+			go a.consumeEngine()
+		}
+	}
+	return a
+}
+
+// consumeEngine turns server-side stream decodes into detections and
+// feeds them to track fusion.
+func (a *Aggregator) consumeEngine() {
+	defer a.engineWG.Done()
+	seqs := make(map[uint64]uint32)
+	for det := range a.engine.Detections() {
+		if det.Err != nil {
+			a.logf("rxnet: stream session %d segment [%d,%d): %v", det.Session, det.Start, det.End, det.Err)
+			continue
+		}
+		if len(seqs) >= maxStreamCursors {
+			// Same bound as the cursor table; restarting the per-node
+			// detection numbering is harmless (fusion keys on bits
+			// and time, not Seq).
+			seqs = make(map[uint64]uint32)
+		}
+		seqs[det.Session]++
+		// Use the stream-anchored wall time, not consumption time:
+		// segments of different sessions flushed in one batch must
+		// keep the spacing of the actual passes, or track fusion
+		// computes speeds from microsecond dt.
+		when := det.Wall
+		if when.IsZero() {
+			when = time.Now()
+		}
+		a.ingest(Detection{
+			NodeID:     uint32(det.Session >> 32),
+			Seq:        seqs[det.Session],
+			Time:       when,
+			Bits:       det.Bits,
+			RSSPeak:    det.RSSPeak,
+			NoiseFloor: det.NoiseFloor,
+			SymbolRate: det.SymbolRate,
+		})
+	}
+}
+
+// StreamStats reports the streaming engine's Stats. It returns false
+// when streaming is disabled.
+func (a *Aggregator) StreamStats() (stream.Stats, bool) {
+	if a.engine == nil {
+		return stream.Stats{}, false
+	}
+	return a.engine.Stats(), true
+}
+
+// FlushStreams forces end-of-stream on all streaming sessions, so
+// segments still waiting for their quiet hold decode now. No-op when
+// streaming is disabled.
+func (a *Aggregator) FlushStreams() {
+	if a.engine != nil {
+		a.engine.FlushAll()
 	}
 }
 
@@ -89,6 +180,53 @@ func (a *Aggregator) acceptLoop(ln net.Listener) {
 		}
 		a.wg.Add(1)
 		go a.serveConn(conn)
+	}
+}
+
+// maxStreamCursors bounds the per-stream bookkeeping tables on the
+// long-running aggregator.
+const maxStreamCursors = 1 << 16
+
+// chunkCursor is one stream's expected chunk continuation.
+type chunkCursor struct {
+	seq  uint32
+	next uint64
+}
+
+// advanceCursor checks a chunk against the stream's cursor (shared
+// across connections, so a reconnect that resumes exactly where the
+// old connection left off continues seamlessly) and reports whether
+// the server-side decode session must be reset first. shedKey, when
+// non-zero-ok, is a stream whose cursor was evicted to bound the
+// table — the caller must end its engine session too, since without
+// a cursor its continuity can no longer be checked.
+func (a *Aggregator) advanceCursor(c SampleChunk) (reset bool, reason string, shedKey uint64, shed bool) {
+	key := c.SessionKey()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cur, ok := a.cursors[key]
+	if !ok {
+		// Bound the table: the aggregator runs indefinitely, so churn
+		// of (node, stream) pairs must not grow it forever.
+		if len(a.cursors) >= maxStreamCursors {
+			for k := range a.cursors {
+				delete(a.cursors, k)
+				shedKey, shed = k, true
+				break
+			}
+		}
+		a.cursors[key] = &chunkCursor{seq: c.Seq, next: c.Start + uint64(len(c.Samples))}
+		return false, "", shedKey, shed
+	}
+	contiguous := c.Seq == cur.seq+1 && c.Start == cur.next
+	cur.seq, cur.next = c.Seq, c.Start+uint64(len(c.Samples))
+	switch {
+	case contiguous:
+		return false, "", 0, false
+	case c.Seq == 1 || c.Start == 0:
+		return true, "stream restarted", 0, false
+	default:
+		return true, "discontinuity", 0, false
 	}
 }
 
@@ -134,6 +272,31 @@ func (a *Aggregator) serveConn(conn net.Conn) {
 			if err := WriteFrame(conn, FrameAck, MarshalAck(Ack{NodeID: d.NodeID, Seq: d.Seq})); err != nil {
 				a.logf("rxnet: ack to node %d: %v", d.NodeID, err)
 				return
+			}
+		case FrameSampleChunk:
+			if a.engine == nil {
+				a.logf("rxnet: node %d streamed samples but streaming is disabled", nodeID)
+				return
+			}
+			c, err := UnmarshalSampleChunk(body)
+			if err != nil {
+				a.logf("rxnet: bad sample chunk: %v", err)
+				return
+			}
+			reset, reason, shedKey, shed := a.advanceCursor(c)
+			if shed {
+				// The shed stream's engine session must not outlive
+				// its cursor, or its next chunk would splice in with
+				// continuity unchecked.
+				a.engine.EndSession(shedKey)
+			}
+			if reset {
+				a.logf("rxnet: node %d stream %d %s at seq %d start %d; previous session flushed",
+					c.NodeID, c.StreamID, reason, c.Seq, c.Start)
+				a.engine.EndSession(c.SessionKey())
+			}
+			if err := a.engine.Feed(c.SessionKey(), c.Fs, c.Samples); err != nil {
+				a.logf("rxnet: stream feed node %d stream %d: %v", c.NodeID, c.StreamID, err)
 			}
 		default:
 			a.logf("rxnet: unexpected frame type %d from node", t)
@@ -231,20 +394,27 @@ func (a *Aggregator) Nodes() []Hello {
 	return out
 }
 
-// Close stops the listener and waits for connection handlers.
+// Close stops the listener, flushes the streaming engine (its last
+// detections still fuse into tracks) and waits for all handlers.
 func (a *Aggregator) Close() error {
 	var err error
 	a.closeOnce.Do(func() {
 		close(a.closed)
 		a.mu.Lock()
 		ln := a.ln
-		subs := a.subs
-		a.subs = nil
 		a.mu.Unlock()
 		if ln != nil {
 			err = ln.Close()
 		}
 		a.wg.Wait()
+		if a.engine != nil {
+			a.engine.Close()
+			a.engineWG.Wait()
+		}
+		a.mu.Lock()
+		subs := a.subs
+		a.subs = nil
+		a.mu.Unlock()
 		for _, sub := range subs {
 			close(sub)
 		}
@@ -252,12 +422,20 @@ func (a *Aggregator) Close() error {
 	return err
 }
 
-// Node is a receiver-side client publishing detections.
+// Node is a receiver-side client publishing detections or streaming
+// raw samples.
 type Node struct {
-	hello Hello
-	conn  net.Conn
-	mu    sync.Mutex
+	hello   Hello
+	conn    net.Conn
+	mu      sync.Mutex
+	seq     uint32
+	streams map[uint32]*streamState
+}
+
+// streamState tracks per-stream chunk accounting on the node side.
+type streamState struct {
 	seq   uint32
+	start uint64
 }
 
 // Dial connects a node to the aggregator and sends its Hello.
@@ -317,6 +495,53 @@ func (n *Node) Publish(d Detection) error {
 	if ack.NodeID != d.NodeID || ack.Seq != d.Seq {
 		return fmt.Errorf("rxnet: ack mismatch: got node=%d seq=%d want node=%d seq=%d",
 			ack.NodeID, ack.Seq, d.NodeID, d.Seq)
+	}
+	return nil
+}
+
+// StreamChunk ships raw RSS samples for server-side decoding. Unlike
+// Publish it does not wait for an acknowledgement: chunk streams are
+// high-rate, TCP orders them, and the aggregator's engine absorbs
+// bursts in per-session ring buffers. The node's ID is stamped on the
+// chunk; Seq and Start are maintained per stream automatically.
+func (n *Node) StreamChunk(streamID uint32, fs float64, samples []float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.streams == nil {
+		n.streams = make(map[uint32]*streamState)
+	}
+	st := n.streams[streamID]
+	if st == nil {
+		st = &streamState{}
+		n.streams[streamID] = st
+	}
+	// Oversized slices are split transparently into wire-sized chunks.
+	for len(samples) > 0 {
+		part := samples
+		if len(part) > MaxChunkSamples {
+			part = part[:MaxChunkSamples]
+		}
+		c := SampleChunk{
+			NodeID:   n.hello.NodeID,
+			StreamID: streamID,
+			Seq:      st.seq + 1,
+			Fs:       fs,
+			Start:    st.start,
+			Samples:  part,
+		}
+		body, err := MarshalSampleChunk(c)
+		if err != nil {
+			return err
+		}
+		if err := n.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+			return err
+		}
+		if err := WriteFrame(n.conn, FrameSampleChunk, body); err != nil {
+			return err
+		}
+		st.seq++
+		st.start += uint64(len(part))
+		samples = samples[len(part):]
 	}
 	return nil
 }

@@ -31,6 +31,9 @@ const (
 	MaxFrameSize = 64 * 1024
 	// MaxBitsLen bounds the decoded payload length in a detection.
 	MaxBitsLen = 256
+	// MaxChunkSamples bounds one SampleChunk (4096 samples = 32 KiB
+	// of payload, comfortably under MaxFrameSize).
+	MaxChunkSamples = 4096
 )
 
 // FrameType discriminates messages.
@@ -46,6 +49,11 @@ const (
 	FrameAck
 	// FrameTrack carries a fused track (aggregator -> subscribers).
 	FrameTrack
+	// FrameSampleChunk carries raw RSS samples from a node that
+	// delegates decoding to the aggregator's streaming engine.
+	// Unacknowledged: chunk streams are high-rate and TCP already
+	// orders them.
+	FrameSampleChunk
 )
 
 // Errors.
@@ -101,6 +109,29 @@ type Track struct {
 type Ack struct {
 	NodeID uint32
 	Seq    uint32
+}
+
+// SampleChunk is a slice of raw RSS samples streamed by a node for
+// server-side decoding.
+type SampleChunk struct {
+	NodeID uint32
+	// StreamID distinguishes multiple sensors on one node.
+	StreamID uint32
+	// Seq is a per-stream monotonically increasing chunk counter.
+	Seq uint32
+	// Fs is the stream's sample rate (Hz); it must not change within
+	// a stream.
+	Fs float64
+	// Start is the absolute index of Samples[0] within the stream.
+	Start uint64
+	// Samples are RSS values (ADC counts).
+	Samples []float64
+}
+
+// SessionKey maps the (node, stream) pair onto one streaming-engine
+// session id.
+func (c SampleChunk) SessionKey() uint64 {
+	return uint64(c.NodeID)<<32 | uint64(c.StreamID)
 }
 
 // WriteFrame writes one frame: magic, version, type, 4-byte length,
@@ -262,6 +293,71 @@ func UnmarshalAck(b []byte) (Ack, error) {
 		NodeID: binary.BigEndian.Uint32(b[0:4]),
 		Seq:    binary.BigEndian.Uint32(b[4:8]),
 	}, nil
+}
+
+// MarshalSampleChunk encodes a SampleChunk body.
+func MarshalSampleChunk(c SampleChunk) ([]byte, error) {
+	if len(c.Samples) > MaxChunkSamples {
+		return nil, fmt.Errorf("rxnet: %d samples exceeds chunk limit %d", len(c.Samples), MaxChunkSamples)
+	}
+	if c.Fs <= 0 {
+		return nil, fmt.Errorf("rxnet: chunk needs a positive sample rate, got %g", c.Fs)
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, 4+4+4+8+8+2+8*len(c.Samples)))
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], c.NodeID)
+	buf.Write(u32[:])
+	binary.BigEndian.PutUint32(u32[:], c.StreamID)
+	buf.Write(u32[:])
+	binary.BigEndian.PutUint32(u32[:], c.Seq)
+	buf.Write(u32[:])
+	putF64(buf, c.Fs)
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], c.Start)
+	buf.Write(u64[:])
+	var u16 [2]byte
+	binary.BigEndian.PutUint16(u16[:], uint16(len(c.Samples)))
+	buf.Write(u16[:])
+	for _, s := range c.Samples {
+		putF64(buf, s)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalSampleChunk decodes a SampleChunk body.
+func UnmarshalSampleChunk(b []byte) (SampleChunk, error) {
+	const fixed = 4 + 4 + 4 + 8 + 8 + 2
+	if len(b) < fixed {
+		return SampleChunk{}, ErrTruncated
+	}
+	c := SampleChunk{
+		NodeID:   binary.BigEndian.Uint32(b[0:4]),
+		StreamID: binary.BigEndian.Uint32(b[4:8]),
+		Seq:      binary.BigEndian.Uint32(b[8:12]),
+		Fs:       getF64(b[12:20]),
+		Start:    binary.BigEndian.Uint64(b[20:28]),
+	}
+	n := int(binary.BigEndian.Uint16(b[28:30]))
+	if n > MaxChunkSamples {
+		return SampleChunk{}, fmt.Errorf("rxnet: %d samples exceeds chunk limit %d", n, MaxChunkSamples)
+	}
+	if len(b) < fixed+8*n {
+		return SampleChunk{}, ErrTruncated
+	}
+	if c.Fs <= 0 || math.IsNaN(c.Fs) || math.IsInf(c.Fs, 0) {
+		return SampleChunk{}, fmt.Errorf("rxnet: chunk has invalid sample rate %g", c.Fs)
+	}
+	c.Samples = make([]float64, n)
+	for i := range c.Samples {
+		v := getF64(b[fixed+8*i : fixed+8*i+8])
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			// One NaN would wedge the server-side noise-floor tracker
+			// permanently; reject the frame at the wire instead.
+			return SampleChunk{}, fmt.Errorf("rxnet: chunk sample %d is not finite", i)
+		}
+		c.Samples[i] = v
+	}
+	return c, nil
 }
 
 // MarshalTrack encodes a Track body.

@@ -1,0 +1,27 @@
+// Package stream is the online decode layer between the DSP tier and
+// the receiver network: RSS samples arrive live, in chunks, from many
+// receiver nodes, and decoded packets come out as they complete —
+// with bounded memory, regardless of how long the stream runs.
+//
+// Two types make up the subsystem:
+//
+//   - Decoder is one streaming decode session. It wraps the
+//     resumable adaptive-threshold state machine of
+//     internal/decoder (noise-floor tracking, activity detection,
+//     symbol clocking) and turns completed segments into Detection
+//     events. Feed it chunks of any size; chunk boundaries never
+//     change the outcome.
+//
+//   - Engine multiplexes thousands of concurrent sessions over a
+//     worker pool: per-session ring buffers absorb bursts, idle
+//     sessions are evicted, and Stats() reports sessions, sample
+//     throughput and detections for operational visibility.
+//
+// The batch decoder.Decode is a thin wrapper over the same state
+// machine (one chunk, then flush); in the batch-equivalent session
+// configuration (PreRollSec < 0, unbounded memory) a chunked stream
+// decode of a trace is bit-identical to it. The default online mode
+// bounds memory by segmenting around detected activity, so it
+// decodes the same packets without guaranteeing sample-for-sample
+// batch parity.
+package stream

@@ -1,0 +1,576 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EngineConfig tunes the concurrent session manager.
+type EngineConfig struct {
+	// Session is the template for per-session decoders. Session.Fs is
+	// the default sample rate; Feed can override it per session.
+	Session Config
+	// Workers is the decode worker pool size. Zero selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueSamples is the per-session ring buffer capacity. A session
+	// that falls behind drops its oldest samples. Zero selects 32768.
+	QueueSamples int
+	// IdleTimeout evicts sessions that have not been fed for this
+	// long (their open segment is flushed first). Zero selects 60 s;
+	// negative disables eviction.
+	IdleTimeout time.Duration
+	// DetectionBuffer is the capacity of the Detections channel;
+	// events beyond it are dropped (and counted). Zero selects 1024.
+	DetectionBuffer int
+	// MaxSessions bounds the session table. Feeds for new sessions
+	// beyond it are rejected. Zero selects 65536.
+	MaxSessions int
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSamples == 0 {
+		c.QueueSamples = 32768
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 60 * time.Second
+	}
+	if c.DetectionBuffer == 0 {
+		c.DetectionBuffer = 1024
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 65536
+	}
+	return c
+}
+
+// Stats is an operational snapshot of the engine.
+type Stats struct {
+	// Sessions currently tracked.
+	Sessions int
+	// SamplesIn is the total samples accepted since start.
+	SamplesIn int64
+	// SamplesPerSec is the ingest rate measured since the previous
+	// Stats call (or since start, for the first call).
+	SamplesPerSec float64
+	// Detections successfully decoded; DecodeErrors are segments that
+	// completed but held no parsable packet.
+	Detections, DecodeErrors int64
+	// DroppedSamples were evicted from ring buffers of lagging
+	// sessions; DroppedDetections overflowed the Detections channel.
+	DroppedSamples, DroppedDetections int64
+	// Evicted counts idle sessions removed.
+	Evicted int64
+	// BufferedSamples is the current memory footprint across all
+	// session rings and open decode segments, in samples.
+	BufferedSamples int64
+}
+
+type session struct {
+	id  uint64
+	mu  sync.Mutex
+	rng *ring
+	// dec is owned by whichever goroutine holds a claim (scheduled
+	// for workers and drains, evicted for teardown) — it is NOT
+	// guarded by mu.
+	dec *Decoder
+	// scheduled marks the session as enqueued on the run queue or
+	// being drained by a worker/drainNow; at most one run-queue entry
+	// exists per session.
+	scheduled bool
+	// evicted is the terminal claim: set (under mu, only when
+	// !scheduled) by the janitor, EndSession or Close. Once set, no
+	// other goroutine touches the session again — a Feed holding a
+	// stale pointer sees it and retries against the session table.
+	evicted  bool
+	lastFeed time.Time
+	// created anchors the session's stream time to the wall clock
+	// (first sample arrived then).
+	created time.Time
+	// buffered mirrors dec.Buffered() for Stats, updated by the claim
+	// owner after each decode step.
+	buffered atomic.Int64
+}
+
+// Engine multiplexes many concurrent streaming decode sessions over a
+// worker pool. Feeds are cheap (a ring-buffer copy); decoding happens
+// on the workers. All methods are safe for concurrent use.
+type Engine struct {
+	cfg EngineConfig
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	stopped  bool // set under mu by Close; session() refuses new sessions
+
+	runq   chan *session
+	dets   chan Detection
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+
+	// lifeMu serializes Close (writer) against the caller-goroutine
+	// drain operations FlushSession/FlushAll/EndSession (readers):
+	// Close must not touch session decoders while a flusher holds a
+	// drain claim, and a flusher must not spin on claims that no
+	// worker is left alive to release.
+	lifeMu sync.RWMutex
+
+	pubMu      sync.RWMutex
+	detsClosed bool
+
+	samplesIn, detections, decodeErrs   atomic.Int64
+	droppedSamples, droppedDets, evicts atomic.Int64
+
+	rateMu      sync.Mutex
+	rateTime    time.Time
+	rateSamples int64
+}
+
+// NewEngine starts the worker pool and idle-eviction janitor.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Session.Fs <= 0 {
+		return nil, errors.New("stream: engine config needs Session.Fs > 0")
+	}
+	e := &Engine{
+		cfg:      cfg,
+		sessions: make(map[uint64]*session),
+		runq:     make(chan *session, cfg.MaxSessions),
+		dets:     make(chan Detection, cfg.DetectionBuffer),
+		closed:   make(chan struct{}),
+		rateTime: time.Now(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	if cfg.IdleTimeout > 0 {
+		e.wg.Add(1)
+		go e.janitor()
+	}
+	return e, nil
+}
+
+// Feed routes one chunk of RSS samples to the session's ring buffer
+// and wakes a worker. fs selects the session sample rate on first
+// feed; zero uses the engine default. Feeding an existing session
+// with a different non-zero fs is an error.
+func (e *Engine) Feed(id uint64, fs float64, chunk []float64) error {
+	if len(chunk) == 0 {
+		return nil
+	}
+	// A chunk larger than the ring would structurally evict its own
+	// head before any worker saw it. Split it and apply backpressure:
+	// each sub-push waits for ring space (workers free it with a
+	// quick copy), so replaying a long recorded trace in one call is
+	// lossless. Normal-sized feeds stay non-blocking with drop-oldest
+	// semantics for real-time streams.
+	if max := e.cfg.QueueSamples; len(chunk) > max {
+		for len(chunk) > max {
+			if err := e.feedChunk(id, fs, chunk[:max], true); err != nil {
+				return err
+			}
+			chunk = chunk[max:]
+		}
+		return e.feedChunk(id, fs, chunk, true)
+	}
+	return e.feedChunk(id, fs, chunk, false)
+}
+
+func (e *Engine) feedChunk(id uint64, fs float64, chunk []float64, wait bool) error {
+	for {
+		s, err := e.session(id, fs)
+		if err != nil {
+			e.droppedSamples.Add(int64(len(chunk)))
+			return err
+		}
+		s.mu.Lock()
+		if s.evicted {
+			// The session was torn down between lookup and lock;
+			// retry against the table (a fresh session, or an
+			// engine-closed error).
+			s.mu.Unlock()
+			continue
+		}
+		if wait && s.rng.len()+len(chunk) > len(s.rng.buf) {
+			// Backpressure: the ring holds earlier sub-chunks a
+			// worker has not copied out yet. The content's wake is
+			// already queued (scheduled), so a worker will free the
+			// space; closing the engine surfaces via the session
+			// lookup on the next retry.
+			s.mu.Unlock()
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		dropped := s.rng.push(chunk)
+		s.lastFeed = time.Now()
+		wake := !s.scheduled
+		if wake {
+			s.scheduled = true
+		}
+		s.mu.Unlock()
+		e.samplesIn.Add(int64(len(chunk)))
+		if dropped > 0 {
+			e.droppedSamples.Add(int64(dropped))
+		}
+		if wake {
+			e.runq <- s
+		}
+		return nil
+	}
+}
+
+func (e *Engine) session(id uint64, fs float64) (*session, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return nil, errors.New("stream: engine closed")
+	}
+	if s, ok := e.sessions[id]; ok {
+		if fs != 0 && fs != s.dec.cfg.Fs {
+			return nil, fmt.Errorf("stream: session %d is at %g Hz, chunk says %g Hz", id, s.dec.cfg.Fs, fs)
+		}
+		return s, nil
+	}
+	if len(e.sessions) >= e.cfg.MaxSessions {
+		return nil, fmt.Errorf("stream: session table full (%d)", e.cfg.MaxSessions)
+	}
+	scfg := e.cfg.Session
+	if fs != 0 {
+		scfg.Fs = fs
+	}
+	dec, err := NewDecoder(scfg)
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	s := &session{id: id, rng: newRing(e.cfg.QueueSamples), dec: dec, lastFeed: now, created: now}
+	e.sessions[id] = s
+	return s, nil
+}
+
+// worker drains scheduled sessions: pull everything from the ring,
+// run the decode state machine, publish detections, repeat until the
+// ring is empty.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	var scratch []float64
+	for {
+		var s *session
+		select {
+		case s = <-e.runq:
+		case <-e.closed:
+			return
+		}
+		for {
+			s.mu.Lock()
+			scratch = s.rng.drain(scratch[:0])
+			if len(scratch) == 0 {
+				s.scheduled = false
+				s.mu.Unlock()
+				break
+			}
+			s.mu.Unlock()
+			dets := s.dec.Feed(scratch)
+			s.buffered.Store(int64(s.dec.Buffered()))
+			e.publish(s, dets)
+		}
+	}
+}
+
+func (e *Engine) publish(s *session, dets []Detection) {
+	if len(dets) == 0 {
+		return
+	}
+	e.pubMu.RLock()
+	defer e.pubMu.RUnlock()
+	for _, det := range dets {
+		det.Session = s.id
+		// Anchor stream time to the wall clock: for a real-time
+		// paced stream this is the actual pass time, regardless of
+		// when the segment got decoded or consumed.
+		det.Wall = s.created.Add(time.Duration(det.TimeSec * float64(time.Second)))
+		if det.Err != nil {
+			e.decodeErrs.Add(1)
+		} else {
+			e.detections.Add(1)
+		}
+		if e.detsClosed {
+			e.droppedDets.Add(1)
+			continue
+		}
+		select {
+		case e.dets <- det:
+		default:
+			e.droppedDets.Add(1)
+		}
+	}
+}
+
+// janitor evicts sessions that have been idle past the timeout,
+// flushing their open segment first.
+func (e *Engine) janitor() {
+	defer e.wg.Done()
+	interval := e.cfg.IdleTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.closed:
+			return
+		case now := <-tick.C:
+			e.mu.Lock()
+			var stale []*session
+			for _, s := range e.sessions {
+				s.mu.Lock()
+				if !s.scheduled && s.rng.len() == 0 && now.Sub(s.lastFeed) > e.cfg.IdleTimeout {
+					// Terminal claim: no worker holds the session
+					// (!scheduled) and none can acquire it afterwards
+					// (a racing Feed sees evicted and retries, which
+					// recreates the session fresh).
+					s.evicted = true
+					stale = append(stale, s)
+				}
+				s.mu.Unlock()
+			}
+			for _, s := range stale {
+				delete(e.sessions, s.id)
+			}
+			e.mu.Unlock()
+			for _, s := range stale {
+				e.publish(s, s.dec.Flush())
+				e.evicts.Add(1)
+			}
+		}
+	}
+}
+
+// FlushSession forces end-of-stream on one session: pending ring
+// samples are decoded and any open segment is flushed. The session
+// stays registered.
+func (e *Engine) FlushSession(id uint64) error {
+	e.lifeMu.RLock()
+	defer e.lifeMu.RUnlock()
+	e.mu.Lock()
+	s, ok := e.sessions[id]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("stream: no session %d", id)
+	}
+	e.drainNow(s)
+	return nil
+}
+
+// FlushAll forces end-of-stream on every registered session (e.g.
+// when a deployment-wide capture window closes).
+func (e *Engine) FlushAll() {
+	e.lifeMu.RLock()
+	defer e.lifeMu.RUnlock()
+	e.mu.Lock()
+	sessions := make([]*session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		sessions = append(sessions, s)
+	}
+	e.mu.Unlock()
+	for _, s := range sessions {
+		e.drainNow(s)
+	}
+}
+
+// drainNow synchronously decodes a session's pending samples and
+// flushes its open segment. It waits for a concurrent worker drain to
+// settle by claiming the scheduled flag itself. A session that gets
+// evicted while we wait needs nothing more — eviction flushed it.
+func (e *Engine) drainNow(s *session) {
+	for {
+		select {
+		case <-e.closed:
+			// Shutting down: a scheduled claim may be stranded on the
+			// run queue with no worker left to release it. Yield —
+			// Close flushes every session itself.
+			return
+		default:
+		}
+		s.mu.Lock()
+		if s.evicted {
+			s.mu.Unlock()
+			return
+		}
+		if s.scheduled {
+			s.mu.Unlock()
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		s.scheduled = true
+		pending := s.rng.drain(nil)
+		s.mu.Unlock()
+		if len(pending) > 0 {
+			e.publish(s, s.dec.Feed(pending))
+		}
+		dets := s.dec.Flush()
+		s.buffered.Store(int64(s.dec.Buffered()))
+		e.publish(s, dets)
+		s.mu.Lock()
+		done := s.rng.len() == 0
+		s.scheduled = false
+		s.mu.Unlock()
+		if done {
+			return
+		}
+	}
+}
+
+// EndSession flushes and removes one session: its pending samples
+// decode, its open segment flushes, and the next Feed for the same id
+// starts a fresh stream. Use when a sensor's stream restarts (e.g. a
+// node reconnect) so old and new epochs cannot splice together.
+func (e *Engine) EndSession(id uint64) error {
+	e.lifeMu.RLock()
+	defer e.lifeMu.RUnlock()
+	e.mu.Lock()
+	s, ok := e.sessions[id]
+	if ok {
+		delete(e.sessions, id)
+	}
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("stream: no session %d", id)
+	}
+	// Terminal claim, waiting out any worker currently draining.
+	for {
+		select {
+		case <-e.closed:
+			// Shutting down: hand the session back so Close's sweep
+			// (which runs after this RLock is released and clears
+			// stranded claims) flushes it instead.
+			e.mu.Lock()
+			e.sessions[id] = s
+			e.mu.Unlock()
+			return errors.New("stream: engine closed")
+		default:
+		}
+		s.mu.Lock()
+		if !s.scheduled {
+			s.evicted = true
+			s.mu.Unlock()
+			break
+		}
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	s.mu.Lock()
+	pending := s.rng.drain(nil)
+	s.mu.Unlock()
+	if len(pending) > 0 {
+		e.publish(s, s.dec.Feed(pending))
+	}
+	e.publish(s, s.dec.Flush())
+	return nil
+}
+
+// Detections is the engine's output stream. The channel is closed by
+// Close after all sessions are flushed.
+func (e *Engine) Detections() <-chan Detection { return e.dets }
+
+// Stats returns an operational snapshot.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		SamplesIn:         e.samplesIn.Load(),
+		Detections:        e.detections.Load(),
+		DecodeErrors:      e.decodeErrs.Load(),
+		DroppedSamples:    e.droppedSamples.Load(),
+		DroppedDetections: e.droppedDets.Load(),
+		Evicted:           e.evicts.Load(),
+	}
+	e.mu.Lock()
+	st.Sessions = len(e.sessions)
+	sessions := make([]*session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		sessions = append(sessions, s)
+	}
+	e.mu.Unlock()
+	for _, s := range sessions {
+		s.mu.Lock()
+		pending := s.rng.len()
+		s.mu.Unlock()
+		st.BufferedSamples += int64(pending) + s.buffered.Load()
+	}
+	e.rateMu.Lock()
+	now := time.Now()
+	if dt := now.Sub(e.rateTime).Seconds(); dt > 0 {
+		st.SamplesPerSec = float64(st.SamplesIn-e.rateSamples) / dt
+	}
+	e.rateTime = now
+	e.rateSamples = st.SamplesIn
+	e.rateMu.Unlock()
+	return st
+}
+
+// Close stops the workers and janitor, flushes every session's
+// remaining samples and open segments, and closes the Detections
+// channel.
+func (e *Engine) Close() {
+	e.once.Do(func() {
+		// Refuse feeds first: a producer racing Close could otherwise
+		// keep a worker's drain loop fed forever and wg.Wait below
+		// would never return.
+		e.mu.Lock()
+		e.stopped = true
+		e.mu.Unlock()
+		close(e.closed)
+		e.wg.Wait()
+		// Wait out in-flight FlushSession/FlushAll/EndSession callers
+		// (they hold drain claims on session decoders) and block new
+		// ones for the remainder of the shutdown.
+		e.lifeMu.Lock()
+		defer e.lifeMu.Unlock()
+		// Entries stranded on the run queue when the workers exited
+		// hold a scheduled claim nobody will release; clear them so
+		// the per-session drain below owns the decoders.
+		for {
+			select {
+			case s := <-e.runq:
+				s.mu.Lock()
+				s.scheduled = false
+				s.mu.Unlock()
+				continue
+			default:
+			}
+			break
+		}
+		e.mu.Lock()
+		sessions := make([]*session, 0, len(e.sessions))
+		for _, s := range e.sessions {
+			sessions = append(sessions, s)
+		}
+		e.sessions = make(map[uint64]*session)
+		e.mu.Unlock()
+		for _, s := range sessions {
+			// Workers are stopped; claim terminally (so a Feed still
+			// holding the pointer retries into the engine-closed
+			// error instead of feeding a dead ring), then drain.
+			s.mu.Lock()
+			s.evicted = true
+			pending := s.rng.drain(nil)
+			s.mu.Unlock()
+			if len(pending) > 0 {
+				e.publish(s, s.dec.Feed(pending))
+			}
+			e.publish(s, s.dec.Flush())
+		}
+		e.pubMu.Lock()
+		e.detsClosed = true
+		close(e.dets)
+		e.pubMu.Unlock()
+	})
+}

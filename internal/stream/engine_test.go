@@ -1,0 +1,346 @@
+package stream
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"passivelight/internal/coding"
+	"passivelight/internal/decoder"
+)
+
+// sessionStream synthesizes what one receiver node sees: quiet noise,
+// a packet pass, quiet, another pass, quiet.
+func sessionStream(payloads []string, fs, symbolDur, gapSec, noise float64, seed int64) []float64 {
+	const high, low, baseline = 90.0, 12.0, 10.0
+	rng := rand.New(rand.NewSource(seed))
+	gap := int(gapSec * fs)
+	perSymbol := int(symbolDur * fs)
+	var out []float64
+	appendQuiet := func(n int) {
+		for i := 0; i < n; i++ {
+			out = append(out, baseline+noise*rng.NormFloat64())
+		}
+	}
+	appendQuiet(gap)
+	for _, p := range payloads {
+		for _, s := range coding.MustPacket(p).Symbols() {
+			level := low
+			if s == coding.High {
+				level = high
+			}
+			for i := 0; i < perSymbol; i++ {
+				out = append(out, level+noise*rng.NormFloat64())
+			}
+		}
+		appendQuiet(gap)
+	}
+	return out
+}
+
+// TestEngineConcurrentSessions drives well over 100 sessions through
+// the worker pool at once and checks every session decodes both of
+// its passes, with memory staying far below the total sample volume.
+func TestEngineConcurrentSessions(t *testing.T) {
+	const sessions = 120
+	// A fixed 4-bit packet format, as a real installation would use —
+	// ExpectedSymbols pins the grid length, which is what makes the
+	// decode robust against clock aliases at this noise level.
+	payloadSet := []string{"1001", "0110", "1100", "0011"}
+	e, err := NewEngine(EngineConfig{
+		Session:     Config{Fs: 1000, Decode: decoder.Options{ExpectedSymbols: 12}},
+		IdleTimeout: -1, // deterministic: no eviction mid-test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	streams := make([][]float64, sessions)
+	wants := make([]string, sessions)
+	totalSamples := 0
+	for i := range streams {
+		p := payloadSet[i%len(payloadSet)]
+		wants[i] = p
+		streams[i] = sessionStream([]string{p, p}, 1000, 0.2, 2.5, 0.3, int64(i+1))
+		totalSamples += len(streams[i])
+	}
+
+	// Collect detections as they are emitted.
+	var detMu sync.Mutex
+	got := make(map[uint64][]string)
+	var collect sync.WaitGroup
+	collect.Add(1)
+	go func() {
+		defer collect.Done()
+		for det := range e.Detections() {
+			if det.Err == nil {
+				detMu.Lock()
+				got[det.Session] = append(got[det.Session], det.BitString())
+				detMu.Unlock()
+			}
+		}
+	}()
+
+	// Shard sessions across feeders: per-session chunk order is the
+	// caller's responsibility, cross-session concurrency is the
+	// engine's.
+	const feeders = 8
+	var feed sync.WaitGroup
+	for f := 0; f < feeders; f++ {
+		feed.Add(1)
+		go func(f int) {
+			defer feed.Done()
+			const chunk = 512
+			for id := f; id < sessions; id += feeders {
+				s := streams[id]
+				for lo := 0; lo < len(s); lo += chunk {
+					hi := min(lo+chunk, len(s))
+					if err := e.Feed(uint64(id), 0, s[lo:hi]); err != nil {
+						t.Errorf("feed %d: %v", id, err)
+						return
+					}
+				}
+			}
+		}(f)
+	}
+	feed.Wait()
+
+	st := e.Stats()
+	if st.Sessions != sessions {
+		t.Fatalf("sessions %d, want %d", st.Sessions, sessions)
+	}
+	if st.SamplesIn != int64(totalSamples) {
+		t.Fatalf("samples in %d, want %d", st.SamplesIn, totalSamples)
+	}
+	if st.DroppedSamples != 0 {
+		t.Fatalf("dropped %d samples", st.DroppedSamples)
+	}
+	// Bounded memory: once the workers catch up, sessions retain only
+	// pre-roll context and open segments, never whole streams. Each
+	// session's steady-state footprint is about a pre-roll (1 s = 1000
+	// samples) plus a partial segment — far below its ~12k stream.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st = e.Stats()
+		if st.BufferedSamples < int64(sessions)*4000 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("buffered %d of %d samples fed — unbounded growth", st.BufferedSamples, st.SamplesIn)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	for id := 0; id < sessions; id++ {
+		if err := e.FlushSession(uint64(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+	collect.Wait()
+
+	for id := 0; id < sessions; id++ {
+		bits := got[uint64(id)]
+		if len(bits) != 2 {
+			t.Fatalf("session %d decoded %v, want 2 passes of %q", id, bits, wants[id])
+		}
+		for _, b := range bits {
+			if b != wants[id] {
+				t.Fatalf("session %d decoded %v, want %q", id, bits, wants[id])
+			}
+		}
+	}
+}
+
+func TestEngineIdleEviction(t *testing.T) {
+	e, err := NewEngine(EngineConfig{
+		Session:     Config{Fs: 1000},
+		IdleTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	s := sessionStream([]string{"10"}, 1000, 0.2, 2.0, 0.3, 3)
+	// Withhold the trailing quiet so the segment stays open and only
+	// the eviction flush can complete it.
+	if err := e.Feed(7, 0, s[:len(s)-1900]); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := e.Stats()
+		if st.Evicted >= 1 {
+			if st.Sessions != 0 {
+				t.Fatalf("evicted but %d sessions remain", st.Sessions)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no eviction after 5 s: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	det := <-e.Detections()
+	if det.Err != nil || det.BitString() != "10" {
+		t.Fatalf("eviction flush produced %q (err %v), want 10", det.BitString(), det.Err)
+	}
+	// The evicted id starts a fresh session on the next feed.
+	if err := e.Feed(7, 0, s[:100]); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Sessions != 1 {
+		t.Fatalf("refeed after eviction: %d sessions", st.Sessions)
+	}
+}
+
+// TestEngineFlushAllAfterEviction pins the eviction/flush claim
+// protocol: FlushAll on sessions the janitor has already evicted (or
+// is evicting concurrently) must return, not spin on the stale
+// pointers.
+func TestEngineFlushAllAfterEviction(t *testing.T) {
+	e, err := NewEngine(EngineConfig{
+		Session:     Config{Fs: 1000},
+		IdleTimeout: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	s := sessionStream([]string{"10"}, 1000, 0.2, 2.0, 0.3, 3)
+	for id := uint64(0); id < 8; id++ {
+		if err := e.Feed(id, 0, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Hammer FlushAll while the janitor evicts underneath it.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		deadline := time.Now().Add(500 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			e.FlushAll()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("FlushAll deadlocked against eviction")
+	}
+	// Evicted ids accept new feeds as fresh sessions.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Sessions != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sessions not evicted: %+v", e.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := e.Feed(3, 0, s[:100]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineEndSession(t *testing.T) {
+	e, err := NewEngine(EngineConfig{
+		Session:     Config{Fs: 1000},
+		IdleTimeout: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	s := sessionStream([]string{"10"}, 1000, 0.2, 2.0, 0.3, 3)
+	// Withhold the trailing quiet: only EndSession's flush completes
+	// the segment.
+	if err := e.Feed(5, 0, s[:len(s)-1900]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EndSession(5); err != nil {
+		t.Fatal(err)
+	}
+	det := <-e.Detections()
+	if det.Err != nil || det.BitString() != "10" {
+		t.Fatalf("end-session flush produced %q (err %v)", det.BitString(), det.Err)
+	}
+	if st := e.Stats(); st.Sessions != 0 {
+		t.Fatalf("%d sessions after EndSession", st.Sessions)
+	}
+	if err := e.EndSession(5); err == nil {
+		t.Fatal("ending a gone session should error")
+	}
+	// The id restarts cleanly.
+	if err := e.Feed(5, 0, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FlushSession(5); err != nil {
+		t.Fatal(err)
+	}
+	det = <-e.Detections()
+	if det.Err != nil || det.BitString() != "10" {
+		t.Fatalf("restarted session produced %q (err %v)", det.BitString(), det.Err)
+	}
+}
+
+// TestEngineOversizedFeed replays a whole recorded stream in one Feed
+// call larger than the ring: the head must not be structurally
+// evicted before a worker drains it.
+func TestEngineOversizedFeed(t *testing.T) {
+	e, err := NewEngine(EngineConfig{
+		Session:      Config{Fs: 1000},
+		QueueSamples: 1024,
+		IdleTimeout:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	s := sessionStream([]string{"10"}, 1000, 0.2, 2.0, 0.3, 3) // ~5600 samples >> 1024
+	if err := e.Feed(1, 0, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FlushSession(1); err != nil {
+		t.Fatal(err)
+	}
+	det := <-e.Detections()
+	if det.Err != nil || det.BitString() != "10" {
+		t.Fatalf("oversized feed decoded %q (err %v); stats %+v", det.BitString(), det.Err, e.Stats())
+	}
+}
+
+func TestEngineGuards(t *testing.T) {
+	e, err := NewEngine(EngineConfig{
+		Session:     Config{Fs: 1000},
+		MaxSessions: 2,
+		IdleTimeout: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	chunk := make([]float64, 64)
+	if err := e.Feed(1, 0, chunk); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Feed(2, 4000, chunk); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Feed(3, 0, chunk); err == nil {
+		t.Fatal("session table full should reject")
+	}
+	if err := e.Feed(2, 8000, chunk); err == nil {
+		t.Fatal("fs mismatch should reject")
+	}
+	if err := e.Feed(2, 4000, chunk); err != nil {
+		t.Fatalf("matching fs rejected: %v", err)
+	}
+	st := e.Stats()
+	if st.DroppedSamples != 128 {
+		t.Fatalf("dropped %d, want 128 (table-full chunk + fs-mismatch chunk)", st.DroppedSamples)
+	}
+	e.Close()
+	if err := e.Feed(1, 0, chunk); err == nil {
+		t.Fatal("feed after close should fail")
+	}
+}

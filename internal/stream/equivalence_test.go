@@ -1,0 +1,185 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+
+	"passivelight/internal/coding"
+	"passivelight/internal/core"
+	"passivelight/internal/decoder"
+)
+
+// TestStreamMatchesBatchAcrossLinks is the subsystem's contract: a
+// chunked streaming decode of a trace yields bit-identical payloads
+// to the batch decoder.Decode of the same trace, across simulated
+// links spanning heights, stripe widths, speeds and payloads.
+func TestStreamMatchesBatchAcrossLinks(t *testing.T) {
+	payloads := []string{"10", "00", "0110", "1001", "111000"}
+	heights := []float64{0.15, 0.20, 0.25}
+	widths := []float64{0.03, 0.04}
+	speeds := []float64{0.06, 0.08}
+	links := 0
+	for _, payload := range payloads {
+		for _, h := range heights {
+			for _, w := range widths {
+				for _, v := range speeds {
+					links++
+					seed := int64(links)
+					name := fmt.Sprintf("link%02d_h%.2f_w%.2f_v%.2f_%s", links, h, w, v, payload)
+					t.Run(name, func(t *testing.T) {
+						link, _, err := core.BenchSetup{
+							Height: h, SymbolWidth: w, Speed: v,
+							Payload: payload, Seed: seed,
+						}.Build()
+						if err != nil {
+							t.Fatal(err)
+						}
+						tr, err := link.Simulate()
+						if err != nil {
+							t.Fatal(err)
+						}
+						opt := decoder.Options{ExpectedSymbols: coding.PreambleLen + 2*len(payload)}
+						batch, batchErr := decoder.Decode(tr, opt)
+
+						dec, err := NewDecoder(Config{Fs: tr.Fs, Decode: opt, PreRollSec: -1})
+						if err != nil {
+							t.Fatal(err)
+						}
+						// Chunk size varies per link so the property
+						// covers many chunkings, including tiny ones.
+						chunk := 64 + (links*149)%1931
+						var dets []Detection
+						for lo := 0; lo < tr.Len(); lo += chunk {
+							hi := min(lo+chunk, tr.Len())
+							dets = append(dets, dec.Feed(tr.Samples[lo:hi])...)
+						}
+						dets = append(dets, dec.Flush()...)
+						if len(dets) != 1 {
+							t.Fatalf("streaming emitted %d detections, want 1", len(dets))
+						}
+						det := dets[0]
+						if batchErr != nil || batch.ParseErr != nil {
+							// Batch could not decode this link; the
+							// stream must agree, not invent bits.
+							if det.Err == nil {
+								t.Fatalf("batch failed (%v/%v) but stream decoded %q", batchErr, batch.ParseErr, det.BitString())
+							}
+							return
+						}
+						if det.Err != nil {
+							t.Fatalf("batch decoded %q but stream failed: %v", batch.Packet.BitString(), det.Err)
+						}
+						if det.BitString() != batch.Packet.BitString() {
+							t.Fatalf("stream bits %q != batch bits %q", det.BitString(), batch.Packet.BitString())
+						}
+						if det.Symbols != batch.SymbolString() {
+							t.Fatalf("stream symbols %q != batch symbols %q", det.Symbols, batch.SymbolString())
+						}
+					})
+				}
+			}
+		}
+	}
+	if links < 50 {
+		t.Fatalf("property covered %d links, want >= 50", links)
+	}
+}
+
+// TestStreamCarShapeMatchesBatch runs the outdoor equivalence: a
+// chunked CarShape stream decode equals the batch DecodeCarPass.
+func TestStreamCarShapeMatchesBatch(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		link, pkt, err := core.OutdoorSetup{
+			Payload:        "1001",
+			NoiseFloorLux:  6200,
+			ReceiverHeight: 0.75,
+			Seed:           seed,
+		}.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := link.Simulate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := decoder.Options{ExpectedSymbols: coding.PreambleLen + 2*len(pkt.Data)}
+		batch, batchErr := decoder.DecodeCarPass(tr, opt)
+
+		dec, err := NewDecoder(Config{Fs: tr.Fs, Decode: opt, PreRollSec: -1, CarShape: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dets []Detection
+		for lo := 0; lo < tr.Len(); lo += 900 {
+			hi := min(lo+900, tr.Len())
+			dets = append(dets, dec.Feed(tr.Samples[lo:hi])...)
+		}
+		dets = append(dets, dec.Flush()...)
+		if len(dets) != 1 {
+			t.Fatalf("seed %d: %d detections, want 1", seed, len(dets))
+		}
+		det := dets[0]
+		if batchErr != nil || batch.Decode.ParseErr != nil {
+			if det.Err == nil {
+				t.Fatalf("seed %d: batch failed (%v) but stream decoded %q", seed, batchErr, det.BitString())
+			}
+			continue
+		}
+		if det.Err != nil {
+			t.Fatalf("seed %d: batch decoded %q but stream failed: %v", seed, batch.Decode.Packet.BitString(), det.Err)
+		}
+		if det.BitString() != batch.Decode.Packet.BitString() {
+			t.Fatalf("seed %d: stream %q != batch %q", seed, det.BitString(), batch.Decode.Packet.BitString())
+		}
+	}
+}
+
+// TestStreamOnlineModeDecodesLiveLinks checks the default (bounded
+// memory, online emission) configuration against the same simulated
+// links: the session must emit the link's payload without waiting for
+// an explicit flush of the full trace.
+func TestStreamOnlineModeDecodesLiveLinks(t *testing.T) {
+	payloads := []string{"10", "0110", "1001"}
+	for i, payload := range payloads {
+		link, _, err := core.BenchSetup{
+			Height: 0.20, SymbolWidth: 0.03, Speed: 0.08,
+			Payload: payload, Seed: int64(100 + i),
+		}.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := link.Simulate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := decoder.Options{ExpectedSymbols: coding.PreambleLen + 2*len(payload)}
+		want, err := decoder.Decode(tr, opt)
+		if err != nil || want.ParseErr != nil {
+			t.Fatalf("%s: batch decode failed: %v / %v", payload, err, want.ParseErr)
+		}
+		dec, err := NewDecoder(Config{Fs: tr.Fs, Decode: opt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dets []Detection
+		for lo := 0; lo < tr.Len(); lo += 256 {
+			hi := min(lo+256, tr.Len())
+			dets = append(dets, dec.Feed(tr.Samples[lo:hi])...)
+		}
+		dets = append(dets, dec.Flush()...)
+		var got []string
+		for _, det := range dets {
+			if det.Err == nil {
+				got = append(got, det.BitString())
+			}
+		}
+		if len(got) != 1 || got[0] != want.Packet.BitString() {
+			t.Fatalf("%s: online mode decoded %v, want [%s]", payload, got, want.Packet.BitString())
+		}
+		// Bounded memory: the session must not have retained the
+		// whole trace.
+		if dec.Buffered() >= tr.Len() {
+			t.Fatalf("%s: session retained %d of %d samples", payload, dec.Buffered(), tr.Len())
+		}
+	}
+}

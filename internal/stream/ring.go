@@ -1,0 +1,57 @@
+package stream
+
+// ring is a fixed-capacity FIFO of RSS samples with drop-oldest
+// overflow: a session that falls behind loses its oldest samples (a
+// stale pass) rather than growing without bound or stalling the
+// network reader.
+type ring struct {
+	buf  []float64
+	head int // index of the oldest sample
+	size int
+}
+
+func newRing(capacity int) *ring {
+	return &ring{buf: make([]float64, capacity)}
+}
+
+func (r *ring) len() int { return r.size }
+
+// push appends chunk, evicting the oldest samples on overflow, and
+// returns how many were dropped.
+func (r *ring) push(chunk []float64) (dropped int) {
+	c := len(r.buf)
+	if len(chunk) >= c {
+		// The chunk alone fills the ring: keep only its tail.
+		dropped = r.size + len(chunk) - c
+		copy(r.buf, chunk[len(chunk)-c:])
+		r.head = 0
+		r.size = c
+		return dropped
+	}
+	if over := r.size + len(chunk) - c; over > 0 {
+		r.head = (r.head + over) % c
+		r.size -= over
+		dropped = over
+	}
+	tail := (r.head + r.size) % c
+	n := copy(r.buf[tail:], chunk)
+	copy(r.buf, chunk[n:])
+	r.size += len(chunk)
+	return dropped
+}
+
+// drain appends the ring's entire contents to dst and empties it.
+func (r *ring) drain(dst []float64) []float64 {
+	c := len(r.buf)
+	first := r.head + r.size
+	if first > c {
+		first = c
+	}
+	dst = append(dst, r.buf[r.head:first]...)
+	if wrapped := r.head + r.size - c; wrapped > 0 {
+		dst = append(dst, r.buf[:wrapped]...)
+	}
+	r.head = 0
+	r.size = 0
+	return dst
+}

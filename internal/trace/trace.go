@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"iter"
 	"strconv"
 	"strings"
 
@@ -92,6 +93,27 @@ func (tr *Trace) Normalized() *Trace {
 	}
 	out.Meta["normalized"] = "minmax"
 	return out
+}
+
+// Chunks yields consecutive sample slices of at most size samples,
+// in stream order — the natural way to replay a recorded trace into
+// a streaming decoder or over the receiver network. The slices alias
+// the trace's backing array; do not mutate them.
+func (tr *Trace) Chunks(size int) iter.Seq[[]float64] {
+	if size <= 0 {
+		size = len(tr.Samples)
+	}
+	return func(yield func([]float64) bool) {
+		for lo := 0; lo < len(tr.Samples); lo += size {
+			hi := lo + size
+			if hi > len(tr.Samples) {
+				hi = len(tr.Samples)
+			}
+			if !yield(tr.Samples[lo:hi]) {
+				return
+			}
+		}
+	}
 }
 
 // Stats summarizes the trace.

@@ -7,6 +7,31 @@ import (
 	"testing"
 )
 
+func TestChunks(t *testing.T) {
+	tr := New(1000, 0, []float64{0, 1, 2, 3, 4, 5, 6})
+	var got [][]float64
+	for c := range tr.Chunks(3) {
+		got = append(got, c)
+	}
+	if len(got) != 3 || len(got[0]) != 3 || len(got[1]) != 3 || len(got[2]) != 1 {
+		t.Fatalf("chunk shapes %v", got)
+	}
+	if got[2][0] != 6 {
+		t.Fatalf("last chunk %v", got[2])
+	}
+	// Non-positive size yields the whole trace at once.
+	n := 0
+	for c := range tr.Chunks(0) {
+		n++
+		if len(c) != tr.Len() {
+			t.Fatalf("size 0 chunk has %d samples", len(c))
+		}
+	}
+	if n != 1 {
+		t.Fatalf("size 0 yielded %d chunks", n)
+	}
+}
+
 func TestNewCopiesSamples(t *testing.T) {
 	src := []float64{1, 2, 3}
 	tr := New(1000, 0, src)
