@@ -101,12 +101,22 @@ func SelectReceiver(noiseFloorLux float64, candidates ...ReceiverDevice) (Receiv
 
 // RunEndToEnd simulates a link and decodes the result, comparing the
 // decoded payload against the packet physically present on the tag.
+//
+// Deprecated: build a Pipeline over NewLinkSource (or
+// NewBenchSource/NewCarPassSource) and compare events against the
+// source's Packet; the pipeline adds context cancellation, sinks and
+// the codebook/receiver-policy stages.
 func RunEndToEnd(l *Link, sent Packet, opt DecodeOptions) (RunResult, error) {
 	return core.EndToEnd(l, sent, opt)
 }
 
 // Decode runs the paper's Sec. 4.1 adaptive threshold decoder on a
 // trace.
+//
+// Deprecated: use NewPipeline(NewTraceSource(tr, 0), Threshold(),
+// WithDecodeOptions(opt), WithPreRoll(-1)) — bit-identical output,
+// one composable surface. Decode remains as a thin wrapper over the
+// same state machine.
 func Decode(tr *Trace, opt DecodeOptions) (DecodeResult, error) {
 	return decoder.Decode(tr, opt)
 }
@@ -114,15 +124,20 @@ func Decode(tr *Trace, opt DecodeOptions) (DecodeResult, error) {
 // DecodeCarPass runs the Sec. 5 two-phase decode: detect the car's
 // optical signature (long-duration preamble), then threshold-decode
 // the roof tag.
+//
+// Deprecated: use NewPipeline with the TwoPhase strategy.
 func DecodeCarPass(tr *Trace, opt DecodeOptions) (TwoPhaseResult, error) {
 	return decoder.DecodeCarPass(tr, opt)
 }
 
 // NewClassifier builds a DTW waveform classifier; length <= 0 selects
-// 256 resampled points.
+// 256 resampled points. Bind it to a stream with the DTWClassify
+// pipeline strategy, or call Classify directly.
 func NewClassifier(length int) *Classifier { return decoder.NewClassifier(length) }
 
 // AnalyzeCollision runs the Sec. 4.3 FFT analysis on a trace.
+//
+// Deprecated: use NewPipeline with the Collision strategy.
 func AnalyzeCollision(tr *Trace, opt CollisionOptions) (CollisionReport, error) {
 	return decoder.AnalyzeCollision(tr, opt)
 }
@@ -157,9 +172,18 @@ type StreamStats = stream.Stats
 // the same trace; the default online mode bounds memory by
 // segmenting around detected activity, so it decodes the same
 // packets but is not guaranteed sample-for-sample batch parity.
+//
+// Deprecated: use NewPipeline over a NewChunkSource (or any other
+// source); the same session machinery runs behind Pipeline.Stream
+// with context cancellation and sinks.
 func NewStreamDecoder(cfg StreamConfig) (*StreamDecoder, error) { return stream.NewDecoder(cfg) }
 
 // NewStreamEngine starts a concurrent streaming decode engine.
+//
+// Deprecated: the engine is the execution substrate behind
+// Pipeline.Run/Pipeline.Stream; build a Pipeline over a multi-session
+// source (ListenSource, NewChunkSource) instead of driving the engine
+// directly.
 func NewStreamEngine(cfg StreamEngineConfig) (*StreamEngine, error) { return stream.NewEngine(cfg) }
 
 // CapacitySweep is the configuration for decodable-region and

@@ -7,22 +7,27 @@
 //	plnet -mode aggregator -listen :7410
 //	plnet -mode node -connect host:7410 -id 2 -x 25 -payload 1001
 //	plnet -mode demo            # in-process aggregator + 3 simulated nodes
-//	plnet -mode stream -nodes 3 # nodes stream raw samples; the
-//	                            # aggregator decodes them server-side
+//	plnet -mode stream -nodes 3 # nodes stream raw samples into a
+//	                            # server-side decode Pipeline
+//
+// Stream mode is built on the unified Pipeline API: a NetSource
+// accepts the nodes' raw chunk streams, a TwoPhase pipeline decodes
+// them on the worker pool, and a sink feeds the detections into the
+// aggregator's track fusion. Ctrl-C cancels the shared context, which
+// shuts down sources, sessions and run loops cleanly.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"time"
 
-	"passivelight/internal/core"
-	"passivelight/internal/decoder"
+	"passivelight"
 	"passivelight/internal/rxnet"
-	"passivelight/internal/stream"
 )
 
 func main() {
@@ -38,10 +43,14 @@ func main() {
 		chunk    = flag.Int("chunk", 1024, "samples per streamed chunk (stream mode)")
 	)
 	flag.Parse()
+	// One signal-handling context for every mode: Ctrl-C propagates
+	// into node run loops, stream sessions and the aggregator.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var err error
 	switch *mode {
 	case "aggregator":
-		err = runAggregator(*listen, *discover)
+		err = runAggregator(ctx, *listen, *discover)
 	case "node":
 		target := *connect
 		if *discover != "" {
@@ -51,22 +60,22 @@ func main() {
 			if *discover != "" {
 				fmt.Println("discovered aggregator at", target)
 			}
-			err = runNode(target, uint32(*nodeID), *posX, *payload)
+			err = runNode(ctx, target, uint32(*nodeID), *posX, *payload)
 		}
 	case "demo":
-		err = runDemo()
+		err = runDemo(ctx)
 	case "stream":
-		err = runStream(*nodes, *chunk, *payload)
+		err = runStream(ctx, *nodes, *chunk, *payload)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
-	if err != nil {
+	if err != nil && ctx.Err() == nil {
 		fmt.Fprintln(os.Stderr, "plnet:", err)
 		os.Exit(1)
 	}
 }
 
-func runAggregator(listen, discoverAddr string) error {
+func runAggregator(ctx context.Context, listen, discoverAddr string) error {
 	agg := rxnet.NewAggregator(rxnet.AggregatorOptions{Logf: rxnet.StdLogf})
 	addr, err := agg.Listen(listen)
 	if err != nil {
@@ -83,8 +92,6 @@ func runAggregator(listen, discoverAddr string) error {
 		fmt.Println("answering discovery probes on", udpAddr)
 	}
 	tracks := agg.Subscribe()
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	for {
 		select {
 		case t, ok := <-tracks:
@@ -99,12 +106,12 @@ func runAggregator(listen, discoverAddr string) error {
 	}
 }
 
-// runNode simulates one receiver node: it renders a car pass with the
-// given payload, decodes it locally, and publishes the detection.
-func runNode(connect string, id uint32, posX float64, payload string) error {
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+// runNode simulates one receiver node: it decodes a car pass locally
+// through a TwoPhase pipeline and publishes the detection.
+func runNode(ctx context.Context, connect string, id uint32, posX float64, payload string) error {
+	dialCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
-	node, err := rxnet.Dial(ctx, connect, rxnet.Hello{
+	node, err := rxnet.Dial(dialCtx, connect, rxnet.Hello{
 		NodeID: id,
 		PosX:   posX,
 		Height: 0.75,
@@ -114,7 +121,7 @@ func runNode(connect string, id uint32, posX float64, payload string) error {
 		return err
 	}
 	defer node.Close()
-	det, err := observe(payload, int64(id))
+	det, err := observe(ctx, payload, int64(id))
 	if err != nil {
 		return err
 	}
@@ -125,72 +132,101 @@ func runNode(connect string, id uint32, posX float64, payload string) error {
 	return nil
 }
 
-// observe simulates a local car pass and decodes it into a Detection.
-func observe(payload string, seed int64) (rxnet.Detection, error) {
-	link, _, err := core.OutdoorSetup{
+// observe simulates a local car pass and decodes it into a Detection
+// through the Pipeline API (CarPassSource -> TwoPhase).
+func observe(ctx context.Context, payload string, seed int64) (rxnet.Detection, error) {
+	src := passivelight.NewCarPassSource(passivelight.OutdoorCarPass{
 		Payload:        payload,
 		NoiseFloorLux:  6200,
 		ReceiverHeight: 0.75,
 		Seed:           seed,
-	}.Build()
+	})
+	pipe, err := passivelight.NewPipeline(src, passivelight.TwoPhase(),
+		passivelight.WithExpectedSymbols(4+2*len(payload)),
+		passivelight.WithPreRoll(-1), // offline replay: decode on end of stream
+	)
 	if err != nil {
 		return rxnet.Detection{}, err
 	}
-	tr, err := link.Simulate()
+	events, err := pipe.Run(ctx)
 	if err != nil {
 		return rxnet.Detection{}, err
 	}
-	tp, err := decoder.DecodeCarPass(tr, decoder.Options{ExpectedSymbols: 4 + 2*len(payload)})
-	if err != nil {
-		return rxnet.Detection{}, fmt.Errorf("local decode: %w", err)
+	for _, ev := range events {
+		if ev.Err != nil {
+			continue
+		}
+		st := src.Trace().Stats()
+		return rxnet.Detection{
+			Time:       time.Now(),
+			Bits:       ev.Bits,
+			RSSPeak:    st.Max,
+			NoiseFloor: 6200,
+			SymbolRate: ev.SymbolRate,
+		}, nil
 	}
-	if tp.Decode.ParseErr != nil {
-		return rxnet.Detection{}, fmt.Errorf("local decode: %w", tp.Decode.ParseErr)
-	}
-	bits := make([]byte, len(tp.Decode.Packet.Data))
-	for i, b := range tp.Decode.Packet.Data {
-		bits[i] = byte(b)
-	}
-	st := tr.Stats()
-	return rxnet.Detection{
-		Time:       time.Now(),
-		Bits:       bits,
-		RSSPeak:    st.Max,
-		NoiseFloor: 6200,
-		SymbolRate: 1 / tp.Decode.Thresholds.TauT,
-	}, nil
+	return rxnet.Detection{}, fmt.Errorf("local decode: no packet found in pass")
 }
 
-// runStream is the streaming variant of the demo: an in-process
-// aggregator with a server-side decode engine, and N simulated nodes
-// that ship their raw RSS traces live in chunks — the paper's
-// testbed inverted, with all DSP running at the aggregator.
-func runStream(nodeCount, chunkSize int, payload string) error {
+// runStream is the streaming variant of the demo, fully on the new
+// Pipeline API: N simulated nodes ship their raw RSS traces live in
+// chunks to a NetSource; one TwoPhase pipeline decodes every stream
+// server-side and its sink feeds the aggregator's track fusion — the
+// paper's testbed inverted, with all DSP at the pipeline.
+func runStream(ctx context.Context, nodeCount, chunkSize int, payload string) error {
 	if nodeCount < 2 {
 		return fmt.Errorf("stream mode needs at least 2 nodes to fuse a track, got %d", nodeCount)
 	}
-	agg := rxnet.NewAggregator(rxnet.AggregatorOptions{
-		Logf:     rxnet.StdLogf,
-		TrackGap: time.Minute,
-		Streaming: &stream.EngineConfig{
-			Session: stream.Config{
-				Decode:   decoder.Options{ExpectedSymbols: 4 + 2*len(payload)},
-				CarShape: true,
-			},
-		},
-	})
-	addr, err := agg.Listen("127.0.0.1:0")
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// The aggregator only fuses; decode lives in the pipeline.
+	agg := rxnet.NewAggregator(rxnet.AggregatorOptions{Logf: rxnet.StdLogf, TrackGap: time.Minute})
+	defer agg.Close()
+
+	src, err := passivelight.ListenSource("127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	defer agg.Close()
-	fmt.Println("streaming aggregator on", addr)
+	src.OnHello(func(h passivelight.NodeHello) { agg.RegisterNode(h) })
+	pipe, err := passivelight.NewPipeline(src, passivelight.TwoPhase(),
+		passivelight.WithExpectedSymbols(4+2*len(payload)),
+		passivelight.WithSink(func(ev passivelight.Event) {
+			if ev.Err != nil {
+				fmt.Printf("stream session %d segment [%d,%d): %v\n", ev.Session, ev.Start, ev.End, ev.Err)
+				return
+			}
+			agg.Ingest(rxnet.Detection{
+				NodeID:     rxnet.SessionNodeID(ev.Session),
+				Time:       ev.Wall,
+				Bits:       ev.Bits,
+				RSSPeak:    ev.RSSPeak,
+				NoiseFloor: ev.NoiseFloor,
+				SymbolRate: ev.SymbolRate,
+			})
+		}),
+	)
+	if err != nil {
+		return err
+	}
+	events, err := pipe.Stream(ctx)
+	if err != nil {
+		return err
+	}
+	drained := make(chan struct{})
+	go func() {
+		for range events { // sinks already did the work
+		}
+		close(drained)
+	}()
+	fmt.Println("streaming decode pipeline on", src.Addr())
 
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-	defer cancel()
 	var sent int64
 	for i := 0; i < nodeCount; i++ {
-		node, err := rxnet.Dial(ctx, addr, rxnet.Hello{
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		node, err := rxnet.Dial(ctx, src.Addr(), rxnet.Hello{
 			NodeID: uint32(i + 1),
 			PosX:   float64(i) * 25,
 			Height: 0.75,
@@ -200,12 +236,12 @@ func runStream(nodeCount, chunkSize int, payload string) error {
 			return err
 		}
 		// Render this node's car pass and ship the raw trace.
-		link, _, err := core.OutdoorSetup{
+		link, _, err := (passivelight.OutdoorCarPass{
 			Payload:        payload,
 			NoiseFloorLux:  6200,
 			ReceiverHeight: 0.75,
 			Seed:           int64(i + 1),
-		}.Build()
+		}).Build()
 		if err != nil {
 			node.Close()
 			return err
@@ -216,6 +252,10 @@ func runStream(nodeCount, chunkSize int, payload string) error {
 			return err
 		}
 		for chunk := range tr.Chunks(chunkSize) {
+			if err := ctx.Err(); err != nil {
+				node.Close()
+				return err
+			}
 			if err := node.StreamChunk(0, tr.Fs, chunk); err != nil {
 				node.Close()
 				return err
@@ -223,38 +263,45 @@ func runStream(nodeCount, chunkSize int, payload string) error {
 		}
 		node.Close()
 		fmt.Printf("pole-%d streamed %d samples (%.1f s at %.0f S/s)\n", i+1, tr.Len(), tr.Duration(), tr.Fs)
-		// Wait for the server to ingest everything sent so far, then
-		// flush so the open segment decodes now instead of waiting
-		// out the quiet hold (dial-order spacing also keeps detection
+		// Wait for the pipeline to ingest everything sent so far, then
+		// flush so the open segment decodes now instead of waiting out
+		// the quiet hold (dial-order spacing also keeps detection
 		// timestamps ordered for fusion).
 		sent += int64(tr.Len())
 		ingestDeadline := time.Now().Add(30 * time.Second)
 		for {
-			st, ok := agg.StreamStats()
-			if !ok || st.SamplesIn >= sent {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			st := pipe.Stats()
+			if st.SamplesIn >= sent {
 				break
 			}
 			if time.Now().After(ingestDeadline) {
-				return fmt.Errorf("aggregator ingested %d of %d streamed samples (dropped %d)",
+				return fmt.Errorf("pipeline ingested %d of %d streamed samples (dropped %d)",
 					st.SamplesIn, sent, st.DroppedSamples)
 			}
 			time.Sleep(5 * time.Millisecond)
 		}
-		agg.FlushStreams()
+		pipe.Flush()
 		time.Sleep(20 * time.Millisecond)
 	}
 
-	if st, ok := agg.StreamStats(); ok {
-		fmt.Printf("engine: %d sessions, %d samples in, %d detections, %d decode errors, %d buffered\n",
-			st.Sessions, st.SamplesIn, st.Detections, st.DecodeErrors, st.BufferedSamples)
-	}
+	st := pipe.Stats()
+	fmt.Printf("pipeline: %d sessions, %d samples in, %d detections, %d decode errors, %d buffered\n",
+		st.Sessions, st.SamplesIn, st.Detections, st.DecodeErrors, st.BufferedSamples)
 	deadline := time.Now().Add(5 * time.Second)
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if tracks := agg.Tracks(); len(tracks) > 0 {
 			t := tracks[len(tracks)-1]
 			fmt.Printf("fused track: object=%s across %d receivers (%d -> %d)\n",
 				rxnet.BitsString(t.ObjectBits), t.Confirmations, t.FirstNode, t.LastNode)
-			return nil
+			cancel()
+			<-drained
+			return pipelineErr(pipe.Err())
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("no track fused from streamed samples")
@@ -263,10 +310,19 @@ func runStream(nodeCount, chunkSize int, payload string) error {
 	}
 }
 
+// pipelineErr strips the expected cancellation from a pipeline
+// shutdown (stream mode cancels the context to end the NetSource).
+func pipelineErr(err error) error {
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}
+
 // runDemo spins up an in-process aggregator and three nodes along a
 // lane; a simulated car carrying payload 1001 passes each node in
 // turn, and the aggregator fuses the detections into a track.
-func runDemo() error {
+func runDemo(ctx context.Context) error {
 	agg := rxnet.NewAggregator(rxnet.AggregatorOptions{Logf: rxnet.StdLogf, TrackGap: time.Minute})
 	addr, err := agg.Listen("127.0.0.1:0")
 	if err != nil {
@@ -279,9 +335,10 @@ func runDemo() error {
 	positions := []float64{0, 25, 50} // poles every 25 m
 	passTimes := []time.Duration{0, 5 * time.Second, 10 * time.Second}
 	base := time.Now()
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
 	for i, x := range positions {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		node, err := rxnet.Dial(ctx, addr, rxnet.Hello{
 			NodeID: uint32(i + 1),
 			PosX:   x,
@@ -291,7 +348,7 @@ func runDemo() error {
 		if err != nil {
 			return err
 		}
-		det, err := observe(payload, int64(i+1))
+		det, err := observe(ctx, payload, int64(i+1))
 		if err != nil {
 			node.Close()
 			return err

@@ -5,69 +5,81 @@
 // reflected by patterned surfaces worn by mobile objects and decoded
 // by a single cheap photodiode or an LED used as a receiver.
 //
-// The package exposes the end-to-end pipeline:
+// # Source → Pipeline → Events
 //
-//   - encode payload bits into a reflective-stripe "packet"
-//     (Manchester code behind an HLHL preamble, Fig. 4 of the paper);
-//   - simulate the passive optical channel (light source, moving
-//     reflectance profile, receiver field-of-view kernel, front-end
-//     electronics, ADC) — the hardware testbed of the paper replaced
-//     by physics per DESIGN.md;
-//   - decode received traces with the paper's adaptive threshold
-//     algorithm (per-packet tau_r/tau_t), classify distorted traces
-//     with DTW, and analyze packet collisions with an FFT;
-//   - measure channel capacity envelopes and run every experiment of
-//     the paper's evaluation (see EXPERIMENTS.md).
+// The public API mirrors the paper's single physical pipeline (light
+// source → tag → receiver front end → decoder) as two composable
+// abstractions. A Source produces RSS sample chunks:
 //
-// Quickstart:
+//   - NewTraceSource — a recorded Trace, replayed in chunks;
+//   - NewBenchSource / NewCarPassSource / NewLinkSource — the
+//     simulated testbed (indoor bench, Sec. 5 car pass, or any custom
+//     Link), rendered on Open;
+//   - NewChunkSource — a live feed of sample chunks from a channel;
+//   - ListenSource — a receiver-network listener: nodes stream raw
+//     SampleChunk frames over TCP and each (node, stream) pair
+//     becomes one decode session.
 //
-//	bench := passivelight.IndoorBench{
+// A Pipeline binds one source to a decode strategy — Threshold
+// (Sec. 4.1 adaptive tau_r/tau_t), TwoPhase (Sec. 5 car-shape
+// preamble + stripe decode), Collision (Sec. 4.3 FFT analysis) or
+// DTWClassify (Sec. 4.2) — configured with functional options:
+//
+//	src := passivelight.NewBenchSource(passivelight.IndoorBench{
 //		Height:      0.20, // m
 //		SymbolWidth: 0.03, // m
 //		Speed:       0.08, // m/s
 //		Payload:     "10",
-//	}
-//	link, packet, err := bench.Build()
-//	if err != nil { ... }
-//	result, err := passivelight.RunEndToEnd(link, packet, passivelight.DecodeOptions{})
-//	if err != nil { ... }
-//	fmt.Println(result.Decode.SymbolString(), result.Success)
-//
-// # Streaming architecture
-//
-// Beyond the paper's record-then-decode workflow, the library has an
-// online tier for samples that arrive live. The adaptive-threshold
-// state machine (noise-floor tracking, activity detection, symbol
-// clocking) is resumable, so a StreamDecoder accepts RSS chunks of
-// any size and emits detections as packets complete, in bounded
-// memory; the batch Decode is the same machine fed one chunk, and in
-// the batch-equivalent configuration (PreRollSec < 0) a chunked
-// stream decode of a trace is bit-identical to it. A
-// StreamEngine multiplexes thousands of concurrent sessions over a
-// worker pool with per-session ring buffers and idle eviction:
-//
-//	engine, err := passivelight.NewStreamEngine(passivelight.StreamEngineConfig{
-//		Session: passivelight.StreamConfig{Fs: 2000},
 //	})
+//	pipe, err := passivelight.NewPipeline(src, passivelight.Threshold(),
+//		passivelight.WithExpectedSymbols(8),
+//		passivelight.WithPreRoll(-1), // offline replay: batch-equivalent
+//	)
 //	if err != nil { ... }
-//	defer engine.Close()
-//	go func() {
-//		for det := range engine.Detections() {
-//			if det.Err == nil {
-//				fmt.Printf("session %d decoded %s\n", det.Session, det.BitString())
-//			}
-//		}
-//	}()
-//	// One session per receiver; chunks arrive from the network.
-//	engine.Feed(sessionID, fs, chunk)
-//	fmt.Printf("%+v\n", engine.Stats()) // sessions, samples/s, detections
+//	events, err := pipe.Run(ctx)
+//	if err != nil { ... }
+//	for _, ev := range events {
+//		fmt.Println(ev.Symbols, ev.BitString() == src.Packet().BitString())
+//	}
+//
+// Run collects every event until the source ends; Stream returns the
+// event channel for live consumption. Both honor context.Context
+// cancellation end to end, and failures unwrap to typed sentinels
+// (ErrNoPreamble, ErrLowContrast, ErrSaturated, ErrSessionEvicted,
+// ErrEngineClosed) with errors.Is at every layer. Options bolt the
+// paper's system pieces onto any pipeline: WithCodebook applies the
+// Sec. 4.2 restricted code sets as an error-correction stage,
+// WithReceiverAutoSelect applies the Sec. 4.4 dual-receiver policy to
+// simulated sources, WithWorkers/WithQueue/WithIdleTimeout tune the
+// concurrent substrate, WithSink taps the event flow.
+//
+// # Execution substrate
+//
+// Behind Run/Stream every streaming strategy executes on the online
+// decode engine: the adaptive-threshold state machine is resumable
+// (noise-floor tracking, activity segmentation, per-segment decode),
+// so each session consumes chunks of any size in bounded memory while
+// a worker pool multiplexes thousands of concurrent sessions with
+// per-session ring buffers and idle eviction. One pipeline therefore
+// serves a single recorded trace and a whole receiver deployment with
+// the same code path. In batch-equivalent mode (WithPreRoll(-1)) a
+// pipeline over a recorded trace produces detections bit-identical to
+// the batch Decode of the same samples. Whole-stream strategies
+// (Collision, DTWClassify) buffer per session and analyze at end of
+// stream.
 //
 // The receiver network (internal/rxnet, cmd/plnet) builds on this:
-// nodes may either decode locally and publish compact detections, or
-// ship raw SampleChunk frames and let the aggregator decode them
-// server-side through an engine before fusing tracks.
+// nodes either decode locally and publish compact detections to an
+// aggregator, or ship raw samples into a ListenSource pipeline whose
+// sink feeds the aggregator's track fusion.
+//
+// # Deprecated free functions
+//
+// The pre-Pipeline entry points (Decode, DecodeCarPass,
+// AnalyzeCollision, NewStreamDecoder, NewStreamEngine) remain as thin
+// wrappers over the same internals; see the README's migration table.
 //
 // The runnable programs under cmd/ and the examples/ directory cover
 // the paper's indoor bench, the outdoor car application and the
-// networked-receivers extension.
+// networked-receivers extension, all on the Pipeline API.
 package passivelight

@@ -1,0 +1,58 @@
+package passivelight
+
+import (
+	"errors"
+	"testing"
+
+	"passivelight/internal/trace"
+)
+
+// TestSentinelErrorsEndToEnd: the typed sentinels must unwrap with
+// errors.Is through every layer — facade functions, the streaming
+// engine and the pipeline share one error vocabulary.
+func TestSentinelErrorsEndToEnd(t *testing.T) {
+	// ErrSaturated out of the receiver-selection policy.
+	if _, err := SelectReceiver(1e6); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("SelectReceiver(1e6): %v, want ErrSaturated", err)
+	}
+
+	// ErrNoPreamble out of a flat trace (no peaks to anchor A/B/C).
+	flat := trace.New(1000, 0, make([]float64, 1000))
+	if _, err := Decode(flat, DecodeOptions{}); !errors.Is(err, ErrNoPreamble) {
+		t.Fatalf("Decode(flat): %v, want ErrNoPreamble", err)
+	}
+
+	// ErrSessionEvicted for an unknown engine session; ErrEngineClosed
+	// after shutdown.
+	eng, err := NewStreamEngine(StreamEngineConfig{Session: StreamConfig{Fs: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.FlushSession(42); !errors.Is(err, ErrSessionEvicted) {
+		t.Fatalf("FlushSession(42): %v, want ErrSessionEvicted", err)
+	}
+	if err := eng.EndSession(42); !errors.Is(err, ErrSessionEvicted) {
+		t.Fatalf("EndSession(42): %v, want ErrSessionEvicted", err)
+	}
+	eng.Close()
+	if err := eng.Feed(1, 0, []float64{1, 2, 3}); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Feed after Close: %v, want ErrEngineClosed", err)
+	}
+}
+
+// TestSentinelErrorsThroughStreamDetections: a decode failure inside
+// a streaming session surfaces the same sentinel on the detection.
+func TestSentinelErrorsThroughStreamDetections(t *testing.T) {
+	dec, err := NewStreamDecoder(StreamConfig{Fs: 1000, PreRollSec: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.Feed(make([]float64, 1000)) // flat: no preamble anywhere
+	dets := dec.Flush()
+	if len(dets) != 1 {
+		t.Fatalf("flush produced %d detections", len(dets))
+	}
+	if !errors.Is(dets[0].Err, ErrNoPreamble) {
+		t.Fatalf("stream detection error %v, want ErrNoPreamble", dets[0].Err)
+	}
+}

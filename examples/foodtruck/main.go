@@ -1,10 +1,13 @@
 // Foodtruck: the paper's Fig. 1 scenario. Food trucks wear reflective
 // codes from a Hamming-separated codebook; a curbside photodiode box
 // reads the code as each truck drives past in daylight and looks up
-// the vendor — even correcting a bit flipped by a dirty stripe.
+// the vendor — even correcting a bit flipped by a dirty stripe. The
+// codebook lookup is a pipeline stage (WithCodebook), so events carry
+// the corrected vendor index directly.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,36 +41,42 @@ func main() {
 		// cloudy-noon sky. 16 stripes at 8 cm fill the 1.3 m roof, so
 		// the receiver sits at 50 cm where its footprint still
 		// resolves the narrower symbols.
-		pass := passivelight.OutdoorCarPass{
+		src := passivelight.NewCarPassSource(passivelight.OutdoorCarPass{
 			Payload:        payload,
 			SymbolWidth:    0.08,
 			NoiseFloorLux:  6200,
 			ReceiverHeight: 0.50,
 			Seed:           int64(200 + id),
-		}
-		link, packet, err := pass.Build()
-		if err != nil {
-			log.Fatal(err)
-		}
-		tr, err := link.Simulate()
-		if err != nil {
-			log.Fatal(err)
-		}
-		twoPhase, err := passivelight.DecodeCarPass(tr, passivelight.DecodeOptions{
-			ExpectedSymbols: 4 + 2*len(payload),
 		})
+		pipe, err := passivelight.NewPipeline(src, passivelight.TwoPhase(),
+			passivelight.WithExpectedSymbols(4+2*len(payload)),
+			passivelight.WithPreRoll(-1),
+			passivelight.WithCodebook(codebook),
+		)
 		if err != nil {
-			fmt.Printf("%-14s code=%s  -> no read (%v)\n", vendor, payload, err)
-			continue
+			log.Fatal(err)
 		}
-		decoded := twoPhase.Decode.Packet.Data
-		gotID, dist := codebook.Decode(decoded)
-		status := "exact"
-		if dist > 0 {
-			status = fmt.Sprintf("corrected %d bit(s)", dist)
+		events, err := pipe.Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("%-14s code=%s sent=%s read=%s -> %q (%s)\n",
-			vendor, payload, packet.BitString(), twoPhase.Decode.Packet.BitString(),
-			vendors[gotID], status)
+		read := false
+		for _, ev := range events {
+			if ev.Err != nil {
+				fmt.Printf("%-14s code=%s  -> no read (%v)\n", vendor, payload, ev.Err)
+				continue
+			}
+			status := "exact"
+			if ev.CodeDistance > 0 {
+				status = fmt.Sprintf("corrected %d bit(s)", ev.CodeDistance)
+			}
+			fmt.Printf("%-14s code=%s sent=%s read=%s -> %q (%s)\n",
+				vendor, payload, src.Packet().BitString(), ev.BitString(),
+				vendors[ev.CodeIndex], status)
+			read = true
+		}
+		if !read && len(events) == 0 {
+			fmt.Printf("%-14s code=%s  -> no read (no packet in pass)\n", vendor, payload)
+		}
 	}
 }

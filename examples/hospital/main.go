@@ -1,12 +1,15 @@
 // Hospital: the paper's indoor motivation — emergency, treatment and
 // housekeeping trolleys wear reflective codes; corridor receivers
 // under fluorescent ceiling lights read them to report trolley
-// locations. The example also shows a two-trolley collision being
-// flagged in the frequency domain (Sec. 4.3) when both cross the same
-// doorway.
+// locations. Each corridor read is a Threshold pipeline over a
+// simulated bench source (the fluorescent fixture swapped in with a
+// source Customize hook); the two-trolley doorway collision runs the
+// same source through a Collision pipeline, which flags two distinct
+// symbol-rate tones in the frequency domain (Sec. 4.3).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,25 +31,34 @@ var trolleys = map[string]string{
 }
 
 func main() {
+	ctx := context.Background()
 	// Single trolley passes under a corridor receiver lit by 150 lux
 	// fluorescent fixtures (Fig. 7 conditions).
 	for name, payload := range trolleys {
-		link, packet, err := passivelight.IndoorBench{
+		src := passivelight.NewBenchSource(passivelight.IndoorBench{
 			Height:      0.20,
 			SymbolWidth: 0.03,
 			Speed:       0.10,
 			Payload:     payload,
 			Seed:        int64(len(name)),
-		}.Build()
+		}).Customize(func(l *passivelight.Link) {
+			l.Scene.Source = optics.CeilingLight{Lux: 150, RippleDepth: 0.12, MainsHz: 50}
+		})
+		pipe, err := passivelight.NewPipeline(src, passivelight.Threshold(),
+			passivelight.WithExpectedSymbols(8),
+			passivelight.WithPreRoll(-1),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		link.Scene.Source = optics.CeilingLight{Lux: 150, RippleDepth: 0.12, MainsHz: 50}
-		res, err := passivelight.RunEndToEnd(link, packet, passivelight.DecodeOptions{})
+		events, err := pipe.Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-13s trolley: decoded=%s ok=%v\n", name, res.Decode.SymbolString(), res.Success)
+		for _, ev := range events {
+			ok := ev.Err == nil && ev.BitString() == src.Packet().BitString()
+			fmt.Printf("%-13s trolley: decoded=%s ok=%v\n", name, ev.Symbols, ok)
+		}
 	}
 
 	// Two trolleys share a doorway: the time-domain signal garbles,
@@ -55,23 +67,32 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tr, err := link.Simulate()
+	pipe, err := passivelight.NewPipeline(
+		passivelight.NewLinkSource(link),
+		passivelight.Collision(passivelight.CollisionOptions{
+			MinFreq: 1.0, MaxFreq: 4.0, SignificanceRatio: 0.6,
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := passivelight.AnalyzeCollision(tr, passivelight.CollisionOptions{
-		MinFreq: 1.0, MaxFreq: 4.0, SignificanceRatio: 0.6,
-	})
+	events, err := pipe.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ndoorway collision: %d distinct symbol-rate tones detected", rep.SignificantTones)
-	for _, p := range rep.Peaks {
-		fmt.Printf("  [%.1f Hz]", p.Freq)
-	}
-	fmt.Println()
-	if rep.SignificantTones >= 2 {
-		fmt.Println("-> two trolleys crossed together; requesting a re-read")
+	for _, ev := range events {
+		if ev.Err != nil {
+			log.Fatal(ev.Err)
+		}
+		rep := ev.Collision
+		fmt.Printf("\ndoorway collision: %d distinct symbol-rate tones detected", rep.SignificantTones)
+		for _, p := range rep.Peaks {
+			fmt.Printf("  [%.1f Hz]", p.Freq)
+		}
+		fmt.Println()
+		if rep.SignificantTones >= 2 {
+			fmt.Println("-> two trolleys crossed together; requesting a re-read")
+		}
 	}
 }
 

@@ -2,10 +2,12 @@
 // dual receiver watches a parking lot entrance; cars carry roof codes.
 // The car's own optical signature (hood peak, windshield valley)
 // serves as a long-duration preamble, then the stripe code is decoded.
-// The receiver is chosen per ambient conditions (Sec. 4.4).
+// The receiver is chosen per ambient conditions by the pipeline's
+// WithReceiverAutoSelect stage (Sec. 4.4).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,43 +27,39 @@ func main() {
 		{"overcast, BMW 3", scene.BMW3(), "01", 3700},
 	}
 	for i, a := range arrivals {
-		// Pick the receiver the paper's policy would (Sec. 4.4) from
-		// the two devices with pole-appropriate optics: the capped PD
-		// (sensitive, for dim days) and the RX-LED (for bright days).
-		dev, err := passivelight.SelectReceiver(a.lux,
-			passivelight.PDReceiver(passivelight.GainG2).WithCap(),
-			passivelight.RXLEDReceiver())
-		if err != nil {
-			log.Fatal(err)
-		}
-		pass := passivelight.OutdoorCarPass{
+		src := passivelight.NewCarPassSource(passivelight.OutdoorCarPass{
 			Car:            a.car,
 			Payload:        a.payload,
 			NoiseFloorLux:  a.lux,
 			ReceiverHeight: 0.75,
-			Receiver:       dev,
 			Seed:           int64(300 + i),
-		}
-		link, packet, err := pass.Build()
-		if err != nil {
-			log.Fatal(err)
-		}
-		tr, err := link.Simulate()
-		if err != nil {
-			log.Fatal(err)
-		}
-		twoPhase, err := passivelight.DecodeCarPass(tr, passivelight.DecodeOptions{
-			ExpectedSymbols: 4 + 2*len(a.payload),
 		})
+		// The pipeline applies the paper's dual-receiver policy
+		// (Sec. 4.4) over the two devices with pole-appropriate
+		// optics: the capped PD (sensitive, for dim days) and the
+		// RX-LED (for bright days).
+		pipe, err := passivelight.NewPipeline(src, passivelight.TwoPhase(),
+			passivelight.WithExpectedSymbols(4+2*len(a.payload)),
+			passivelight.WithPreRoll(-1),
+			passivelight.WithReceiverAutoSelect(
+				passivelight.PDReceiver(passivelight.GainG2).WithCap(),
+				passivelight.RXLEDReceiver()),
+		)
 		if err != nil {
-			fmt.Printf("%-26s [%s] no decode: %v\n", a.label, dev.Name, err)
-			continue
+			log.Fatal(err)
 		}
-		ok := twoPhase.Decode.ParseErr == nil &&
-			twoPhase.Decode.Packet.BitString() == packet.BitString()
-		fmt.Printf("%-26s [%s @ %4.0f lux] shape@%.2fs code=%s ok=%v\n",
-			a.label, dev.Name, a.lux,
-			tr.TimeAt(twoPhase.Signature.HoodPeakIndex),
-			twoPhase.Decode.Packet.BitString(), ok)
+		events, err := pipe.Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ev := range events {
+			if ev.Err != nil {
+				fmt.Printf("%-26s [%s] no decode: %v\n", a.label, src.Receiver(), ev.Err)
+				continue
+			}
+			ok := ev.BitString() == src.Packet().BitString()
+			fmt.Printf("%-26s [%s @ %4.0f lux] code=%s ok=%v (%.0f sym/s)\n",
+				a.label, src.Receiver(), a.lux, ev.BitString(), ok, ev.SymbolRate)
+		}
 	}
 }

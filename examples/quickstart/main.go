@@ -1,9 +1,11 @@
 // Quickstart: encode two bits on a reflective tag, slide it under a
 // lamp-lit receiver, and decode the reflected light — the paper's
-// Fig. 5 in a dozen lines of library use.
+// Fig. 5 as one Pipeline: a simulated bench source bound to the
+// adaptive threshold strategy.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,26 +13,34 @@ import (
 )
 
 func main() {
-	bench := passivelight.IndoorBench{
+	src := passivelight.NewBenchSource(passivelight.IndoorBench{
 		Height:      0.20, // lamp and receiver 20 cm above the plane
 		SymbolWidth: 0.03, // 3 cm reflective stripes
 		Speed:       0.08, // tag slides at 8 cm/s
 		Payload:     "10",
 		Seed:        42,
-	}
-	link, packet, err := bench.Build()
+	})
+	pipe, err := passivelight.NewPipeline(src, passivelight.Threshold(),
+		passivelight.WithExpectedSymbols(8),
+		passivelight.WithPreRoll(-1), // offline replay: batch-equivalent decode
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	result, err := passivelight.RunEndToEnd(link, packet, passivelight.DecodeOptions{})
+	events, err := pipe.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
+	packet := src.Packet()
 	fmt.Printf("sent    : %s (payload %s)\n", packet.SymbolString(), packet.BitString())
-	fmt.Printf("decoded : %s\n", result.Decode.SymbolString())
-	fmt.Printf("success : %v (bit errors: %d)\n", result.Success, result.BitErrs)
-	fmt.Printf("adaptive thresholds: tau_r=%.1f counts, tau_t=%.3f s\n",
-		result.Decode.Thresholds.TauR, result.Decode.Thresholds.TauT)
-	fmt.Printf("trace   : %d samples at %g Hz, ambient %.0f lux\n",
-		result.Trace.Len(), result.Trace.Fs, result.Floor)
+	for _, ev := range events {
+		if ev.Err != nil {
+			log.Fatal(ev.Err)
+		}
+		fmt.Printf("decoded : %s\n", ev.Symbols)
+		fmt.Printf("success : %v\n", ev.BitString() == packet.BitString())
+		fmt.Printf("symbol rate: %.2f sym/s (adaptive tau_t)\n", ev.SymbolRate)
+	}
+	tr := src.Trace()
+	fmt.Printf("trace   : %d samples at %g Hz\n", tr.Len(), tr.Fs)
 }

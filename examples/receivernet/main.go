@@ -1,8 +1,8 @@
 // Receivernet: the paper's future-work item (5) — networked
 // receivers sharing observations. Three pole receivers along a lane
-// each decode the same tagged car locally and publish detections to
-// an aggregator, which fuses them into a track with speed and
-// direction.
+// each decode the same tagged car locally (a TwoPhase pipeline per
+// pole) and publish detections to an aggregator, which fuses them
+// into a track with speed and direction.
 package main
 
 import (
@@ -33,29 +33,33 @@ func main() {
 	defer cancel()
 
 	for i := 0; i < 3; i++ {
-		// Each pole decodes its own pass locally...
-		link, _, err := passivelight.OutdoorCarPass{
+		// Each pole decodes its own pass locally through a pipeline...
+		src := passivelight.NewCarPassSource(passivelight.OutdoorCarPass{
 			Payload:        payload,
 			NoiseFloorLux:  6200,
 			ReceiverHeight: 0.75,
 			Seed:           int64(400 + i),
-		}.Build()
-		if err != nil {
-			log.Fatal(err)
-		}
-		tr, err := link.Simulate()
-		if err != nil {
-			log.Fatal(err)
-		}
-		twoPhase, err := passivelight.DecodeCarPass(tr, passivelight.DecodeOptions{
-			ExpectedSymbols: 4 + 2*len(payload),
 		})
+		pipe, err := passivelight.NewPipeline(src, passivelight.TwoPhase(),
+			passivelight.WithExpectedSymbols(4+2*len(payload)),
+			passivelight.WithPreRoll(-1),
+		)
 		if err != nil {
-			log.Fatalf("pole %d: %v", i+1, err)
+			log.Fatal(err)
 		}
-		bits := make([]byte, len(twoPhase.Decode.Packet.Data))
-		for j, b := range twoPhase.Decode.Packet.Data {
-			bits[j] = byte(b)
+		events, err := pipe.Run(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var det *passivelight.Event
+		for j := range events {
+			if events[j].Err == nil {
+				det = &events[j]
+				break
+			}
+		}
+		if det == nil {
+			log.Fatalf("pole %d: no packet decoded", i+1)
 		}
 		// ...and publishes the compact detection to the aggregator.
 		node, err := rxnet.Dial(ctx, addr, rxnet.Hello{
@@ -67,18 +71,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		det := rxnet.Detection{
+		d := rxnet.Detection{
 			Time:       base.Add(time.Duration(float64(i)*poleGapM/speedMS) * time.Second),
-			Bits:       bits,
-			RSSPeak:    tr.Stats().Max,
+			Bits:       det.Bits,
+			RSSPeak:    src.Trace().Stats().Max,
 			NoiseFloor: 6200,
-			SymbolRate: 1 / twoPhase.Decode.Thresholds.TauT,
+			SymbolRate: det.SymbolRate,
 		}
-		if err := node.Publish(det); err != nil {
+		if err := node.Publish(d); err != nil {
 			log.Fatal(err)
 		}
 		node.Close()
-		fmt.Printf("pole-%d published %s (%.0f sym/s)\n", i+1, rxnet.BitsString(bits), det.SymbolRate)
+		fmt.Printf("pole-%d published %s (%.0f sym/s)\n", i+1, rxnet.BitsString(det.Bits), d.SymbolRate)
 	}
 
 	tracks := agg.Tracks()

@@ -1,0 +1,33 @@
+package decoder
+
+import (
+	"sync"
+
+	"passivelight/internal/coding"
+	"passivelight/internal/dsp"
+)
+
+// passScratch holds the working buffers of one adaptive-threshold
+// decode pass. The pass smooths the window up to four times and
+// evaluates hundreds of candidate symbol grids; reusing these buffers
+// across decodes (and across the grid candidates within one decode)
+// removes nearly all of its allocation churn. Slices handed back in
+// Result are always freshly allocated — nothing in a returned Result
+// aliases scratch memory.
+type passScratch struct {
+	sm dsp.Smoother
+	// ripple is the mains-ripple-suppressed signal; ac its detrended
+	// copy used for tone detection.
+	ripple, ac []float64
+	// smooth and smooth2 are the light and heavy smoothing passes
+	// (smooth is also reused for the final tau_t/8 re-smooth).
+	smooth, smooth2 []float64
+	// syms/wm hold one grid candidate's symbol decisions and window
+	// maxima; eval holds the trailing-trimmed view used to judge
+	// Manchester validity.
+	syms []coding.Symbol
+	wm   []float64
+	eval []coding.Symbol
+}
+
+var passPool = sync.Pool{New: func() any { return new(passScratch) }}

@@ -150,6 +150,8 @@ func decodePass(samples []float64, fs float64, opt Options) (Result, error) {
 	if len(samples) < 8 {
 		return Result{}, errors.New("decoder: trace too short")
 	}
+	sc := passPool.Get().(*passScratch)
+	defer passPool.Put(sc)
 	x := samples
 	if opt.SearchFrom > 0 {
 		if opt.SearchFrom >= len(x)-8 {
@@ -157,7 +159,7 @@ func decodePass(samples []float64, fs float64, opt Options) (Result, error) {
 		}
 		x = x[opt.SearchFrom:]
 	}
-	x = suppressMainsRipple(x, fs)
+	x = suppressMainsRipple(x, fs, sc)
 	smoothWin := opt.SmoothWindow
 	if smoothWin == 0 {
 		// Automatic: ~2.5 ms at the trace rate, at least 3 samples.
@@ -166,7 +168,8 @@ func decodePass(samples []float64, fs float64, opt Options) (Result, error) {
 			smoothWin = 3
 		}
 	}
-	smooth := dsp.MovingAverage(x, smoothWin)
+	sc.smooth = sc.sm.MovingAverage(sc.smooth, x, smoothWin)
+	smooth := sc.smooth
 	pts, err := findPreamble(smooth, opt)
 	if err != nil {
 		return Result{}, err
@@ -179,7 +182,8 @@ func decodePass(samples []float64, fs float64, opt Options) (Result, error) {
 	// centers, which fixes the grid phase/step estimate under
 	// FoV-induced inter-symbol interference.
 	if w := int(th.TauT * fs / 3); w > smoothWin {
-		smooth2 := dsp.MovingAverage(x, w)
+		sc.smooth2 = sc.sm.MovingAverage(sc.smooth2, x, w)
+		smooth2 := sc.smooth2
 		if pts2, err2 := findPreamble(smooth2, opt); err2 == nil {
 			th2 := computeThresholds(pts2, dt)
 			if th2.TauT > 0 && th2.TauR > 0 {
@@ -209,8 +213,11 @@ func decodePass(samples []float64, fs float64, opt Options) (Result, error) {
 	// Now that the symbol duration is known, re-smooth at tau_t/8 so
 	// window maxima ride the symbol level rather than noise spikes
 	// (the analog front end of the real board does this for free).
+	// The lightly smoothed signal is dead at this point, so its
+	// buffer is reused.
 	if resmooth := int(tauSamples / 8); resmooth > smoothWin {
-		smooth = dsp.MovingAverage(x, resmooth)
+		sc.smooth = sc.sm.MovingAverage(sc.smooth, x, resmooth)
+		smooth = sc.smooth
 	}
 	decision := pts.BValue + th.TauR/2
 	// Fine timing recovery. The A/B/C extrema shift under FoV-induced
@@ -228,7 +235,7 @@ func decodePass(samples []float64, fs float64, opt Options) (Result, error) {
 		symbols, windowMax = sliceGrid(smooth, float64(pts.AIndex), tauSamples, opt.WindowFraction, decision, opt.ExpectedSymbols)
 	} else {
 		var bestStep float64
-		symbols, windowMax, bestStep, _ = refineGrid(smooth, pts.AIndex, tauSamples, decision, opt)
+		symbols, windowMax, bestStep, _ = refineGrid(smooth, pts.AIndex, tauSamples, decision, opt, sc)
 		th.TauT = bestStep / fs
 	}
 	if opt.ExpectedSymbols == 0 {
@@ -259,12 +266,15 @@ func decodePass(samples []float64, fs float64, opt Options) (Result, error) {
 // carries a meaningful share of the AC energy, averages the signal
 // over exactly one ripple period. Symbols are orders of magnitude
 // slower, so the code content is untouched.
-func suppressMainsRipple(x []float64, fs float64) []float64 {
+func suppressMainsRipple(x []float64, fs float64, sc *passScratch) []float64 {
 	if len(x) < 16 || fs < 400 {
 		return x
 	}
 	mean := dsp.Mean(x)
-	ac := make([]float64, len(x))
+	if cap(sc.ac) < len(x) {
+		sc.ac = make([]float64, len(x))
+	}
+	ac := sc.ac[:len(x)]
 	for i, v := range x {
 		ac[i] = v - mean
 	}
@@ -288,7 +298,8 @@ func suppressMainsRipple(x []float64, fs float64) []float64 {
 		if mag/total > 0.02 && mag > 3*side {
 			period := int(fs/f + 0.5)
 			if period >= 2 {
-				return dsp.MovingAverage(x, period)
+				sc.ripple = sc.sm.MovingAverage(sc.ripple, x, period)
+				return sc.ripple
 			}
 		}
 	}
@@ -344,10 +355,27 @@ func DecodeFixed(tr *trace.Trace, th Thresholds, opt Options) (Result, error) {
 }
 
 // sliceGrid samples symbol windows on a (anchor, step) grid and
-// returns the HIGH/LOW decisions plus per-window maxima.
+// returns the HIGH/LOW decisions plus per-window maxima in freshly
+// allocated slices.
 func sliceGrid(smooth []float64, anchor, step, frac, decision float64, maxSymbols int) ([]coding.Symbol, []float64) {
-	var symbols []coding.Symbol
-	var windowMax []float64
+	return sliceGridInto(smooth, anchor, step, frac, decision, maxSymbols, nil, nil)
+}
+
+// sliceGridInto is sliceGrid appending into caller-provided buffers
+// (reset to length zero first), pre-sized to the expected symbol
+// count so the timing search's hundreds of candidate grids do not
+// each regrow their slices.
+func sliceGridInto(smooth []float64, anchor, step, frac, decision float64, maxSymbols int, symbols []coding.Symbol, windowMax []float64) ([]coding.Symbol, []float64) {
+	want := maxSymbols
+	if want <= 0 && step > 0 {
+		want = int(float64(len(smooth))/step) + 2
+	}
+	if want > 0 && cap(symbols) < want {
+		symbols = make([]coding.Symbol, 0, want)
+		windowMax = make([]float64, 0, want)
+	} else {
+		symbols, windowMax = symbols[:0], windowMax[:0]
+	}
 	half := step * frac / 2
 	for k := 0; ; k++ {
 		if maxSymbols > 0 && k == maxSymbols {
@@ -385,15 +413,17 @@ func sliceGrid(smooth []float64, anchor, step, frac, decision float64, maxSymbol
 // +-0.5*tauSamples around anchor A for the symbol grid with the best
 // decision margins, preferring grids whose first four symbols decode
 // to the HLHL preamble.
-func refineGrid(smooth []float64, aIndex int, tauSamples, decision float64, opt Options) (symbols []coding.Symbol, windowMax []float64, bestStep, bestAnchor float64) {
+func refineGrid(smooth []float64, aIndex int, tauSamples, decision float64, opt Options, sc *passScratch) (symbols []coding.Symbol, windowMax []float64, bestStep, bestAnchor float64) {
 	const stepSteps, phaseSteps = 17, 17
+	// Candidates are ranked entirely by scalar figures of merit, so
+	// the search evaluates every grid into the shared scratch buffers
+	// and only the winning (step, anchor) pair is re-sliced into
+	// fresh memory at the end.
 	type cand struct {
 		score     float64 // mean decision margin
 		minMargin float64 // worst-case window margin (eye opening)
 		preamble  bool
 		parses    bool
-		symbols   []coding.Symbol
-		winMax    []float64
 		step      float64
 		anchor    float64
 	}
@@ -408,7 +438,8 @@ func refineGrid(smooth []float64, aIndex int, tauSamples, decision float64, opt 
 			step := tauSamples * (stepLo + (stepHi-stepLo)*float64(si)/float64(stepSteps-1))
 			for pi := 0; pi < phaseSteps; pi++ {
 				anchor := float64(aIndex) + step*(-0.5+float64(pi)/float64(phaseSteps-1))
-				syms, wm := sliceGrid(smooth, anchor, step, opt.WindowFraction, decision, opt.ExpectedSymbols)
+				sc.syms, sc.wm = sliceGridInto(smooth, anchor, step, opt.WindowFraction, decision, opt.ExpectedSymbols, sc.syms, sc.wm)
+				syms, wm := sc.syms, sc.wm
 				if len(syms) < coding.PreambleLen {
 					continue
 				}
@@ -426,7 +457,9 @@ func refineGrid(smooth []float64, aIndex int, tauSamples, decision float64, opt 
 					}
 					evalSyms = syms[:end]
 					if end%2 == 1 {
-						evalSyms = append(append([]coding.Symbol(nil), evalSyms...), coding.Low)
+						sc.eval = append(sc.eval[:0], syms[:end]...)
+						sc.eval = append(sc.eval, coding.Low)
+						evalSyms = sc.eval
 					}
 				}
 				_, perr := coding.ParsePacket(evalSyms)
@@ -445,7 +478,7 @@ func refineGrid(smooth []float64, aIndex int, tauSamples, decision float64, opt 
 				c := cand{
 					score: margin, minMargin: minMargin,
 					preamble: pre, parses: pre && perr == nil,
-					symbols: syms, winMax: wm, step: step, anchor: anchor,
+					step: step, anchor: anchor,
 				}
 				// Rank: full Manchester validity > preamble validity >
 				// decision margin. A half-symbol phase shift can still
@@ -511,7 +544,10 @@ func refineGrid(smooth []float64, aIndex int, tauSamples, decision float64, opt 
 		syms, wm := sliceGrid(smooth, float64(aIndex), tauSamples, opt.WindowFraction, decision, opt.ExpectedSymbols)
 		return syms, wm, tauSamples, float64(aIndex)
 	}
-	return best.symbols, best.winMax, best.step, best.anchor
+	// Re-slice the winner into fresh memory (sliceGrid is
+	// deterministic, so this reproduces the ranked candidate exactly).
+	syms, wm := sliceGrid(smooth, best.anchor, best.step, opt.WindowFraction, decision, opt.ExpectedSymbols)
+	return syms, wm, best.step, best.anchor
 }
 
 // edgeTauSamples estimates the symbol duration from decision-level

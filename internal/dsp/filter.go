@@ -10,23 +10,46 @@ import (
 // given window size (clamped at the edges). window <= 1 returns a
 // copy of x.
 func MovingAverage(x []float64, window int) []float64 {
-	out := make([]float64, len(x))
+	var s Smoother
+	return s.MovingAverage(nil, x, window)
+}
+
+// Smoother computes repeated centered moving averages while reusing
+// caller-held buffers; results are bit-identical to MovingAverage.
+// The zero value is ready to use. Not safe for concurrent use.
+type Smoother struct {
+	prefix []float64
+}
+
+// MovingAverage writes the centered moving average of x (window
+// clamped at the edges) into dst, growing it as needed, and returns
+// it. dst must not alias x.
+func (s *Smoother) MovingAverage(dst, x []float64, window int) []float64 {
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
+	} else {
+		dst = dst[:len(x)]
+	}
 	if window <= 1 {
-		copy(out, x)
-		return out
+		copy(dst, x)
+		return dst
 	}
 	half := window / 2
 	// Prefix sums for O(n) evaluation.
-	prefix := make([]float64, len(x)+1)
+	if cap(s.prefix) < len(x)+1 {
+		s.prefix = make([]float64, len(x)+1)
+	}
+	prefix := s.prefix[:len(x)+1]
+	prefix[0] = 0
 	for i, v := range x {
 		prefix[i+1] = prefix[i] + v
 	}
 	for i := range x {
 		lo := max(0, i-half)
 		hi := min(len(x)-1, i+half)
-		out[i] = (prefix[hi+1] - prefix[lo]) / float64(hi-lo+1)
+		dst[i] = (prefix[hi+1] - prefix[lo]) / float64(hi-lo+1)
 	}
-	return out
+	return dst
 }
 
 // MedianFilter returns the sliding median of x with the given odd

@@ -224,10 +224,15 @@ func (r Receiver) Saturated(lux float64) bool {
 	return lux >= 0.98*r.SaturationLux
 }
 
+// ErrSaturated means every candidate receiver rails at the given
+// ambient level; test with errors.Is.
+var ErrSaturated = errors.New("frontend: all receivers saturate")
+
 // SelectReceiver implements the paper's dual-receiver policy
 // (Sec. 4.4): given the ambient noise floor, prefer the most
 // sensitive receiver that does not saturate; candidates are tried in
-// order.
+// order. With no candidates, the four Fig. 11 devices are used. When
+// every candidate saturates the error wraps ErrSaturated.
 func SelectReceiver(noiseFloorLux float64, candidates ...Receiver) (Receiver, error) {
 	if len(candidates) == 0 {
 		candidates = []Receiver{PD(G1), PD(G2), PD(G3), RXLED()}
@@ -243,7 +248,7 @@ func SelectReceiver(noiseFloorLux float64, candidates ...Receiver) (Receiver, er
 		}
 	}
 	if !found {
-		return Receiver{}, fmt.Errorf("frontend: all receivers saturate at %.0f lux", noiseFloorLux)
+		return Receiver{}, fmt.Errorf("%w at %.0f lux", ErrSaturated, noiseFloorLux)
 	}
 	return best, nil
 }

@@ -1,6 +1,7 @@
 package frontend
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -210,5 +211,42 @@ func TestADCFullScale(t *testing.T) {
 	}
 	if (ADC{Bits: 8}).FullScale() != 255 {
 		t.Fatal("8-bit full scale")
+	}
+}
+
+func TestSelectReceiverAllSaturated(t *testing.T) {
+	// Brighter than every device's saturation point: the error must
+	// unwrap to the ErrSaturated sentinel.
+	_, err := SelectReceiver(1e6)
+	if err == nil {
+		t.Fatal("1M lux should saturate every default device")
+	}
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("error %v does not unwrap to ErrSaturated", err)
+	}
+	// Same with an explicit candidate list.
+	_, err = SelectReceiver(500, PD(G1))
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("saturated explicit candidate: %v", err)
+	}
+}
+
+func TestSelectReceiverEmptyCandidates(t *testing.T) {
+	// No candidates selects the four Fig. 11 devices; in the dark the
+	// most sensitive (PD at G1) must win.
+	dev, err := SelectReceiver(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Name != "pd-G1" {
+		t.Fatalf("10 lux with default devices -> %s, want pd-G1", dev.Name)
+	}
+	// At 2000 lux G1/G2 saturate and G3 is the most sensitive left.
+	dev, err = SelectReceiver(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Name != "pd-G3" {
+		t.Fatalf("2000 lux -> %s, want pd-G3", dev.Name)
 	}
 }

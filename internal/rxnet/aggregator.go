@@ -117,7 +117,7 @@ func (a *Aggregator) consumeEngine() {
 			when = time.Now()
 		}
 		a.ingest(Detection{
-			NodeID:     uint32(det.Session >> 32),
+			NodeID:     SessionNodeID(det.Session),
 			Seq:        seqs[det.Session],
 			Time:       when,
 			Bits:       det.Bits,
@@ -303,6 +303,27 @@ func (a *Aggregator) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// RegisterNode records a node's position/identity for track fusion
+// without a network connection — for deployments where registration
+// arrives out of band (e.g. a ChunkListener's Hello channel feeding a
+// decode pipeline while this aggregator only fuses).
+func (a *Aggregator) RegisterNode(h Hello) {
+	a.mu.Lock()
+	a.nodes[h.NodeID] = h
+	a.mu.Unlock()
+}
+
+// Ingest feeds one detection straight into track fusion, bypassing
+// the network path. A zero Time is stamped with the current time.
+// Use together with RegisterNode when decoding happens outside the
+// aggregator (e.g. in a Pipeline over a ChunkListener source).
+func (a *Aggregator) Ingest(d Detection) {
+	if d.Time.IsZero() {
+		d.Time = time.Now()
+	}
+	a.ingest(d)
 }
 
 // ingest adds a detection and re-fuses the track for its payload.

@@ -1,0 +1,201 @@
+package rxnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ChunkEvent is one raw-sample delivery surfaced by a ChunkListener:
+// the wire chunk resolved to an engine session key, with stream
+// continuity already checked. It is the receiver-network flavor of a
+// pipeline source chunk.
+type ChunkEvent struct {
+	// Session is the (node, stream) pair folded into one session key
+	// (SampleChunk.SessionKey).
+	Session uint64
+	// NodeID and StreamID identify the sender.
+	NodeID, StreamID uint32
+	// Fs is the stream's sample rate (Hz).
+	Fs float64
+	// Samples are the chunk's RSS values.
+	Samples []float64
+	// Reset means the stream restarted or skipped (reconnect, gap):
+	// the consumer must end any open decode session for Session before
+	// feeding these samples, so epochs cannot splice together.
+	Reset bool
+}
+
+// ChunkListener accepts receiver-node connections speaking the rxnet
+// frame protocol and surfaces their raw SampleChunk frames as a
+// channel of ChunkEvents — the transport half of the aggregator's
+// streaming path, split out so a decode pipeline (not the aggregator)
+// can own the DSP. Hello frames are surfaced on a side channel for
+// node registration; Detection frames are rejected (nodes that decode
+// locally should talk to an Aggregator instead).
+type ChunkListener struct {
+	ln     net.Listener
+	out    chan ChunkEvent
+	hellos chan Hello
+	logf   func(format string, args ...any)
+
+	mu      sync.Mutex
+	cursors map[uint64]*chunkCursor
+
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// ListenChunks starts a chunk listener on addr ("host:port"; empty
+// port picks an ephemeral one). logf receives diagnostics; nil
+// silences them.
+func ListenChunks(addr string, logf func(format string, args ...any)) (*ChunkListener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	l := &ChunkListener{
+		ln:      ln,
+		out:     make(chan ChunkEvent, 64),
+		hellos:  make(chan Hello, 64),
+		logf:    logf,
+		cursors: make(map[uint64]*chunkCursor),
+		closed:  make(chan struct{}),
+	}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the bound listen address.
+func (l *ChunkListener) Addr() string { return l.ln.Addr().String() }
+
+// Chunks is the stream of sample deliveries. It is closed by Close
+// after all connection handlers have exited.
+func (l *ChunkListener) Chunks() <-chan ChunkEvent { return l.out }
+
+// Hellos surfaces node registrations. The channel is buffered; when
+// no one drains it, registrations are dropped rather than blocking
+// sample delivery.
+func (l *ChunkListener) Hellos() <-chan Hello { return l.hellos }
+
+func (l *ChunkListener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			select {
+			case <-l.closed:
+				return
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			l.logf("rxnet: chunk accept: %v", err)
+			return
+		}
+		l.wg.Add(1)
+		go l.serveConn(conn)
+	}
+}
+
+// advance checks chunk continuity against the shared cursor table
+// (same semantics as the aggregator's streaming path: a reconnect that
+// resumes exactly where the old connection left off continues
+// seamlessly, anything else flags a reset).
+func (l *ChunkListener) advance(c SampleChunk) (reset bool) {
+	key := c.SessionKey()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur, ok := l.cursors[key]
+	if !ok {
+		if len(l.cursors) >= maxStreamCursors {
+			for k := range l.cursors {
+				delete(l.cursors, k)
+				break
+			}
+		}
+		l.cursors[key] = &chunkCursor{seq: c.Seq, next: c.Start + uint64(len(c.Samples))}
+		return false
+	}
+	contiguous := c.Seq == cur.seq+1 && c.Start == cur.next
+	cur.seq, cur.next = c.Seq, c.Start+uint64(len(c.Samples))
+	return !contiguous
+}
+
+func (l *ChunkListener) serveConn(conn net.Conn) {
+	defer l.wg.Done()
+	defer conn.Close()
+	var nodeID uint32
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(2 * time.Minute)); err != nil {
+			return
+		}
+		t, body, err := ReadFrame(conn)
+		if err != nil {
+			select {
+			case <-l.closed:
+			default:
+				l.logf("rxnet: chunk node %d read: %v", nodeID, err)
+			}
+			return
+		}
+		switch t {
+		case FrameHello:
+			h, err := UnmarshalHello(body)
+			if err != nil {
+				l.logf("rxnet: bad hello: %v", err)
+				return
+			}
+			nodeID = h.NodeID
+			select {
+			case l.hellos <- h:
+			default:
+			}
+			l.logf("rxnet: chunk node %d (%s) at x=%.2f m joined", h.NodeID, h.Name, h.PosX)
+		case FrameSampleChunk:
+			c, err := UnmarshalSampleChunk(body)
+			if err != nil {
+				l.logf("rxnet: bad sample chunk: %v", err)
+				return
+			}
+			ev := ChunkEvent{
+				Session:  c.SessionKey(),
+				NodeID:   c.NodeID,
+				StreamID: c.StreamID,
+				Fs:       c.Fs,
+				Samples:  c.Samples,
+				Reset:    l.advance(c),
+			}
+			select {
+			case l.out <- ev:
+			case <-l.closed:
+				return
+			}
+		default:
+			l.logf("rxnet: chunk listener got unexpected frame type %d", t)
+			return
+		}
+	}
+}
+
+// Close stops the listener and all connection handlers, then closes
+// the Chunks channel.
+func (l *ChunkListener) Close() error {
+	var err error
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		err = l.ln.Close()
+		l.wg.Wait()
+		close(l.out)
+		close(l.hellos)
+	})
+	return err
+}

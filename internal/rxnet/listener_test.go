@@ -1,0 +1,97 @@
+package rxnet
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// collectChunks drains n chunk events with a deadline.
+func collectChunks(t *testing.T, l *ChunkListener, n int) []ChunkEvent {
+	t.Helper()
+	var out []ChunkEvent
+	deadline := time.After(5 * time.Second)
+	for len(out) < n {
+		select {
+		case ev, ok := <-l.Chunks():
+			if !ok {
+				t.Fatalf("chunk channel closed after %d of %d events", len(out), n)
+			}
+			out = append(out, ev)
+		case <-deadline:
+			t.Fatalf("timed out after %d of %d events", len(out), n)
+		}
+	}
+	return out
+}
+
+func TestChunkListenerDeliversAndResets(t *testing.T) {
+	l, err := ListenChunks("127.0.0.1:0", t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	hello := Hello{NodeID: 7, PosX: 12.5, Height: 0.75, Name: "pole-7"}
+	node, err := Dial(ctx, l.Addr(), hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]float64, 2048)
+	for i := range samples {
+		samples[i] = float64(i % 100)
+	}
+	if err := node.StreamChunk(3, 2000, samples[:1024]); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.StreamChunk(3, 2000, samples[1024:]); err != nil {
+		t.Fatal(err)
+	}
+	evs := collectChunks(t, l, 2)
+	wantKey := uint64(7)<<32 | 3
+	total := 0
+	for i, ev := range evs {
+		if ev.Session != wantKey || ev.NodeID != 7 || ev.StreamID != 3 {
+			t.Fatalf("event %d keyed (%d, %d, %d), want session %d", i, ev.Session, ev.NodeID, ev.StreamID, wantKey)
+		}
+		if ev.Fs != 2000 {
+			t.Fatalf("event %d fs %g", i, ev.Fs)
+		}
+		if ev.Reset {
+			t.Fatalf("contiguous chunk %d flagged as reset", i)
+		}
+		total += len(ev.Samples)
+	}
+	if total != len(samples) {
+		t.Fatalf("delivered %d samples, want %d", total, len(samples))
+	}
+
+	// Hello surfaced on the side channel.
+	select {
+	case h := <-l.Hellos():
+		if h.NodeID != 7 || h.Name != "pole-7" {
+			t.Fatalf("hello %+v", h)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no hello surfaced")
+	}
+	node.Close()
+
+	// A reconnecting node restarts its per-stream numbering: the
+	// first chunk of the new connection must arrive flagged Reset so
+	// the decode session cannot splice epochs.
+	node2, err := Dial(ctx, l.Addr(), hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node2.Close()
+	if err := node2.StreamChunk(3, 2000, samples[:512]); err != nil {
+		t.Fatal(err)
+	}
+	evs = collectChunks(t, l, 1)
+	if !evs[0].Reset {
+		t.Fatal("restarted stream not flagged as reset")
+	}
+}

@@ -134,6 +134,14 @@ func (c SampleChunk) SessionKey() uint64 {
 	return uint64(c.NodeID)<<32 | uint64(c.StreamID)
 }
 
+// SessionNodeID recovers the node half of a SessionKey. Consumers of
+// engine/pipeline detections must use this (not the bit layout) to
+// attribute a session to its node.
+func SessionNodeID(key uint64) uint32 { return uint32(key >> 32) }
+
+// SessionStreamID recovers the stream half of a SessionKey.
+func SessionStreamID(key uint64) uint32 { return uint32(key) }
+
 // WriteFrame writes one frame: magic, version, type, 4-byte length,
 // body.
 func WriteFrame(w io.Writer, t FrameType, body []byte) error {

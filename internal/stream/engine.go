@@ -9,6 +9,20 @@ import (
 	"time"
 )
 
+// Sentinel errors for engine session management; test with errors.Is.
+var (
+	// ErrEngineClosed is returned by Feed, FlushSession and EndSession
+	// after Close.
+	ErrEngineClosed = errors.New("stream: engine closed")
+	// ErrSessionEvicted is returned by FlushSession and EndSession
+	// when the engine no longer tracks the session — it was never fed,
+	// was ended explicitly, or was idle-evicted by the janitor.
+	ErrSessionEvicted = errors.New("stream: session not tracked (evicted or never fed)")
+	// ErrSessionTableFull is returned by Feed when MaxSessions
+	// sessions are already tracked and the chunk addresses a new one.
+	ErrSessionTableFull = errors.New("stream: session table full")
+)
+
 // EngineConfig tunes the concurrent session manager.
 type EngineConfig struct {
 	// Session is the template for per-session decoders. Session.Fs is
@@ -231,7 +245,7 @@ func (e *Engine) session(id uint64, fs float64) (*session, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.stopped {
-		return nil, errors.New("stream: engine closed")
+		return nil, ErrEngineClosed
 	}
 	if s, ok := e.sessions[id]; ok {
 		if fs != 0 && fs != s.dec.cfg.Fs {
@@ -240,7 +254,7 @@ func (e *Engine) session(id uint64, fs float64) (*session, error) {
 		return s, nil
 	}
 	if len(e.sessions) >= e.cfg.MaxSessions {
-		return nil, fmt.Errorf("stream: session table full (%d)", e.cfg.MaxSessions)
+		return nil, fmt.Errorf("%w (%d)", ErrSessionTableFull, e.cfg.MaxSessions)
 	}
 	scfg := e.cfg.Session
 	if fs != 0 {
@@ -365,7 +379,7 @@ func (e *Engine) FlushSession(id uint64) error {
 	s, ok := e.sessions[id]
 	e.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("stream: no session %d", id)
+		return fmt.Errorf("%w: session %d", ErrSessionEvicted, id)
 	}
 	e.drainNow(s)
 	return nil
@@ -444,7 +458,7 @@ func (e *Engine) EndSession(id uint64) error {
 	}
 	e.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("stream: no session %d", id)
+		return fmt.Errorf("%w: session %d", ErrSessionEvicted, id)
 	}
 	// Terminal claim, waiting out any worker currently draining.
 	for {
@@ -456,7 +470,7 @@ func (e *Engine) EndSession(id uint64) error {
 			e.mu.Lock()
 			e.sessions[id] = s
 			e.mu.Unlock()
-			return errors.New("stream: engine closed")
+			return ErrEngineClosed
 		default:
 		}
 		s.mu.Lock()

@@ -1,0 +1,142 @@
+package passivelight
+
+import "time"
+
+// pipeConfig is the resolved configuration a Pipeline runs with; it
+// is assembled exclusively through functional options so every knob
+// has a working zero value.
+type pipeConfig struct {
+	fs            float64
+	decode        DecodeOptions
+	preRollSec    float64
+	quietHoldSec  float64
+	maxSegmentSec float64
+	workers       int
+	idleTimeout   time.Duration
+	queueSamples  int
+	maxSessions   int
+	eventBuffer   int
+	codebook      *Codebook
+	autoSelect    []ReceiverDevice
+	autoSelectOn  bool
+	sinks         []func(Event)
+	statsEvery    time.Duration
+	statsSink     func(StreamStats)
+}
+
+// Option configures a Pipeline.
+type Option func(*pipeConfig)
+
+// WithSampleRate overrides the source's sample rate (Hz). Required
+// when the source does not declare one (a ChunkSource built with fs 0)
+// and its chunks do not carry their own.
+func WithSampleRate(fs float64) Option {
+	return func(c *pipeConfig) { c.fs = fs }
+}
+
+// WithDecodeOptions tunes the per-segment adaptive threshold decode,
+// exactly as for the batch Decode.
+func WithDecodeOptions(opt DecodeOptions) Option {
+	return func(c *pipeConfig) { c.decode = opt }
+}
+
+// WithExpectedSymbols bounds the number of symbols sliced per packet
+// (preamble + data); zero decodes to the end of each segment. It is a
+// shorthand for the same field of WithDecodeOptions.
+func WithExpectedSymbols(n int) Option {
+	return func(c *pipeConfig) { c.decode.ExpectedSymbols = n }
+}
+
+// WithPreRoll sets the quiet context retained before detected
+// activity, in seconds. Zero selects 1 s; negative switches the
+// pipeline to batch-equivalent mode (the entire stream is retained
+// and decoded on end-of-stream, bit-identical to the batch Decode of
+// the same samples — unbounded memory, for tests and offline replay).
+func WithPreRoll(sec float64) Option {
+	return func(c *pipeConfig) { c.preRollSec = sec }
+}
+
+// WithQuietHold sets how long the signal must sit back in the noise
+// band before an active segment decodes (seconds). Zero selects 1.5 s.
+func WithQuietHold(sec float64) Option {
+	return func(c *pipeConfig) { c.quietHoldSec = sec }
+}
+
+// WithMaxSegment bounds one active segment (seconds); a segment that
+// grows past it is force-decoded. Zero selects 60 s.
+func WithMaxSegment(sec float64) Option {
+	return func(c *pipeConfig) { c.maxSegmentSec = sec }
+}
+
+// WithWorkers sets the decode worker pool size. Zero selects
+// runtime.GOMAXPROCS(0).
+func WithWorkers(n int) Option {
+	return func(c *pipeConfig) { c.workers = n }
+}
+
+// WithIdleTimeout evicts sessions not fed for this long (their open
+// segment is flushed first). Zero selects 60 s; negative disables
+// eviction.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(c *pipeConfig) { c.idleTimeout = d }
+}
+
+// WithQueue sets the per-session ring buffer capacity in samples; a
+// real-time session that falls behind drops its oldest samples. Zero
+// selects 32768.
+func WithQueue(samples int) Option {
+	return func(c *pipeConfig) { c.queueSamples = samples }
+}
+
+// WithMaxSessions bounds the concurrent session table. Zero selects
+// 65536.
+func WithMaxSessions(n int) Option {
+	return func(c *pipeConfig) { c.maxSessions = n }
+}
+
+// WithEventBuffer sets the capacity of the event channel returned by
+// Stream. Zero selects 1024.
+func WithEventBuffer(n int) Option {
+	return func(c *pipeConfig) { c.eventBuffer = n }
+}
+
+// WithCodebook matches every decoded payload against a
+// Hamming-separated codebook: events gain CodeIndex (the nearest
+// codeword) and CodeDistance (bit errors corrected). The paper's
+// restricted code sets (Sec. 4.2) as a pipeline stage.
+func WithCodebook(cb *Codebook) Option {
+	return func(c *pipeConfig) { c.codebook = cb }
+}
+
+// WithReceiverAutoSelect picks the receiver device per the paper's
+// Sec. 4.4 dual-receiver policy — the most sensitive candidate that
+// does not saturate at the source's ambient level — before the source
+// opens. No candidates selects the four Fig. 11 devices. Only sources
+// that know their ambient level support it (NewCarPassSource); others
+// fail Run/Stream with a configuration error.
+func WithReceiverAutoSelect(candidates ...ReceiverDevice) Option {
+	return func(c *pipeConfig) {
+		c.autoSelect = candidates
+		c.autoSelectOn = true
+	}
+}
+
+// WithSink registers a callback invoked for every event, in stream
+// order, before the event is delivered on the Stream channel. Sinks
+// must not block; they run on the pipeline's forwarding goroutine.
+func WithSink(fn func(Event)) Option {
+	return func(c *pipeConfig) { c.sinks = append(c.sinks, fn) }
+}
+
+// WithStats registers a metrics sink called with an engine snapshot
+// every interval while the pipeline runs (and once at shutdown).
+// interval <= 0 selects 1 s.
+func WithStats(interval time.Duration, fn func(StreamStats)) Option {
+	return func(c *pipeConfig) {
+		if interval <= 0 {
+			interval = time.Second
+		}
+		c.statsEvery = interval
+		c.statsSink = fn
+	}
+}

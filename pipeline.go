@@ -1,0 +1,466 @@
+package passivelight
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"passivelight/internal/coding"
+	"passivelight/internal/decoder"
+	"passivelight/internal/stream"
+	"passivelight/internal/trace"
+)
+
+// ClassifierMatch is one DTW classification candidate (label +
+// distance, ascending).
+type ClassifierMatch = decoder.Match
+
+// Event is one output of a running Pipeline. Streaming strategies
+// (Threshold, TwoPhase) fill the embedded detection; whole-stream
+// strategies add their analysis: Collision fills Collision,
+// DTWClassify fills Label/Matches. WithCodebook fills
+// CodeIndex/CodeDistance on successfully decoded events.
+type Event struct {
+	StreamDetection
+	// Label is the nearest-baseline label from a DTWClassify
+	// pipeline.
+	Label string
+	// Matches is the full ordered candidate list from DTWClassify.
+	Matches []ClassifierMatch
+	// Collision is the Sec. 4.3 frequency-domain report from a
+	// Collision pipeline.
+	Collision *CollisionReport
+	// CodeIndex is the nearest codeword index when WithCodebook is
+	// set (-1 otherwise or on decode errors); CodeDistance is its
+	// Hamming distance to the decoded bits (0 = exact read).
+	CodeIndex    int
+	CodeDistance int
+}
+
+// strategyKind selects the decode algorithm bound to a pipeline.
+type strategyKind int
+
+const (
+	strategyThreshold strategyKind = iota + 1
+	strategyTwoPhase
+	strategyCollision
+	strategyDTW
+)
+
+// Strategy selects the decode algorithm a Pipeline binds to its
+// source. Threshold and TwoPhase run online on the streaming engine
+// (bounded memory, many concurrent sessions); Collision and
+// DTWClassify are whole-stream analyses that buffer each session and
+// run at end of stream.
+type Strategy struct {
+	kind       strategyKind
+	collision  CollisionOptions
+	classifier *Classifier
+}
+
+// Threshold decodes with the paper's Sec. 4.1 adaptive threshold
+// algorithm (per-packet tau_r/tau_t).
+func Threshold() Strategy { return Strategy{kind: strategyThreshold} }
+
+// TwoPhase decodes with the paper's Sec. 5 outdoor algorithm: the
+// car's optical signature as a long-duration preamble, then the
+// roof-tag stripe decode.
+func TwoPhase() Strategy { return Strategy{kind: strategyTwoPhase} }
+
+// Collision analyzes each stream with the Sec. 4.3 FFT collision
+// analyzer instead of decoding it; events carry the spectral report.
+func Collision(opt CollisionOptions) Strategy {
+	return Strategy{kind: strategyCollision, collision: opt}
+}
+
+// DTWClassify matches each stream against the classifier's clean
+// baselines with DTW (Sec. 4.2); events carry the ranked labels.
+func DTWClassify(c *Classifier) Strategy {
+	return Strategy{kind: strategyDTW, classifier: c}
+}
+
+func (s Strategy) String() string {
+	switch s.kind {
+	case strategyThreshold:
+		return "threshold"
+	case strategyTwoPhase:
+		return "two-phase"
+	case strategyCollision:
+		return "collision"
+	case strategyDTW:
+		return "dtw-classify"
+	default:
+		return "invalid"
+	}
+}
+
+// Pipeline binds a Source to a decode Strategy plus sinks: one
+// composable surface over the batch, streaming and two-phase decode
+// paths. Configure with functional options, then call Run (collect
+// everything) or Stream (consume events as they happen); both honor
+// context cancellation end to end. The streaming engine is the
+// execution substrate: every chunk is routed to a per-session decoder
+// on a worker pool, so one pipeline serves a single recorded trace
+// and a thousand live receiver nodes with the same code path.
+//
+// A Pipeline is single-shot: Run or Stream may be called once.
+type Pipeline struct {
+	src   Source
+	strat Strategy
+	cfg   pipeConfig
+
+	started atomic.Bool
+
+	mu     sync.Mutex
+	engine *stream.Engine
+	err    error
+
+	samplesIn atomic.Int64
+}
+
+// NewPipeline binds a source to a decode strategy.
+func NewPipeline(src Source, strat Strategy, opts ...Option) (*Pipeline, error) {
+	if src == nil {
+		return nil, errors.New("passivelight: pipeline needs a source")
+	}
+	if strat.kind == 0 {
+		return nil, errors.New("passivelight: pipeline needs a strategy (Threshold, TwoPhase, Collision or DTWClassify)")
+	}
+	if strat.kind == strategyDTW && strat.classifier == nil {
+		return nil, errors.New("passivelight: DTWClassify needs a classifier")
+	}
+	p := &Pipeline{src: src, strat: strat}
+	for _, opt := range opts {
+		opt(&p.cfg)
+	}
+	return p, nil
+}
+
+// Stream starts the pipeline and returns its event channel. The
+// channel is closed when the source ends (io.EOF), the context is
+// canceled, or the source fails; check Err afterwards. Events flow
+// through WithSink callbacks first, then the channel.
+func (p *Pipeline) Stream(ctx context.Context) (<-chan Event, error) {
+	if !p.started.CompareAndSwap(false, true) {
+		return nil, errors.New("passivelight: pipeline already started")
+	}
+	if p.cfg.autoSelectOn {
+		rs, ok := p.src.(receiverSelectable)
+		if !ok {
+			return nil, fmt.Errorf("passivelight: source does not support WithReceiverAutoSelect")
+		}
+		if err := rs.applyReceiverAutoSelect(p.cfg.autoSelect); err != nil {
+			return nil, err
+		}
+	}
+	info, err := p.src.Open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	fs := p.cfg.fs
+	if fs == 0 {
+		fs = info.Fs
+	}
+	buffer := p.cfg.eventBuffer
+	if buffer == 0 {
+		buffer = 1024
+	}
+	out := make(chan Event, buffer)
+	switch p.strat.kind {
+	case strategyThreshold, strategyTwoPhase:
+		if err := p.startEngine(ctx, fs, out); err != nil {
+			// The source was opened but no goroutine owns it yet.
+			p.src.Close()
+			return nil, err
+		}
+		return out, nil
+	default:
+		go p.runWholeStream(ctx, fs, out)
+		return out, nil
+	}
+}
+
+// startEngine wires the streaming-engine substrate: a pull goroutine
+// routing source chunks into per-session decoders, and a forwarder
+// turning engine detections into events.
+func (p *Pipeline) startEngine(ctx context.Context, fs float64, out chan Event) error {
+	sessionFs := fs
+	if sessionFs == 0 {
+		// Placeholder; sources without a declared rate must carry
+		// per-chunk rates, which the pull loop enforces.
+		sessionFs = 1000
+	}
+	eng, err := stream.NewEngine(stream.EngineConfig{
+		Session: stream.Config{
+			Fs:            sessionFs,
+			Decode:        p.cfg.decode,
+			PreRollSec:    p.cfg.preRollSec,
+			QuietHoldSec:  p.cfg.quietHoldSec,
+			MaxSegmentSec: p.cfg.maxSegmentSec,
+			CarShape:      p.strat.kind == strategyTwoPhase,
+		},
+		Workers:         p.cfg.workers,
+		QueueSamples:    p.cfg.queueSamples,
+		IdleTimeout:     p.cfg.idleTimeout,
+		DetectionBuffer: cap(out),
+		MaxSessions:     p.cfg.maxSessions,
+	})
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.engine = eng
+	p.mu.Unlock()
+
+	statsDone := make(chan struct{})
+	if p.cfg.statsSink != nil {
+		go func() {
+			tick := time.NewTicker(p.cfg.statsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					p.cfg.statsSink(eng.Stats())
+				case <-statsDone:
+					p.cfg.statsSink(eng.Stats())
+					return
+				}
+			}
+		}()
+	}
+
+	// Forwarder: engine detections -> sinks -> event channel. Runs
+	// until the engine closes its detection channel (after flushing
+	// every session), so no event is lost on shutdown.
+	go func() {
+		for det := range eng.Detections() {
+			p.emit(out, p.event(det))
+		}
+		if p.cfg.statsSink != nil {
+			close(statsDone)
+		}
+		close(out)
+	}()
+
+	// Pull loop: source chunks -> engine sessions.
+	go func() {
+		defer eng.Close()
+		defer p.src.Close()
+		for {
+			chunk, err := p.src.Next(ctx)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				p.fail(err)
+				return
+			}
+			if chunk.Reset {
+				// A restarted stream must not splice into the old
+				// epoch; an unknown session is fine (nothing to end).
+				if err := eng.EndSession(chunk.Session); err != nil && !errors.Is(err, stream.ErrSessionEvicted) {
+					p.fail(err)
+					return
+				}
+			}
+			if len(chunk.Samples) == 0 {
+				continue
+			}
+			if chunk.Fs == 0 && fs == 0 {
+				p.fail(fmt.Errorf("passivelight: session %d chunk carries no sample rate and the source declares none; use WithSampleRate", chunk.Session))
+				return
+			}
+			p.samplesIn.Add(int64(len(chunk.Samples)))
+			if err := eng.Feed(chunk.Session, chunk.Fs, chunk.Samples); err != nil {
+				p.fail(err)
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// runWholeStream buffers each session and runs the whole-stream
+// analysis (Collision, DTWClassify) at end of stream — or at a Reset
+// boundary, which closes the session's previous epoch.
+func (p *Pipeline) runWholeStream(ctx context.Context, fs float64, out chan Event) {
+	defer close(out)
+	defer p.src.Close()
+	if p.cfg.statsSink != nil {
+		statsDone := make(chan struct{})
+		defer close(statsDone)
+		go func() {
+			tick := time.NewTicker(p.cfg.statsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					p.cfg.statsSink(p.Stats())
+				case <-statsDone:
+					p.cfg.statsSink(p.Stats())
+					return
+				}
+			}
+		}()
+	}
+	type accum struct {
+		fs  float64
+		buf []float64
+	}
+	bufs := make(map[uint64]*accum)
+	var order []uint64
+	analyze := func(id uint64, a *accum) {
+		if len(a.buf) == 0 {
+			return
+		}
+		p.emit(out, p.analyzeWhole(id, a.fs, a.buf))
+		a.buf = nil
+	}
+	for {
+		chunk, err := p.src.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		cfs := chunk.Fs
+		if cfs == 0 {
+			cfs = fs
+		}
+		if cfs == 0 {
+			p.fail(fmt.Errorf("passivelight: session %d chunk carries no sample rate and the source declares none; use WithSampleRate", chunk.Session))
+			return
+		}
+		a, ok := bufs[chunk.Session]
+		if !ok {
+			a = &accum{fs: cfs}
+			bufs[chunk.Session] = a
+			order = append(order, chunk.Session)
+		}
+		if chunk.Reset {
+			analyze(chunk.Session, a)
+			a.fs = cfs
+		}
+		a.buf = append(a.buf, chunk.Samples...)
+		p.samplesIn.Add(int64(len(chunk.Samples)))
+	}
+	for _, id := range order {
+		analyze(id, bufs[id])
+	}
+}
+
+// analyzeWhole runs the whole-stream strategy over one session's
+// buffered samples.
+func (p *Pipeline) analyzeWhole(id uint64, fs float64, buf []float64) Event {
+	ev := Event{CodeIndex: -1}
+	ev.Session = id
+	ev.End = int64(len(buf))
+	ev.TimeSec = float64(len(buf)) / fs
+	tr := trace.New(fs, 0, buf)
+	switch p.strat.kind {
+	case strategyCollision:
+		rep, err := decoder.AnalyzeCollision(tr, p.strat.collision)
+		if err != nil {
+			ev.Err = err
+			return ev
+		}
+		ev.Collision = &rep
+	case strategyDTW:
+		matches, err := p.strat.classifier.Classify(tr)
+		if err != nil {
+			ev.Err = err
+			return ev
+		}
+		ev.Matches = matches
+		if len(matches) > 0 {
+			ev.Label = matches[0].Label
+		}
+	}
+	return ev
+}
+
+// event converts one engine detection into a pipeline event, applying
+// the codebook stage.
+func (p *Pipeline) event(det StreamDetection) Event {
+	ev := Event{StreamDetection: det, CodeIndex: -1}
+	if p.cfg.codebook != nil && det.Err == nil {
+		bits := make([]coding.Bit, len(det.Bits))
+		for i, b := range det.Bits {
+			bits[i] = coding.Bit(b)
+		}
+		ev.CodeIndex, ev.CodeDistance = p.cfg.codebook.Decode(bits)
+	}
+	return ev
+}
+
+// emit runs sinks and delivers the event in stream order.
+func (p *Pipeline) emit(out chan Event, ev Event) {
+	for _, sink := range p.cfg.sinks {
+		sink(ev)
+	}
+	out <- ev
+}
+
+// Run starts the pipeline and collects every event until the source
+// ends or the context is canceled. The returned error is the first
+// pipeline failure (context cancellation included); per-segment
+// decode errors arrive as events with Err set, not as a Run error.
+func (p *Pipeline) Run(ctx context.Context) ([]Event, error) {
+	ch, err := p.Stream(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var events []Event
+	for ev := range ch {
+		events = append(events, ev)
+	}
+	return events, p.Err()
+}
+
+// Flush forces end-of-stream on every open session of a streaming
+// strategy: pending samples decode and open segments flush now,
+// without waiting out the quiet hold. No-op for whole-stream
+// strategies (they analyze when the source ends).
+func (p *Pipeline) Flush() {
+	p.mu.Lock()
+	eng := p.engine
+	p.mu.Unlock()
+	if eng != nil {
+		eng.FlushAll()
+	}
+}
+
+// Stats returns an operational snapshot: the engine's counters for
+// streaming strategies, or the ingest count for whole-stream ones.
+func (p *Pipeline) Stats() StreamStats {
+	p.mu.Lock()
+	eng := p.engine
+	p.mu.Unlock()
+	if eng != nil {
+		return eng.Stats()
+	}
+	return StreamStats{SamplesIn: p.samplesIn.Load()}
+}
+
+// Err returns the first pipeline failure (nil on a clean end of
+// stream). Meaningful once the Stream channel has closed or Run has
+// returned.
+func (p *Pipeline) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+func (p *Pipeline) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,356 @@
+package passivelight
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"passivelight/internal/rxnet"
+)
+
+// testTrace renders the standard indoor '10' pass.
+func testTrace(t *testing.T) (*Trace, Packet) {
+	t.Helper()
+	link, packet, err := (IndoorBench{
+		Height:      0.20,
+		SymbolWidth: 0.03,
+		Speed:       0.08,
+		Payload:     "10",
+		Seed:        42,
+	}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := link.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, packet
+}
+
+// TestPipelineBatchEquivalence is the pipeline-vs-legacy contract: a
+// Pipeline over a recorded Trace source in batch-equivalent mode must
+// produce detections bit-identical to the batch Decode of the same
+// trace — same payload bits, same symbol string.
+func TestPipelineBatchEquivalence(t *testing.T) {
+	tr, _ := testTrace(t)
+	legacy, err := Decode(tr, DecodeOptions{ExpectedSymbols: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.ParseErr != nil {
+		t.Fatal(legacy.ParseErr)
+	}
+
+	pipe, err := NewPipeline(NewTraceSource(tr, 512), Threshold(),
+		WithExpectedSymbols(8),
+		WithPreRoll(-1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := pipe.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("pipeline produced %d events, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Err != nil {
+		t.Fatal(ev.Err)
+	}
+	if ev.BitString() != legacy.Packet.BitString() {
+		t.Fatalf("pipeline bits %q != batch bits %q", ev.BitString(), legacy.Packet.BitString())
+	}
+	if ev.Symbols != legacy.SymbolString() {
+		t.Fatalf("pipeline symbols %q != batch symbols %q", ev.Symbols, legacy.SymbolString())
+	}
+	if ev.CodeIndex != -1 {
+		t.Fatalf("no codebook configured but CodeIndex=%d", ev.CodeIndex)
+	}
+}
+
+// TestPipelineOnlineMode checks the default bounded-memory streaming
+// configuration decodes the same packet.
+func TestPipelineOnlineMode(t *testing.T) {
+	tr, packet := testTrace(t)
+	pipe, err := NewPipeline(NewTraceSource(tr, 500), Threshold(), WithExpectedSymbols(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := pipe.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, ev := range events {
+		if ev.Err == nil {
+			got = append(got, ev.BitString())
+		}
+	}
+	if len(got) != 1 || got[0] != packet.BitString() {
+		t.Fatalf("online pipeline decoded %v, want [%s]", got, packet.BitString())
+	}
+}
+
+// TestPipelineTwoPhaseAutoSelect runs the outdoor path: simulated car
+// pass, receiver picked by the Sec. 4.4 policy, two-phase decode.
+func TestPipelineTwoPhaseAutoSelect(t *testing.T) {
+	src := NewCarPassSource(OutdoorCarPass{
+		Payload:        "00",
+		NoiseFloorLux:  6200,
+		ReceiverHeight: 0.75,
+		Seed:           5,
+	})
+	pipe, err := NewPipeline(src, TwoPhase(),
+		WithExpectedSymbols(8),
+		WithPreRoll(-1),
+		WithReceiverAutoSelect(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := pipe.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Receiver() != "rx-led" {
+		t.Fatalf("6200 lux auto-select picked %q, want rx-led", src.Receiver())
+	}
+	if len(events) != 1 || events[0].Err != nil {
+		t.Fatalf("events %+v", events)
+	}
+	if events[0].BitString() != src.Packet().BitString() {
+		t.Fatalf("decoded %q, want %q", events[0].BitString(), src.Packet().BitString())
+	}
+}
+
+// TestPipelineAutoSelectUnsupported: only sources that know their
+// ambient level support the policy.
+func TestPipelineAutoSelectUnsupported(t *testing.T) {
+	tr, _ := testTrace(t)
+	pipe, err := NewPipeline(NewTraceSource(tr, 0), Threshold(), WithReceiverAutoSelect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Stream(context.Background()); err == nil {
+		t.Fatal("trace source should reject WithReceiverAutoSelect")
+	}
+}
+
+// TestPipelineCodebook: the codebook stage fills CodeIndex and
+// corrects within the codebook's Hamming budget.
+func TestPipelineCodebook(t *testing.T) {
+	cb, err := NewCodebook(2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, packet := testTrace(t)
+	pipe, err := NewPipeline(NewTraceSource(tr, 0), Threshold(),
+		WithExpectedSymbols(8), WithPreRoll(-1), WithCodebook(cb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := pipe.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Err != nil {
+		t.Fatalf("events %+v", events)
+	}
+	ev := events[0]
+	if ev.CodeIndex < 0 || ev.CodeDistance != 0 {
+		t.Fatalf("codebook stage: index %d distance %d", ev.CodeIndex, ev.CodeDistance)
+	}
+	word, err := cb.Encode(ev.CodeIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ""
+	for _, b := range word {
+		got += string('0' + byte(b))
+	}
+	if got != packet.BitString() {
+		t.Fatalf("codeword %q, want %q", got, packet.BitString())
+	}
+}
+
+// TestPipelineCollision: the whole-stream Collision strategy carries
+// the spectral report on its events.
+func TestPipelineCollision(t *testing.T) {
+	tr, _ := testTrace(t)
+	pipe, err := NewPipeline(NewTraceSource(tr, 700), Collision(CollisionOptions{MaxFreq: 100}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := pipe.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Err != nil {
+		t.Fatalf("events %+v", events)
+	}
+	if events[0].Collision == nil || events[0].Collision.DominantFreq <= 0 {
+		t.Fatalf("collision report %+v", events[0].Collision)
+	}
+}
+
+// TestPipelineDTWClassify: the whole-stream classifier strategy
+// labels a stream with its nearest baseline.
+func TestPipelineDTWClassify(t *testing.T) {
+	baseline := func(payload string, seed int64) *Trace {
+		link, _, err := (IndoorBench{
+			Height: 0.20, SymbolWidth: 0.03, Speed: 0.08,
+			Payload: payload, Seed: seed,
+		}).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := link.Simulate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	clf := NewClassifier(0)
+	if err := clf.AddBaseline("10", baseline("10", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := clf.AddBaseline("00", baseline("00", 2)); err != nil {
+		t.Fatal(err)
+	}
+	probe, _ := testTrace(t) // payload "10", different seed
+	pipe, err := NewPipeline(NewTraceSource(probe, 0), DTWClassify(clf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := pipe.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Err != nil {
+		t.Fatalf("events %+v", events)
+	}
+	if events[0].Label != "10" {
+		t.Fatalf("classified %q (matches %+v), want 10", events[0].Label, events[0].Matches)
+	}
+}
+
+// TestPipelineCancel: a blocked live source unblocks on context
+// cancellation and the pipeline reports the cancellation.
+func TestPipelineCancel(t *testing.T) {
+	ch := make(chan SourceChunk) // never fed, never closed
+	pipe, err := NewPipeline(NewChunkSource(1000, ch), Threshold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	events, err := pipe.Stream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case _, ok := <-events:
+		if ok {
+			t.Fatal("unexpected event from an empty canceled pipeline")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled pipeline did not close its event channel")
+	}
+	if !errors.Is(pipe.Err(), context.Canceled) {
+		t.Fatalf("pipeline error %v, want context.Canceled", pipe.Err())
+	}
+}
+
+// TestPipelineSingleShot: Run/Stream may be called once.
+func TestPipelineSingleShot(t *testing.T) {
+	tr, _ := testTrace(t)
+	pipe, err := NewPipeline(NewTraceSource(tr, 0), Threshold(), WithExpectedSymbols(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Stream(context.Background()); err == nil {
+		t.Fatal("second Stream should fail")
+	}
+}
+
+// TestPipelineNetSource: a node streams a synthetic packet pass over
+// the rxnet protocol into a NetSource pipeline; the detection carries
+// the node's session key.
+func TestPipelineNetSource(t *testing.T) {
+	src, err := ListenSource("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hello NodeHello
+	helloSeen := make(chan struct{})
+	src.OnHello(func(h NodeHello) {
+		hello = h
+		close(helloSeen)
+	})
+	pipe, err := NewPipeline(src, Threshold(), WithExpectedSymbols(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events, err := pipe.Stream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream := engineBenchStream("1001", 1000, 3)
+	node, err := rxnet.Dial(ctx, src.Addr(), rxnet.Hello{NodeID: 9, PosX: 1, Height: 0.75, Name: "pole-9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.StreamChunk(0, 1000, stream); err != nil {
+		t.Fatal(err)
+	}
+	node.Close()
+
+	// Wait for full ingest, then flush the open segment.
+	deadline := time.Now().Add(10 * time.Second)
+	for pipe.Stats().SamplesIn < int64(len(stream)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("ingested %d of %d samples", pipe.Stats().SamplesIn, len(stream))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	pipe.Flush()
+
+	select {
+	case ev := <-events:
+		if ev.Err != nil {
+			t.Fatal(ev.Err)
+		}
+		if ev.BitString() != "1001" {
+			t.Fatalf("decoded %q over the network, want 1001", ev.BitString())
+		}
+		if ev.Session != uint64(9)<<32 {
+			t.Fatalf("session %d, want %d", ev.Session, uint64(9)<<32)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no detection from the net source")
+	}
+	select {
+	case <-helloSeen:
+		if hello.NodeID != 9 || hello.Name != "pole-9" {
+			t.Fatalf("hello %+v", hello)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hello callback not invoked")
+	}
+	cancel()
+	for range events {
+	}
+	if !errors.Is(pipe.Err(), context.Canceled) {
+		t.Fatalf("pipeline error %v after cancel", pipe.Err())
+	}
+}

@@ -1,0 +1,343 @@
+package passivelight
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"passivelight/internal/rxnet"
+)
+
+// SourceChunk is one batch of RSS samples produced by a Source.
+type SourceChunk struct {
+	// Session distinguishes concurrent streams from a multi-stream
+	// source (e.g. one per receiver node); single-stream sources leave
+	// it zero.
+	Session uint64
+	// Fs is the chunk's sample rate; zero adopts the source's default
+	// rate from SourceInfo.
+	Fs float64
+	// Samples are RSS values (ADC counts). The slice may be reused by
+	// the source after the pipeline consumes the chunk; consumers that
+	// retain it must copy.
+	Samples []float64
+	// Reset marks a restarted stream (reconnect, sequence gap): the
+	// pipeline ends any open decode session for Session before feeding
+	// these samples, so old and new epochs cannot splice together.
+	Reset bool
+}
+
+// SourceInfo describes an opened source.
+type SourceInfo struct {
+	// Fs is the default sample rate (Hz) for chunks that do not carry
+	// their own. Zero means every chunk declares its rate (network
+	// sources) — the pipeline then requires WithSampleRate or per-chunk
+	// rates.
+	Fs float64
+	// Name labels the source in diagnostics.
+	Name string
+}
+
+// Source produces RSS sample chunks for a Pipeline: a recorded trace,
+// a live chunked feed, a simulated link, or a receiver-network stream.
+// The pipeline calls Open once, Next until it returns io.EOF (or the
+// context is canceled), then Close. Implementations need not be safe
+// for concurrent use; the pipeline serializes calls.
+type Source interface {
+	// Open starts the source and reports its default sample rate.
+	Open(ctx context.Context) (SourceInfo, error)
+	// Next returns the next chunk, blocking until one is available.
+	// io.EOF ends the stream cleanly; ctx cancellation should abort a
+	// blocked Next with ctx.Err().
+	Next(ctx context.Context) (SourceChunk, error)
+	// Close releases the source's resources. It must be safe to call
+	// after Next returned an error.
+	Close() error
+}
+
+// TraceSource replays a recorded trace in chunks.
+type TraceSource struct {
+	tr    *Trace
+	chunk int
+	pos   int
+}
+
+// NewTraceSource wraps a recorded trace as a source, replayed in
+// chunks of chunkSize samples (<= 0 replays the whole trace as one
+// chunk). Decoding a trace through a Pipeline in batch-equivalent
+// mode (WithPreRoll(-1)) is bit-identical to the batch Decode.
+func NewTraceSource(tr *Trace, chunkSize int) *TraceSource {
+	return &TraceSource{tr: tr, chunk: chunkSize}
+}
+
+// Open implements Source.
+func (s *TraceSource) Open(ctx context.Context) (SourceInfo, error) {
+	if s.tr == nil || s.tr.Len() == 0 {
+		return SourceInfo{}, errors.New("passivelight: trace source has no samples")
+	}
+	if s.chunk <= 0 {
+		s.chunk = s.tr.Len()
+	}
+	s.pos = 0
+	return SourceInfo{Fs: s.tr.Fs, Name: "trace"}, nil
+}
+
+// Next implements Source.
+func (s *TraceSource) Next(ctx context.Context) (SourceChunk, error) {
+	if err := ctx.Err(); err != nil {
+		return SourceChunk{}, err
+	}
+	if s.pos >= s.tr.Len() {
+		return SourceChunk{}, io.EOF
+	}
+	hi := s.pos + s.chunk
+	if hi > s.tr.Len() {
+		hi = s.tr.Len()
+	}
+	out := SourceChunk{Samples: s.tr.Samples[s.pos:hi]}
+	s.pos = hi
+	return out, nil
+}
+
+// Close implements Source.
+func (s *TraceSource) Close() error { return nil }
+
+// SimSource simulates a configured link on Open and replays the
+// rendered trace — the programmatic equivalent of one pass of the
+// paper's testbed feeding the decode pipeline.
+type SimSource struct {
+	build func() (*Link, Packet, error)
+	name  string
+	chunk int
+
+	customize  []func(*Link)
+	selectHook func(cands []ReceiverDevice) error
+
+	link        *Link
+	packet      Packet
+	trace       *Trace
+	inner       *TraceSource
+	receiverTag string
+}
+
+// NewBenchSource simulates the paper's indoor bench (Sec. 4) as a
+// pipeline source.
+func NewBenchSource(b IndoorBench) *SimSource {
+	return &SimSource{build: func() (*Link, Packet, error) { return b.Build() }, name: "bench"}
+}
+
+// NewCarPassSource simulates the paper's outdoor car pass (Sec. 5) as
+// a pipeline source. With WithReceiverAutoSelect the receiver device
+// is chosen per the Sec. 4.4 dual-receiver policy against the pass's
+// ambient noise floor before simulation.
+func NewCarPassSource(p OutdoorCarPass) *SimSource {
+	s := &SimSource{name: "carpass"}
+	// The build closure and the select hook share p, so auto-selecting
+	// a receiver before Open changes what Build assembles.
+	s.build = func() (*Link, Packet, error) { return p.Build() }
+	s.selectHook = func(cands []ReceiverDevice) error {
+		dev, err := SelectReceiver(p.NoiseFloorLux, cands...)
+		if err != nil {
+			return err
+		}
+		p.Receiver = dev
+		s.receiverTag = dev.Name
+		return nil
+	}
+	return s
+}
+
+// receiverSelectable is implemented by sources that can apply the
+// WithReceiverAutoSelect policy (they know their ambient level).
+type receiverSelectable interface {
+	applyReceiverAutoSelect(cands []ReceiverDevice) error
+}
+
+func (s *SimSource) applyReceiverAutoSelect(cands []ReceiverDevice) error {
+	if s.selectHook == nil {
+		return fmt.Errorf("passivelight: source %q does not support receiver auto-select", s.name)
+	}
+	return s.selectHook(cands)
+}
+
+// NewLinkSource wraps an already-assembled Link (custom scene,
+// receiver, noise) as a pipeline source.
+func NewLinkSource(l *Link) *SimSource {
+	return &SimSource{build: func() (*Link, Packet, error) { return l, Packet{}, nil }, name: "link"}
+}
+
+// Customize registers a hook run on the built link before simulation
+// (swap the light source, bend the trajectory...). Returns the source
+// for chaining.
+func (s *SimSource) Customize(fn func(*Link)) *SimSource {
+	s.customize = append(s.customize, fn)
+	return s
+}
+
+// Chunked sets the replay chunk size in samples (<= 0, the default,
+// replays the rendered trace as one chunk). Returns the source for
+// chaining.
+func (s *SimSource) Chunked(size int) *SimSource {
+	s.chunk = size
+	return s
+}
+
+// Open implements Source: build the link, render the channel, and
+// prepare the replay.
+func (s *SimSource) Open(ctx context.Context) (SourceInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return SourceInfo{}, err
+	}
+	link, pkt, err := s.build()
+	if err != nil {
+		return SourceInfo{}, err
+	}
+	for _, fn := range s.customize {
+		fn(link)
+	}
+	tr, err := link.Simulate()
+	if err != nil {
+		return SourceInfo{}, err
+	}
+	s.link, s.packet, s.trace = link, pkt, tr
+	s.inner = NewTraceSource(tr, s.chunk)
+	info, err := s.inner.Open(ctx)
+	info.Name = s.name
+	return info, err
+}
+
+// Next implements Source.
+func (s *SimSource) Next(ctx context.Context) (SourceChunk, error) {
+	if s.inner == nil {
+		return SourceChunk{}, errors.New("passivelight: source not opened")
+	}
+	return s.inner.Next(ctx)
+}
+
+// Close implements Source.
+func (s *SimSource) Close() error { return nil }
+
+// Packet returns the payload physically encoded on the simulated tag
+// (zero value for bare-car passes). Valid after the pipeline opened
+// the source.
+func (s *SimSource) Packet() Packet { return s.packet }
+
+// Trace returns the rendered trace. Valid after the pipeline opened
+// the source.
+func (s *SimSource) Trace() *Trace { return s.trace }
+
+// Link returns the built link. Valid after the pipeline opened the
+// source.
+func (s *SimSource) Link() *Link { return s.link }
+
+// Receiver returns the name of the receiver device chosen by
+// WithReceiverAutoSelect (empty without it).
+func (s *SimSource) Receiver() string { return s.receiverTag }
+
+// ChunkSource adapts a live feed: the producer sends SourceChunks on
+// a channel (closing it to signal end of stream), the pipeline pulls
+// them. Chunks may carry per-session ids and rates, so one ChunkSource
+// can multiplex many physical receivers.
+type ChunkSource struct {
+	fs float64
+	ch <-chan SourceChunk
+}
+
+// NewChunkSource wraps a channel of chunks as a source with the given
+// default sample rate. Close the channel to end the stream.
+func NewChunkSource(fs float64, ch <-chan SourceChunk) *ChunkSource {
+	return &ChunkSource{fs: fs, ch: ch}
+}
+
+// Open implements Source.
+func (s *ChunkSource) Open(ctx context.Context) (SourceInfo, error) {
+	if s.ch == nil {
+		return SourceInfo{}, errors.New("passivelight: chunk source has no channel")
+	}
+	return SourceInfo{Fs: s.fs, Name: "chunks"}, nil
+}
+
+// Next implements Source.
+func (s *ChunkSource) Next(ctx context.Context) (SourceChunk, error) {
+	select {
+	case c, ok := <-s.ch:
+		if !ok {
+			return SourceChunk{}, io.EOF
+		}
+		return c, nil
+	case <-ctx.Done():
+		return SourceChunk{}, ctx.Err()
+	}
+}
+
+// Close implements Source.
+func (s *ChunkSource) Close() error { return nil }
+
+// NodeHello is a receiver node's registration (id, position, name) as
+// seen by a NetSource.
+type NodeHello = rxnet.Hello
+
+// NetSource accepts receiver-node connections speaking the rxnet
+// frame protocol and yields their raw SampleChunk streams — the
+// paper's testbed inverted, with all DSP running wherever the
+// pipeline runs. Each (node, stream) pair becomes one pipeline
+// session; reconnects and sequence gaps arrive as Reset chunks so
+// decode epochs cannot splice.
+type NetSource struct {
+	l       *rxnet.ChunkListener
+	onHello func(NodeHello)
+}
+
+// ListenSource starts a NetSource listening on addr ("host:port";
+// empty port picks an ephemeral one).
+func ListenSource(addr string) (*NetSource, error) {
+	l, err := rxnet.ListenChunks(addr, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &NetSource{l: l}, nil
+}
+
+// Addr returns the bound listen address (for nodes to Dial).
+func (s *NetSource) Addr() string { return s.l.Addr() }
+
+// OnHello registers a callback invoked (from the pipeline's pull
+// goroutine) for each node registration — e.g. to register node
+// positions with a track-fusion aggregator. Returns the source for
+// chaining.
+func (s *NetSource) OnHello(fn func(NodeHello)) *NetSource {
+	s.onHello = fn
+	return s
+}
+
+// Open implements Source. Network streams carry their own sample
+// rates, so the default rate is zero.
+func (s *NetSource) Open(ctx context.Context) (SourceInfo, error) {
+	return SourceInfo{Fs: 0, Name: "rxnet"}, nil
+}
+
+// Next implements Source. It never returns io.EOF on its own — a
+// network source ends when the context is canceled or the source is
+// closed.
+func (s *NetSource) Next(ctx context.Context) (SourceChunk, error) {
+	for {
+		select {
+		case ev, ok := <-s.l.Chunks():
+			if !ok {
+				return SourceChunk{}, io.EOF
+			}
+			return SourceChunk{Session: ev.Session, Fs: ev.Fs, Samples: ev.Samples, Reset: ev.Reset}, nil
+		case h, ok := <-s.l.Hellos():
+			if ok && s.onHello != nil {
+				s.onHello(h)
+			}
+		case <-ctx.Done():
+			return SourceChunk{}, ctx.Err()
+		}
+	}
+}
+
+// Close implements Source, stopping the listener and all node
+// connections.
+func (s *NetSource) Close() error { return s.l.Close() }
