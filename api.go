@@ -155,11 +155,12 @@ type StreamDetection = stream.Detection
 type StreamDecoder = stream.Decoder
 
 // StreamEngineConfig tunes the concurrent session manager (worker
-// pool, per-session queues, idle eviction).
+// pool, shard count, per-session queues, idle eviction).
 type StreamEngineConfig = stream.EngineConfig
 
 // StreamEngine multiplexes thousands of concurrent streaming decode
-// sessions over a worker pool.
+// sessions over a sharded worker pool (per-shard session table, lock
+// and run queue; batched detection delivery).
 type StreamEngine = stream.Engine
 
 // StreamStats is the engine's operational snapshot (sessions,

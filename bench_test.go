@@ -10,7 +10,10 @@ package passivelight
 // their ns/op is the cost of reproducing that figure once.
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"passivelight/internal/capacity"
@@ -323,14 +326,17 @@ func engineBenchStream(payload string, fs float64, seed int64) []float64 {
 	return out
 }
 
-// BenchmarkEngineSessions128 drives 128 concurrent streaming sessions
-// through the engine per iteration: every session receives its own
-// packet pass chunk by chunk, all sessions decode on the worker pool,
-// and the iteration ends when every detection is out. ns/op is the
-// cost of one 128-way concurrent decode round; MB/s is aggregate
-// sample ingest throughput.
-func BenchmarkEngineSessions128(b *testing.B) {
-	const sessions = 128
+// engineBenchRun drives the given number of concurrent streaming
+// sessions through the engine per iteration: every session receives
+// its own packet pass chunk by chunk, all sessions decode on the
+// sharded worker pool, and the iteration ends when every detection is
+// out (consumed from the batched output). ns/op is the cost of one
+// concurrent decode round; MB/s is aggregate sample ingest
+// throughput. shards 0 selects the engine's auto (GOMAXPROCS-bound)
+// sharding; workers is forced to cover every shard so a shard sweep
+// on a small box still exercises N independent queues.
+func engineBenchRun(b *testing.B, sessions, shards int) {
+	b.Helper()
 	payloads := []string{"1001", "0110", "1100", "0011"}
 	streams := make([][]float64, sessions)
 	total := 0
@@ -338,21 +344,29 @@ func BenchmarkEngineSessions128(b *testing.B) {
 		streams[i] = engineBenchStream(payloads[i%len(payloads)], 1000, int64(i+1))
 		total += len(streams[i])
 	}
+	workers := 0
+	if shards > 0 {
+		workers = max(shards, runtime.GOMAXPROCS(0))
+	}
 	b.SetBytes(int64(8 * total))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng, err := NewStreamEngine(StreamEngineConfig{
 			Session:     StreamConfig{Fs: 1000, Decode: DecodeOptions{ExpectedSymbols: 12}},
+			Workers:     workers,
+			Shards:      shards,
 			IdleTimeout: -1,
 		})
 		benchErr(b, err)
 		done := make(chan int)
 		go func() {
 			got := 0
-			for det := range eng.Detections() {
-				if det.Err == nil {
-					got++
+			for batch := range eng.Batches() {
+				for _, det := range batch {
+					if det.Err == nil {
+						got++
+					}
 				}
 			}
 			done <- got
@@ -382,4 +396,60 @@ func BenchmarkEngineSessions128(b *testing.B) {
 			b.Fatalf("buffered %d samples across %d sessions", st.BufferedSamples, sessions)
 		}
 	}
+}
+
+// BenchmarkEngineSessions128 is the aggregate-throughput headline
+// number: 128 concurrent sessions, auto sharding.
+func BenchmarkEngineSessions128(b *testing.B) { engineBenchRun(b, 128, 0) }
+
+// BenchmarkEngineSessions512 scales the session count 4x to expose
+// table-pressure effects the 128-way round hides.
+func BenchmarkEngineSessions512(b *testing.B) { engineBenchRun(b, 512, 0) }
+
+// BenchmarkEngineShards sweeps the shard count at a fixed 128
+// sessions so the sharding win (or its absence on a small box) is
+// visible in tier-1 bench output.
+func BenchmarkEngineShards(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			engineBenchRun(b, 128, shards)
+		})
+	}
+}
+
+// BenchmarkEngineFeedParallel hammers the Feed path from GOMAXPROCS
+// goroutines, each with its own session, against quiet streams (no
+// packet, so decode work is minimal): it isolates the ingest
+// fan-in — shard lookup, ring copy, wake — that a single global
+// mutex/queue would serialize.
+func BenchmarkEngineFeedParallel(b *testing.B) {
+	eng, err := NewStreamEngine(StreamEngineConfig{
+		Session:     StreamConfig{Fs: 1000, Decode: DecodeOptions{ExpectedSymbols: 12}},
+		IdleTimeout: -1,
+	})
+	benchErr(b, err)
+	go func() {
+		for range eng.Batches() {
+		}
+	}()
+	rng := benchRand(1)
+	chunk := make([]float64, 1024)
+	for i := range chunk {
+		chunk[i] = 10 + 0.3*rng.NormFloat64()
+	}
+	var nextID atomic.Uint64
+	b.SetBytes(int64(8 * len(chunk)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := nextID.Add(1)
+		for pb.Next() {
+			if err := eng.Feed(id, 0, chunk); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	eng.Close()
 }

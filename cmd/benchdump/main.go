@@ -1,0 +1,163 @@
+// Command benchdump runs the repository's benchmarks and writes the
+// results as structured JSON, so every PR can commit a
+// machine-readable performance baseline (BENCH_PR<n>.json) that later
+// PRs diff against instead of eyeballing bench output in commit
+// messages.
+//
+//	benchdump                          # all benchmarks -> bench.json
+//	benchdump -out BENCH_PR3.json      # name the baseline
+//	benchdump -bench 'Engine' -benchtime 10x -note "post-sharding"
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Dump is the file schema.
+type Dump struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	Note        string    `json:"note,omitempty"`
+	GoVersion   string    `json:"go_version"`
+	GOOS        string    `json:"goos"`
+	GOARCH      string    `json:"goarch"`
+	CPU         string    `json:"cpu,omitempty"`
+	GOMAXPROCS  int       `json:"gomaxprocs"`
+	BenchTime   string    `json:"benchtime,omitempty"`
+	Benchmarks  []Result  `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "bench.json", "output JSON path")
+		bench     = flag.String("bench", ".", "benchmark name pattern (go test -bench)")
+		benchtime = flag.String("benchtime", "", "per-benchmark time or count (go test -benchtime)")
+		count     = flag.Int("count", 1, "runs per benchmark (go test -count)")
+		pkgs      = flag.String("pkg", "./...", "packages to benchmark")
+		note      = flag.String("note", "", "free-form note stored in the dump")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, *pkgs)
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	fmt.Fprintln(os.Stderr, "benchdump: go", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdump: go test:", err)
+		os.Exit(1)
+	}
+
+	dump := Dump{
+		GeneratedAt: time.Now().UTC(),
+		Note:        *note,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		BenchTime:   *benchtime,
+	}
+	pkg := ""
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "pkg: ") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		}
+		if strings.HasPrefix(line, "cpu: ") && dump.CPU == "" {
+			dump.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			continue
+		}
+		if r, ok := parseBenchLine(line); ok {
+			r.Package = pkg
+			dump.Benchmarks = append(dump.Benchmarks, r)
+		}
+	}
+	if len(dump.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdump: no benchmark lines parsed")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdump:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdump:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchdump: wrote %d benchmarks to %s\n", len(dump.Benchmarks), *out)
+}
+
+// parseBenchLine parses one `go test -bench` output line, e.g.
+//
+//	BenchmarkFoo-8   	 123	 456 ns/op	 7.89 MB/s	 100 B/op	 5 allocs/op
+func parseBenchLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "MB/s":
+			r.MBPerS = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	if r.NsPerOp == 0 {
+		return Result{}, false
+	}
+	return r, true
+}

@@ -41,6 +41,8 @@ func main() {
 		payload  = flag.String("payload", "1001", "payload the simulated node observes")
 		nodes    = flag.Int("nodes", 3, "simulated node count (stream mode)")
 		chunk    = flag.Int("chunk", 1024, "samples per streamed chunk (stream mode)")
+		workers  = flag.Int("workers", 0, "decode worker pool size (stream mode; 0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "engine shard count (stream mode; 0 = min(workers, GOMAXPROCS))")
 	)
 	flag.Parse()
 	// One signal-handling context for every mode: Ctrl-C propagates
@@ -65,7 +67,7 @@ func main() {
 	case "demo":
 		err = runDemo(ctx)
 	case "stream":
-		err = runStream(ctx, *nodes, *chunk, *payload)
+		err = runStream(ctx, *nodes, *chunk, *payload, *workers, *shards)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -173,7 +175,7 @@ func observe(ctx context.Context, payload string, seed int64) (rxnet.Detection, 
 // chunks to a NetSource; one TwoPhase pipeline decodes every stream
 // server-side and its sink feeds the aggregator's track fusion — the
 // paper's testbed inverted, with all DSP at the pipeline.
-func runStream(ctx context.Context, nodeCount, chunkSize int, payload string) error {
+func runStream(ctx context.Context, nodeCount, chunkSize int, payload string, workers, shards int) error {
 	if nodeCount < 2 {
 		return fmt.Errorf("stream mode needs at least 2 nodes to fuse a track, got %d", nodeCount)
 	}
@@ -191,6 +193,8 @@ func runStream(ctx context.Context, nodeCount, chunkSize int, payload string) er
 	src.OnHello(func(h passivelight.NodeHello) { agg.RegisterNode(h) })
 	pipe, err := passivelight.NewPipeline(src, passivelight.TwoPhase(),
 		passivelight.WithExpectedSymbols(4+2*len(payload)),
+		passivelight.WithWorkers(workers),
+		passivelight.WithShards(shards),
 		passivelight.WithSink(func(ev passivelight.Event) {
 			if ev.Err != nil {
 				fmt.Printf("stream session %d segment [%d,%d): %v\n", ev.Session, ev.Start, ev.End, ev.Err)

@@ -50,8 +50,8 @@
 // paper's system pieces onto any pipeline: WithCodebook applies the
 // Sec. 4.2 restricted code sets as an error-correction stage,
 // WithReceiverAutoSelect applies the Sec. 4.4 dual-receiver policy to
-// simulated sources, WithWorkers/WithQueue/WithIdleTimeout tune the
-// concurrent substrate, WithSink taps the event flow.
+// simulated sources, WithWorkers/WithShards/WithQueue/WithIdleTimeout
+// tune the concurrent substrate, WithSink taps the event flow.
 //
 // # Execution substrate
 //
@@ -72,6 +72,36 @@
 // nodes either decode locally and publish compact detections to an
 // aggregator, or ship raw samples into a ListenSource pipeline whose
 // sink feeds the aggregator's track fusion.
+//
+// # Performance
+//
+// The engine is sharded: sessions are hashed by stream id onto N
+// independent shards, each with its own session table, lock, run
+// queue and worker set, and detections are delivered in batches (one
+// channel send per decode step). WithShards sets the shard count
+// (default min(workers, GOMAXPROCS)); WithWorkers sets the decode
+// pool size (default GOMAXPROCS). Sizing guidance: leave both at
+// their defaults unless profiling says otherwise — workers bound the
+// decode parallelism, so set WithWorkers to the cores you want decode
+// to use; shards only need to exceed 1 when many feeder goroutines
+// contend on ingest, and more shards than workers is never useful
+// (the engine clamps it). One shard reproduces the unsharded engine
+// exactly.
+//
+// The simulation and decode hot paths are plan-cached: the channel
+// renderer specializes time-invariant/uniform light sources and
+// piecewise-constant reflectance profiles (bit-identical to the
+// generic evaluator), the FFT runs over cached twiddle/bit-reversal
+// plans with a real-input path for power spectra, DTW runs a pooled
+// two-row band-limited dynamic program, and the threshold decoder's
+// timing search answers window maxima from a sparse table. Measured
+// against the PR 1 baseline on the same hardware (see
+// BENCH_PR3.json for the committed machine-readable numbers):
+// BenchmarkDTWClassify ~14x, BenchmarkFFTCollision ~6x,
+// BenchmarkBatchDecode ~3.5x MB/s, BenchmarkEngineSessions128 ~3x
+// MB/s — on a single-core container, i.e. before any shard
+// parallelism; multi-core boxes add near-linear shard scaling on the
+// ingest path.
 //
 // # Deprecated free functions
 //

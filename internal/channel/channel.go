@@ -155,7 +155,19 @@ func Render(s *scene.Scene, r Receiver, t0, dur, fs float64) ([]float64, error) 
 	r = r.withDefaults()
 	offsets, weights := r.Kernel()
 	out := make([]float64, n)
-	for i := 0; i < n; i++ {
+	if plan, ok := newRenderPlan(s, r, offsets, weights); ok {
+		plan.render(t0, fs, out)
+		return out, nil
+	}
+	renderGeneric(s, r, offsets, weights, t0, fs, out)
+	return out, nil
+}
+
+// renderGeneric is the fallback evaluator for scenes the renderPlan
+// cannot specialize (dynamic tags, custom profiles). renderPlan must
+// stay bit-identical to this loop.
+func renderGeneric(s *scene.Scene, r Receiver, offsets, weights []float64, t0, fs float64, out []float64) {
+	for i := range out {
 		t := t0 + float64(i)/fs
 		var reflected float64
 		for k, dx := range offsets {
@@ -167,7 +179,6 @@ func Render(s *scene.Scene, r Receiver, t0, dur, fs float64) ([]float64, error) 
 		stray := r.StrayCoupling * s.IlluminanceAt(r.X, t)
 		out[i] = r.CollectionEfficiency*reflected + stray
 	}
-	return out, nil
 }
 
 // PassWindow computes the time interval during which an object's

@@ -1,0 +1,328 @@
+package channel
+
+import (
+	"sort"
+
+	"passivelight/internal/optics"
+	"passivelight/internal/scene"
+)
+
+// renderPlan is the specialized fast path of Render. The generic loop
+// evaluates, per output sample, the source illuminance and a
+// polymorphic reflectance lookup at every footprint point — for a
+// 129-point kernel that is ~130 interface calls and (for a point
+// lamp) 129 math.Pow evaluations per sample, which dominates every
+// simulation benchmark. The plan removes all of it for the common
+// scene shapes while producing bit-identical output:
+//
+//   - a time-invariant source (PointLamp, Sun without drift) has its
+//     footprint illuminance evaluated once per render and folded into
+//     the kernel weights;
+//   - a position-invariant source (CeilingLight, Sun) is evaluated
+//     once per time step instead of once per footprint point;
+//   - piecewise-constant object profiles (tags, car bodies) are
+//     flattened to edge/reflectance arrays walked with a monotone
+//     cursor, and the object's trajectory is advanced once per time
+//     step instead of once per footprint point.
+//
+// Float operation order matches the generic path exactly, so the two
+// paths produce identical bits; equivalence is locked down by
+// TestRenderPlanMatchesGeneric.
+type renderPlan struct {
+	rx      Receiver
+	xs      []float64 // footprint sample positions (r.X + offset)
+	weights []float64
+	ground  float64
+	objs    []planObject
+
+	src optics.Source
+	// srcKind selects how illuminance is evaluated.
+	srcKind srcKind
+	// wE[k] = weights[k] * E(xs[k]) for a steady source.
+	wE []float64
+	// strayE = StrayCoupling * E(r.X) for a steady source.
+	strayE float64
+	// quietOut is the output value of a time step no object touches,
+	// for a steady source: sum_k wE[k]*ground folded with the stray
+	// term, accumulated in kernel order so it is bit-identical to the
+	// per-sample loop.
+	quietOut float64
+	// accShare/accRho are per-footprint-point blend accumulators
+	// reused across time steps (zeroed over the active span only).
+	accShare, accRho []float64
+}
+
+type srcKind int
+
+const (
+	srcGeneric srcKind = iota // E(x, t) per footprint point
+	srcUniform                // E(t): once per time step
+	srcSteady                 // E(x): folded into the kernel weights
+)
+
+type planObject struct {
+	traj   scene.Trajectory
+	share  float64
+	edges  []float64 // len(rho)+1, edges[0] = 0
+	rho    []float64
+	length float64
+	// Overlay layer (a roof tag over a car body): active on local
+	// coordinates v = u - ovOffset in [0, ovLen). Kept separate from
+	// the base layer so every boundary comparison rounds exactly like
+	// the reference ReflectanceAtLocal.
+	ovEdges  []float64
+	ovRho    []float64
+	ovOffset float64
+	ovLen    float64
+	// lead is the leading-edge position at the current time step;
+	// kLo/kHi the footprint index range the object covers there.
+	lead     float64
+	kLo, kHi int
+	// seg/ovSeg are monotone segment cursors: footprint positions
+	// ascend within a time step, so the local coordinate u = lead - x
+	// only descends and the cursors amortize to O(1) per lookup.
+	seg, ovSeg int
+}
+
+// newRenderPlan builds the fast path for the scene, or ok=false when
+// any element needs the generic evaluator (dynamic tags, custom
+// profiles without the PiecewiseConstant capability).
+func newRenderPlan(s *scene.Scene, r Receiver, offsets, weights []float64) (*renderPlan, bool) {
+	if s.Source == nil {
+		return nil, false
+	}
+	p := &renderPlan{
+		rx:      r,
+		weights: weights,
+		ground:  s.Ground.Reflectance,
+		src:     s.Source,
+	}
+	for _, o := range s.Objects {
+		if o.DynamicTag != nil {
+			return nil, false
+		}
+		pc, ok := o.Profile.(scene.PiecewiseConstant)
+		if !ok {
+			return nil, false
+		}
+		fp := pc.FlatReflectance()
+		if len(fp.Rho) == 0 || len(fp.Edges) != len(fp.Rho)+1 {
+			return nil, false
+		}
+		po := planObject{
+			traj:   o.Trajectory,
+			share:  o.LateralShare,
+			edges:  fp.Edges,
+			rho:    fp.Rho,
+			length: fp.Edges[len(fp.Edges)-1],
+		}
+		if ov := fp.Overlay; ov != nil {
+			if len(ov.Rho) == 0 || len(ov.Edges) != len(ov.Rho)+1 {
+				return nil, false
+			}
+			po.ovEdges = ov.Edges
+			po.ovRho = ov.Rho
+			po.ovOffset = ov.Offset
+			po.ovLen = ov.Edges[len(ov.Edges)-1]
+		}
+		p.objs = append(p.objs, po)
+	}
+	p.xs = make([]float64, len(offsets))
+	for k, dx := range offsets {
+		p.xs[k] = r.X + dx
+	}
+	p.accShare = make([]float64, len(p.xs))
+	p.accRho = make([]float64, len(p.xs))
+	if ss, ok := s.Source.(optics.SteadySource); ok && ss.SteadyIlluminance() {
+		p.srcKind = srcSteady
+		p.wE = make([]float64, len(p.xs))
+		for k, x := range p.xs {
+			p.wE[k] = weights[k] * s.Source.IlluminanceAt(x, 0)
+		}
+		p.strayE = r.StrayCoupling * s.Source.IlluminanceAt(r.X, 0)
+		var ground float64
+		for k := range p.xs {
+			ground += p.wE[k] * p.ground
+		}
+		p.quietOut = r.CollectionEfficiency*ground + p.strayE
+	} else if us, ok := s.Source.(optics.UniformSource); ok && us.UniformIlluminance() {
+		p.srcKind = srcUniform
+	}
+	return p, true
+}
+
+// kernelRange returns the footprint index range [kLo, kHi) the object
+// covers at its current lead, using binary search over the exact
+// coverage predicates (u = lead - x, u >= 0 and u < length) so the
+// split agrees bit for bit with the per-point checks: u descends as k
+// ascends, making both predicates monotone in k.
+func (o *planObject) kernelRange(xs []float64) (int, int) {
+	kLo := sort.Search(len(xs), func(k int) bool { return o.lead-xs[k] < o.length })
+	kHi := sort.Search(len(xs), func(k int) bool { return o.lead-xs[k] < 0 })
+	return kLo, kHi
+}
+
+// blendSpan composes the blended scene reflectance into
+// p.accRho[kStart:kEnd], mirroring scene.SampleAt exactly: for every
+// footprint point the objects contribute in scene order with the same
+// share-clamp logic and float operation order, followed by the ground
+// fill. Iterating object-major (instead of point-major) keeps each
+// object's flat arrays and segment cursor in registers; the per-point
+// result is unchanged because points are independent and the
+// per-point object order is preserved.
+func (p *renderPlan) blendSpan(kStart, kEnd int) {
+	accShare, accRho := p.accShare, p.accRho
+	for k := kStart; k < kEnd; k++ {
+		accShare[k], accRho[k] = 0, 0
+	}
+	xs := p.xs
+	for j := range p.objs {
+		o := &p.objs[j]
+		lo, hi := o.kLo, o.kHi
+		if lo >= hi {
+			continue
+		}
+		lead, share := o.lead, o.share
+		edges, rho := o.edges, o.rho
+		seg := o.seg
+		if o.ovRho == nil {
+			for k := lo; k < hi; k++ {
+				u := lead - xs[k]
+				for u < edges[seg] {
+					seg--
+				}
+				for u >= edges[seg+1] {
+					seg++
+				}
+				s := share
+				if as := accShare[k]; as+s > 1 {
+					s = 1 - as
+				}
+				if s <= 0 {
+					continue
+				}
+				accShare[k] += s
+				accRho[k] += s * rho[seg]
+			}
+		} else {
+			ovEdges, ovRho := o.ovEdges, o.ovRho
+			ovOffset, ovLen := o.ovOffset, o.ovLen
+			ovSeg := o.ovSeg
+			for k := lo; k < hi; k++ {
+				u := lead - xs[k]
+				var r float64
+				if v := u - ovOffset; v >= 0 && v < ovLen {
+					for v < ovEdges[ovSeg] {
+						ovSeg--
+					}
+					for v >= ovEdges[ovSeg+1] {
+						ovSeg++
+					}
+					r = ovRho[ovSeg]
+				} else {
+					for u < edges[seg] {
+						seg--
+					}
+					for u >= edges[seg+1] {
+						seg++
+					}
+					r = rho[seg]
+				}
+				s := share
+				if as := accShare[k]; as+s > 1 {
+					s = 1 - as
+				}
+				if s <= 0 {
+					continue
+				}
+				accShare[k] += s
+				accRho[k] += s * r
+			}
+			o.ovSeg = ovSeg
+		}
+		o.seg = seg
+	}
+	ground := p.ground
+	for k := kStart; k < kEnd; k++ {
+		if as := accShare[k]; as < 1 {
+			accRho[k] += (1 - as) * ground
+		}
+	}
+}
+
+// render fills out[i] for t = t0 + i/fs.
+func (p *renderPlan) render(t0, fs float64, out []float64) {
+	r := p.rx
+	for i := range out {
+		t := t0 + float64(i)/fs
+		// Advance every object and bound the footprint span any of
+		// them touches: outside [kStart, kEnd) every object fails its
+		// coverage predicate, so the reflectance is the bare ground's
+		// and (for a steady source) entire quiet time steps collapse
+		// to one precomputed value.
+		kStart, kEnd := len(p.xs), 0
+		for j := range p.objs {
+			o := &p.objs[j]
+			o.lead = o.traj.PositionAt(t)
+			o.kLo, o.kHi = o.kernelRange(p.xs)
+			if o.kLo < o.kHi {
+				if o.kLo < kStart {
+					kStart = o.kLo
+				}
+				if o.kHi > kEnd {
+					kEnd = o.kHi
+				}
+			}
+		}
+		quiet := kStart >= kEnd
+		if quiet {
+			// No object touches the footprint: the whole kernel is
+			// the ground prefix.
+			kStart, kEnd = len(p.xs), len(p.xs)
+		} else {
+			p.blendSpan(kStart, kEnd)
+		}
+		var reflected float64
+		switch p.srcKind {
+		case srcSteady:
+			if quiet {
+				out[i] = p.quietOut
+				continue
+			}
+			for k := 0; k < kStart; k++ {
+				reflected += p.wE[k] * p.ground
+			}
+			for k := kStart; k < kEnd; k++ {
+				reflected += p.wE[k] * p.accRho[k]
+			}
+			for k := kEnd; k < len(p.xs); k++ {
+				reflected += p.wE[k] * p.ground
+			}
+			out[i] = r.CollectionEfficiency*reflected + p.strayE
+		case srcUniform:
+			e := p.src.IlluminanceAt(r.X, t)
+			for k := 0; k < kStart; k++ {
+				reflected += p.weights[k] * e * p.ground
+			}
+			for k := kStart; k < kEnd; k++ {
+				reflected += p.weights[k] * e * p.accRho[k]
+			}
+			for k := kEnd; k < len(p.xs); k++ {
+				reflected += p.weights[k] * e * p.ground
+			}
+			out[i] = r.CollectionEfficiency*reflected + r.StrayCoupling*e
+		default:
+			for k, x := range p.xs {
+				e := p.src.IlluminanceAt(x, t)
+				var rho float64
+				if k >= kStart && k < kEnd {
+					rho = p.accRho[k]
+				} else {
+					rho = p.ground
+				}
+				reflected += p.weights[k] * e * rho
+			}
+			out[i] = r.CollectionEfficiency*reflected + r.StrayCoupling*p.src.IlluminanceAt(r.X, t)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package channel
+
+import (
+	"testing"
+
+	"passivelight/internal/coding"
+	"passivelight/internal/material"
+	"passivelight/internal/optics"
+	"passivelight/internal/scene"
+	"passivelight/internal/tag"
+)
+
+// planScenes builds one scene per specialization the renderPlan
+// handles: steady point lamp + tag, rippling ceiling light (uniform
+// source), sun + tagged car, and a two-object collision scene.
+func planScenes(t *testing.T) map[string]*scene.Scene {
+	t.Helper()
+	mustTag := func(payload string, w float64) *tag.Tag {
+		pkt, err := coding.NewPacket(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tag.MustNew(pkt, tag.Config{SymbolWidth: w})
+	}
+	tagObj := func(tg *tag.Tag, start, speed, share float64) *scene.Object {
+		obj, err := scene.NewTagObject("tag", tg, scene.ConstantSpeed{Start: start, Speed: speed}, share)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return obj
+	}
+	out := map[string]*scene.Scene{}
+
+	lamp := optics.LampForLux(0, 0.2, 900, 30)
+	out["lamp+tag"] = scene.New(lamp, tagObj(mustTag("10", 0.03), -0.2, 0.08, 1.0))
+
+	ceiling := optics.CeilingLight{Lux: 300, RippleDepth: 0.12, MainsHz: 50, Harmonics: []float64{0.25}}
+	out["ceiling+tag"] = scene.New(ceiling, tagObj(mustTag("00", 0.03), -0.2, 0.08, 1.0))
+
+	car, err := scene.NewTaggedCarObject(scene.VolvoV40(), mustTag("10", 0.10), scene.ConstantSpeed{Start: -3, Speed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["sun+car"] = scene.New(optics.Sun{Lux: 6200}, car)
+
+	out["sun+drift+collision"] = scene.New(
+		optics.Sun{Lux: 450, SlowDriftAmp: 0.05, DriftPeriod: 20},
+		tagObj(mustTag("10", 0.04), -0.3, 0.08, 0.8),
+		tagObj(mustTag("01", 0.02), -0.5, 0.12, 0.2),
+	)
+	return out
+}
+
+// TestRenderPlanMatchesGeneric locks the fast path to the generic
+// evaluator bit for bit across every specialization.
+func TestRenderPlanMatchesGeneric(t *testing.T) {
+	r := Receiver{Height: 0.2, FoVHalfAngleDeg: 5}
+	for name, s := range planScenes(t) {
+		rr := r.withDefaults()
+		offsets, weights := rr.Kernel()
+		plan, ok := newRenderPlan(s, rr, offsets, weights)
+		if !ok {
+			t.Fatalf("%s: scene did not take the fast path", name)
+		}
+		const t0, fs = 0.0, 500.0
+		n := 2000
+		fast := make([]float64, n)
+		plan.render(t0, fs, fast)
+		slow := make([]float64, n)
+		renderGeneric(s, rr, offsets, weights, t0, fs, slow)
+		for i := range fast {
+			if fast[i] != slow[i] {
+				t.Fatalf("%s: sample %d differs: fast=%v generic=%v", name, i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
+// TestRenderFallsBackOnDynamicTag checks the generic path still
+// serves scenes the plan cannot specialize.
+func TestRenderFallsBackOnDynamicTag(t *testing.T) {
+	pktA, err := coding.NewPacket("10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pktB, err := coding.NewPacket("01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(p coding.Packet) *tag.Tag { return tag.MustNew(p, tag.Config{SymbolWidth: 0.03}) }
+	dyn, err := tag.NewDynamic([]*tag.Tag{mk(pktA), mk(pktB)}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := scene.NewDynamicTagObject("dyn", dyn, scene.ConstantSpeed{Start: -0.2, Speed: 0.08}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := scene.New(optics.LampForLux(0, 0.2, 900, 30), obj)
+	r := Receiver{Height: 0.2, FoVHalfAngleDeg: 5}.withDefaults()
+	offsets, weights := r.Kernel()
+	if _, ok := newRenderPlan(s, r, offsets, weights); ok {
+		t.Fatal("dynamic tag scene must not take the fast path")
+	}
+	if _, err := Render(s, r, 0, 1.0, 500); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCarProfileFlatMatchesLookup sweeps the merged car+tag flat
+// profile against the reference lookup.
+func TestCarProfileFlatMatchesLookup(t *testing.T) {
+	pkt, err := coding.NewPacket("10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	roofTag := tag.MustNew(pkt, tag.Config{
+		SymbolWidth: 0.10,
+		HighMat:     &material.AluminumTape,
+		LowMat:      &material.BlackNapkin,
+	})
+	for _, model := range []scene.CarModel{scene.VolvoV40(), scene.BMW3()} {
+		for _, tg := range []*tag.Tag{nil, roofTag} {
+			var obj *scene.Object
+			var err error
+			if tg == nil {
+				obj, err = scene.NewCarObject(model, scene.ConstantSpeed{})
+			} else {
+				obj, err = scene.NewTaggedCarObject(model, tg, scene.ConstantSpeed{})
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			pc, ok := obj.Profile.(scene.PiecewiseConstant)
+			if !ok {
+				t.Fatal("car profile must be piecewise constant")
+			}
+			fp := pc.FlatReflectance()
+			if len(fp.Edges) != len(fp.Rho)+1 || fp.Edges[0] != 0 {
+				t.Fatalf("malformed flat profile: %d edges, %d segments", len(fp.Edges), len(fp.Rho))
+			}
+			if (tg != nil) != (fp.Overlay != nil) {
+				t.Fatalf("overlay presence %v does not match tag presence %v", fp.Overlay != nil, tg != nil)
+			}
+			flatAt := func(u float64) float64 {
+				if ov := fp.Overlay; ov != nil {
+					if v := u - ov.Offset; v >= 0 && v < ov.Edges[len(ov.Edges)-1] {
+						seg := 0
+						for v >= ov.Edges[seg+1] {
+							seg++
+						}
+						return ov.Rho[seg]
+					}
+				}
+				seg := 0
+				for u >= fp.Edges[seg+1] {
+					seg++
+				}
+				return fp.Rho[seg]
+			}
+			L := obj.Profile.Length()
+			for i := 0; i <= 5000; i++ {
+				u := L * float64(i) / 5000 * 0.9999
+				want, ok := obj.Profile.ReflectanceAtLocal(u)
+				if !ok {
+					t.Fatalf("lookup failed inside profile at u=%v", u)
+				}
+				if got := flatAt(u); got != want {
+					t.Fatalf("%s tag=%v: u=%v flat=%v lookup=%v", model.Name, tg != nil, u, got, want)
+				}
+			}
+		}
+	}
+}

@@ -160,6 +160,32 @@ func (p Packet) SymbolString() string {
 
 // ParsePacket validates that symbols start with the preamble and
 // Manchester-decodes the remainder into a Packet.
+// ValidPacket reports whether ParsePacket would succeed, without
+// building the payload slice or an error value. The decoder's timing
+// search asks this for hundreds of candidate grids per packet and
+// discards everything but the answer.
+func ValidPacket(symbols []Symbol) bool {
+	if len(symbols) < PreambleLen {
+		return false
+	}
+	for i, want := range Preamble {
+		if symbols[i] != want {
+			return false
+		}
+	}
+	rest := symbols[PreambleLen:]
+	if len(rest)%2 != 0 {
+		return false
+	}
+	for i := 0; i < len(rest); i += 2 {
+		a, b := rest[i], rest[i+1]
+		if !(a == High && b == Low) && !(a == Low && b == High) {
+			return false
+		}
+	}
+	return true
+}
+
 func ParsePacket(symbols []Symbol) (Packet, error) {
 	if len(symbols) < PreambleLen {
 		return Packet{}, ErrNoPreamble

@@ -66,7 +66,8 @@ func (l *Link) Simulate() (*trace.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	lux = l.Noise.Apply(lux)
+	// In place: the clean rendering is owned here and never reused.
+	lux = l.Noise.ApplyInPlace(lux)
 	counts := l.Frontend.Digitize(lux)
 	tr := trace.New(l.Frontend.Fs, l.T0, counts)
 	tr.WithMeta("receiver", l.Frontend.Receiver.Name)

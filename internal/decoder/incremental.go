@@ -166,16 +166,16 @@ func (inc *Incremental) Feed(chunk []float64) []SegmentResult {
 	for _, x := range chunk {
 		inc.pos++
 		inc.buf = append(inc.buf, x)
-		if seg, ok := inc.step(x); ok {
-			out = append(out, seg)
-		}
+		out = inc.step(x, out)
 	}
 	return out
 }
 
 // step advances the state machine by the one sample just appended to
-// buf, possibly completing a segment.
-func (inc *Incremental) step(x float64) (SegmentResult, bool) {
+// buf, appending to out when a segment completes. (Appending instead
+// of returning the result keeps the large SegmentResult struct off
+// the per-sample path — this runs once per ingested sample.)
+func (inc *Incremental) step(x float64, out []SegmentResult) []SegmentResult {
 	inc.updateFloor(x)
 	delta := inc.cfg.ActivityMargin * inc.floorDev
 	if delta < inc.cfg.MinActivityDelta {
@@ -197,7 +197,7 @@ func (inc *Incremental) step(x float64) (SegmentResult, bool) {
 		if !inc.active {
 			inc.trimPreRoll()
 		}
-		return SegmentResult{}, false
+		return out
 	}
 	if inBand {
 		inc.quietRun++
@@ -206,12 +206,12 @@ func (inc *Incremental) step(x float64) (SegmentResult, bool) {
 	}
 	hold := inc.cfg.QuietHoldSamples
 	if hold >= 0 && inc.quietRun >= hold {
-		return inc.complete(inc.quietRun), true
+		return append(out, inc.complete(inc.quietRun))
 	}
 	if inc.cfg.MaxSegmentSamples >= 0 && len(inc.buf) >= inc.cfg.MaxSegmentSamples {
-		return inc.complete(0), true
+		return append(out, inc.complete(0))
 	}
-	return SegmentResult{}, false
+	return out
 }
 
 // complete decodes the open segment and resets to idle, reseeding the

@@ -1,6 +1,7 @@
 package decoder
 
 import (
+	"math/bits"
 	"sync"
 
 	"passivelight/internal/coding"
@@ -28,6 +29,84 @@ type passScratch struct {
 	syms []coding.Symbol
 	wm   []float64
 	eval []coding.Symbol
+	// rmq answers window-maximum queries for the grid search in O(1)
+	// per window instead of one scan per window per candidate.
+	rmq rangeMax
 }
 
 var passPool = sync.Pool{New: func() any { return new(passScratch) }}
+
+// rangeMax is a sparse table over a fixed slice: levels[k-1][i] holds
+// the maximum of the 2^k-wide window starting at i, so the maximum of
+// any [lo, hi) is the max of the two (overlapping) power-of-two
+// windows that cover it. Build is O(n log n); each query O(1) — the
+// refineGrid search issues hundreds of window queries per signal, so
+// the table pays for itself many times over. The level slices are
+// reused across builds.
+type rangeMax struct {
+	src    []float64
+	levels [][]float64
+}
+
+// build precomputes levels for window widths up to maxW (clamped to
+// len(src)); wider queries fall back to a direct scan in max. The
+// grid search's windows are bounded by the largest candidate step, so
+// capping the table depth saves the deepest (largest) levels.
+func (r *rangeMax) build(src []float64, maxW int) {
+	r.src = src
+	n := len(src)
+	if maxW > n {
+		maxW = n
+	}
+	prev := src
+	used := 0
+	for width := 2; width <= n && width>>1 < maxW; width <<= 1 {
+		m := n - width + 1
+		if used < len(r.levels) {
+			if cap(r.levels[used]) < m {
+				r.levels[used] = make([]float64, m)
+			}
+			r.levels[used] = r.levels[used][:m]
+		} else {
+			r.levels = append(r.levels, make([]float64, m))
+		}
+		lvl := r.levels[used]
+		half := width / 2
+		for i := 0; i < m; i++ {
+			a, b := prev[i], prev[i+half]
+			if b > a {
+				a = b
+			}
+			lvl[i] = a
+		}
+		prev = lvl
+		used++
+	}
+	r.levels = r.levels[:used]
+}
+
+// max returns the maximum of src[lo:hi]; hi must be > lo and within
+// the built slice.
+func (r *rangeMax) max(lo, hi int) float64 {
+	w := hi - lo
+	if w == 1 {
+		return r.src[lo]
+	}
+	k := bits.Len(uint(w)) - 1 // largest power of two <= w
+	if k-1 >= len(r.levels) {
+		// Wider than the built table: direct scan (same result).
+		m := r.src[lo]
+		for _, v := range r.src[lo+1 : hi] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	lvl := r.levels[k-1]
+	a, b := lvl[lo], lvl[hi-(1<<k)]
+	if b > a {
+		a = b
+	}
+	return a
+}

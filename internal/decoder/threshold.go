@@ -358,14 +358,16 @@ func DecodeFixed(tr *trace.Trace, th Thresholds, opt Options) (Result, error) {
 // returns the HIGH/LOW decisions plus per-window maxima in freshly
 // allocated slices.
 func sliceGrid(smooth []float64, anchor, step, frac, decision float64, maxSymbols int) ([]coding.Symbol, []float64) {
-	return sliceGridInto(smooth, anchor, step, frac, decision, maxSymbols, nil, nil)
+	return sliceGridInto(smooth, nil, anchor, step, frac, decision, maxSymbols, nil, nil)
 }
 
 // sliceGridInto is sliceGrid appending into caller-provided buffers
 // (reset to length zero first), pre-sized to the expected symbol
 // count so the timing search's hundreds of candidate grids do not
-// each regrow their slices.
-func sliceGridInto(smooth []float64, anchor, step, frac, decision float64, maxSymbols int, symbols []coding.Symbol, windowMax []float64) ([]coding.Symbol, []float64) {
+// each regrow their slices. A non-nil rmq (a sparse table built over
+// smooth) answers each window maximum in O(1) instead of one scan
+// per window; the result is identical either way.
+func sliceGridInto(smooth []float64, rmq *rangeMax, anchor, step, frac, decision float64, maxSymbols int, symbols []coding.Symbol, windowMax []float64) ([]coding.Symbol, []float64) {
 	want := maxSymbols
 	if want <= 0 && step > 0 {
 		want = int(float64(len(smooth))/step) + 2
@@ -393,10 +395,15 @@ func sliceGridInto(smooth []float64, anchor, step, frac, decision float64, maxSy
 		if lo >= len(smooth) || hi-lo < 1 {
 			break
 		}
-		maxV := smooth[lo]
-		for _, v := range smooth[lo+1 : hi] {
-			if v > maxV {
-				maxV = v
+		var maxV float64
+		if rmq != nil {
+			maxV = rmq.max(lo, hi)
+		} else {
+			maxV = smooth[lo]
+			for _, v := range smooth[lo+1 : hi] {
+				if v > maxV {
+					maxV = v
+				}
 			}
 		}
 		windowMax = append(windowMax, maxV)
@@ -428,6 +435,14 @@ func refineGrid(smooth []float64, aIndex int, tauSamples, decision float64, opt 
 		anchor    float64
 	}
 	best := cand{score: -1}
+	// One sparse table answers every candidate grid's window maxima in
+	// O(1) per window; the searches below evaluate hundreds of grids
+	// over the same signal. Window widths are bounded by the widest
+	// candidate step (the coarse round sweeps up to 1.45x tau, the
+	// re-acquisition rescales around the edge clock), so the table
+	// stops at that depth; anything wider scans directly.
+	maxW := int(tauSamples*3*opt.WindowFraction) + 4
+	sc.rmq.build(smooth, maxW)
 	// edgeClock, when non-zero, is the crossing-derived symbol
 	// duration used by the re-acquisition rounds to rank parsing
 	// candidates (set before round 2 runs, so round 1 keeps the
@@ -438,7 +453,7 @@ func refineGrid(smooth []float64, aIndex int, tauSamples, decision float64, opt 
 			step := tauSamples * (stepLo + (stepHi-stepLo)*float64(si)/float64(stepSteps-1))
 			for pi := 0; pi < phaseSteps; pi++ {
 				anchor := float64(aIndex) + step*(-0.5+float64(pi)/float64(phaseSteps-1))
-				sc.syms, sc.wm = sliceGridInto(smooth, anchor, step, opt.WindowFraction, decision, opt.ExpectedSymbols, sc.syms, sc.wm)
+				sc.syms, sc.wm = sliceGridInto(smooth, &sc.rmq, anchor, step, opt.WindowFraction, decision, opt.ExpectedSymbols, sc.syms, sc.wm)
 				syms, wm := sc.syms, sc.wm
 				if len(syms) < coding.PreambleLen {
 					continue
@@ -462,7 +477,7 @@ func refineGrid(smooth []float64, aIndex int, tauSamples, decision float64, opt 
 						evalSyms = sc.eval
 					}
 				}
-				_, perr := coding.ParsePacket(evalSyms)
+				valid := coding.ValidPacket(evalSyms)
 				var margin, minMargin float64
 				for i, v := range wm {
 					d := v - decision
@@ -477,7 +492,7 @@ func refineGrid(smooth []float64, aIndex int, tauSamples, decision float64, opt 
 				margin /= float64(len(wm))
 				c := cand{
 					score: margin, minMargin: minMargin,
-					preamble: pre, parses: pre && perr == nil,
+					preamble: pre, parses: pre && valid,
 					step: step, anchor: anchor,
 				}
 				// Rank: full Manchester validity > preamble validity >
@@ -616,36 +631,11 @@ func findPreamble(x []float64, opt Options) (PreamblePoints, error) {
 		return PreamblePoints{}, ErrNoPreamble
 	}
 	prom := opt.MinProminence * rng
-	peaks := dsp.FindPeaks(x, dsp.PeakOptions{MinProminence: prom})
-	valleys := dsp.FindValleys(x, dsp.PeakOptions{MinProminence: prom})
-	if len(peaks) < 2 || len(valleys) < 1 {
-		return PreamblePoints{}, ErrNoPreamble
-	}
-	a := peaks[0]
-	// First valley after A.
-	var b dsp.Peak
-	foundB := false
-	for _, v := range valleys {
-		if v.Index > a.Index {
-			b = v
-			foundB = true
-			break
-		}
-	}
-	if !foundB {
-		return PreamblePoints{}, ErrNoPreamble
-	}
-	// First peak after B.
-	var c dsp.Peak
-	foundC := false
-	for _, p := range peaks {
-		if p.Index > b.Index {
-			c = p
-			foundC = true
-			break
-		}
-	}
-	if !foundC {
+	// Lazy anchor scan: enumerate extrema in order and stop at C,
+	// instead of building and sweeping the full peak/valley lists the
+	// old code threw away after reading three entries.
+	a, b, c, ok := dsp.PreambleExtrema(x, prom)
+	if !ok {
 		return PreamblePoints{}, ErrNoPreamble
 	}
 	return PreamblePoints{

@@ -3,16 +3,44 @@ package dsp
 import (
 	"errors"
 	"math"
+	"sync"
 )
+
+// ErrDTWAbandoned is returned by DTWWith when every alignment prefix
+// has exceeded the AbandonAbove cutoff: the true distance is known to
+// be above the cutoff without finishing the dynamic program.
+var ErrDTWAbandoned = errors.New("dsp: DTW abandoned above cutoff")
 
 // DTWOptions configures a Dynamic Time Warping computation.
 type DTWOptions struct {
 	// Window is the Sakoe-Chiba band half-width in samples. Zero or
-	// negative means an unconstrained (full) alignment.
+	// negative means an unconstrained (full) alignment. A positive
+	// window makes the computation O(len(a)*Window) instead of
+	// O(len(a)*len(b)): only cells inside the band are touched.
 	Window int
 	// Dist is the local distance between two samples. Nil means
-	// absolute difference.
+	// absolute difference (computed inline, without an indirect call
+	// per cell).
 	Dist func(a, b float64) float64
+	// AbandonAbove, when positive, stops the dynamic program as soon
+	// as every cost in a row exceeds it and returns ErrDTWAbandoned.
+	// Because row minima only grow, the final distance is guaranteed
+	// to be above the cutoff. Use it in nearest-baseline searches
+	// where only distances below the current best matter.
+	AbandonAbove float64
+}
+
+// dtwRows pools the two DP rows so repeated classifications do not
+// allocate.
+var dtwRows = sync.Pool{New: func() any { return new([]float64) }}
+
+func dtwRow(m int) *[]float64 {
+	rp := dtwRows.Get().(*[]float64)
+	if cap(*rp) < m {
+		*rp = make([]float64, m)
+	}
+	*rp = (*rp)[:m]
+	return rp
 }
 
 // DTW computes the Dynamic Time Warping distance between a and b with
@@ -24,16 +52,18 @@ func DTW(a, b []float64) (float64, error) {
 }
 
 // DTWWith computes the DTW distance with explicit options. It uses a
-// two-row dynamic program, O(len(a)*len(b)) time and O(len(b)) space.
+// two-row dynamic program with pooled scratch: O(len(b)) space, and
+// time proportional to the band area (full matrix when
+// unconstrained). Only band cells are written per row — the cells
+// just outside the band carry +Inf sentinels, which is exactly what
+// the full-row initialization produced, so banded results are
+// unchanged while narrow bands run in O(len(a)*Window).
 func DTWWith(a, b []float64, opt DTWOptions) (float64, error) {
 	n, m := len(a), len(b)
 	if n == 0 || m == 0 {
 		return 0, ErrEmptyInput
 	}
 	dist := opt.Dist
-	if dist == nil {
-		dist = func(x, y float64) float64 { return math.Abs(x - y) }
-	}
 	w := opt.Window
 	if w > 0 {
 		// The band must be at least |n-m| wide for a path to exist.
@@ -46,31 +76,68 @@ func DTWWith(a, b []float64, opt DTWOptions) (float64, error) {
 		}
 	}
 	inf := math.Inf(1)
-	prev := make([]float64, m+1)
-	cur := make([]float64, m+1)
+	prevP, curP := dtwRow(m+1), dtwRow(m+1)
+	defer dtwRows.Put(prevP)
+	defer dtwRows.Put(curP)
+	prev, cur := *prevP, *curP
 	for j := range prev {
 		prev[j] = inf
 	}
 	prev[0] = 0
+	cur[0] = inf
 	for i := 1; i <= n; i++ {
-		for j := range cur {
-			cur[j] = inf
-		}
 		lo, hi := 1, m
 		if w > 0 {
 			lo = max(1, i-w)
 			hi = min(m, i+w)
 		}
-		for j := lo; j <= hi; j++ {
-			d := dist(a[i-1], b[j-1])
-			best := prev[j] // insertion
-			if prev[j-1] < best {
-				best = prev[j-1] // match
+		// Sentinels flanking the band: row i+1 reads prev indices
+		// down to lo(i+1)-1 >= lo-1 and up to hi(i+1) <= hi+1, and
+		// the in-row deletion reads cur[lo-1].
+		cur[lo-1] = inf
+		if hi < m {
+			cur[hi+1] = inf
+		}
+		rowMin := inf
+		ai := a[i-1]
+		if dist == nil {
+			for j := lo; j <= hi; j++ {
+				d := ai - b[j-1]
+				if d < 0 {
+					d = -d
+				}
+				best := prev[j] // insertion
+				if prev[j-1] < best {
+					best = prev[j-1] // match
+				}
+				if cur[j-1] < best {
+					best = cur[j-1] // deletion
+				}
+				c := d + best
+				cur[j] = c
+				if c < rowMin {
+					rowMin = c
+				}
 			}
-			if cur[j-1] < best {
-				best = cur[j-1] // deletion
+		} else {
+			for j := lo; j <= hi; j++ {
+				d := dist(ai, b[j-1])
+				best := prev[j] // insertion
+				if prev[j-1] < best {
+					best = prev[j-1] // match
+				}
+				if cur[j-1] < best {
+					best = cur[j-1] // deletion
+				}
+				c := d + best
+				cur[j] = c
+				if c < rowMin {
+					rowMin = c
+				}
 			}
-			cur[j] = d + best
+		}
+		if opt.AbandonAbove > 0 && rowMin > opt.AbandonAbove {
+			return rowMin, ErrDTWAbandoned
 		}
 		prev, cur = cur, prev
 	}

@@ -31,7 +31,9 @@ func NextPowerOfTwo(n int) int {
 
 // FFT computes the in-place iterative radix-2 Cooley-Tukey transform
 // of x. len(x) must be a power of two. The forward transform is
-// unnormalized (matching common DSP convention).
+// unnormalized (matching common DSP convention). The twiddle factors
+// and bit-reversal permutation come from the cached FFTPlan for the
+// size, so repeated transforms of one size pay the trigonometry once.
 func FFT(x []complex128) error {
 	n := len(x)
 	if n == 0 {
@@ -40,22 +42,11 @@ func FFT(x []complex128) error {
 	if !IsPowerOfTwo(n) {
 		return errors.New("dsp: FFT length must be a power of two")
 	}
-	bitReverse(x)
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := -2 * math.Pi / float64(size)
-		wstep := cmplx.Exp(complex(0, step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wstep
-			}
-		}
+	p, err := PlanFFT(n)
+	if err != nil {
+		return err
 	}
+	p.transform(x)
 	return nil
 }
 
@@ -66,85 +57,34 @@ func IFFT(x []complex128) error {
 	if n == 0 {
 		return ErrEmptyInput
 	}
-	for i := range x {
-		x[i] = cmplx.Conj(x[i])
+	if !IsPowerOfTwo(n) {
+		return errors.New("dsp: FFT length must be a power of two")
 	}
-	if err := FFT(x); err != nil {
+	p, err := PlanFFT(n)
+	if err != nil {
 		return err
 	}
-	inv := complex(1/float64(n), 0)
-	for i := range x {
-		x[i] = cmplx.Conj(x[i]) * inv
-	}
-	return nil
-}
-
-func bitReverse(x []complex128) {
-	n := len(x)
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
+	return p.Inverse(x)
 }
 
 // FFTAny computes the DFT of x for arbitrary length using the
 // Bluestein chirp-z algorithm (radix-2 FFT under the hood). The input
-// is not modified; a new slice is returned.
+// is not modified; a new slice is returned. The chirp sequence and
+// the convolution kernel's transform come precomputed from the cached
+// plan; only per-call scratch is pooled.
 func FFTAny(x []complex128) ([]complex128, error) {
 	n := len(x)
 	if n == 0 {
 		return nil, ErrEmptyInput
 	}
-	if IsPowerOfTwo(n) {
-		out := make([]complex128, n)
-		copy(out, x)
-		if err := FFT(out); err != nil {
-			return nil, err
-		}
-		return out, nil
-	}
-	return bluestein(x)
-}
-
-// bluestein implements the chirp-z transform: express the DFT as a
-// convolution and evaluate it with power-of-two FFTs.
-func bluestein(x []complex128) ([]complex128, error) {
-	n := len(x)
-	m := NextPowerOfTwo(2*n + 1)
-	// chirp[k] = exp(-i*pi*k^2/n)
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		// Use k*k mod 2n to avoid float blowup for large k.
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		chirp[k] = cmplx.Exp(complex(0, -math.Pi*float64(kk)/float64(n)))
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-		b[k] = cmplx.Conj(chirp[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(chirp[k])
-	}
-	if err := FFT(a); err != nil {
-		return nil, err
-	}
-	if err := FFT(b); err != nil {
-		return nil, err
-	}
-	for i := range a {
-		a[i] *= b[i]
-	}
-	if err := IFFT(a); err != nil {
+	p, err := PlanFFT(n)
+	if err != nil {
 		return nil, err
 	}
 	out := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		out[k] = a[k] * chirp[k]
+	copy(out, x)
+	if err := p.Transform(out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -159,6 +99,9 @@ type Spectrum struct {
 // signal sampled at fs Hz. The mean is removed first (the passive
 // channel rides on a large DC ambient level which would otherwise
 // dominate every bin). A window function may be nil for rectangular.
+// Internally it runs a real-input transform — one complex FFT of half
+// the padded size plus an O(n) unpack — through the cached plan,
+// halving the work of the naive complex transform.
 func PowerSpectrum(samples []float64, fs float64, window func(n, i int) float64) (Spectrum, error) {
 	n := len(samples)
 	if n == 0 {
@@ -168,26 +111,35 @@ func PowerSpectrum(samples []float64, fs float64, window func(n, i int) float64)
 		return Spectrum{}, errors.New("dsp: sample rate must be positive")
 	}
 	mean := Mean(samples)
-	x := make([]complex128, NextPowerOfTwo(n))
+	re := make([]float64, n)
 	for i, s := range samples {
 		w := 1.0
 		if window != nil {
 			w = window(n, i)
 		}
-		x[i] = complex((s-mean)*w, 0)
+		re[i] = (s - mean) * w
 	}
-	if err := FFT(x); err != nil {
-		return Spectrum{}, err
-	}
-	m := len(x)
+	m := NextPowerOfTwo(n)
 	half := m/2 + 1
 	sp := Spectrum{
 		Freqs: make([]float64, half),
 		Power: make([]float64, half),
 	}
+	if m < 2 {
+		sp.Power[0] = math.Abs(re[0])
+		return sp, nil
+	}
+	p, err := PlanFFT(m)
+	if err != nil {
+		return Spectrum{}, err
+	}
+	bins := make([]complex128, half)
+	if err := p.RealHalfSpectrum(re, bins); err != nil {
+		return Spectrum{}, err
+	}
 	for k := 0; k < half; k++ {
 		sp.Freqs[k] = float64(k) * fs / float64(m)
-		sp.Power[k] = cmplx.Abs(x[k])
+		sp.Power[k] = cmplx.Abs(bins[k])
 	}
 	return sp, nil
 }

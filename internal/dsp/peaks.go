@@ -1,5 +1,10 @@
 package dsp
 
+import (
+	"math"
+	"sync"
+)
+
 // Peak describes a local extremum found by FindPeaks/FindValleys.
 type Peak struct {
 	Index      int     // sample index of the extremum
@@ -46,22 +51,233 @@ func FindPeaks(x []float64, opt PeakOptions) []Peak {
 		}
 		i++
 	}
+	// Per-peak walks cost the sum of the walk lengths: cheap on noisy
+	// signals (the next higher sample is a few steps away) but
+	// quadratic on slowly-modulated ones where many peaks are
+	// near-global and walk far. The batch sweep costs two bounded
+	// passes whatever the structure. Since both produce identical
+	// values (TestProminencesMatchWalk), walk with a work budget of
+	// one batch sweep and fall back to the sweep when the walks blow
+	// it — near-optimal on both signal classes, O(len(x)) worst case.
+	budget := 2 * len(x)
 	for k := range raw {
-		raw[k].Prominence = prominence(x, raw[k].Index)
+		p, work := prominenceWalk(x, raw[k].Index)
+		if budget -= work; budget < 0 {
+			prominences(x, raw)
+			break
+		}
+		raw[k].Prominence = p
 	}
 	return filterPeaks(raw, opt)
 }
 
-// FindValleys locates local minima of x by negating the signal.
+// promEntry is one monotonic-stack element of the prominence sweep:
+// a sample value and the minimum over the gap back to the previous
+// (strictly higher) stack element.
+type promEntry struct {
+	val, gapMin float64
+}
+
+// promScratch pools the sweep's stack and per-peak buffer; the stack
+// can grow to len(x) on monotone runs, which made per-call allocation
+// the dominant cost.
+type promScratch struct {
+	stack []promEntry
+	left  []float64
+}
+
+var promPool = sync.Pool{New: func() any { return new(promScratch) }}
+
+// prominences fills the Prominence of every peak in one forward and
+// one backward sweep, O(len(x)) total instead of one O(len(x)) walk
+// per peak. A monotonic stack tracks, for each position, the previous
+// strictly-higher sample and the minimum over the gap since it —
+// exactly the saddle the per-peak walk in prominence finds — so the
+// results are identical (locked down by TestProminencesMatchWalk).
+// peaks must be ordered by ascending Index.
+func prominences(x []float64, peaks []Peak) {
+	if len(peaks) == 0 {
+		return
+	}
+	sc := promPool.Get().(*promScratch)
+	defer promPool.Put(sc)
+	if cap(sc.stack) < len(x) {
+		sc.stack = make([]promEntry, len(x))
+	}
+	if cap(sc.left) < len(peaks) {
+		sc.left = make([]float64, len(peaks))
+	}
+	stack, left := sc.stack[:0], sc.left[:len(peaks)]
+	inf := math.Inf(1)
+	// Forward sweep: saddle minima toward the previous higher sample.
+	pi := 0
+	for i, v := range x {
+		m := inf
+		for len(stack) > 0 && stack[len(stack)-1].val <= v {
+			e := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if e.gapMin < m {
+				m = e.gapMin
+			}
+			if e.val < m {
+				m = e.val
+			}
+		}
+		if pi < len(peaks) && peaks[pi].Index == i {
+			lm := v
+			if m < lm {
+				lm = m
+			}
+			left[pi] = lm
+			pi++
+		}
+		stack = append(stack, promEntry{val: v, gapMin: m})
+	}
+	// Backward sweep: saddle minima toward the next higher sample.
+	stack = stack[:0]
+	pi = len(peaks) - 1
+	for i := len(x) - 1; i >= 0; i-- {
+		v := x[i]
+		m := inf
+		for len(stack) > 0 && stack[len(stack)-1].val <= v {
+			e := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if e.gapMin < m {
+				m = e.gapMin
+			}
+			if e.val < m {
+				m = e.val
+			}
+		}
+		if pi >= 0 && peaks[pi].Index == i {
+			rm := v
+			if m < rm {
+				rm = m
+			}
+			saddle := left[pi]
+			if rm > saddle {
+				saddle = rm
+			}
+			peaks[pi].Prominence = v - saddle
+			pi--
+		}
+		stack = append(stack, promEntry{val: v, gapMin: m})
+	}
+	sc.stack = stack[:0]
+}
+
+// PreambleExtrema finds the paper's A/B/C anchors: the first local
+// maximum of x with prominence >= minProm, the first such minimum
+// after it, and the next such maximum after that. It selects exactly
+// what
+//
+//	peaks := FindPeaks(x, PeakOptions{MinProminence: minProm})
+//	valleys := FindValleys(x, PeakOptions{MinProminence: minProm})
+//	a, b, c := peaks[0], first valley after a, first peak after b
+//
+// would (same indices and values, locked down by
+// TestPreambleExtremaMatchesLists) but lazily: extrema are enumerated
+// in index order, each is tested with an early-stopping qualification
+// walk, and the scan stops at the anchor — the common decode path
+// never builds or sweeps the full extrema lists. The Prominence field
+// of the returned anchors is not filled in (the qualification stops
+// as soon as the threshold is guaranteed).
+func PreambleExtrema(x []float64, minProm float64) (a, b, c Peak, ok bool) {
+	if len(x) < 3 {
+		return Peak{}, Peak{}, Peak{}, false
+	}
+	lazy := func(after int, valley bool) (Peak, bool) {
+		n := len(x)
+		i := 1
+		for i < n-1 {
+			rising := x[i] > x[i-1]
+			if valley {
+				rising = x[i] < x[i-1]
+			}
+			if rising {
+				j := i
+				for j < n-1 && x[j+1] == x[j] {
+					j++
+				}
+				closes := j < n-1 && x[j+1] < x[j]
+				if valley {
+					closes = j < n-1 && x[j+1] > x[j]
+				}
+				if closes {
+					mid := (i + j) / 2
+					if mid > after && extremumQualifies(x, mid, minProm, valley) {
+						return Peak{Index: mid, Value: x[mid]}, true
+					}
+				}
+				i = j + 1
+				continue
+			}
+			i++
+		}
+		return Peak{}, false
+	}
+	a, ok = lazy(-1, false)
+	if ok {
+		b, ok = lazy(a.Index, true)
+	}
+	if ok {
+		c, ok = lazy(b.Index, false)
+	}
+	return a, b, c, ok
+}
+
+// extremumQualifies reports whether the peak (or valley) at idx has
+// prominence >= minProm, stopping each saddle walk as soon as the
+// answer is determined. The decision is identical to computing the
+// full prominence first: prominence = min(h-leftMin, h-rightMin), so
+// the threshold test splits into independent per-side tests, and
+// float subtraction's monotonicity makes "stop once h-min >= minProm"
+// exact — extending the walk can only grow that margin. Valleys run
+// the same walk on the negated samples (negation and its subtractions
+// are exact in floats, so this matches the mirrored comparisons bit
+// for bit — the same identity FindValleys relies on).
+func extremumQualifies(x []float64, idx int, minProm float64, valley bool) bool {
+	if minProm <= 0 {
+		return true
+	}
+	sign := 1.0
+	if valley {
+		sign = -1
+	}
+	h := sign * x[idx]
+	side := func(from, to, step int) bool {
+		m := h
+		for i := from; i != to; i += step {
+			v := sign * x[i]
+			if v > h {
+				break
+			}
+			if v < m {
+				m = v
+				if h-m >= minProm {
+					return true
+				}
+			}
+		}
+		return h-m >= minProm
+	}
+	return side(idx-1, -1, -1) && side(idx+1, len(x), 1)
+}
+
+var negPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// FindValleys locates local minima of x by negating the signal (into
+// a pooled buffer — valley scans run once per decode attempt on
+// segment-sized arrays).
 func FindValleys(x []float64, opt PeakOptions) []Peak {
-	neg := make([]float64, len(x))
+	negP := negPool.Get().(*[]float64)
+	defer negPool.Put(negP)
+	if cap(*negP) < len(x) {
+		*negP = make([]float64, len(x))
+	}
+	neg := (*negP)[:len(x)]
 	for i, v := range x {
 		neg[i] = -v
-	}
-	negOpt := opt
-	negOpt.MinValue = -opt.MinValue
-	if opt.MinValue == 0 {
-		negOpt.MinValue = 0
 	}
 	peaks := FindPeaks(neg, PeakOptions{MinProminence: opt.MinProminence, MinDistance: opt.MinDistance})
 	out := peaks[:0]
@@ -80,10 +296,20 @@ func FindValleys(x []float64, opt PeakOptions) []Peak {
 // found walking left and right until a higher peak (or the signal
 // edge) is reached.
 func prominence(x []float64, idx int) float64 {
+	p, _ := prominenceWalk(x, idx)
+	return p
+}
+
+// prominenceWalk is prominence plus the number of samples the two
+// walks visited, so FindPeaks can budget walk work against the batch
+// sweep.
+func prominenceWalk(x []float64, idx int) (float64, int) {
 	h := x[idx]
+	work := 0
 	// Left saddle.
 	leftMin := h
 	for i := idx - 1; i >= 0; i-- {
+		work++
 		if x[i] > h {
 			break
 		}
@@ -94,6 +320,7 @@ func prominence(x []float64, idx int) float64 {
 	// Right saddle.
 	rightMin := h
 	for i := idx + 1; i < len(x); i++ {
+		work++
 		if x[i] > h {
 			break
 		}
@@ -105,7 +332,7 @@ func prominence(x []float64, idx int) float64 {
 	if rightMin > saddle {
 		saddle = rightMin
 	}
-	return h - saddle
+	return h - saddle, work
 }
 
 func filterPeaks(raw []Peak, opt PeakOptions) []Peak {

@@ -1,0 +1,361 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestProminencesMatchWalk locks the batch prominence sweep to the
+// reference per-peak walk on random signals (noise, plateaus, trends).
+func TestProminencesMatchWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 16 + rng.Intn(400)
+		x := make([]float64, n)
+		for i := range x {
+			switch trial % 3 {
+			case 0:
+				x[i] = rng.NormFloat64()
+			case 1:
+				// Quantized: forces plateaus and exact ties.
+				x[i] = float64(rng.Intn(6))
+			default:
+				x[i] = math.Sin(float64(i)/7) + 0.3*rng.NormFloat64()
+			}
+		}
+		peaks := FindPeaks(x, PeakOptions{})
+		for _, p := range peaks {
+			want := prominence(x, p.Index)
+			if p.Prominence != want {
+				t.Fatalf("trial %d: peak at %d: batch prominence %v, walk %v", trial, p.Index, p.Prominence, want)
+			}
+		}
+	}
+}
+
+// TestPreambleExtremaMatchesLists locks the lazy A/B/C anchor scan to
+// the reference list-based selection on random signals.
+func TestPreambleExtremaMatchesLists(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		n := 8 + rng.Intn(600)
+		x := make([]float64, n)
+		for i := range x {
+			switch trial % 4 {
+			case 0:
+				x[i] = rng.NormFloat64()
+			case 1:
+				x[i] = float64(rng.Intn(5)) // plateaus and ties
+			case 2:
+				x[i] = 10*math.Sin(float64(i)/11) + rng.NormFloat64()
+			default:
+				x[i] = float64(i%37) + 0.1*rng.NormFloat64() // sawtooth: long walks
+			}
+		}
+		minProm := []float64{0, 0.5, 2, 8}[trial%4]
+		gotA, gotB, gotC, gotOK := PreambleExtrema(x, minProm)
+
+		peaks := FindPeaks(x, PeakOptions{MinProminence: minProm})
+		valleys := FindValleys(x, PeakOptions{MinProminence: minProm})
+		var wantA, wantB, wantC Peak
+		wantOK := false
+		if len(peaks) >= 1 {
+			wantA = peaks[0]
+			for _, v := range valleys {
+				if v.Index > wantA.Index {
+					wantB = v
+					wantOK = true
+					break
+				}
+			}
+			if wantOK {
+				wantOK = false
+				for _, p := range peaks {
+					if p.Index > wantB.Index {
+						wantC = p
+						wantOK = true
+						break
+					}
+				}
+			}
+		}
+		if gotOK != wantOK {
+			t.Fatalf("trial %d: ok=%v want %v", trial, gotOK, wantOK)
+		}
+		if !gotOK {
+			continue
+		}
+		// Prominence of the lazy anchors is unspecified (the
+		// qualification walk stops early); indices and values must
+		// match the list-based selection exactly.
+		same := func(g, w Peak) bool { return g.Index == w.Index && g.Value == w.Value }
+		if !same(gotA, wantA) || !same(gotB, wantB) || !same(gotC, wantC) {
+			t.Fatalf("trial %d: anchors (%+v,%+v,%+v) want (%+v,%+v,%+v)",
+				trial, gotA, gotB, gotC, wantA, wantB, wantC)
+		}
+	}
+}
+
+// TestDTWBandedMatchesExactWithinBand: when the optimal unconstrained
+// path stays inside the Sakoe-Chiba band, the banded computation must
+// return the exact distance.
+func TestDTWBandedMatchesExactWithinBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 32 + rng.Intn(160)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		// Near-diagonal alignment: b is a mildly warped copy of a, so
+		// the optimal path deviates only a little from the diagonal.
+		for i := range a {
+			a[i] = math.Sin(float64(i)/9) + 0.05*rng.NormFloat64()
+		}
+		for j := range b {
+			src := float64(j) + 2*math.Sin(float64(j)/25)
+			k := int(src)
+			if k < 0 {
+				k = 0
+			}
+			if k >= n {
+				k = n - 1
+			}
+			b[j] = a[k]
+		}
+		exact, err := DTW(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A band wide enough to contain any path: window = n makes the
+		// band cover the full matrix, so it must equal the exact
+		// distance bit for bit.
+		full, err := DTWWith(a, b, DTWOptions{Window: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full != exact {
+			t.Fatalf("trial %d: full-width band %v != exact %v", trial, full, exact)
+		}
+		// The warp deviates by at most ~3 samples; a window of 8 must
+		// still contain the optimal path.
+		banded, err := DTWWith(a, b, DTWOptions{Window: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if banded != exact {
+			t.Fatalf("trial %d: banded %v != exact %v", trial, banded, exact)
+		}
+	}
+}
+
+// TestDTWBandedFallbackOutsideBand: when the optimal path needs to
+// leave the band, the banded distance must still be a valid (>=
+// exact) alignment cost over band-constrained paths — never silently
+// wrong, never below the unconstrained optimum.
+func TestDTWBandedFallbackOutsideBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		n := 64 + rng.Intn(100)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		// b is a shifted by a large offset: the optimal path hugs an
+		// off-diagonal stripe far outside a narrow band.
+		shift := n / 3
+		for j := range b {
+			k := j + shift
+			if k >= n {
+				k = n - 1
+			}
+			b[j] = a[k]
+		}
+		exact, err := DTW(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		banded, err := DTWWith(a, b, DTWOptions{Window: 2})
+		if err != nil {
+			// A too-narrow band may have no finite path at all; that
+			// is a correct, explicit failure — not a wrong distance.
+			continue
+		}
+		if banded < exact {
+			t.Fatalf("trial %d: banded distance %v below unconstrained optimum %v", trial, banded, exact)
+		}
+	}
+}
+
+// TestDTWEarlyAbandon: the cutoff must trigger exactly when the true
+// distance exceeds it, and the returned lower bound must not exceed
+// the true distance.
+func TestDTWEarlyAbandon(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 32 + rng.Intn(100)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		exact, err := DTW(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cutoff above the true distance: must complete and match.
+		got, err := DTWWith(a, b, DTWOptions{AbandonAbove: exact * 1.01})
+		if err != nil {
+			t.Fatalf("trial %d: abandoned below its own distance: %v", trial, err)
+		}
+		if got != exact {
+			t.Fatalf("trial %d: distance %v != exact %v with loose cutoff", trial, got, exact)
+		}
+		// Cutoff far below: must abandon with a lower bound.
+		lb, err := DTWWith(a, b, DTWOptions{AbandonAbove: exact * 0.1})
+		if err == nil {
+			t.Fatalf("trial %d: expected abandonment below cutoff", trial)
+		}
+		if lb > exact {
+			t.Fatalf("trial %d: abandoned lower bound %v above exact %v", trial, lb, exact)
+		}
+	}
+}
+
+// TestFFTPlanConcurrent hammers the shared plan cache and one shared
+// plan from many goroutines; run under -race it proves plan reuse is
+// safe (immutable tables, pooled scratch).
+func TestFFTPlanConcurrent(t *testing.T) {
+	sizes := []int{8, 60, 128, 100, 256, 37}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for iter := 0; iter < 50; iter++ {
+				n := sizes[iter%len(sizes)]
+				p, err := PlanFFT(n)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				x := make([]complex128, n)
+				for i := range x {
+					x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+				}
+				orig := append([]complex128(nil), x...)
+				if err := p.Transform(x); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := p.Inverse(x); err != nil {
+					t.Error(err)
+					return
+				}
+				for i := range x {
+					if d := x[i] - orig[i]; math.Hypot(real(d), imag(d)) > 1e-9 {
+						t.Errorf("size %d: round trip diverged at %d", n, i)
+						return
+					}
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+// TestRealHalfSpectrumMatchesComplexFFT compares the packed real
+// transform against the full complex FFT bin by bin.
+func TestRealHalfSpectrumMatchesComplexFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{2, 4, 8, 64, 256, 1024} {
+		for _, inLen := range []int{n, n / 2, n - 1} {
+			if inLen < 1 {
+				continue
+			}
+			re := make([]float64, inLen)
+			for i := range re {
+				re[i] = rng.NormFloat64()
+			}
+			p, err := PlanFFT(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]complex128, n/2+1)
+			if err := p.RealHalfSpectrum(re, got); err != nil {
+				t.Fatal(err)
+			}
+			full := make([]complex128, n)
+			for i, v := range re {
+				full[i] = complex(v, 0)
+			}
+			if err := FFT(full); err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k <= n/2; k++ {
+				d := got[k] - full[k]
+				if math.Hypot(real(d), imag(d)) > 1e-9*(1+math.Hypot(real(full[k]), imag(full[k]))) {
+					t.Fatalf("n=%d inLen=%d bin %d: real path %v, complex %v", n, inLen, k, got[k], full[k])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkDTWKernel isolates the classifier-shaped DTW call (256
+// points, unconstrained) from the simulation around it.
+func BenchmarkDTWKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 256)
+	c := make([]float64, 256)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		c[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DTW(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDTWKernelBanded is the same call under a Sakoe-Chiba band
+// of 16 — the O(n*w) path.
+func BenchmarkDTWKernelBanded(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 256)
+	c := make([]float64, 256)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		c[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DTWWith(a, c, DTWOptions{Window: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPowerSpectrumKernel isolates the plan-cached real-input
+// spectrum on a collision-sized trace.
+func BenchmarkPowerSpectrumKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 20000)
+	for i := range x {
+		x[i] = 100 + 10*math.Sin(float64(i)/50) + rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PowerSpectrum(x, 1000, HannWindow); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

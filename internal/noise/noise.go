@@ -35,6 +35,20 @@ type Model struct {
 // (illuminance cannot be negative).
 func (m Model) Apply(x []float64) []float64 {
 	out := make([]float64, len(x))
+	m.applyTo(out, x)
+	return out
+}
+
+// ApplyInPlace is Apply writing over x itself — for callers that own
+// the input buffer (the link simulation discards the clean rendering
+// anyway, and capacity sweeps run thousands of simulations). The
+// sample values produced are identical to Apply's.
+func (m Model) ApplyInPlace(x []float64) []float64 {
+	m.applyTo(x, x)
+	return x
+}
+
+func (m Model) applyTo(out, x []float64) {
 	rng := rand.New(rand.NewSource(m.Seed))
 	drift := 0.0
 	for i, v := range x {
@@ -57,7 +71,6 @@ func (m Model) Apply(x []float64) []float64 {
 		}
 		out[i] = n
 	}
-	return out
 }
 
 // Quiet is a noise model with everything disabled.

@@ -23,6 +23,24 @@ type Source interface {
 	Name() string
 }
 
+// SteadySource is an optional capability: sources whose illuminance
+// does not depend on time. The channel renderer uses it to evaluate
+// the footprint illuminance once per render instead of once per
+// sample.
+type SteadySource interface {
+	// SteadyIlluminance reports whether IlluminanceAt ignores t.
+	SteadyIlluminance() bool
+}
+
+// UniformSource is an optional capability: sources whose illuminance
+// does not depend on ground position. The channel renderer uses it to
+// evaluate the illuminance once per time step instead of once per
+// footprint point.
+type UniformSource interface {
+	// UniformIlluminance reports whether IlluminanceAt ignores x.
+	UniformIlluminance() bool
+}
+
 // PointLamp is a Lambertian point source (the LED lamp of Sec. 4.1)
 // at height Height above the ground and horizontal position X.
 type PointLamp struct {
@@ -41,6 +59,9 @@ type PointLamp struct {
 
 // Name implements Source.
 func (p PointLamp) Name() string { return "point-lamp" }
+
+// SteadyIlluminance implements SteadySource: the lamp is unmodulated.
+func (p PointLamp) SteadyIlluminance() bool { return true }
 
 // IlluminanceAt computes E = I * cos^m(phi) * cos(theta) / d^2 where
 // phi is the emission angle off the lamp's downward axis, theta the
@@ -103,6 +124,14 @@ type CeilingLight struct {
 // Name implements Source.
 func (c CeilingLight) Name() string { return "ceiling-light" }
 
+// UniformIlluminance implements UniformSource: ceiling flood lighting
+// is uniform over the small experiment area.
+func (c CeilingLight) UniformIlluminance() bool { return true }
+
+// SteadyIlluminance implements SteadySource: constant when there is
+// no AC ripple.
+func (c CeilingLight) SteadyIlluminance() bool { return c.RippleDepth == 0 }
+
 // IlluminanceAt implements Source: uniform in x, rippling in t.
 func (c CeilingLight) IlluminanceAt(_, t float64) float64 {
 	mains := c.MainsHz
@@ -137,6 +166,14 @@ type Sun struct {
 // Name implements Source.
 func (s Sun) Name() string { return "sun" }
 
+// UniformIlluminance implements UniformSource: daylight floods the
+// scene.
+func (s Sun) UniformIlluminance() bool { return true }
+
+// SteadyIlluminance implements SteadySource: constant unless a cloud
+// drift is configured.
+func (s Sun) SteadyIlluminance() bool { return s.SlowDriftAmp <= 0 }
+
 // IlluminanceAt implements Source.
 func (s Sun) IlluminanceAt(_, t float64) float64 {
 	e := s.Lux
@@ -162,6 +199,30 @@ type Composite struct {
 // Name implements Source.
 func (c Composite) Name() string {
 	return fmt.Sprintf("composite(%d)", len(c.Sources))
+}
+
+// SteadyIlluminance implements SteadySource: steady iff every child
+// is.
+func (c Composite) SteadyIlluminance() bool {
+	for _, s := range c.Sources {
+		ss, ok := s.(SteadySource)
+		if !ok || !ss.SteadyIlluminance() {
+			return false
+		}
+	}
+	return true
+}
+
+// UniformIlluminance implements UniformSource: uniform iff every
+// child is.
+func (c Composite) UniformIlluminance() bool {
+	for _, s := range c.Sources {
+		us, ok := s.(UniformSource)
+		if !ok || !us.UniformIlluminance() {
+			return false
+		}
+	}
+	return true
 }
 
 // IlluminanceAt implements Source.

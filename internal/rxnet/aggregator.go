@@ -92,39 +92,43 @@ func NewAggregator(opt AggregatorOptions) *Aggregator {
 }
 
 // consumeEngine turns server-side stream decodes into detections and
-// feeds them to track fusion.
+// feeds them to track fusion. It consumes the engine's batched output
+// (one channel receive per decode step) rather than the flattened
+// per-detection view.
 func (a *Aggregator) consumeEngine() {
 	defer a.engineWG.Done()
 	seqs := make(map[uint64]uint32)
-	for det := range a.engine.Detections() {
-		if det.Err != nil {
-			a.logf("rxnet: stream session %d segment [%d,%d): %v", det.Session, det.Start, det.End, det.Err)
-			continue
+	for batch := range a.engine.Batches() {
+		for _, det := range batch {
+			if det.Err != nil {
+				a.logf("rxnet: stream session %d segment [%d,%d): %v", det.Session, det.Start, det.End, det.Err)
+				continue
+			}
+			if len(seqs) >= maxStreamCursors {
+				// Same bound as the cursor table; restarting the
+				// per-node detection numbering is harmless (fusion
+				// keys on bits and time, not Seq).
+				seqs = make(map[uint64]uint32)
+			}
+			seqs[det.Session]++
+			// Use the stream-anchored wall time, not consumption
+			// time: segments of different sessions flushed in one
+			// batch must keep the spacing of the actual passes, or
+			// track fusion computes speeds from microsecond dt.
+			when := det.Wall
+			if when.IsZero() {
+				when = time.Now()
+			}
+			a.ingest(Detection{
+				NodeID:     SessionNodeID(det.Session),
+				Seq:        seqs[det.Session],
+				Time:       when,
+				Bits:       det.Bits,
+				RSSPeak:    det.RSSPeak,
+				NoiseFloor: det.NoiseFloor,
+				SymbolRate: det.SymbolRate,
+			})
 		}
-		if len(seqs) >= maxStreamCursors {
-			// Same bound as the cursor table; restarting the per-node
-			// detection numbering is harmless (fusion keys on bits
-			// and time, not Seq).
-			seqs = make(map[uint64]uint32)
-		}
-		seqs[det.Session]++
-		// Use the stream-anchored wall time, not consumption time:
-		// segments of different sessions flushed in one batch must
-		// keep the spacing of the actual passes, or track fusion
-		// computes speeds from microsecond dt.
-		when := det.Wall
-		if when.IsZero() {
-			when = time.Now()
-		}
-		a.ingest(Detection{
-			NodeID:     SessionNodeID(det.Session),
-			Seq:        seqs[det.Session],
-			Time:       when,
-			Bits:       det.Bits,
-			RSSPeak:    det.RSSPeak,
-			NoiseFloor: det.NoiseFloor,
-			SymbolRate: det.SymbolRate,
-		})
 	}
 }
 

@@ -92,6 +92,8 @@ type carProfile struct {
 	mats      []material.Material
 	roofTag   *tag.Tag
 	tagOffset float64 // distance from car front to tag leading edge
+	// flatRho caches per-segment reflectances for FlatReflectance.
+	flatRho []float64
 }
 
 // NewCarObject builds a bare car (no tag) moving along traj; the
@@ -149,7 +151,24 @@ func newCarProfile(model CarModel, t *tag.Tag) (*carProfile, error) {
 		// Center the tag on the roof.
 		cp.tagOffset = model.RoofOffset() + (roof.Length-t.Length())/2
 	}
+	cp.flatRho = make([]float64, len(cp.mats))
+	for i, m := range cp.mats {
+		cp.flatRho[i] = m.Reflectance
+	}
 	return cp, nil
+}
+
+// FlatReflectance implements PiecewiseConstant: the car body as the
+// base layer, the roof tag (if any) as an overlay at its mount
+// offset. The two layers are deliberately not merged — the overlay
+// lookup v = u - Offset must round exactly like ReflectanceAtLocal's.
+func (cp *carProfile) FlatReflectance() FlatProfile {
+	fp := FlatProfile{Edges: cp.edges, Rho: cp.flatRho}
+	if cp.roofTag != nil {
+		te, trho := cp.roofTag.Profile().FlatReflectance()
+		fp.Overlay = &FlatOverlay{Offset: cp.tagOffset, Edges: te, Rho: trho}
+	}
+	return fp
 }
 
 // ReflectanceAtLocal implements ReflectanceProfile. Local coordinate

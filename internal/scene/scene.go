@@ -20,6 +20,36 @@ type ReflectanceProfile interface {
 	Length() float64
 }
 
+// FlatProfile is the piecewise-constant form of a reflectance
+// profile: segment i covers [Edges[i], Edges[i+1]) with reflectance
+// Rho[i], Edges[0] = 0 and Edges[len(Rho)] = Length. An Overlay (a
+// roof tag glued on a car) takes precedence over the base segments on
+// [Offset, Offset+Edges[last]) in local coordinates v = u - Offset —
+// kept as a separate layer, not merged, so boundary comparisons round
+// exactly like the reference lookup's. All slices are shared and
+// read-only.
+type FlatProfile struct {
+	Edges, Rho []float64
+	Overlay    *FlatOverlay
+}
+
+// FlatOverlay is a piecewise-constant patch over a base FlatProfile.
+type FlatOverlay struct {
+	// Offset of the overlay's origin in base profile coordinates.
+	Offset     float64
+	Edges, Rho []float64
+}
+
+// PiecewiseConstant is an optional capability of ReflectanceProfile:
+// profiles that can expose their piecewise-constant reflectance as
+// flat slices, letting the channel renderer replace per-sample
+// interface dispatch with direct array lookups. FlatReflectance must
+// describe exactly the same function as ReflectanceAtLocal, including
+// the rounding of every boundary comparison.
+type PiecewiseConstant interface {
+	FlatReflectance() FlatProfile
+}
+
 // tagProfile adapts *tag.Tag (possibly dynamic) to ReflectanceProfile.
 type tagProfile struct {
 	t *tag.Tag
@@ -34,6 +64,12 @@ func (tp tagProfile) ReflectanceAtLocal(u float64) (float64, bool) {
 }
 
 func (tp tagProfile) Length() float64 { return tp.t.Length() }
+
+// FlatReflectance implements PiecewiseConstant.
+func (tp tagProfile) FlatReflectance() FlatProfile {
+	edges, rho := tp.t.Profile().FlatReflectance()
+	return FlatProfile{Edges: edges, Rho: rho}
+}
 
 // Object is a mobile element of the scene: a reflectance profile
 // moving along a trajectory, occupying a lateral share of the

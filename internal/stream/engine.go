@@ -28,9 +28,16 @@ type EngineConfig struct {
 	// Session is the template for per-session decoders. Session.Fs is
 	// the default sample rate; Feed can override it per session.
 	Session Config
-	// Workers is the decode worker pool size. Zero selects
-	// runtime.GOMAXPROCS(0).
+	// Workers is the decode worker pool size, spread across the
+	// shards. Zero selects runtime.GOMAXPROCS(0).
 	Workers int
+	// Shards splits the session table into independent groups, each
+	// with its own map, lock, run queue and worker set; sessions are
+	// hashed to a shard by stream id. More shards mean feeders and
+	// workers on different cores never contend on one mutex or one
+	// queue. Zero selects min(Workers, GOMAXPROCS); values above
+	// Workers are clamped so every shard keeps at least one worker.
+	Shards int
 	// QueueSamples is the per-session ring buffer capacity. A session
 	// that falls behind drops its oldest samples. Zero selects 32768.
 	QueueSamples int
@@ -38,17 +45,27 @@ type EngineConfig struct {
 	// long (their open segment is flushed first). Zero selects 60 s;
 	// negative disables eviction.
 	IdleTimeout time.Duration
-	// DetectionBuffer is the capacity of the Detections channel;
-	// events beyond it are dropped (and counted). Zero selects 1024.
+	// DetectionBuffer is the capacity of the Batches channel (and of
+	// the flattened Detections channel); detection batches beyond it
+	// are dropped (and counted). Zero selects 1024.
 	DetectionBuffer int
-	// MaxSessions bounds the session table. Feeds for new sessions
-	// beyond it are rejected. Zero selects 65536.
+	// MaxSessions bounds the session table across all shards. Feeds
+	// for new sessions beyond it are rejected. Zero selects 65536.
 	MaxSessions int
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
-	if c.Workers == 0 {
+	if c.Workers < 1 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards == 0 {
+		c.Shards = min(c.Workers, runtime.GOMAXPROCS(0))
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Shards > c.Workers {
+		c.Shards = c.Workers
 	}
 	if c.QueueSamples == 0 {
 		c.QueueSamples = 32768
@@ -67,8 +84,10 @@ func (c EngineConfig) withDefaults() EngineConfig {
 
 // Stats is an operational snapshot of the engine.
 type Stats struct {
-	// Sessions currently tracked.
+	// Sessions currently tracked; Shards is the configured shard
+	// count.
 	Sessions int
+	Shards   int
 	// SamplesIn is the total samples accepted since start.
 	SamplesIn int64
 	// SamplesPerSec is the ingest rate measured since the previous
@@ -78,7 +97,7 @@ type Stats struct {
 	// completed but held no parsable packet.
 	Detections, DecodeErrors int64
 	// DroppedSamples were evicted from ring buffers of lagging
-	// sessions; DroppedDetections overflowed the Detections channel.
+	// sessions; DroppedDetections overflowed the detection channel.
 	DroppedSamples, DroppedDetections int64
 	// Evicted counts idle sessions removed.
 	Evicted int64
@@ -95,9 +114,9 @@ type session struct {
 	// for workers and drains, evicted for teardown) — it is NOT
 	// guarded by mu.
 	dec *Decoder
-	// scheduled marks the session as enqueued on the run queue or
-	// being drained by a worker/drainNow; at most one run-queue entry
-	// exists per session.
+	// scheduled marks the session as enqueued on its shard's run
+	// queue or being drained by a worker/drainNow; at most one
+	// run-queue entry exists per session.
 	scheduled bool
 	// evicted is the terminal claim: set (under mu, only when
 	// !scheduled) by the janitor, EndSession or Close. Once set, no
@@ -113,21 +132,72 @@ type session struct {
 	buffered atomic.Int64
 }
 
-// Engine multiplexes many concurrent streaming decode sessions over a
-// worker pool. Feeds are cheap (a ring-buffer copy); decoding happens
-// on the workers. All methods are safe for concurrent use.
-type Engine struct {
-	cfg EngineConfig
-
+// shard is one independent slice of the engine: its own session
+// table, lock, and run queue, drained by its own workers. Feeders and
+// workers of different shards share nothing but the detection output.
+// The run queue is a slice FIFO under the shard mutex (not a channel
+// pre-sized at MaxSessions — that would multiply idle memory by the
+// shard count); cond wakes the shard's workers on enqueue and on
+// Close. At most one entry exists per session (the scheduled flag),
+// so the FIFO is bounded by the shard's session count.
+type shard struct {
 	mu       sync.Mutex
 	sessions map[uint64]*session
-	stopped  bool // set under mu by Close; session() refuses new sessions
+	stopped  bool // set under mu by Close; session lookup refuses new sessions, workers exit
+	runq     []*session
+	cond     *sync.Cond // signaled on enqueue; broadcast on Close
+}
 
-	runq   chan *session
-	dets   chan Detection
-	closed chan struct{}
-	once   sync.Once
-	wg     sync.WaitGroup
+// enqueue appends a scheduled session and wakes one worker.
+func (sh *shard) enqueue(s *session) {
+	sh.mu.Lock()
+	sh.runq = append(sh.runq, s)
+	sh.mu.Unlock()
+	sh.cond.Signal()
+}
+
+// dequeue blocks until a session is scheduled or the engine stops;
+// ok=false means stop. Entries still queued at stop time are left for
+// Close's sweep, mirroring the old stranded-channel-entry semantics.
+func (sh *shard) dequeue() (*session, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for len(sh.runq) == 0 && !sh.stopped {
+		sh.cond.Wait()
+	}
+	if sh.stopped {
+		return nil, false
+	}
+	s := sh.runq[0]
+	sh.runq = sh.runq[1:]
+	if len(sh.runq) == 0 {
+		sh.runq = nil // release the drifting backing array
+	}
+	return s, true
+}
+
+// Engine multiplexes many concurrent streaming decode sessions over a
+// sharded worker pool: sessions are hashed by id to one of N shards,
+// each with a private map, mutex, run queue and workers, so aggregate
+// ingest scales across cores instead of serializing on one lock and
+// one queue. Feeds are cheap (a ring-buffer copy); decoding happens
+// on the workers; detections are delivered in batches (one channel
+// send per decode step, not per detection). All methods are safe for
+// concurrent use.
+type Engine struct {
+	cfg    EngineConfig
+	shards []*shard
+	// sessionCount enforces MaxSessions across shards.
+	sessionCount atomic.Int64
+
+	batches chan []Detection
+	closed  chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+
+	// flat is the per-detection view of batches, built on first use.
+	flatOnce sync.Once
+	flat     chan Detection
 
 	// lifeMu serializes Close (writer) against the caller-goroutine
 	// drain operations FlushSession/FlushAll/EndSession (readers):
@@ -147,7 +217,7 @@ type Engine struct {
 	rateSamples int64
 }
 
-// NewEngine starts the worker pool and idle-eviction janitor.
+// NewEngine starts the sharded worker pool and idle-eviction janitor.
 func NewEngine(cfg EngineConfig) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Session.Fs <= 0 {
@@ -155,15 +225,26 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg:      cfg,
-		sessions: make(map[uint64]*session),
-		runq:     make(chan *session, cfg.MaxSessions),
-		dets:     make(chan Detection, cfg.DetectionBuffer),
+		shards:   make([]*shard, cfg.Shards),
+		batches:  make(chan []Detection, cfg.DetectionBuffer),
 		closed:   make(chan struct{}),
 		rateTime: time.Now(),
 	}
-	for i := 0; i < cfg.Workers; i++ {
-		e.wg.Add(1)
-		go e.worker()
+	// Spread the workers: shard i gets floor(W/S) workers plus one of
+	// the remainder, so every shard has at least one.
+	base, rem := cfg.Workers/cfg.Shards, cfg.Workers%cfg.Shards
+	for i := range e.shards {
+		sh := &shard{sessions: make(map[uint64]*session)}
+		sh.cond = sync.NewCond(&sh.mu)
+		e.shards[i] = sh
+		workers := base
+		if i < rem {
+			workers++
+		}
+		for w := 0; w < workers; w++ {
+			e.wg.Add(1)
+			go e.worker(sh)
+		}
 	}
 	if cfg.IdleTimeout > 0 {
 		e.wg.Add(1)
@@ -172,10 +253,21 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	return e, nil
 }
 
+// shardOf hashes a stream id onto a shard. Fibonacci mixing spreads
+// sequential ids (the common assignment scheme) as well as sparse
+// hashes.
+func (e *Engine) shardOf(id uint64) *shard {
+	if len(e.shards) == 1 {
+		return e.shards[0]
+	}
+	h := id * 0x9E3779B97F4A7C15
+	return e.shards[(h>>32)%uint64(len(e.shards))]
+}
+
 // Feed routes one chunk of RSS samples to the session's ring buffer
-// and wakes a worker. fs selects the session sample rate on first
-// feed; zero uses the engine default. Feeding an existing session
-// with a different non-zero fs is an error.
+// and wakes a worker on the session's shard. fs selects the session
+// sample rate on first feed; zero uses the engine default. Feeding an
+// existing session with a different non-zero fs is an error.
 func (e *Engine) Feed(id uint64, fs float64, chunk []float64) error {
 	if len(chunk) == 0 {
 		return nil
@@ -199,8 +291,9 @@ func (e *Engine) Feed(id uint64, fs float64, chunk []float64) error {
 }
 
 func (e *Engine) feedChunk(id uint64, fs float64, chunk []float64, wait bool) error {
+	sh := e.shardOf(id)
 	for {
-		s, err := e.session(id, fs)
+		s, err := e.session(sh, id, fs)
 		if err != nil {
 			e.droppedSamples.Add(int64(len(chunk)))
 			return err
@@ -235,25 +328,28 @@ func (e *Engine) feedChunk(id uint64, fs float64, chunk []float64, wait bool) er
 			e.droppedSamples.Add(int64(dropped))
 		}
 		if wake {
-			e.runq <- s
+			sh.enqueue(s)
 		}
 		return nil
 	}
 }
 
-func (e *Engine) session(id uint64, fs float64) (*session, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.stopped {
+func (e *Engine) session(sh *shard, id uint64, fs float64) (*session, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.stopped {
 		return nil, ErrEngineClosed
 	}
-	if s, ok := e.sessions[id]; ok {
+	if s, ok := sh.sessions[id]; ok {
 		if fs != 0 && fs != s.dec.cfg.Fs {
 			return nil, fmt.Errorf("stream: session %d is at %g Hz, chunk says %g Hz", id, s.dec.cfg.Fs, fs)
 		}
 		return s, nil
 	}
-	if len(e.sessions) >= e.cfg.MaxSessions {
+	// The cap is engine-wide; claim a slot before creating so
+	// concurrent creations on different shards cannot overshoot.
+	if e.sessionCount.Add(1) > int64(e.cfg.MaxSessions) {
+		e.sessionCount.Add(-1)
 		return nil, fmt.Errorf("%w (%d)", ErrSessionTableFull, e.cfg.MaxSessions)
 	}
 	scfg := e.cfg.Session
@@ -262,25 +358,24 @@ func (e *Engine) session(id uint64, fs float64) (*session, error) {
 	}
 	dec, err := NewDecoder(scfg)
 	if err != nil {
+		e.sessionCount.Add(-1)
 		return nil, err
 	}
 	now := time.Now()
 	s := &session{id: id, rng: newRing(e.cfg.QueueSamples), dec: dec, lastFeed: now, created: now}
-	e.sessions[id] = s
+	sh.sessions[id] = s
 	return s, nil
 }
 
-// worker drains scheduled sessions: pull everything from the ring,
-// run the decode state machine, publish detections, repeat until the
-// ring is empty.
-func (e *Engine) worker() {
+// worker drains scheduled sessions of one shard: pull everything from
+// the ring, run the decode state machine, publish detections, repeat
+// until the ring is empty.
+func (e *Engine) worker(sh *shard) {
 	defer e.wg.Done()
 	var scratch []float64
 	for {
-		var s *session
-		select {
-		case s = <-e.runq:
-		case <-e.closed:
+		s, ok := sh.dequeue()
+		if !ok {
 			return
 		}
 		for {
@@ -299,13 +394,17 @@ func (e *Engine) worker() {
 	}
 }
 
+// publish stamps one decode step's detections and delivers them to
+// the consumer in a single channel send. The slice comes fresh from
+// the session decoder, so ownership transfers to the consumer.
 func (e *Engine) publish(s *session, dets []Detection) {
 	if len(dets) == 0 {
 		return
 	}
 	e.pubMu.RLock()
 	defer e.pubMu.RUnlock()
-	for _, det := range dets {
+	for i := range dets {
+		det := &dets[i]
 		det.Session = s.id
 		// Anchor stream time to the wall clock: for a real-time
 		// paced stream this is the actual pass time, regardless of
@@ -316,15 +415,15 @@ func (e *Engine) publish(s *session, dets []Detection) {
 		} else {
 			e.detections.Add(1)
 		}
-		if e.detsClosed {
-			e.droppedDets.Add(1)
-			continue
-		}
-		select {
-		case e.dets <- det:
-		default:
-			e.droppedDets.Add(1)
-		}
+	}
+	if e.detsClosed {
+		e.droppedDets.Add(int64(len(dets)))
+		return
+	}
+	select {
+	case e.batches <- dets:
+	default:
+		e.droppedDets.Add(int64(len(dets)))
 	}
 }
 
@@ -343,24 +442,29 @@ func (e *Engine) janitor() {
 		case <-e.closed:
 			return
 		case now := <-tick.C:
-			e.mu.Lock()
 			var stale []*session
-			for _, s := range e.sessions {
-				s.mu.Lock()
-				if !s.scheduled && s.rng.len() == 0 && now.Sub(s.lastFeed) > e.cfg.IdleTimeout {
-					// Terminal claim: no worker holds the session
-					// (!scheduled) and none can acquire it afterwards
-					// (a racing Feed sees evicted and retries, which
-					// recreates the session fresh).
-					s.evicted = true
-					stale = append(stale, s)
+			for _, sh := range e.shards {
+				sh.mu.Lock()
+				var shardStale []*session
+				for _, s := range sh.sessions {
+					s.mu.Lock()
+					if !s.scheduled && s.rng.len() == 0 && now.Sub(s.lastFeed) > e.cfg.IdleTimeout {
+						// Terminal claim: no worker holds the session
+						// (!scheduled) and none can acquire it afterwards
+						// (a racing Feed sees evicted and retries, which
+						// recreates the session fresh).
+						s.evicted = true
+						shardStale = append(shardStale, s)
+					}
+					s.mu.Unlock()
 				}
-				s.mu.Unlock()
+				for _, s := range shardStale {
+					delete(sh.sessions, s.id)
+				}
+				e.sessionCount.Add(-int64(len(shardStale)))
+				sh.mu.Unlock()
+				stale = append(stale, shardStale...)
 			}
-			for _, s := range stale {
-				delete(e.sessions, s.id)
-			}
-			e.mu.Unlock()
 			for _, s := range stale {
 				e.publish(s, s.dec.Flush())
 				e.evicts.Add(1)
@@ -375,9 +479,10 @@ func (e *Engine) janitor() {
 func (e *Engine) FlushSession(id uint64) error {
 	e.lifeMu.RLock()
 	defer e.lifeMu.RUnlock()
-	e.mu.Lock()
-	s, ok := e.sessions[id]
-	e.mu.Unlock()
+	sh := e.shardOf(id)
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
+	sh.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: session %d", ErrSessionEvicted, id)
 	}
@@ -390,14 +495,16 @@ func (e *Engine) FlushSession(id uint64) error {
 func (e *Engine) FlushAll() {
 	e.lifeMu.RLock()
 	defer e.lifeMu.RUnlock()
-	e.mu.Lock()
-	sessions := make([]*session, 0, len(e.sessions))
-	for _, s := range e.sessions {
-		sessions = append(sessions, s)
-	}
-	e.mu.Unlock()
-	for _, s := range sessions {
-		e.drainNow(s)
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		sessions := make([]*session, 0, len(sh.sessions))
+		for _, s := range sh.sessions {
+			sessions = append(sessions, s)
+		}
+		sh.mu.Unlock()
+		for _, s := range sessions {
+			e.drainNow(s)
+		}
 	}
 }
 
@@ -451,12 +558,14 @@ func (e *Engine) drainNow(s *session) {
 func (e *Engine) EndSession(id uint64) error {
 	e.lifeMu.RLock()
 	defer e.lifeMu.RUnlock()
-	e.mu.Lock()
-	s, ok := e.sessions[id]
+	sh := e.shardOf(id)
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
 	if ok {
-		delete(e.sessions, id)
+		delete(sh.sessions, id)
+		e.sessionCount.Add(-1)
 	}
-	e.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: session %d", ErrSessionEvicted, id)
 	}
@@ -467,9 +576,10 @@ func (e *Engine) EndSession(id uint64) error {
 			// Shutting down: hand the session back so Close's sweep
 			// (which runs after this RLock is released and clears
 			// stranded claims) flushes it instead.
-			e.mu.Lock()
-			e.sessions[id] = s
-			e.mu.Unlock()
+			sh.mu.Lock()
+			sh.sessions[id] = s
+			e.sessionCount.Add(1)
+			sh.mu.Unlock()
 			return ErrEngineClosed
 		default:
 		}
@@ -492,13 +602,43 @@ func (e *Engine) EndSession(id uint64) error {
 	return nil
 }
 
-// Detections is the engine's output stream. The channel is closed by
-// Close after all sessions are flushed.
-func (e *Engine) Detections() <-chan Detection { return e.dets }
+// Batches is the engine's native output: every channel receive
+// carries all detections of one decode step, so the engine pays one
+// channel operation per step instead of one per detection. The
+// channel is closed by Close after all sessions are flushed. Consume
+// either Batches or Detections, not both.
+func (e *Engine) Batches() <-chan []Detection { return e.batches }
+
+// Detections is the per-detection view of the output stream,
+// flattened from Batches by a forwarding goroutine started on first
+// call. Like the batch channel, delivery is non-blocking: detections
+// beyond the buffer are dropped and counted, so an abandoned consumer
+// strands neither the forwarder nor the engine shutdown. The channel
+// is closed after Close has flushed every session. Consume either
+// Detections or Batches, not both.
+func (e *Engine) Detections() <-chan Detection {
+	e.flatOnce.Do(func() {
+		e.flat = make(chan Detection, e.cfg.DetectionBuffer)
+		go func() {
+			for batch := range e.batches {
+				for _, det := range batch {
+					select {
+					case e.flat <- det:
+					default:
+						e.droppedDets.Add(1)
+					}
+				}
+			}
+			close(e.flat)
+		}()
+	})
+	return e.flat
+}
 
 // Stats returns an operational snapshot.
 func (e *Engine) Stats() Stats {
 	st := Stats{
+		Shards:            len(e.shards),
 		SamplesIn:         e.samplesIn.Load(),
 		Detections:        e.detections.Load(),
 		DecodeErrors:      e.decodeErrs.Load(),
@@ -506,13 +646,15 @@ func (e *Engine) Stats() Stats {
 		DroppedDetections: e.droppedDets.Load(),
 		Evicted:           e.evicts.Load(),
 	}
-	e.mu.Lock()
-	st.Sessions = len(e.sessions)
-	sessions := make([]*session, 0, len(e.sessions))
-	for _, s := range e.sessions {
-		sessions = append(sessions, s)
+	var sessions []*session
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		st.Sessions += len(sh.sessions)
+		for _, s := range sh.sessions {
+			sessions = append(sessions, s)
+		}
+		sh.mu.Unlock()
 	}
-	e.mu.Unlock()
 	for _, s := range sessions {
 		s.mu.Lock()
 		pending := s.rng.len()
@@ -531,16 +673,20 @@ func (e *Engine) Stats() Stats {
 }
 
 // Close stops the workers and janitor, flushes every session's
-// remaining samples and open segments, and closes the Detections
-// channel.
+// remaining samples and open segments, and closes the detection
+// output.
 func (e *Engine) Close() {
 	e.once.Do(func() {
 		// Refuse feeds first: a producer racing Close could otherwise
 		// keep a worker's drain loop fed forever and wg.Wait below
-		// would never return.
-		e.mu.Lock()
-		e.stopped = true
-		e.mu.Unlock()
+		// would never return. The broadcast releases workers parked in
+		// dequeue.
+		for _, sh := range e.shards {
+			sh.mu.Lock()
+			sh.stopped = true
+			sh.mu.Unlock()
+			sh.cond.Broadcast()
+		}
 		close(e.closed)
 		e.wg.Wait()
 		// Wait out in-flight FlushSession/FlushAll/EndSession callers
@@ -548,27 +694,26 @@ func (e *Engine) Close() {
 		// ones for the remainder of the shutdown.
 		e.lifeMu.Lock()
 		defer e.lifeMu.Unlock()
-		// Entries stranded on the run queue when the workers exited
-		// hold a scheduled claim nobody will release; clear them so
-		// the per-session drain below owns the decoders.
-		for {
-			select {
-			case s := <-e.runq:
+		var sessions []*session
+		for _, sh := range e.shards {
+			sh.mu.Lock()
+			// Entries stranded on the run queue when the workers
+			// exited hold a scheduled claim nobody will release;
+			// clear them so the per-session drain below owns the
+			// decoders.
+			for _, s := range sh.runq {
 				s.mu.Lock()
 				s.scheduled = false
 				s.mu.Unlock()
-				continue
-			default:
 			}
-			break
+			sh.runq = nil
+			for _, s := range sh.sessions {
+				sessions = append(sessions, s)
+			}
+			e.sessionCount.Add(-int64(len(sh.sessions)))
+			sh.sessions = make(map[uint64]*session)
+			sh.mu.Unlock()
 		}
-		e.mu.Lock()
-		sessions := make([]*session, 0, len(e.sessions))
-		for _, s := range e.sessions {
-			sessions = append(sessions, s)
-		}
-		e.sessions = make(map[uint64]*session)
-		e.mu.Unlock()
 		for _, s := range sessions {
 			// Workers are stopped; claim terminally (so a Feed still
 			// holding the pointer retries into the engine-closed
@@ -584,7 +729,7 @@ func (e *Engine) Close() {
 		}
 		e.pubMu.Lock()
 		e.detsClosed = true
-		close(e.dets)
+		close(e.batches)
 		e.pubMu.Unlock()
 	})
 }

@@ -309,6 +309,32 @@ func TestEngineOversizedFeed(t *testing.T) {
 	}
 }
 
+// TestEngineNegativeWorkers pins the config clamp: a negative worker
+// count (e.g. a miswired WithWorkers(-1)) must select the default
+// pool, not panic on a negative shard slice.
+func TestEngineNegativeWorkers(t *testing.T) {
+	e, err := NewEngine(EngineConfig{
+		Session:     Config{Fs: 1000},
+		Workers:     -1,
+		IdleTimeout: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	s := sessionStream([]string{"10"}, 1000, 0.2, 2.0, 0.3, 3)
+	if err := e.Feed(1, 0, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FlushSession(1); err != nil {
+		t.Fatal(err)
+	}
+	det := <-e.Detections()
+	if det.Err != nil || det.BitString() != "10" {
+		t.Fatalf("decoded %q (err %v)", det.BitString(), det.Err)
+	}
+}
+
 func TestEngineGuards(t *testing.T) {
 	e, err := NewEngine(EngineConfig{
 		Session:     Config{Fs: 1000},

@@ -22,6 +22,8 @@ type Profile struct {
 	// [edges[i], edges[i+1]); the profile length is edges[len].
 	edges    []float64
 	segments []material.Material
+	// flatRho caches per-segment reflectances for FlatReflectance.
+	flatRho []float64
 }
 
 // NewProfile builds a profile from segment lengths and materials.
@@ -46,11 +48,24 @@ func NewProfile(lengths []float64, mats []material.Material) (*Profile, error) {
 		p.edges = append(p.edges, pos)
 		p.segments = append(p.segments, mats[i])
 	}
+	p.flatRho = make([]float64, len(p.segments))
+	for i, m := range p.segments {
+		p.flatRho[i] = m.Reflectance
+	}
 	return p, nil
 }
 
 // Length returns the total profile length in meters.
 func (p *Profile) Length() float64 { return p.edges[len(p.edges)-1] }
+
+// FlatReflectance exposes the piecewise-constant form of the profile:
+// segment boundaries (edges[0] = 0, edges[len-1] = Length) and the
+// reflectance of each segment, so the channel renderer can look up
+// reflectance without per-sample interface dispatch or material
+// copies. The returned slices are shared and must not be mutated.
+func (p *Profile) FlatReflectance() (edges, rho []float64) {
+	return p.edges, p.flatRho
+}
 
 // SegmentCount returns the number of piecewise-constant segments.
 func (p *Profile) SegmentCount() int { return len(p.segments) }

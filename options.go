@@ -12,6 +12,7 @@ type pipeConfig struct {
 	quietHoldSec  float64
 	maxSegmentSec float64
 	workers       int
+	shards        int
 	idleTimeout   time.Duration
 	queueSamples  int
 	maxSessions   int
@@ -72,6 +73,16 @@ func WithMaxSegment(sec float64) Option {
 // runtime.GOMAXPROCS(0).
 func WithWorkers(n int) Option {
 	return func(c *pipeConfig) { c.workers = n }
+}
+
+// WithShards splits the engine's session table into n independent
+// shards (per-shard map, lock, run queue and workers), so feeders and
+// decode workers on different cores never contend on a single mutex
+// or queue. Zero selects min(workers, GOMAXPROCS); values above the
+// worker count are clamped so every shard keeps at least one worker.
+// One shard reproduces the unsharded engine exactly.
+func WithShards(n int) Option {
+	return func(c *pipeConfig) { c.shards = n }
 }
 
 // WithIdleTimeout evicts sessions not fed for this long (their open

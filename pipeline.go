@@ -204,6 +204,7 @@ func (p *Pipeline) startEngine(ctx context.Context, fs float64, out chan Event) 
 			CarShape:      p.strat.kind == strategyTwoPhase,
 		},
 		Workers:         p.cfg.workers,
+		Shards:          p.cfg.shards,
 		QueueSamples:    p.cfg.queueSamples,
 		IdleTimeout:     p.cfg.idleTimeout,
 		DetectionBuffer: cap(out),
@@ -233,12 +234,16 @@ func (p *Pipeline) startEngine(ctx context.Context, fs float64, out chan Event) 
 		}()
 	}
 
-	// Forwarder: engine detections -> sinks -> event channel. Runs
-	// until the engine closes its detection channel (after flushing
-	// every session), so no event is lost on shutdown.
+	// Forwarder: engine detection batches -> sinks -> event channel.
+	// Consuming Batches (one receive per decode step) instead of the
+	// flattened Detections channel skips a per-detection hop. Runs
+	// until the engine closes the channel (after flushing every
+	// session), so no event is lost on shutdown.
 	go func() {
-		for det := range eng.Detections() {
-			p.emit(out, p.event(det))
+		for batch := range eng.Batches() {
+			for _, det := range batch {
+				p.emit(out, p.event(det))
+			}
 		}
 		if p.cfg.statsSink != nil {
 			close(statsDone)
