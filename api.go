@@ -6,6 +6,7 @@ import (
 	"passivelight/internal/core"
 	"passivelight/internal/decoder"
 	"passivelight/internal/frontend"
+	"passivelight/internal/scenario"
 	"passivelight/internal/stream"
 	"passivelight/internal/trace"
 )
@@ -42,13 +43,68 @@ func NewCodebook(nBits, minDist, maxWords int) (*Codebook, error) {
 // front end).
 type Link = core.Link
 
+// Scenario is a declarative world: ambient optics, receiver
+// placement, noise/weather profile and mobile objects with mobility
+// models, compiled on demand into a renderable link. Build one by
+// hand, load one from JSON, or take a preset from ScenarioPreset;
+// feed it to a pipeline with NewScenarioSource.
+type Scenario = scenario.Spec
+
+// Scenario sub-specs, for building Scenario literals.
+type (
+	// ScenarioOptics selects the ambient light source.
+	ScenarioOptics = scenario.OpticsSpec
+	// ScenarioReceiver places the receiver and selects its device.
+	ScenarioReceiver = scenario.ReceiverSpec
+	// ScenarioNoise selects the impairment profile (plus fog).
+	ScenarioNoise = scenario.NoiseSpec
+	// ScenarioFog configures the fog stage.
+	ScenarioFog = scenario.FogSpec
+	// ScenarioObject is one mobile element.
+	ScenarioObject = scenario.ObjectSpec
+	// ScenarioMobility is a declarative trajectory.
+	ScenarioMobility = scenario.MobilitySpec
+	// ScenarioSpeedSegment is one piecewise-speed segment.
+	ScenarioSpeedSegment = scenario.SpeedSegmentSpec
+	// ScenarioStop is one dwell of a stop-and-go trajectory.
+	ScenarioStop = scenario.StopSpec
+	// ScenarioDecode hints the intended decode strategy.
+	ScenarioDecode = scenario.DecodeSpec
+	// ScenarioWorld is a compiled scenario (link + encoded packets).
+	ScenarioWorld = scenario.Compiled
+	// ScenarioPacket is one payload physically present in a scenario.
+	ScenarioPacket = scenario.TagPacket
+	// ScenarioEntry is one registry preset.
+	ScenarioEntry = scenario.Entry
+)
+
+// ScenarioPreset builds a named preset from the scenario registry
+// ("indoor-bench", "outdoor-pass", "car-signature", "collision",
+// "multi-lane", "tag-fleet", "weather-sweep", ...).
+func ScenarioPreset(name string) (Scenario, error) { return scenario.Get(name) }
+
+// ScenarioPresets lists the registry presets sorted by name.
+func ScenarioPresets() []ScenarioEntry { return scenario.Entries() }
+
+// RegisterScenario adds a named preset to the registry.
+func RegisterScenario(name, description string, build func() (Scenario, error)) error {
+	return scenario.Register(name, description, build)
+}
+
 // IndoorBench is the paper's Sec. 4 controlled bench: an LED lamp and
-// receiver at equal height, a tag passing underneath.
-type IndoorBench = core.BenchSetup
+// receiver at equal height, a tag passing underneath. It is the typed
+// parameter form of the "indoor-bench" scenario family (Spec()
+// exposes the declarative form).
+type IndoorBench = scenario.BenchParams
 
 // OutdoorCarPass is the paper's Sec. 5 application: a tagged car
-// passing under a pole-mounted receiver in daylight.
-type OutdoorCarPass = core.OutdoorSetup
+// passing under a pole-mounted receiver in daylight — the typed
+// parameter form of the "outdoor-pass" scenario family.
+type OutdoorCarPass = scenario.OutdoorParams
+
+// CollisionBench is the Sec. 4.3 two-packet collision world — the
+// typed parameter form of the "collision" scenario family.
+type CollisionBench = scenario.CollisionParams
 
 // RunResult is the outcome of an end-to-end run.
 type RunResult = core.RunResult

@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"passivelight/internal/capacity"
+	"passivelight/internal/channel"
 	"passivelight/internal/experiments"
 	"passivelight/internal/frontend"
 )
@@ -189,6 +190,51 @@ func BenchmarkOutdoorSimulate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := link.Simulate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioMultiLane renders the multi-lane preset (two
+// staggered tagged cars at distinct lateral shares) end to end
+// through the channel. The render plan keeps its specialized fast
+// path on N-object scenes — car bodies and roof tags are
+// piecewise-constant profiles walked with monotone cursors, the lane
+// offset only shifts the trajectory clock — so no generic-evaluator
+// fallback occurs; the bench asserts that with channel.PlanSpecialized
+// and would fail loudly on a regression.
+func BenchmarkScenarioMultiLane(b *testing.B) {
+	spec, err := ScenarioPreset("multi-lane")
+	benchErr(b, err)
+	world, err := spec.Compile()
+	benchErr(b, err)
+	if !channel.PlanSpecialized(world.Link.Scene, world.Link.Receiver) {
+		b.Fatal("multi-lane scene fell off the render plan fast path")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := world.Link.Simulate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioTagFleet renders the tag-fleet preset (three
+// staggered tags sharing the FoV laterally); also pinned to the
+// render plan fast path.
+func BenchmarkScenarioTagFleet(b *testing.B) {
+	spec, err := ScenarioPreset("tag-fleet")
+	benchErr(b, err)
+	world, err := spec.Compile()
+	benchErr(b, err)
+	if !channel.PlanSpecialized(world.Link.Scene, world.Link.Receiver) {
+		b.Fatal("tag-fleet scene fell off the render plan fast path")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := world.Link.Simulate(); err != nil {
 			b.Fatal(err)
 		}
 	}

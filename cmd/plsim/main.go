@@ -1,129 +1,189 @@
 // Command plsim simulates a passive-light scenario and writes the
 // received RSS trace as CSV (readable by pldecode and any plotting
-// tool).
+// tool). Worlds come from the declarative scenario registry: name a
+// preset, load a spec file, or use the legacy indoor/outdoor/car
+// aliases with their tuning flags.
 //
 // Usage:
 //
+//	plsim -list
+//	plsim -scenario multi-lane -o lane.csv
 //	plsim -scenario indoor -payload 10 -height 0.2 -width 0.03 -speed 0.08 -o trace.csv
 //	plsim -scenario outdoor -payload 00 -height 0.75 -lux 6200 -receiver rx-led -o pass.csv
-//	plsim -scenario car -car bmw3 -height 0.75 -lux 6200 -o bmw.csv
+//	plsim -dump-spec weather-sweep > weather.json
+//	plsim -spec weather.json -seed 7 -o weather.csv
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
-	"passivelight/internal/core"
 	"passivelight/internal/frontend"
-	"passivelight/internal/scene"
+	"passivelight/internal/scenario"
 	"passivelight/internal/trace"
 )
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "indoor", "indoor | outdoor | car (bare car, no tag)")
-		payload  = flag.String("payload", "10", "payload bits")
-		height   = flag.Float64("height", 0.20, "receiver height (m)")
-		width    = flag.Float64("width", 0.03, "symbol width (m)")
-		speed    = flag.Float64("speed", 0.08, "object speed (m/s, indoor) ")
+		name     = flag.String("scenario", "indoor", "registry preset name (see -list); the legacy aliases indoor | outdoor | car accept the tuning flags below")
+		list     = flag.Bool("list", false, "print the scenario registry and exit")
+		specPath = flag.String("spec", "", "load the scenario from a JSON spec file instead of the registry")
+		dumpSpec = flag.String("dump-spec", "", "print the named preset as a JSON spec and exit")
+		payload  = flag.String("payload", "10", "payload bits (legacy scenarios)")
+		height   = flag.Float64("height", 0.20, "receiver height (m, legacy scenarios)")
+		width    = flag.Float64("width", 0.03, "symbol width (m, legacy scenarios)")
+		speed    = flag.Float64("speed", 0.08, "object speed (m/s, indoor)")
 		speedKmh = flag.Float64("speed-kmh", 18, "car speed (km/h, outdoor)")
 		lux      = flag.Float64("lux", 450, "outdoor ambient noise floor (lux)")
-		receiver = flag.String("receiver", "rx-led", "outdoor receiver: rx-led | pd-g1 | pd-g2 | pd-g3 | pd-g2-cap")
+		receiver = flag.String("receiver", "rx-led", "outdoor receiver: rx-led | pd-g1 | pd-g2 | pd-g3 | pd-g2+cap")
 		car      = flag.String("car", "volvo", "car model: volvo | bmw3")
 		seed     = flag.Int64("seed", 1, "noise seed")
 		out      = flag.String("o", "", "output CSV path (default stdout)")
 	)
 	flag.Parse()
 
-	tr, err := simulate(*scenario, *payload, *height, *width, *speed, *speedKmh, *lux, *receiver, *car, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "plsim:", err)
-		os.Exit(1)
+	if *list {
+		printRegistry()
+		return
 	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if *dumpSpec != "" {
+		if err := dump(*dumpSpec); err != nil {
+			fail(err)
+		}
+		return
+	}
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	spec, err := resolveSpec(*specPath, *name, legacyFlags{
+		payload: *payload, height: *height, width: *width, speed: *speed,
+		speedKmh: *speedKmh, lux: *lux, receiver: *receiver, car: *car, seed: *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if seedSet {
+		spec.Seed = *seed
+	}
+	_, tr, err := spec.Simulate()
+	if err != nil {
+		fail(err)
+	}
+	if err := write(tr, *out); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "plsim:", err)
+	os.Exit(1)
+}
+
+func printRegistry() {
+	fmt.Println("scenario registry (plsim -scenario <name>):")
+	for _, e := range scenario.Entries() {
+		fmt.Printf("  %-14s %s\n", e.Name, e.Description)
+	}
+	fmt.Println("\nlegacy aliases (accept the tuning flags; see -h):")
+	fmt.Println("  indoor         indoor bench built from -payload/-height/-width/-speed")
+	fmt.Println("  outdoor        outdoor car pass from -payload/-height/-lux/-receiver/-car/-speed-kmh")
+	fmt.Println("  car            bare car (shape signature only), same flags as outdoor")
+}
+
+func dump(name string) error {
+	spec, err := scenario.Get(name)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+// legacyFlags carries the tuning flags of the legacy scenario names.
+type legacyFlags struct {
+	payload, receiver, car         string
+	height, width, speed, speedKmh float64
+	lux                            float64
+	seed                           int64
+}
+
+// resolveSpec builds the scenario: from a spec file, a legacy alias
+// plus its flags, or the registry.
+func resolveSpec(specPath, name string, lf legacyFlags) (scenario.Spec, error) {
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "plsim:", err)
-			os.Exit(1)
+			return scenario.Spec{}, err
+		}
+		var spec scenario.Spec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return scenario.Spec{}, fmt.Errorf("parsing %s: %w", specPath, err)
+		}
+		return spec, nil
+	}
+	switch name {
+	case "indoor":
+		return scenario.BenchParams{
+			Height:      lf.height,
+			SymbolWidth: lf.width,
+			Speed:       lf.speed,
+			Payload:     lf.payload,
+			Seed:        lf.seed,
+		}.Spec()
+	case "outdoor", "car":
+		dev, err := frontend.ByName(lf.receiver)
+		if err != nil {
+			return scenario.Spec{}, err
+		}
+		model, err := scenario.CarByName(lf.car)
+		if err != nil {
+			return scenario.Spec{}, err
+		}
+		p := scenario.OutdoorParams{
+			Payload:        lf.payload,
+			SymbolWidth:    lf.width,
+			SpeedKmh:       lf.speedKmh,
+			ReceiverHeight: lf.height,
+			NoiseFloorLux:  lf.lux,
+			Receiver:       dev,
+			Car:            model,
+			Seed:           lf.seed,
+		}
+		if name == "car" {
+			p.Payload = "" // bare car: shape signature only
+		}
+		return p.Spec()
+	default:
+		return scenario.Get(name)
+	}
+}
+
+func write(tr *trace.Trace, out string) error {
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := tr.WriteCSV(w); err != nil {
-		fmt.Fprintln(os.Stderr, "plsim:", err)
-		os.Exit(1)
+		return err
 	}
-	if *out != "" {
+	if out != "" {
 		st := tr.Stats()
 		fmt.Fprintf(os.Stderr, "wrote %d samples (fs=%g Hz, rss %.0f..%.0f) to %s\n",
-			tr.Len(), tr.Fs, st.Min, st.Max, *out)
+			tr.Len(), tr.Fs, st.Min, st.Max, out)
 	}
-}
-
-func simulate(scenario, payload string, height, width, speed, speedKmh, lux float64, receiver, car string, seed int64) (*trace.Trace, error) {
-	switch scenario {
-	case "indoor":
-		link, _, err := core.BenchSetup{
-			Height:      height,
-			SymbolWidth: width,
-			Speed:       speed,
-			Payload:     payload,
-			Seed:        seed,
-		}.Build()
-		if err != nil {
-			return nil, err
-		}
-		return link.Simulate()
-	case "outdoor", "car":
-		dev, err := receiverByName(receiver)
-		if err != nil {
-			return nil, err
-		}
-		setup := core.OutdoorSetup{
-			Payload:        payload,
-			SymbolWidth:    width,
-			SpeedKmh:       speedKmh,
-			ReceiverHeight: height,
-			NoiseFloorLux:  lux,
-			Receiver:       dev,
-			Seed:           seed,
-		}
-		if scenario == "car" {
-			setup.Payload = "" // bare car: shape signature only
-		}
-		switch car {
-		case "volvo", "":
-			setup.Car = scene.VolvoV40()
-		case "bmw3", "bmw":
-			setup.Car = scene.BMW3()
-		default:
-			return nil, fmt.Errorf("unknown car %q", car)
-		}
-		link, _, err := setup.Build()
-		if err != nil {
-			return nil, err
-		}
-		return link.Simulate()
-	default:
-		return nil, fmt.Errorf("unknown scenario %q", scenario)
-	}
-}
-
-func receiverByName(name string) (frontend.Receiver, error) {
-	switch name {
-	case "rx-led", "":
-		return frontend.RXLED(), nil
-	case "pd-g1":
-		return frontend.PD(frontend.G1), nil
-	case "pd-g2":
-		return frontend.PD(frontend.G2), nil
-	case "pd-g3":
-		return frontend.PD(frontend.G3), nil
-	case "pd-g2-cap":
-		return frontend.PD(frontend.G2).WithCap(), nil
-	default:
-		return frontend.Receiver{}, fmt.Errorf("unknown receiver %q", name)
-	}
+	return nil
 }

@@ -12,9 +12,13 @@
 // abstractions. A Source produces RSS sample chunks:
 //
 //   - NewTraceSource — a recorded Trace, replayed in chunks;
+//   - NewScenarioSource — any declarative Scenario (a registry
+//     preset, a JSON spec file, or a hand-built Spec), compiled and
+//     rendered on Open;
 //   - NewBenchSource / NewCarPassSource / NewLinkSource — the
 //     simulated testbed (indoor bench, Sec. 5 car pass, or any custom
-//     Link), rendered on Open;
+//     Link); the first two are thin typed wrappers over the scenario
+//     layer;
 //   - NewChunkSource — a live feed of sample chunks from a channel;
 //   - ListenSource — a receiver-network listener: nodes stream raw
 //     SampleChunk frames over TCP and each (node, stream) pair
@@ -52,6 +56,32 @@
 // WithReceiverAutoSelect applies the Sec. 4.4 dual-receiver policy to
 // simulated sources, WithWorkers/WithShards/WithQueue/WithIdleTimeout
 // tune the concurrent substrate, WithSink taps the event flow.
+//
+// # Scenario catalog
+//
+// Worlds are data. A Scenario declares the complete physical setup —
+// ambient optics (lamp / ceiling light / sun with cloud drift),
+// receiver placement and device, noise profile with optional fog, and
+// mobile objects (tags, cars, tagged cars, dynamic tags) with
+// mobility models (constant, piecewise, stop-and-go, staggered lane
+// offsets) — and compiles deterministically into a renderable link:
+// the same spec + seed renders a bit-identical trace every time, and
+// a spec round-trips through JSON losslessly. The preset registry
+// (ScenarioPreset, ScenarioPresets, RegisterScenario) ships the
+// paper's worlds (indoor-bench, outdoor-pass, car-signature,
+// collision) plus multi-object workloads (multi-lane: staggered
+// tagged cars in adjacent lanes; tag-fleet: N tags at distinct
+// lateral FoV shares; weather-sweep: ambient ramps plus fog):
+//
+//	spec, _ := passivelight.ScenarioPreset("multi-lane")
+//	src := passivelight.NewScenarioSource(spec)
+//	pipe, _ := passivelight.NewPipeline(src, passivelight.TwoPhase(),
+//		passivelight.WithExpectedSymbols(spec.Decode.ExpectedSymbols))
+//	events, _ := pipe.Run(ctx) // one detection per lane, in pass order
+//
+// Each spec carries a Decode hint (strategy + expected symbols) so
+// generic drivers can bind the right pipeline. cmd/plsim is the CLI
+// face of the registry (-list, -scenario, -spec, -dump-spec).
 //
 // # Execution substrate
 //

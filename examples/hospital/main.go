@@ -14,14 +14,7 @@ import (
 	"log"
 
 	"passivelight"
-	"passivelight/internal/channel"
-	"passivelight/internal/coding"
-	"passivelight/internal/core"
-	"passivelight/internal/frontend"
-	"passivelight/internal/noise"
 	"passivelight/internal/optics"
-	"passivelight/internal/scene"
-	"passivelight/internal/tag"
 )
 
 var trolleys = map[string]string{
@@ -63,12 +56,8 @@ func main() {
 
 	// Two trolleys share a doorway: the time-domain signal garbles,
 	// but the FFT reveals two symbol-rate tones.
-	link, err := doorwayCollision()
-	if err != nil {
-		log.Fatal(err)
-	}
 	pipe, err := passivelight.NewPipeline(
-		passivelight.NewLinkSource(link),
+		passivelight.NewScenarioSource(doorwayCollision()),
 		passivelight.Collision(passivelight.CollisionOptions{
 			MinFreq: 1.0, MaxFreq: 4.0, SignificanceRatio: 0.6,
 		}),
@@ -96,39 +85,34 @@ func main() {
 	}
 }
 
-// doorwayCollision builds a scene with two trolleys (different stripe
-// widths) crossing the receiver FoV at the same time.
-func doorwayCollision() (*core.Link, error) {
-	wide, err := tag.New(coding.MustPacket("0010"), tag.Config{SymbolWidth: 0.04})
-	if err != nil {
-		return nil, err
+// doorwayCollision is the declarative scenario for two trolleys
+// (different stripe widths, half the FoV each) crossing the receiver
+// at the same time; the simulation window is derived from the passes.
+func doorwayCollision() passivelight.Scenario {
+	const (
+		speed  = 0.12
+		startM = -0.11 // just before the doorway receiver's footprint
+	)
+	return passivelight.Scenario{
+		Name: "doorway-collision",
+		Seed: 7,
+		Optics: passivelight.ScenarioOptics{
+			Kind: "ceiling-light", Lux: 300, RippleDepth: 0.1, MainsHz: 50,
+		},
+		Receiver: passivelight.ScenarioReceiver{
+			Device: "pd-g1", HeightM: 0.08, FoVDeg: 5, Fs: 1000,
+		},
+		Objects: []passivelight.ScenarioObject{
+			{
+				Kind: "tag", Name: "trolley-a", Payload: "0010",
+				SymbolWidthM: 0.04, LateralShare: 0.5,
+				Mobility: passivelight.ScenarioMobility{StartM: startM, SpeedMS: speed},
+			},
+			{
+				Kind: "tag", Name: "trolley-b", Payload: "0000100000",
+				SymbolWidthM: 0.02, LateralShare: 0.5,
+				Mobility: passivelight.ScenarioMobility{StartM: startM, SpeedMS: speed},
+			},
+		},
 	}
-	narrow, err := tag.New(coding.MustPacket("0000100000"), tag.Config{SymbolWidth: 0.02})
-	if err != nil {
-		return nil, err
-	}
-	rx := channel.Receiver{X: 0, Height: 0.08, FoVHalfAngleDeg: 5}
-	start := -(rx.FootprintRadius() + 0.1)
-	const speed = 0.12
-	a, err := scene.NewTagObject("trolley-a", wide, scene.ConstantSpeed{Start: start, Speed: speed}, 0.5)
-	if err != nil {
-		return nil, err
-	}
-	b, err := scene.NewTagObject("trolley-b", narrow, scene.ConstantSpeed{Start: start, Speed: speed}, 0.5)
-	if err != nil {
-		return nil, err
-	}
-	lamp := optics.CeilingLight{Lux: 300, RippleDepth: 0.1, MainsHz: 50}
-	fe, err := frontend.NewChain(frontend.PD(frontend.G1), 1000, 7)
-	if err != nil {
-		return nil, err
-	}
-	dur := (-start + wide.Length() + rx.FootprintRadius() + 0.05) / speed
-	return &core.Link{
-		Scene:    scene.New(lamp, a, b),
-		Receiver: rx,
-		Frontend: fe,
-		Noise:    noise.Indoor(7),
-		Duration: dur,
-	}, nil
 }

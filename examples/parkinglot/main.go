@@ -2,8 +2,12 @@
 // dual receiver watches a parking lot entrance; cars carry roof codes.
 // The car's own optical signature (hood peak, windshield valley)
 // serves as a long-duration preamble, then the stripe code is decoded.
-// The receiver is chosen per ambient conditions by the pipeline's
-// WithReceiverAutoSelect stage (Sec. 4.4).
+//
+// Each arrival is a declarative Scenario fed to the pipeline with
+// NewScenarioSource; the receiver is chosen per ambient conditions by
+// the pipeline's WithReceiverAutoSelect stage (Sec. 4.4), and the
+// scenario re-derives its simulation window for whichever device the
+// policy picks.
 package main
 
 import (
@@ -12,28 +16,36 @@ import (
 	"log"
 
 	"passivelight"
-	"passivelight/internal/scene"
 )
 
 func main() {
 	arrivals := []struct {
 		label   string
-		car     scene.CarModel
+		car     string
 		payload string
 		lux     float64
 	}{
-		{"cloudy noon, Volvo V40", scene.VolvoV40(), "00", 6200},
-		{"late afternoon, Volvo V40", scene.VolvoV40(), "10", 5500},
-		{"overcast, BMW 3", scene.BMW3(), "01", 3700},
+		{"cloudy noon, Volvo V40", "volvo-v40", "00", 6200},
+		{"late afternoon, Volvo V40", "volvo-v40", "10", 5500},
+		{"overcast, BMW 3", "bmw-3", "01", 3700},
 	}
 	for i, a := range arrivals {
-		src := passivelight.NewCarPassSource(passivelight.OutdoorCarPass{
-			Car:            a.car,
+		// The typed car-pass params compile to a declarative Scenario;
+		// any field of the spec can be adjusted before it is compiled.
+		spec, err := (passivelight.OutdoorCarPass{
 			Payload:        a.payload,
 			NoiseFloorLux:  a.lux,
 			ReceiverHeight: 0.75,
 			Seed:           int64(300 + i),
-		})
+		}).Spec()
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.Objects[0].Car = a.car
+		// Let the window follow whichever device the policy selects
+		// (a capped PD sees a different footprint than the RX-LED).
+		spec.DurationSec = 0
+		src := passivelight.NewScenarioSource(spec)
 		// The pipeline applies the paper's dual-receiver policy
 		// (Sec. 4.4) over the two devices with pole-appropriate
 		// optics: the capped PD (sensitive, for dim days) and the

@@ -15,6 +15,7 @@ import (
 	"passivelight/internal/core"
 	"passivelight/internal/decoder"
 	"passivelight/internal/dsp"
+	"passivelight/internal/scenario"
 )
 
 // SweepConfig controls the decodability sweeps.
@@ -56,7 +57,7 @@ func (c SweepConfig) withDefaults() SweepConfig {
 func Decodable(height, width float64, cfg SweepConfig) (bool, error) {
 	cfg = cfg.withDefaults()
 	for trial := 0; trial < cfg.Trials; trial++ {
-		b := core.BenchSetup{
+		b := scenario.BenchParams{
 			Height:      height,
 			SymbolWidth: width,
 			Speed:       cfg.Speed,

@@ -52,6 +52,18 @@ type renderPlan struct {
 	accShare, accRho []float64
 }
 
+// PlanSpecialized reports whether Render will take the specialized
+// fast path for this scene + receiver (no dynamic tags, every profile
+// piecewise-constant). Benchmarks of multi-object scenario scenes
+// assert it so a fast-path regression fails loudly instead of
+// silently multiplying render cost.
+func PlanSpecialized(s *scene.Scene, r Receiver) bool {
+	r = r.withDefaults()
+	offsets, weights := r.Kernel()
+	_, ok := newRenderPlan(s, r, offsets, weights)
+	return ok
+}
+
 type srcKind int
 
 const (

@@ -8,7 +8,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"passivelight/internal/channel"
 	"passivelight/internal/coding"
@@ -17,7 +16,6 @@ import (
 	"passivelight/internal/noise"
 	"passivelight/internal/optics"
 	"passivelight/internal/scene"
-	"passivelight/internal/tag"
 	"passivelight/internal/trace"
 )
 
@@ -34,6 +32,10 @@ type Link struct {
 	Frontend *frontend.Chain
 	// Noise applied to the incident light before the front end.
 	Noise noise.Model
+	// Fog, if non-nil, attenuates the rendered light and adds a
+	// scatter veil before the noise stage (Sec. 3's weather
+	// distortion as a first-class link element).
+	Fog *noise.Fog
 	// Window is the simulated time span [T0, T0+Duration).
 	T0, Duration float64
 }
@@ -65,6 +67,9 @@ func (l *Link) Simulate() (*trace.Trace, error) {
 	lux, err := channel.Render(l.Scene, rx, l.T0, l.Duration, l.Frontend.Fs)
 	if err != nil {
 		return nil, err
+	}
+	if l.Fog != nil {
+		lux = l.Fog.ApplyInPlace(lux)
 	}
 	// In place: the clean rendering is owned here and never reused.
 	lux = l.Noise.ApplyInPlace(lux)
@@ -119,113 +124,4 @@ func EndToEnd(l *Link, sent coding.Packet, opt decoder.Options) (RunResult, erro
 	res.BitErrs = coding.HammingDistance(sent.Data, dec.Packet.Data)
 	res.Success = res.BitErrs == 0 && len(dec.Packet.Data) == len(sent.Data)
 	return res, nil
-}
-
-// BenchSetup is a convenience builder for the paper's indoor bench
-// (Sec. 4.1): LED lamp and receiver at the same height h, lamp offset
-// 12 cm from the receiver, dark room, tag moving at the given speed.
-type BenchSetup struct {
-	// Height of lamp and receiver above the work plane (m).
-	Height float64
-	// LampLux is the illuminance directly under the lamp.
-	LampLux float64
-	// SymbolWidth of the tag stripes (m).
-	SymbolWidth float64
-	// Speed of the moving tag (m/s).
-	Speed float64
-	// Payload bits encoded after the preamble.
-	Payload string
-	// Fs sampling rate (Hz). Zero selects 1000.
-	Fs float64
-	// Seed for noise streams.
-	Seed int64
-	// FoVHalfAngleDeg of the focused indoor receiver. Zero selects
-	// the calibrated IndoorFoVDeg.
-	FoVHalfAngleDeg float64
-	// Trajectory overrides the default constant-speed pass when set.
-	Trajectory scene.Trajectory
-	// NoiseModel overrides the default indoor noise when set.
-	NoiseModel *noise.Model
-}
-
-// Build assembles the link and returns it with the tag's packet.
-func (b BenchSetup) Build() (*Link, coding.Packet, error) {
-	if b.Height <= 0 || b.SymbolWidth <= 0 || b.Speed <= 0 {
-		return nil, coding.Packet{}, errors.New("core: bench height, symbol width and speed must be positive")
-	}
-	fs := b.Fs
-	if fs == 0 {
-		fs = 1000
-	}
-	lux := b.LampLux
-	if lux == 0 {
-		lux = IndoorLampLux
-	}
-	fov := b.FoVHalfAngleDeg
-	if fov == 0 {
-		fov = IndoorFoVDeg
-	}
-	pkt, err := coding.NewPacket(b.Payload)
-	if err != nil {
-		return nil, coding.Packet{}, err
-	}
-	tg, err := tag.New(pkt, tag.Config{SymbolWidth: b.SymbolWidth})
-	if err != nil {
-		return nil, coding.Packet{}, err
-	}
-	// Receiver at x=0; lamp 12 cm away as in Fig. 5's setup. The lamp
-	// has a fixed luminous intensity calibrated to deliver IndoorLampLux
-	// at the 20 cm reference height — raising the bench dims the work
-	// plane with 1/h^2 exactly as raising a physical lamp would.
-	lamp := optics.PointLamp{
-		X:            0.12,
-		Height:       b.Height,
-		Intensity:    lux * IndoorRefHeight * IndoorRefHeight,
-		LambertOrder: 4,
-	}
-	rxGeom := channel.Receiver{X: 0, Height: b.Height, FoVHalfAngleDeg: fov}
-	traj := b.Trajectory
-	var startX float64
-	if traj == nil {
-		// Start the tag just before the FoV with enough quiet lead
-		// for the decoder to see a baseline.
-		startX = -(rxGeom.FootprintRadius() + 0.15)
-		traj = scene.ConstantSpeed{Start: startX, Speed: b.Speed}
-	}
-	obj, err := scene.NewTagObject("bench-tag", tg, traj, 1.0)
-	if err != nil {
-		return nil, coding.Packet{}, err
-	}
-	sc := scene.New(lamp, obj)
-	fe, err := frontend.NewChain(indoorReceiver(), fs, b.Seed)
-	if err != nil {
-		return nil, coding.Packet{}, err
-	}
-	nm := noise.Indoor(b.Seed)
-	if b.NoiseModel != nil {
-		nm = *b.NoiseModel
-	}
-	// Duration: time for the tag to fully cross the FoV plus margin.
-	footprint := rxGeom.FootprintRadius()
-	distance := math.Abs(startX) + tg.Length() + footprint + 0.05
-	dur := distance / b.Speed
-	if b.Trajectory != nil {
-		// Caller-supplied trajectory: simulate a generous window.
-		dur = (2*b.Height + tg.Length() + footprint + 0.05) / b.Speed * 2
-	}
-	link := &Link{
-		Scene:    sc,
-		Receiver: rxGeom,
-		Frontend: fe,
-		Noise:    nm,
-		Duration: dur,
-	}
-	return link, pkt, nil
-}
-
-func indoorReceiver() frontend.Receiver {
-	// The indoor bench uses the PD at G1 (dark room, low light); the
-	// effective FoV comes from the link geometry, not the PD package.
-	r := frontend.PD(frontend.G1)
-	return r
 }

@@ -10,9 +10,8 @@ import (
 	"passivelight/internal/decoder"
 	"passivelight/internal/frontend"
 	"passivelight/internal/noise"
-	"passivelight/internal/optics"
+	"passivelight/internal/scenario"
 	"passivelight/internal/scene"
-	"passivelight/internal/tag"
 )
 
 // AblationAdaptiveResult contrasts the paper's per-packet adaptive
@@ -31,7 +30,7 @@ type AblationAdaptiveResult struct {
 // the adaptive decoder.
 func AblationAdaptive() (AblationAdaptiveResult, error) {
 	res := AblationAdaptiveResult{Report: Report{ID: "ablation-adaptive", Title: "adaptive tau_r/tau_t vs fixed thresholds under a lighting change (6200 -> 2500 lux)"}}
-	calib := core.OutdoorSetup{Payload: "00", NoiseFloorLux: 6200, ReceiverHeight: 0.75, Seed: 80}
+	calib := scenario.OutdoorParams{Payload: "00", NoiseFloorLux: 6200, ReceiverHeight: 0.75, Seed: 80}
 	calibLink, _, err := calib.Build()
 	if err != nil {
 		return res, err
@@ -46,7 +45,7 @@ func AblationAdaptive() (AblationAdaptiveResult, error) {
 	}
 	frozen := calibDec.Decode.Thresholds
 
-	test := core.OutdoorSetup{Payload: "00", NoiseFloorLux: 2500, ReceiverHeight: 0.75, Seed: 81}
+	test := scenario.OutdoorParams{Payload: "00", NoiseFloorLux: 2500, ReceiverHeight: 0.75, Seed: 81}
 	testLink, pkt, err := test.Build()
 	if err != nil {
 		return res, err
@@ -102,35 +101,43 @@ func AblationManchester(quick bool) (AblationManchesterResult, error) {
 		// Shared bench geometry under a rippling ceiling light with
 		// slow drift.
 		nm := noise.Model{ShotCoeff: 0.02, ThermalSigma: 0.2, DriftSigma: 0.05, Seed: seed}
-		// Manchester run (standard packet tag).
-		b := core.BenchSetup{
+		// Manchester run (standard packet tag) under the rippling
+		// fixture: the bench spec with its optics swapped.
+		spec, err := scenario.BenchParams{
 			Height: 0.20, SymbolWidth: 0.03, Speed: 0.08,
 			Payload: payload, Seed: seed, NoiseModel: &nm,
-		}
-		link, pkt, err := b.Build()
+		}.Spec()
 		if err != nil {
 			return res, err
 		}
-		link.Scene.Source = optics.CeilingLight{Lux: 300, RippleDepth: 0.12, MainsHz: 50}
-		run, err := core.EndToEnd(link, pkt, decoder.Options{})
+		spec.Optics = scenario.CeilingOptics(300, 0.12, 50, nil)
+		world, err := spec.Compile()
+		if err != nil {
+			return res, err
+		}
+		run, err := core.EndToEnd(world.Link, world.Packet(), decoder.Options{})
 		if err != nil {
 			return res, err
 		}
 		if run.Success {
 			manOK++
 		}
-		// NRZ run: preamble HLHL + NRZ data stripes.
+		// NRZ run: preamble HLHL + NRZ data stripes as a raw-symbol
+		// scenario tag.
 		symbols := append(append([]coding.Symbol{}, coding.Preamble...), coding.NRZEncode(bits)...)
-		nrzTag, err := tag.NewFromSymbols(symbols, tag.Config{SymbolWidth: 0.03})
+		nrzSpec, err := scenario.BenchParams{
+			Height: 0.20, SymbolWidth: 0.03, Speed: 0.08,
+			Symbols: scenario.FormatSymbols(symbols), Seed: seed, NoiseModel: &nm,
+		}.Spec()
 		if err != nil {
 			return res, err
 		}
-		nrzLink, err := benchWithTag(nrzTag, 0.20, 0.08, seed, &nm)
+		nrzSpec.Optics = scenario.CeilingOptics(300, 0.12, 50, nil)
+		nrzWorld, err := nrzSpec.Compile()
 		if err != nil {
 			return res, err
 		}
-		nrzLink.Scene.Source = optics.CeilingLight{Lux: 300, RippleDepth: 0.12, MainsHz: 50}
-		tr, err := nrzLink.Simulate()
+		tr, err := nrzWorld.Link.Simulate()
 		if err != nil {
 			return res, err
 		}
@@ -157,33 +164,6 @@ func AblationManchester(quick bool) (AblationManchesterResult, error) {
 		100*res.ManchesterRate, 100*res.NRZRate, trials)
 	res.Report.addf("Manchester guarantees a transition per bit: self-clocking and DC-balanced under ripple/drift")
 	return res, nil
-}
-
-// benchWithTag builds an indoor link around an arbitrary tag.
-func benchWithTag(tg *tag.Tag, height, speed float64, seed int64, nm *noise.Model) (*core.Link, error) {
-	rx := channel.Receiver{X: 0, Height: height, FoVHalfAngleDeg: core.IndoorFoVDeg}
-	start := -(rx.FootprintRadius() + 0.15)
-	obj, err := scene.NewTagObject("bench-tag", tg, scene.ConstantSpeed{Start: start, Speed: speed}, 1.0)
-	if err != nil {
-		return nil, err
-	}
-	lamp := optics.PointLamp{X: 0.12, Height: height, Intensity: core.IndoorLampLux * core.IndoorRefHeight * core.IndoorRefHeight, LambertOrder: 4}
-	fe, err := frontend.NewChain(frontend.PD(frontend.G1), 1000, seed)
-	if err != nil {
-		return nil, err
-	}
-	n := noise.Indoor(seed)
-	if nm != nil {
-		n = *nm
-	}
-	dur := (-start + tg.Length() + rx.FootprintRadius() + 0.05) / speed
-	return &core.Link{
-		Scene:    scene.New(lamp, obj),
-		Receiver: rx,
-		Frontend: fe,
-		Noise:    n,
-		Duration: dur,
-	}, nil
 }
 
 // AblationDTWResult compares DTW against plain Euclidean matching on
@@ -290,7 +270,7 @@ func AblationFoV() (AblationFoVResult, error) {
 	for i, fov := range []float64{2, 4, 6, 10, 14, 20, 30, 40} {
 		dev := frontend.RXLED()
 		dev.FoVHalfAngleDeg = fov
-		run, err := runCarPass("fov-sweep", core.OutdoorSetup{
+		run, err := runCarPass("fov-sweep", scenario.OutdoorParams{
 			Payload:        "00",
 			NoiseFloorLux:  6200,
 			ReceiverHeight: 0.75,
@@ -393,7 +373,7 @@ func MaxSpeed(quick bool) (MaxSpeedResult, error) {
 		speeds = []float64{18, 54, 90, 126}
 	}
 	for i, kmh := range speeds {
-		run, err := runCarPass("speed-sweep", core.OutdoorSetup{
+		run, err := runCarPass("speed-sweep", scenario.OutdoorParams{
 			Payload:        "00",
 			NoiseFloorLux:  6200,
 			ReceiverHeight: 0.75,

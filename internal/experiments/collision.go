@@ -3,15 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	"passivelight/internal/channel"
-	"passivelight/internal/coding"
-	"passivelight/internal/core"
 	"passivelight/internal/decoder"
 	"passivelight/internal/frontend"
-	"passivelight/internal/noise"
-	"passivelight/internal/optics"
-	"passivelight/internal/scene"
-	"passivelight/internal/tag"
+	"passivelight/internal/scenario"
 	"passivelight/internal/trace"
 )
 
@@ -40,60 +34,14 @@ type Fig10Result struct {
 	Cases  []Fig10Case
 }
 
-// Collision packet payloads: mostly-zero data keeps the stripe
-// sequence close to a uniform HLHL... alternation (like the regular
-// patterns of Fig. 9) so each packet contributes a clean symbol-rate
-// tone, while the embedded '1' bits give the payloads enough
-// structure that a 50/50 superposition garbles in the time domain.
-const (
-	collisionLowPayload  = "0010"       // 12 symbols at 4 cm = 48 cm
-	collisionHighPayload = "0000100000" // 24 symbols at 2 cm = 48 cm
-)
-
-// collisionScene builds the two-packet scene. The low-frequency
+// collisionCompiled builds the two-packet scenario. The low-frequency
 // packet has 4 cm symbols, the high-frequency one 2 cm symbols with
 // twice as many, so both strips are 48 cm long (Fig. 9: equal-length
 // packets). At 12 cm/s their alternation tones sit at 1.5 Hz and
-// 3 Hz. The receiver sits at 8 cm so its footprint resolves even the
-// narrow stripes.
-func collisionScene(lowShare, highShare float64, seed int64) (*core.Link, error) {
-	const (
-		height = 0.08
-		speed  = 0.12
-		fs     = 1000.0
-	)
-	lowTag, err := tag.New(coding.MustPacket(collisionLowPayload), tag.Config{SymbolWidth: 0.04})
-	if err != nil {
-		return nil, err
-	}
-	highTag, err := tag.New(coding.MustPacket(collisionHighPayload), tag.Config{SymbolWidth: 0.02})
-	if err != nil {
-		return nil, err
-	}
-	rx := channel.Receiver{X: 0, Height: height, FoVHalfAngleDeg: core.IndoorFoVDeg}
-	start := -(rx.FootprintRadius() + 0.1)
-	lowObj, err := scene.NewTagObject("low-freq", lowTag, scene.ConstantSpeed{Start: start, Speed: speed}, lowShare)
-	if err != nil {
-		return nil, err
-	}
-	highObj, err := scene.NewTagObject("high-freq", highTag, scene.ConstantSpeed{Start: start, Speed: speed}, highShare)
-	if err != nil {
-		return nil, err
-	}
-	lamp := optics.PointLamp{X: 0.10, Height: height, Intensity: core.IndoorLampLux * core.IndoorRefHeight * core.IndoorRefHeight, LambertOrder: 4}
-	sc := scene.New(lamp, lowObj, highObj)
-	fe, err := frontend.NewChain(frontend.PD(frontend.G1), fs, seed)
-	if err != nil {
-		return nil, err
-	}
-	dur := (-start + lowTag.Length() + rx.FootprintRadius() + 0.05) / speed
-	return &core.Link{
-		Scene:    sc,
-		Receiver: rx,
-		Frontend: fe,
-		Noise:    noise.Indoor(seed),
-		Duration: dur,
-	}, nil
+// 3 Hz. The payloads and bench geometry are the scenario layer's
+// collision preset parameters.
+func collisionCompiled(lowShare, highShare float64, seed int64) (*scenario.Compiled, error) {
+	return scenario.CollisionParams{LowShare: lowShare, HighShare: highShare, Seed: seed}.Compile()
 }
 
 // Fig10 runs the three collision cases and the FFT analysis.
@@ -109,20 +57,21 @@ func Fig10() (Fig10Result, error) {
 		{"case3 equal share", 0.50, 0.50, ""},
 	}
 	for i, tc := range cases {
-		link, err := collisionScene(tc.lowShare, tc.highShare, int64(20+i))
+		world, err := collisionCompiled(tc.lowShare, tc.highShare, int64(20+i))
 		if err != nil {
 			return res, err
 		}
-		tr, err := link.Simulate()
+		tr, err := world.Link.Simulate()
 		if err != nil {
 			return res, err
 		}
 		c := Fig10Case{Name: tc.name, LowShare: tc.lowShare, HighShare: tc.highShare, Trace: tr}
 		// Time-domain attempt: decode expecting the dominant packet's
-		// symbol count.
-		want := coding.MustPacket(collisionLowPayload)
+		// symbol count. The scenario carries both encoded packets in
+		// scene order (low-frequency first).
+		want := world.Packets[0].Packet
 		if tc.wantDominant == "high" {
-			want = coding.MustPacket(collisionHighPayload)
+			want = world.Packets[1].Packet
 		}
 		expected := 4 + 2*len(want.Data)
 		// Plain Sec. 4.1 decoder, as in the paper's collision study.

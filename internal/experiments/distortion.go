@@ -2,15 +2,12 @@ package experiments
 
 import (
 	"passivelight/internal/channel"
-	"passivelight/internal/coding"
 	"passivelight/internal/core"
 	"passivelight/internal/decoder"
 	"passivelight/internal/energy"
-	"passivelight/internal/frontend"
 	"passivelight/internal/noise"
-	"passivelight/internal/optics"
+	"passivelight/internal/scenario"
 	"passivelight/internal/scene"
-	"passivelight/internal/tag"
 	"passivelight/internal/trace"
 )
 
@@ -35,17 +32,10 @@ type DistortionPoint struct {
 
 // dirtBench renders the Fig. 5 '10' bench with a dirty tag.
 func dirtBench(coverage float64, seed int64) (*trace.Trace, error) {
-	tg, err := tag.New(coding.MustPacket("10"), tag.Config{SymbolWidth: 0.03})
-	if err != nil {
-		return nil, err
-	}
-	if coverage > 0 {
-		tg, err = tg.WithDirt(coverage)
-		if err != nil {
-			return nil, err
-		}
-	}
-	link, err := benchWithTag(tg, 0.20, 0.08, seed, nil)
+	link, _, err := scenario.BenchParams{
+		Height: 0.20, SymbolWidth: 0.03, Speed: 0.08,
+		Payload: "10", Dirt: coverage, Seed: seed,
+	}.Build()
 	if err != nil {
 		return nil, err
 	}
@@ -90,11 +80,19 @@ func Distortion() (DistortionResult, error) {
 		res.Dirt = append(res.Dirt, pt)
 		res.Report.addf("dirt %3.0f%%: threshold ok=%v, DTW ok=%v", coverage*100, pt.ThresholdOK, pt.ClassifiedOK)
 	}
-	// Fog sweep on the clean bench trace.
-	cleanLink, _, err := fig5Bench("10", 190).Build()
+	// Fog sweep: the clean bench scenario rendered once, then fog and
+	// a fresh noise stream applied per density — fog and noise are
+	// post-render stages, so re-rendering the identical world six
+	// times would only burn the dominant simulation cost.
+	cleanWorld, err := fig5Bench("10", 190).Spec()
 	if err != nil {
 		return res, err
 	}
+	clean, err := cleanWorld.Compile()
+	if err != nil {
+		return res, err
+	}
+	cleanLink := clean.Link
 	cleanLux, err := channel.Render(cleanLink.Scene, cleanLink.Receiver, 0, cleanLink.Duration, cleanLink.Frontend.Fs)
 	if err != nil {
 		return res, err
@@ -102,7 +100,7 @@ func Distortion() (DistortionResult, error) {
 	for i, density := range []float64{0, 0.3, 0.6, 0.8, 0.9, 0.96} {
 		fog := noise.Fog{Transmission: 1 - density, ScatterLevel: 30}
 		lux := fog.Apply(cleanLux)
-		lux = noise.Indoor(int64(195 + i)).Apply(lux)
+		lux = noise.Indoor(int64(195 + i)).ApplyInPlace(lux)
 		counts := cleanLink.Frontend.Digitize(lux)
 		tr := trace.New(cleanLink.Frontend.Fs, 0, counts)
 		pt := DistortionPoint{Severity: density, ThresholdOK: decode(tr), ClassifiedOK: classify(tr)}
@@ -129,7 +127,7 @@ func SignatureID() (SignatureIDResult, error) {
 	cls := decoder.NewSignatureClassifier(0)
 	cars := []scene.CarModel{scene.VolvoV40(), scene.BMW3()}
 	for i, car := range cars {
-		link, _, err := core.OutdoorSetup{Car: car, NoiseFloorLux: 6200, ReceiverHeight: 0.75, Seed: int64(210 + i)}.Build()
+		link, _, err := scenario.OutdoorParams{Car: car, NoiseFloorLux: 6200, ReceiverHeight: 0.75, Seed: int64(210 + i)}.Build()
 		if err != nil {
 			return res, err
 		}
@@ -144,7 +142,7 @@ func SignatureID() (SignatureIDResult, error) {
 	// Probe passes: new seeds and varied speeds.
 	for i, car := range cars {
 		for j, speed := range []float64{15, 18, 22} {
-			link, _, err := core.OutdoorSetup{
+			link, _, err := scenario.OutdoorParams{
 				Car: car, NoiseFloorLux: 6200, ReceiverHeight: 0.75,
 				SpeedKmh: speed, Seed: int64(220 + 10*i + j),
 			}.Build()
@@ -216,48 +214,51 @@ type DynamicTagResult struct {
 // DynamicTag simulates two passes over a frame-cycling tag.
 func DynamicTag() (DynamicTagResult, error) {
 	res := DynamicTagResult{Report: Report{ID: "dynamic-tag", Title: "future work (1): E-ink/LCD dynamic tag cycling two codes"}}
-	frameA, err := tag.New(coding.MustPacket("00"), tag.Config{SymbolWidth: 0.03})
-	if err != nil {
-		return res, err
-	}
-	frameB, err := tag.New(coding.MustPacket("10"), tag.Config{SymbolWidth: 0.03})
-	if err != nil {
-		return res, err
-	}
 	// Frame period far longer than one pass, so each pass sees one
 	// stable frame.
-	const framePeriod = 60.0
-	dyn, err := tag.NewDynamic([]*tag.Tag{frameA, frameB}, framePeriod)
-	if err != nil {
-		return res, err
-	}
+	const (
+		framePeriod = 60.0
+		symbolWidth = 0.03
+		speed       = 0.08
+	)
 	decodePass := func(t0 float64, seed int64) (string, error) {
 		rx := channel.Receiver{X: 0, Height: 0.2, FoVHalfAngleDeg: core.IndoorFoVDeg}
 		start := -(rx.FootprintRadius() + 0.15)
-		// The object starts its pass at absolute time t0.
-		traj := scene.PiecewiseSpeed{Start: start - 0.0, Segments: []scene.SpeedSegment{
-			{Until: t0, Speed: 0},
-			{Until: 1e9, Speed: 0.08},
-		}}
-		obj, err := scene.NewDynamicTagObject("dyn", dyn, traj, 1.0)
+		tagLen, err := scenario.TagLength("00", symbolWidth)
 		if err != nil {
 			return "", err
 		}
-		lamp := optics.PointLamp{X: 0.12, Height: 0.2, Intensity: core.IndoorLampLux * core.IndoorRefHeight * core.IndoorRefHeight, LambertOrder: 4}
-		fe, err := frontend.NewChain(frontend.PD(frontend.G1), 1000, seed)
+		// The object starts its pass at absolute time t0 (it idles at
+		// zero speed until then, so the frame clock keeps running).
+		spec := scenario.Spec{
+			Seed:        seed,
+			T0Sec:       t0,
+			DurationSec: (-start + tagLen + rx.FootprintRadius() + 0.05) / speed,
+			Optics:      scenario.LampOptics(0.12, 0.2, core.IndoorLampLux, core.IndoorRefHeight, 4),
+			Receiver:    scenario.ReceiverSpec{Device: "pd-G1", HeightM: 0.2, FoVDeg: core.IndoorFoVDeg, Fs: 1000},
+			Noise:       scenario.NoiseSpec{Profile: "indoor"},
+			Objects: []scenario.ObjectSpec{{
+				Kind:           "dynamic-tag",
+				Name:           "dyn",
+				Frames:         []string{"00", "10"},
+				FramePeriodSec: framePeriod,
+				SymbolWidthM:   symbolWidth,
+				Mobility: scenario.MobilitySpec{
+					Kind:   "piecewise",
+					StartM: start,
+					Segments: []scenario.SpeedSegmentSpec{
+						{UntilSec: t0, SpeedMS: 0},
+						{UntilSec: 1e9, SpeedMS: speed},
+					},
+				},
+			}},
+			Decode: scenario.DecodeSpec{Strategy: "threshold", ExpectedSymbols: 8},
+		}
+		world, err := spec.Compile()
 		if err != nil {
 			return "", err
 		}
-		dur := (-start + frameA.Length() + rx.FootprintRadius() + 0.05) / 0.08
-		link := &core.Link{
-			Scene:    scene.New(lamp, obj),
-			Receiver: rx,
-			Frontend: fe,
-			Noise:    noise.Indoor(seed),
-			T0:       t0,
-			Duration: dur,
-		}
-		tr, err := link.Simulate()
+		tr, err := world.Link.Simulate()
 		if err != nil {
 			return "", err
 		}

@@ -2,12 +2,10 @@ package experiments
 
 import (
 	"passivelight/internal/capacity"
-	"passivelight/internal/coding"
 	"passivelight/internal/core"
 	"passivelight/internal/decoder"
 	"passivelight/internal/dsp"
-	"passivelight/internal/noise"
-	"passivelight/internal/optics"
+	"passivelight/internal/scenario"
 	"passivelight/internal/scene"
 	"passivelight/internal/trace"
 )
@@ -30,9 +28,9 @@ type Fig5Run struct {
 	Trace   *trace.Trace
 }
 
-// fig5Bench is the shared Fig. 5 bench configuration.
-func fig5Bench(payload string, seed int64) core.BenchSetup {
-	return core.BenchSetup{
+// fig5Bench is the shared Fig. 5 bench scenario parameters.
+func fig5Bench(payload string, seed int64) scenario.BenchParams {
+	return scenario.BenchParams{
 		Height:      0.20,
 		SymbolWidth: 0.03,
 		Speed:       0.08,
@@ -175,19 +173,22 @@ func Fig7() (Fig7Result, error) {
 	if err != nil {
 		return res, err
 	}
-	// Ceiling-light run: same bench geometry, but the source is a
-	// uniform rippling luminaire. Work-plane illuminance of office
-	// fluorescents is a few hundred lux.
-	link, pkt, err := fig5Bench("00", 4).Build()
+	// Ceiling-light run: same bench geometry, but the scenario's
+	// optics swap to a uniform rippling luminaire. Work-plane
+	// illuminance of office fluorescents is a few hundred lux; 2.3 m
+	// ceiling fixtures flood the whole area, so the noise floor is
+	// far above the dark room's, the signal rides a large pedestal,
+	// and the AC supply ripples it ("thicker lines").
+	spec, err := fig5Bench("00", 4).Spec()
 	if err != nil {
 		return res, err
 	}
-	// 2.3 m ceiling fixtures flood the whole area: the noise floor is
-	// far above the dark room's, the signal rides a large pedestal,
-	// and the AC supply ripples it ("thicker lines").
-	ceiling := optics.CeilingLight{Lux: 300, RippleDepth: 0.12, MainsHz: 50, Harmonics: []float64{0.25}}
-	link.Scene.Source = ceiling
-	run, err := core.EndToEnd(link, pkt, decoder.Options{})
+	spec.Optics = scenario.CeilingOptics(300, 0.12, 50, []float64{0.25})
+	c, err := spec.Compile()
+	if err != nil {
+		return res, err
+	}
+	run, err := core.EndToEnd(c.Link, c.Packet(), decoder.Options{})
 	if err != nil {
 		return res, err
 	}
@@ -290,14 +291,4 @@ func Fig8DTW() (Fig8Result, error) {
 	res.Report.addf("DTW distance to '00'=%.1f, to '10'=%.1f, self-scale=%.1f (paper: 326, 172, 131)", res.DistTo00, res.DistTo10, res.SelfDist)
 	res.Report.addf("classified as %q (correct='10')", res.Classified)
 	return res, nil
-}
-
-// indoorNoise returns the shared indoor noise model used by ablation
-// experiments that need a custom bench.
-func indoorNoise(seed int64) noise.Model { return noise.Indoor(seed) }
-
-// fmtBits renders bits compactly.
-func fmtBits(bits []coding.Bit) string {
-	p := coding.Packet{Data: bits}
-	return p.BitString()
 }

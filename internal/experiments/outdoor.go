@@ -1,9 +1,9 @@
 package experiments
 
 import (
-	"passivelight/internal/core"
 	"passivelight/internal/decoder"
 	"passivelight/internal/frontend"
+	"passivelight/internal/scenario"
 	"passivelight/internal/scene"
 	"passivelight/internal/trace"
 )
@@ -24,7 +24,7 @@ type CarRun struct {
 
 // runCarPass builds and evaluates one outdoor configuration with the
 // two-phase decoder.
-func runCarPass(name string, setup core.OutdoorSetup) (CarRun, error) {
+func runCarPass(name string, setup scenario.OutdoorParams) (CarRun, error) {
 	link, pkt, err := setup.Build()
 	if err != nil {
 		return CarRun{}, err
@@ -76,7 +76,7 @@ func Fig13_14() (Fig13_14Result, error) {
 		{scene.VolvoV40(), &res.VolvoModel, &res.VolvoPeaks},
 		{scene.BMW3(), &res.BMWModel, &res.BMWPeaks},
 	} {
-		link, _, err := core.OutdoorSetup{
+		link, _, err := scenario.OutdoorParams{
 			Car:            tc.car,
 			NoiseFloorLux:  6200,
 			ReceiverHeight: 0.75,
@@ -118,7 +118,7 @@ type Fig15Result struct {
 func Fig15() (Fig15Result, error) {
 	res := Fig15Result{Report: Report{ID: "fig15", Title: "RX-LED outdoors, h=25 cm, 18 km/h, code HLHL.HLHL"}}
 	for i, floor := range []float64{450, 100} {
-		run, err := runCarPass("rx-led", core.OutdoorSetup{
+		run, err := runCarPass("rx-led", scenario.OutdoorParams{
 			Payload:        "00",
 			NoiseFloorLux:  floor,
 			ReceiverHeight: 0.25,
@@ -152,7 +152,7 @@ func Fig16() (Fig16Result, error) {
 		{"pd-g2 +cap", frontend.PD(frontend.G2).WithCap()},
 	}
 	for i, cfg := range configs {
-		run, err := runCarPass(cfg.name, core.OutdoorSetup{
+		run, err := runCarPass(cfg.name, scenario.OutdoorParams{
 			Payload:        "00",
 			NoiseFloorLux:  100,
 			ReceiverHeight: 0.25,
@@ -191,7 +191,7 @@ func Fig17() (Fig17Result, error) {
 		{"(c) h=100cm 5500lux code HLHL.LHHL", "10", 5500, 1.00},
 	}
 	for i, tc := range cases {
-		run, err := runCarPass(tc.name, core.OutdoorSetup{
+		run, err := runCarPass(tc.name, scenario.OutdoorParams{
 			Payload:        tc.payload,
 			NoiseFloorLux:  tc.floor,
 			ReceiverHeight: tc.height,

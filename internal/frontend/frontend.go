@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 )
 
 // GainLevel selects the OPT101 gain control setting.
@@ -113,6 +114,45 @@ func (r Receiver) WithCap() Receiver {
 	out.FoVHalfAngleDeg = 10
 	out.Sensitivity = r.Sensitivity * 0.6
 	return out
+}
+
+// ByName resolves a receiver device from its canonical name
+// ("pd-G1", "pd-G2+cap", "rx-led"; case-insensitive, and the legacy
+// spellings "pd-g2-cap" / "led" are accepted). It is the registry the
+// declarative scenario layer uses, so a spec can select hardware as
+// data.
+func ByName(name string) (Receiver, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	cap := false
+	for _, suffix := range []string{"+cap", "-cap"} {
+		if strings.HasSuffix(n, suffix) {
+			cap = true
+			n = strings.TrimSuffix(n, suffix)
+		}
+	}
+	var r Receiver
+	switch n {
+	case "pd-g1", "pd1":
+		r = PD(G1)
+	case "pd-g2", "pd2":
+		r = PD(G2)
+	case "pd-g3", "pd3":
+		r = PD(G3)
+	case "rx-led", "led":
+		r = RXLED()
+	default:
+		return Receiver{}, fmt.Errorf("frontend: unknown receiver %q (want pd-g1 | pd-g2 | pd-g3 | rx-led, optionally +cap)", name)
+	}
+	if cap {
+		r = r.WithCap()
+	}
+	return r, nil
+}
+
+// DeviceNames lists the canonical receiver names ByName resolves,
+// for -list style help output.
+func DeviceNames() []string {
+	return []string{"pd-G1", "pd-G2", "pd-G2+cap", "pd-G3", "rx-led"}
 }
 
 // Validate checks the model parameters.

@@ -102,6 +102,19 @@ type Fog struct {
 
 // Apply returns the fogged series.
 func (f Fog) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	f.applyTo(out, x)
+	return out
+}
+
+// ApplyInPlace is Apply writing over x itself, for callers that own
+// the buffer. Sample values are identical to Apply's.
+func (f Fog) ApplyInPlace(x []float64) []float64 {
+	f.applyTo(x, x)
+	return x
+}
+
+func (f Fog) applyTo(out, x []float64) {
 	t := f.Transmission
 	if t <= 0 {
 		t = 0
@@ -109,11 +122,9 @@ func (f Fog) Apply(x []float64) []float64 {
 	if t > 1 {
 		t = 1
 	}
-	out := make([]float64, len(x))
 	for i, v := range x {
 		out[i] = t*v + (1-t)*f.ScatterLevel
 	}
-	return out
 }
 
 // SNR estimates the ratio between the peak-to-peak excursion of the

@@ -1,0 +1,175 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"passivelight/internal/core"
+	"passivelight/internal/decoder"
+	"passivelight/internal/frontend"
+	"passivelight/internal/scene"
+)
+
+func TestBenchValidation(t *testing.T) {
+	bad := []BenchParams{
+		{Height: 0, SymbolWidth: 0.03, Speed: 0.08, Payload: "0"},
+		{Height: 0.2, SymbolWidth: 0, Speed: 0.08, Payload: "0"},
+		{Height: 0.2, SymbolWidth: 0.03, Speed: 0, Payload: "0"},
+		{Height: 0.2, SymbolWidth: 0.03, Speed: 0.08, Payload: "2"},
+		{Height: 0.2, SymbolWidth: 0.03, Speed: 0.08, Payload: "0", Symbols: "HX"},
+	}
+	for i, b := range bad {
+		if _, _, err := b.Build(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestBenchEndToEndBothFig5Payloads(t *testing.T) {
+	for i, payload := range []string{"00", "10"} {
+		b := BenchParams{Height: 0.2, SymbolWidth: 0.03, Speed: 0.08, Payload: payload, Seed: int64(i + 1)}
+		link, pkt, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.EndToEnd(link, pkt, decoder.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Success {
+			t.Fatalf("payload %q: decoded %s err %v", payload, res.Decode.SymbolString(), res.Err)
+		}
+		if res.BitErrs != 0 {
+			t.Fatalf("payload %q: %d bit errors", payload, res.BitErrs)
+		}
+	}
+}
+
+func TestBenchTraceMetadata(t *testing.T) {
+	link, _, err := BenchParams{Height: 0.2, SymbolWidth: 0.03, Speed: 0.08, Payload: "0", Seed: 1}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := link.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta["receiver"] == "" || tr.Meta["source"] == "" || tr.Meta["unit"] != "adc-counts" {
+		t.Fatalf("metadata incomplete: %+v", tr.Meta)
+	}
+	if !strings.HasPrefix(tr.Meta["receiver"], "pd-") {
+		t.Fatalf("indoor receiver %q", tr.Meta["receiver"])
+	}
+}
+
+func TestOutdoorValidation(t *testing.T) {
+	if _, _, err := (OutdoorParams{NoiseFloorLux: 100}).Build(); err == nil {
+		t.Fatal("zero height should fail")
+	}
+	if _, _, err := (OutdoorParams{ReceiverHeight: 0.5}).Build(); err == nil {
+		t.Fatal("zero noise floor should fail")
+	}
+	if _, _, err := (OutdoorParams{ReceiverHeight: 0.5, NoiseFloorLux: 100, Payload: "x"}).Build(); err == nil {
+		t.Fatal("bad payload should fail")
+	}
+}
+
+// TestOutdoorPaperOutcomes asserts the pass/fail pattern of the
+// paper's Sec. 5 (Figs. 15-17) end to end through the scenario layer.
+func TestOutdoorPaperOutcomes(t *testing.T) {
+	cases := []struct {
+		name   string
+		setup  OutdoorParams
+		wantOK bool
+	}{
+		{"fig15a led 450lux h25", OutdoorParams{Payload: "00", NoiseFloorLux: 450, ReceiverHeight: 0.25, Seed: 3}, true},
+		{"fig15b led 100lux h25", OutdoorParams{Payload: "00", NoiseFloorLux: 100, ReceiverHeight: 0.25, Seed: 4}, false},
+		{"fig16a pd-g2 bare 100lux", OutdoorParams{Payload: "00", NoiseFloorLux: 100, ReceiverHeight: 0.25, Receiver: frontend.PD(frontend.G2), Seed: 8}, false},
+		{"fig16b pd-g2 cap 100lux", OutdoorParams{Payload: "00", NoiseFloorLux: 100, ReceiverHeight: 0.25, Receiver: frontend.PD(frontend.G2).WithCap(), Seed: 9}, true},
+		{"fig17a led 6200lux h75", OutdoorParams{Payload: "00", NoiseFloorLux: 6200, ReceiverHeight: 0.75, Seed: 5}, true},
+		{"fig17b led 3700lux h100", OutdoorParams{Payload: "00", NoiseFloorLux: 3700, ReceiverHeight: 1.0, Seed: 6}, true},
+		{"fig17c led 5500lux h100 code10", OutdoorParams{Payload: "10", NoiseFloorLux: 5500, ReceiverHeight: 1.0, Seed: 7}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			link, pkt, err := tc.setup.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := link.Simulate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tp, derr := decoder.DecodeCarPass(tr, decoder.Options{ExpectedSymbols: 4 + 2*len(pkt.Data)})
+			ok := derr == nil && tp.Decode.ParseErr == nil &&
+				tp.Decode.Packet.BitString() == pkt.BitString()
+			if ok != tc.wantOK {
+				t.Fatalf("decode ok=%v, want %v (err=%v)", ok, tc.wantOK, derr)
+			}
+		})
+	}
+}
+
+func TestOutdoorCarShapes(t *testing.T) {
+	for _, tc := range []struct {
+		car  scene.CarModel
+		want string
+	}{
+		{scene.VolvoV40(), "hatchback"},
+		{scene.BMW3(), "sedan"},
+	} {
+		link, _, err := OutdoorParams{Car: tc.car, NoiseFloorLux: 6200, ReceiverHeight: 0.75, Seed: 2}.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := link.Simulate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, err := decoder.DetectCarShape(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := decoder.MatchCarModel(sig); got != tc.want {
+			t.Fatalf("%s classified as %q", tc.car.Name, got)
+		}
+	}
+}
+
+func TestOutdoorThroughputMatchesPaper(t *testing.T) {
+	// 18 km/h with 10 cm symbols = 50 symbols/s (Sec. 5.3).
+	link, pkt, err := OutdoorParams{Payload: "00", NoiseFloorLux: 6200, ReceiverHeight: 0.75, Seed: 5}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := link.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := decoder.DecodeCarPass(tr, decoder.Options{ExpectedSymbols: 4 + 2*len(pkt.Data)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tput := 1 / tp.Decode.Thresholds.TauT
+	if tput < 45 || tput > 55 {
+		t.Fatalf("throughput %.1f sym/s, want ~50", tput)
+	}
+}
+
+func TestDurationCoversWholePass(t *testing.T) {
+	link, _, err := OutdoorParams{Payload: "00", NoiseFloorLux: 6200, ReceiverHeight: 0.75, Seed: 1}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := link.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trace must start and end at the quiet ground level (the car
+	// fully outside the FoV): first and last samples within a few
+	// counts of each other.
+	first, last := tr.Samples[0], tr.Samples[tr.Len()-1]
+	if diff := first - last; diff > 5 || diff < -5 {
+		t.Fatalf("trace does not cover the whole pass: first %v last %v", first, last)
+	}
+}

@@ -1,0 +1,352 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"passivelight/internal/decoder"
+	"passivelight/internal/frontend"
+	"passivelight/internal/scene"
+	"passivelight/internal/stream"
+	"passivelight/internal/trace"
+)
+
+func simulateSpec(t *testing.T, spec Spec) (*Compiled, *trace.Trace) {
+	t.Helper()
+	c, tr, err := spec.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tr
+}
+
+func identical(t *testing.T, name string, a, b *trace.Trace) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: trace length %d vs %d", name, a.Len(), b.Len())
+	}
+	if a.Fs != b.Fs || a.T0 != b.T0 {
+		t.Fatalf("%s: trace framing differs", name)
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("%s: sample %d differs: %v vs %v", name, i, a.Samples[i], b.Samples[i])
+		}
+	}
+}
+
+// TestRegistryPresetsDeterministic locks the determinism guarantee:
+// the same Spec + seed renders a bit-identical trace every time.
+func TestRegistryPresetsDeterministic(t *testing.T) {
+	for _, e := range Entries() {
+		t.Run(e.Name, func(t *testing.T) {
+			spec, err := e.Spec()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, tr1 := simulateSpec(t, spec)
+			_, tr2 := simulateSpec(t, spec)
+			identical(t, e.Name, tr1, tr2)
+		})
+	}
+}
+
+// TestSpecJSONRoundTrip locks the declarative guarantee: every preset
+// marshals to JSON, loads back, and renders the identical trace.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for _, e := range Entries() {
+		t.Run(e.Name, func(t *testing.T) {
+			spec, err := e.Spec()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := json.Marshal(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var loaded Spec
+			if err := json.Unmarshal(data, &loaded); err != nil {
+				t.Fatal(err)
+			}
+			_, want := simulateSpec(t, spec)
+			_, got := simulateSpec(t, loaded)
+			identical(t, e.Name, want, got)
+		})
+	}
+}
+
+// TestRegistryPresetsDecode runs every preset end to end through its
+// declared decode strategy: each builds, simulates, and decodes
+// without error, and streaming presets recover every encoded packet.
+func TestRegistryPresetsDecode(t *testing.T) {
+	for _, e := range Entries() {
+		t.Run(e.Name, func(t *testing.T) {
+			spec, err := e.Spec()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, tr := simulateSpec(t, spec)
+			switch spec.Decode.Strategy {
+			case "threshold", "two-phase":
+				dec, err := stream.NewDecoder(stream.Config{
+					Fs:       tr.Fs,
+					Decode:   decoder.Options{ExpectedSymbols: spec.Decode.ExpectedSymbols},
+					CarShape: spec.Decode.Strategy == "two-phase",
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				dets := dec.Feed(tr.Samples)
+				dets = append(dets, dec.Flush()...)
+				var got []string
+				for _, d := range dets {
+					if d.Err != nil {
+						t.Fatalf("detection error: %v", d.Err)
+					}
+					got = append(got, d.BitString())
+				}
+				if len(got) != len(c.Packets) {
+					t.Fatalf("decoded %d packets (%v), scenario encodes %d", len(got), got, len(c.Packets))
+				}
+				for i, want := range c.Packets {
+					if got[i] != want.Packet.BitString() {
+						t.Fatalf("packet %d: decoded %q, want %q (object %s)", i, got[i], want.Packet.BitString(), want.Object)
+					}
+				}
+			case "collision":
+				rep, err := decoder.AnalyzeCollision(tr, decoder.CollisionOptions{
+					MinFreq: 1.0, MaxFreq: 4.0, MinSeparation: 0.9, SignificanceRatio: 0.6,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.SignificantTones < 1 {
+					t.Fatalf("no significant tone in collision preset")
+				}
+			case "shape":
+				sig, err := decoder.DetectCarShape(tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if model := decoder.MatchCarModel(sig); model == "" {
+					t.Fatal("car shape not classified")
+				}
+			default:
+				t.Fatalf("preset %q declares no decode strategy", e.Name)
+			}
+		})
+	}
+}
+
+// TestMultiLanePacketsAreOrdered pins the multi-lane preset shape:
+// two tagged cars, distinct shares, staggered lanes.
+func TestMultiLanePacketsAreOrdered(t *testing.T) {
+	spec, err := Get("multi-lane")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Objects) < 2 {
+		t.Fatalf("multi-lane has %d objects", len(spec.Objects))
+	}
+	shares := map[float64]bool{}
+	for _, o := range spec.Objects {
+		if o.Kind != "tagged-car" {
+			t.Fatalf("object kind %q", o.Kind)
+		}
+		if shares[o.LateralShare] {
+			t.Fatalf("duplicate lateral share %v", o.LateralShare)
+		}
+		shares[o.LateralShare] = true
+	}
+	if spec.Objects[0].Mobility.DelaySec >= spec.Objects[1].Mobility.DelaySec {
+		t.Fatal("lanes are not staggered")
+	}
+}
+
+func TestGetAliasesAndErrors(t *testing.T) {
+	for alias, target := range map[string]string{"indoor": "indoor-bench", "outdoor": "outdoor-pass", "car": "car-signature"} {
+		spec, err := Get(alias)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Name != target {
+			t.Fatalf("alias %q resolved to %q", alias, spec.Name)
+		}
+	}
+	if _, err := Get("no-such-preset"); err == nil {
+		t.Fatal("unknown preset should fail")
+	}
+	if err := Register("indoor-bench", "dup", nil); err == nil {
+		t.Fatal("duplicate registration should fail")
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	valid := func() Spec {
+		return Spec{
+			Seed:     1,
+			Optics:   SunOptics(500, 0, 0),
+			Receiver: ReceiverSpec{Device: "rx-led", HeightM: 0.75, Fs: 2000},
+			Objects: []ObjectSpec{{
+				Kind: "car", Car: "volvo",
+				Mobility: ConstantMobility(-1.1, 5),
+			}},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"no-optics", func(s *Spec) { s.Optics = OpticsSpec{} }},
+		{"bad-optics", func(s *Spec) { s.Optics.Kind = "laser" }},
+		{"no-objects", func(s *Spec) { s.Objects = nil }},
+		{"bad-device", func(s *Spec) { s.Receiver.Device = "cmos" }},
+		{"no-height", func(s *Spec) { s.Receiver.HeightM = 0 }},
+		{"bad-car", func(s *Spec) { s.Objects[0].Car = "tank" }},
+		{"bad-kind", func(s *Spec) { s.Objects[0].Kind = "drone" }},
+		{"bare-car-with-payload", func(s *Spec) { s.Objects[0].Payload = "10" }},
+		{"bare-car-with-dirt", func(s *Spec) { s.Objects[0].Dirt = 0.5 }},
+		{"lamp-no-height", func(s *Spec) { s.Optics = OpticsSpec{Kind: "point-lamp", Lux: 500} }},
+		{"bad-noise", func(s *Spec) { s.Noise.Profile = "cosmic" }},
+		{"bad-mobility", func(s *Spec) { s.Objects[0].Mobility.Kind = "teleport" }},
+		{"share-overflow", func(s *Spec) {
+			s.Objects = append(s.Objects, s.Objects[0], s.Objects[0])
+			for i := range s.Objects {
+				s.Objects[i].LateralShare = 0.5
+			}
+		}},
+	}
+	if _, err := valid().Compile(); err != nil {
+		t.Fatalf("base spec should compile: %v", err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := valid()
+			tc.mutate(&spec)
+			if _, err := spec.Compile(); err == nil {
+				t.Fatal("expected compile error")
+			}
+		})
+	}
+}
+
+// TestCustomMobilityDoesNotRoundTrip documents the escape hatch:
+// programmatic trajectories survive compilation but not JSON.
+func TestCustomMobilityDoesNotRoundTrip(t *testing.T) {
+	spec := Spec{
+		Seed:     1,
+		Optics:   SunOptics(500, 0, 0),
+		Receiver: ReceiverSpec{Device: "rx-led", HeightM: 0.75, Fs: 2000},
+		Objects: []ObjectSpec{{
+			Kind: "car", Car: "volvo",
+			Mobility: CustomMobility(nil),
+		}},
+	}
+	if _, err := spec.Compile(); err == nil || !strings.Contains(err.Error(), "custom mobility") {
+		t.Fatalf("nil custom trajectory should fail clearly, got %v", err)
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Spec
+	if err := json.Unmarshal(data, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.Compile(); err == nil {
+		t.Fatal("custom mobility must not silently round-trip through JSON")
+	}
+}
+
+// TestCustomReceiverAndCarDoNotRoundTrip: the programmatic receiver
+// and car escape hatches keep a "custom" marker in JSON, so a lossy
+// reload fails Compile instead of silently substituting defaults.
+func TestCustomReceiverAndCarDoNotRoundTrip(t *testing.T) {
+	dev := frontend.RXLED()
+	dev.Sensitivity *= 2 // no registry name matches this model
+	spec := Spec{
+		Seed:     1,
+		Optics:   SunOptics(6200, 0, 0),
+		Receiver: CustomReceiverSpec(dev, 0, 0.75, dev.FoVHalfAngleDeg, 2000),
+		Objects: []ObjectSpec{{
+			Kind: "car", Car: "volvo",
+			Mobility: ConstantMobility(-1.1, 5),
+		}},
+	}
+	if _, err := spec.Compile(); err != nil {
+		t.Fatalf("programmatic custom receiver should compile: %v", err)
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Spec
+	if err := json.Unmarshal(data, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.Compile(); err == nil || !strings.Contains(err.Error(), "custom") {
+		t.Fatalf("reloaded custom receiver should fail clearly, got %v", err)
+	}
+	// Same for a custom car model injected via the params layer.
+	car := scene.VolvoV40()
+	car.Segments[0].Length = 1.5
+	carSpec, err := OutdoorParams{Car: car, NoiseFloorLux: 6200, ReceiverHeight: 0.75, Seed: 1}.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := carSpec.Compile(); err != nil {
+		t.Fatalf("programmatic custom car should compile: %v", err)
+	}
+	data, err = json.Marshal(carSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loadedCar Spec
+	if err := json.Unmarshal(data, &loadedCar); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadedCar.Compile(); err == nil || !strings.Contains(err.Error(), "custom") {
+		t.Fatalf("reloaded custom car should fail clearly, got %v", err)
+	}
+}
+
+// TestAutoDuration verifies the derived window covers the pass when
+// DurationSec is omitted.
+func TestAutoDuration(t *testing.T) {
+	spec := Spec{
+		Seed:     1,
+		Optics:   SunOptics(6200, 0, 0),
+		Receiver: ReceiverSpec{Device: "rx-led", HeightM: 0.75, Fs: 2000},
+		Objects: []ObjectSpec{{
+			Kind: "tagged-car", Car: "volvo", Payload: "00", SymbolWidthM: 0.10,
+			Mobility: ConstantMobility(-1.1, 5),
+		}},
+	}
+	_, tr := simulateSpec(t, spec)
+	first, last := tr.Samples[0], tr.Samples[tr.Len()-1]
+	if diff := first - last; diff > 5 || diff < -5 {
+		t.Fatalf("auto duration does not cover the pass: first %v last %v", first, last)
+	}
+	// An object that never reaches the FoV must fail loudly.
+	spec.Objects[0].Mobility = ConstantMobility(-1000, 0.001)
+	if _, err := spec.Compile(); err == nil {
+		t.Fatal("unreachable object should fail auto duration")
+	}
+}
+
+func TestSymbolsRoundTrip(t *testing.T) {
+	syms, err := ParseSymbols("HLHL.LHHL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatSymbols(syms); got != "HLHLLHHL" {
+		t.Fatalf("round trip %q", got)
+	}
+	if _, err := ParseSymbols("HLX"); err == nil {
+		t.Fatal("invalid symbol should fail")
+	}
+	if _, err := ParseSymbols(""); err == nil {
+		t.Fatal("empty symbols should fail")
+	}
+}

@@ -5,8 +5,8 @@ import (
 	"testing"
 
 	"passivelight/internal/coding"
-	"passivelight/internal/core"
 	"passivelight/internal/decoder"
+	"passivelight/internal/scenario"
 )
 
 // TestStreamMatchesBatchAcrossLinks is the subsystem's contract: a
@@ -27,7 +27,7 @@ func TestStreamMatchesBatchAcrossLinks(t *testing.T) {
 					seed := int64(links)
 					name := fmt.Sprintf("link%02d_h%.2f_w%.2f_v%.2f_%s", links, h, w, v, payload)
 					t.Run(name, func(t *testing.T) {
-						link, _, err := core.BenchSetup{
+						link, _, err := scenario.BenchParams{
 							Height: h, SymbolWidth: w, Speed: v,
 							Payload: payload, Seed: seed,
 						}.Build()
@@ -89,7 +89,7 @@ func TestStreamMatchesBatchAcrossLinks(t *testing.T) {
 // chunked CarShape stream decode equals the batch DecodeCarPass.
 func TestStreamCarShapeMatchesBatch(t *testing.T) {
 	for seed := int64(1); seed <= 6; seed++ {
-		link, pkt, err := core.OutdoorSetup{
+		link, pkt, err := scenario.OutdoorParams{
 			Payload:        "1001",
 			NoiseFloorLux:  6200,
 			ReceiverHeight: 0.75,
@@ -141,7 +141,7 @@ func TestStreamCarShapeMatchesBatch(t *testing.T) {
 func TestStreamOnlineModeDecodesLiveLinks(t *testing.T) {
 	payloads := []string{"10", "0110", "1001"}
 	for i, payload := range payloads {
-		link, _, err := core.BenchSetup{
+		link, _, err := scenario.BenchParams{
 			Height: 0.20, SymbolWidth: 0.03, Speed: 0.08,
 			Payload: payload, Seed: int64(100 + i),
 		}.Build()

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"iter"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -134,7 +135,15 @@ func (tr *Trace) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintf(bw, "# fs=%g\n# t0=%g\n", tr.Fs, tr.T0); err != nil {
 		return err
 	}
-	for k, v := range tr.Meta {
+	// Sorted keys: Meta is a map, and a bit-identical trace should
+	// serialize to a byte-identical CSV.
+	keys := make([]string, 0, len(tr.Meta))
+	for k := range tr.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := tr.Meta[k]
 		if strings.ContainsAny(k, "=\n") || strings.Contains(v, "\n") {
 			return fmt.Errorf("trace: metadata %q contains reserved characters", k)
 		}

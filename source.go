@@ -103,9 +103,10 @@ func (s *TraceSource) Next(ctx context.Context) (SourceChunk, error) {
 // Close implements Source.
 func (s *TraceSource) Close() error { return nil }
 
-// SimSource simulates a configured link on Open and replays the
-// rendered trace — the programmatic equivalent of one pass of the
-// paper's testbed feeding the decode pipeline.
+// SimSource simulates a configured scenario (or an already-assembled
+// link) on Open and replays the rendered trace — the programmatic
+// equivalent of one pass of the paper's testbed feeding the decode
+// pipeline.
 type SimSource struct {
 	build func() (*Link, Packet, error)
 	name  string
@@ -118,24 +119,82 @@ type SimSource struct {
 	packet      Packet
 	trace       *Trace
 	inner       *TraceSource
+	compiled    *ScenarioWorld
 	receiverTag string
 }
 
+// compileSpec compiles a scenario spec into the source's link,
+// retaining the compiled world so Packets/World stay inspectable.
+func (s *SimSource) compileSpec(spec Scenario) (*Link, Packet, error) {
+	c, err := spec.Compile()
+	if err != nil {
+		return nil, Packet{}, err
+	}
+	s.compiled = c
+	return c.Link, c.Packet(), nil
+}
+
+// NewScenarioSource simulates any declarative scenario — a registry
+// preset, a -spec JSON file, or a hand-built Spec — as a pipeline
+// source. With WithReceiverAutoSelect the receiver device is chosen
+// per the Sec. 4.4 dual-receiver policy against the scenario's
+// ambient level (uniform optics only) before compilation; note the
+// swap keeps an explicitly set DurationSec, so presets sized for one
+// device's FoV should leave DurationSec zero if they expect
+// auto-selection to change the footprint materially.
+func NewScenarioSource(spec Scenario) *SimSource {
+	s := &SimSource{name: "scenario"}
+	if spec.Name != "" {
+		s.name = spec.Name
+	}
+	s.build = func() (*Link, Packet, error) { return s.compileSpec(spec) }
+	s.selectHook = func(cands []ReceiverDevice) error {
+		floor, ok := spec.AmbientLux()
+		if !ok {
+			return fmt.Errorf("passivelight: scenario %q has no ambient noise floor (optics %q); receiver auto-select needs a uniform source", s.name, spec.Optics.Kind)
+		}
+		dev, err := SelectReceiver(floor, cands...)
+		if err != nil {
+			return err
+		}
+		spec.SetReceiverDevice(dev)
+		s.receiverTag = dev.Name
+		return nil
+	}
+	return s
+}
+
 // NewBenchSource simulates the paper's indoor bench (Sec. 4) as a
-// pipeline source.
+// pipeline source — a thin preset wrapper over the scenario layer.
 func NewBenchSource(b IndoorBench) *SimSource {
-	return &SimSource{build: func() (*Link, Packet, error) { return b.Build() }, name: "bench"}
+	s := &SimSource{name: "bench"}
+	s.build = func() (*Link, Packet, error) {
+		spec, err := b.Spec()
+		if err != nil {
+			return nil, Packet{}, err
+		}
+		return s.compileSpec(spec)
+	}
+	return s
 }
 
 // NewCarPassSource simulates the paper's outdoor car pass (Sec. 5) as
-// a pipeline source. With WithReceiverAutoSelect the receiver device
-// is chosen per the Sec. 4.4 dual-receiver policy against the pass's
-// ambient noise floor before simulation.
+// a pipeline source — a thin preset wrapper over the scenario layer.
+// With WithReceiverAutoSelect the receiver device is chosen per the
+// Sec. 4.4 dual-receiver policy against the pass's ambient noise
+// floor before the scenario is compiled.
 func NewCarPassSource(p OutdoorCarPass) *SimSource {
 	s := &SimSource{name: "carpass"}
 	// The build closure and the select hook share p, so auto-selecting
-	// a receiver before Open changes what Build assembles.
-	s.build = func() (*Link, Packet, error) { return p.Build() }
+	// a receiver before Open changes the spec the scenario layer
+	// compiles (lead-in geometry and window follow the device's FoV).
+	s.build = func() (*Link, Packet, error) {
+		spec, err := p.Spec()
+		if err != nil {
+			return nil, Packet{}, err
+		}
+		return s.compileSpec(spec)
+	}
 	s.selectHook = func(cands []ReceiverDevice) error {
 		dev, err := SelectReceiver(p.NoiseFloorLux, cands...)
 		if err != nil {
@@ -220,8 +279,23 @@ func (s *SimSource) Close() error { return nil }
 
 // Packet returns the payload physically encoded on the simulated tag
 // (zero value for bare-car passes). Valid after the pipeline opened
-// the source.
+// the source. Multi-object scenarios report their first tag; use
+// Packets for the full set.
 func (s *SimSource) Packet() Packet { return s.packet }
+
+// Packets returns every payload physically present in the simulated
+// scenario, in scene order (nil for NewLinkSource). Valid after the
+// pipeline opened the source.
+func (s *SimSource) Packets() []ScenarioPacket {
+	if s.compiled == nil {
+		return nil
+	}
+	return s.compiled.Packets
+}
+
+// World returns the compiled scenario (nil for NewLinkSource). Valid
+// after the pipeline opened the source.
+func (s *SimSource) World() *ScenarioWorld { return s.compiled }
 
 // Trace returns the rendered trace. Valid after the pipeline opened
 // the source.
