@@ -76,7 +76,43 @@ type (
 	ScenarioPacket = scenario.TagPacket
 	// ScenarioEntry is one registry preset.
 	ScenarioEntry = scenario.Entry
+	// ScenarioMultiWorld is a scenario compiled to one link per
+	// receiver over a single shared world (Scenario.CompileMulti).
+	ScenarioMultiWorld = scenario.MultiCompiled
+	// ScenarioLink is one receiver's link of a ScenarioMultiWorld.
+	ScenarioLink = scenario.CompiledLink
+	// ScenarioLoad is a declarative load spec: a base scenario fanned
+	// out into N staggered, independently seeded sessions. Feed one to
+	// a pipeline with NewLoadSource.
+	ScenarioLoad = scenario.Load
+	// ScenarioLoadEntry is one load-registry preset.
+	ScenarioLoadEntry = scenario.LoadEntry
 )
+
+// ScenarioStreamID composes the stable stream id of (session,
+// receiver) — the id MultiSource chunks and Pipeline events carry.
+func ScenarioStreamID(session, receiver int) uint64 {
+	return scenario.StreamID(session, receiver)
+}
+
+// ScenarioStreamSession recovers the load-session half of a stream id.
+func ScenarioStreamSession(id uint64) int { return scenario.StreamSession(id) }
+
+// ScenarioStreamReceiver recovers the receiver half of a stream id.
+func ScenarioStreamReceiver(id uint64) int { return scenario.StreamReceiver(id) }
+
+// ScenarioLoadPreset builds a named load preset from the load
+// registry ("fleet-load", ...). Callers may override Sessions and the
+// stagger policy on the returned value.
+func ScenarioLoadPreset(name string) (ScenarioLoad, error) { return scenario.GetLoad(name) }
+
+// ScenarioLoadPresets lists the load-registry presets sorted by name.
+func ScenarioLoadPresets() []ScenarioLoadEntry { return scenario.LoadEntries() }
+
+// RegisterScenarioLoad adds a named load preset to the registry.
+func RegisterScenarioLoad(name, description string, build func() (ScenarioLoad, error)) error {
+	return scenario.RegisterLoad(name, description, build)
+}
 
 // ScenarioPreset builds a named preset from the scenario registry
 // ("indoor-bench", "outdoor-pass", "car-signature", "collision",

@@ -345,50 +345,60 @@ func BenchmarkStreamDecodeChunked(b *testing.B) {
 	}
 }
 
-// engineBenchStream synthesizes one session's observation (quiet,
-// packet, quiet) for the engine throughput benchmark.
-func engineBenchStream(payload string, fs float64, seed int64) []float64 {
-	const high, low, baseline = 90.0, 12.0, 10.0
-	rng := benchRand(seed)
-	gap := int(2.0 * fs)
-	perSymbol := int(0.2 * fs)
-	var out []float64
-	quiet := func(n int) {
-		for i := 0; i < n; i++ {
-			out = append(out, baseline+0.3*rng.NormFloat64())
-		}
+// fleetStreamCache memoizes the rendered fleet-load sessions per
+// session count, so the shard sweep does not re-render 128 scenario
+// traces per sub-benchmark.
+var fleetStreamCache = map[int]fleetStreams{}
+
+type fleetStreams struct {
+	fs      float64
+	symbols int
+	traces  [][]float64
+}
+
+// fleetLoadStreams expands the fleet-load preset to the given session
+// count and renders every staggered session's trace — the engine
+// benchmarks run entirely from the spec-driven load, not synthetic
+// chunk feeds.
+func fleetLoadStreams(b *testing.B, sessions int) fleetStreams {
+	b.Helper()
+	if s, ok := fleetStreamCache[sessions]; ok {
+		return s
 	}
-	quiet(gap)
-	for _, s := range MustPacket(payload).Symbols() {
-		level := low
-		if s == High {
-			level = high
-		}
-		for i := 0; i < perSymbol; i++ {
-			out = append(out, level+0.3*rng.NormFloat64())
-		}
+	load, err := ScenarioLoadPreset("fleet-load")
+	benchErr(b, err)
+	load.Sessions = sessions
+	specs, err := load.Expand()
+	benchErr(b, err)
+	out := fleetStreams{traces: make([][]float64, len(specs))}
+	for i, spec := range specs {
+		c, err := spec.Compile()
+		benchErr(b, err)
+		tr, err := c.Link.Simulate()
+		benchErr(b, err)
+		out.traces[i] = tr.Samples
+		out.fs = tr.Fs
+		out.symbols = spec.Decode.ExpectedSymbols
 	}
-	quiet(gap)
+	fleetStreamCache[sessions] = out
 	return out
 }
 
-// engineBenchRun drives the given number of concurrent streaming
-// sessions through the engine per iteration: every session receives
-// its own packet pass chunk by chunk, all sessions decode on the
-// sharded worker pool, and the iteration ends when every detection is
-// out (consumed from the batched output). ns/op is the cost of one
-// concurrent decode round; MB/s is aggregate sample ingest
+// engineBenchRun drives one fleet-load expansion through the engine
+// per iteration: every staggered session's rendered trace is fed
+// chunk by chunk under its scenario stream id, all sessions decode on
+// the sharded worker pool, and the iteration ends when every
+// detection is out (consumed from the batched output). ns/op is the
+// cost of one concurrent fleet round; MB/s is aggregate sample ingest
 // throughput. shards 0 selects the engine's auto (GOMAXPROCS-bound)
 // sharding; workers is forced to cover every shard so a shard sweep
 // on a small box still exercises N independent queues.
 func engineBenchRun(b *testing.B, sessions, shards int) {
 	b.Helper()
-	payloads := []string{"1001", "0110", "1100", "0011"}
-	streams := make([][]float64, sessions)
+	fleet := fleetLoadStreams(b, sessions)
 	total := 0
-	for i := range streams {
-		streams[i] = engineBenchStream(payloads[i%len(payloads)], 1000, int64(i+1))
-		total += len(streams[i])
+	for _, s := range fleet.traces {
+		total += len(s)
 	}
 	workers := 0
 	if shards > 0 {
@@ -399,7 +409,7 @@ func engineBenchRun(b *testing.B, sessions, shards int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng, err := NewStreamEngine(StreamEngineConfig{
-			Session:     StreamConfig{Fs: 1000, Decode: DecodeOptions{ExpectedSymbols: 12}},
+			Session:     StreamConfig{Fs: fleet.fs, Decode: DecodeOptions{ExpectedSymbols: fleet.symbols}},
 			Workers:     workers,
 			Shards:      shards,
 			IdleTimeout: -1,
@@ -417,13 +427,14 @@ func engineBenchRun(b *testing.B, sessions, shards int) {
 			}
 			done <- got
 		}()
-		for id, s := range streams {
+		for id, s := range fleet.traces {
+			sid := ScenarioStreamID(id, 0)
 			for lo := 0; lo < len(s); lo += 1024 {
 				hi := lo + 1024
 				if hi > len(s) {
 					hi = len(s)
 				}
-				if err := eng.Feed(uint64(id), 0, s[lo:hi]); err != nil {
+				if err := eng.Feed(sid, 0, s[lo:hi]); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -9,6 +9,10 @@
 //	plnet -mode demo            # in-process aggregator + 3 simulated nodes
 //	plnet -mode stream -nodes 3 # nodes stream raw samples into a
 //	                            # server-side decode Pipeline
+//	plnet -mode load -load fleet-load -sessions 16
+//	                            # replay a scenario load spec as
+//	                            # synthetic node traffic: each session
+//	                            # is one node, each receiver one stream
 //
 // Stream mode is built on the unified Pipeline API: a NetSource
 // accepts the nodes' raw chunk streams, a TwoPhase pipeline decodes
@@ -24,10 +28,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"time"
 
 	"passivelight"
 	"passivelight/internal/rxnet"
+	"passivelight/internal/scenario"
 )
 
 func main() {
@@ -40,9 +46,11 @@ func main() {
 		posX     = flag.Float64("x", 0, "node position along the lane (m)")
 		payload  = flag.String("payload", "1001", "payload the simulated node observes")
 		nodes    = flag.Int("nodes", 3, "simulated node count (stream mode)")
-		chunk    = flag.Int("chunk", 1024, "samples per streamed chunk (stream mode)")
-		workers  = flag.Int("workers", 0, "decode worker pool size (stream mode; 0 = GOMAXPROCS)")
-		shards   = flag.Int("shards", 0, "engine shard count (stream mode; 0 = min(workers, GOMAXPROCS))")
+		chunk    = flag.Int("chunk", 1024, "samples per streamed chunk (stream and load modes)")
+		workers  = flag.Int("workers", 0, "decode worker pool size (stream and load modes; 0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "engine shard count (stream and load modes; 0 = min(workers, GOMAXPROCS))")
+		loadName = flag.String("load", "fleet-load", "load-registry preset to replay (load mode)")
+		sessions = flag.Int("sessions", 16, "session count to expand the load to (load mode; 0 keeps the preset's)")
 	)
 	flag.Parse()
 	// One signal-handling context for every mode: Ctrl-C propagates
@@ -68,6 +76,8 @@ func main() {
 		err = runDemo(ctx)
 	case "stream":
 		err = runStream(ctx, *nodes, *chunk, *payload, *workers, *shards)
+	case "load":
+		err = runLoad(ctx, *loadName, *sessions, *chunk, *workers, *shards)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -312,6 +322,150 @@ func runStream(ctx context.Context, nodeCount, chunkSize int, payload string, wo
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
+}
+
+// runLoad replays a declarative load spec as synthetic node traffic:
+// every expanded session dials in as its own receiver node and ships
+// each of its compiled links' rendered traces chunk by chunk, so the
+// server-side pipeline sees exactly the fleet the spec describes —
+// spec-driven scale testing of the networked decode path.
+func runLoad(ctx context.Context, loadName string, sessions, chunkSize, workers, shards int) error {
+	load, err := scenario.GetLoad(loadName)
+	if err != nil {
+		return err
+	}
+	if sessions > 0 {
+		load.Sessions = sessions
+	}
+	specs, err := load.Expand()
+	if err != nil {
+		return err
+	}
+	strat, err := passivelight.StrategyForScenario(specs[0].Decode)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	src, err := passivelight.ListenSource("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	var decoded, undecodable atomic.Int64
+	pipe, err := passivelight.NewPipeline(src, strat,
+		passivelight.WithExpectedSymbols(specs[0].Decode.ExpectedSymbols),
+		passivelight.WithWorkers(workers),
+		passivelight.WithShards(shards),
+		passivelight.WithSink(func(ev passivelight.Event) {
+			if ev.Err != nil {
+				undecodable.Add(1)
+				return
+			}
+			decoded.Add(1)
+		}),
+	)
+	if err != nil {
+		return err
+	}
+	events, err := pipe.Stream(ctx)
+	if err != nil {
+		return err
+	}
+	drained := make(chan struct{})
+	go func() {
+		for range events { // the sink already counted
+		}
+		close(drained)
+	}()
+	fmt.Printf("load replay %s: %d sessions into pipeline on %s\n", load.Name, len(specs), src.Addr())
+
+	start := time.Now()
+	var sent, links int64
+	for k, spec := range specs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		world, err := spec.CompileMulti()
+		if err != nil {
+			return fmt.Errorf("session %d: %w", k, err)
+		}
+		node, err := rxnet.Dial(ctx, src.Addr(), rxnet.Hello{
+			NodeID: uint32(k + 1),
+			Height: world.Links[0].Receiver.HeightM,
+			Name:   spec.Name,
+		})
+		if err != nil {
+			return err
+		}
+		for _, l := range world.Links {
+			tr, err := l.Link.Simulate()
+			if err != nil {
+				node.Close()
+				return fmt.Errorf("session %d link %s: %w", k, l.Name, err)
+			}
+			for chunk := range tr.Chunks(chunkSize) {
+				if err := ctx.Err(); err != nil {
+					node.Close()
+					return err
+				}
+				if err := node.StreamChunk(uint32(l.Index), tr.Fs, chunk); err != nil {
+					node.Close()
+					return err
+				}
+			}
+			sent += int64(tr.Len())
+			links++
+		}
+		node.Close()
+	}
+
+	// Wait for full ingest, then flush the open segments so trailing
+	// packets decode without waiting out the quiet hold.
+	ingestDeadline := time.Now().Add(60 * time.Second)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		st := pipe.Stats()
+		if st.SamplesIn >= sent {
+			break
+		}
+		if time.Now().After(ingestDeadline) {
+			return fmt.Errorf("pipeline ingested %d of %d streamed samples (dropped %d)",
+				st.SamplesIn, sent, st.DroppedSamples)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	pipe.Flush()
+	// Flush decodes synchronously but publishes through the batched
+	// detection channel; wait until the event totals settle before
+	// tearing the pipeline down, so the summary counts are not a race
+	// against the forwarder.
+	settleDeadline := time.Now().Add(5 * time.Second)
+	prev := int64(-1)
+	for {
+		cur := decoded.Load() + undecodable.Load()
+		if cur == prev || time.Now().After(settleDeadline) {
+			break
+		}
+		prev = cur
+		time.Sleep(25 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	cancel()
+	<-drained
+
+	st := pipe.Stats()
+	fmt.Printf("replayed %d sessions (%d links, %d samples) in %s (%.1f MB/s over loopback)\n",
+		len(specs), links, sent, elapsed.Round(time.Millisecond),
+		float64(8*sent)/1e6/elapsed.Seconds())
+	fmt.Printf("pipeline: %d shards, %d decoded, %d undecodable, %d dropped samples\n",
+		st.Shards, decoded.Load(), undecodable.Load(), st.DroppedSamples)
+	if decoded.Load() == 0 {
+		return fmt.Errorf("load replay decoded nothing")
+	}
+	return pipelineErr(pipe.Err())
 }
 
 // pipelineErr strips the expected cancellation from a pipeline

@@ -81,7 +81,52 @@
 //
 // Each spec carries a Decode hint (strategy + expected symbols) so
 // generic drivers can bind the right pipeline. cmd/plsim is the CLI
-// face of the registry (-list, -scenario, -spec, -dump-spec).
+// face of the registry (-list, -scenario, -spec, -dump-spec, -load).
+//
+// # Multi-receiver scenarios and load generation
+//
+// A Scenario can declare a Receivers list instead of the single
+// Receiver: CompileMulti then fans the one shared world out into one
+// deterministic core link per receiver (heterogeneous devices,
+// placements, per-receiver noise/seed overrides — the Sec. 4.4
+// deployment of several receivers covering one scene). NewMultiSource
+// replays all links into one Pipeline; every chunk carries its link's
+// stable stream id, so events attribute back to the receiver via
+// ScenarioStreamReceiver. The rx-lanes preset is the canonical form:
+// two staggered tagged lanes observed by an RX-LED pole and a
+// lens-focused photodiode on one gantry, two links, four detections:
+//
+//	spec, _ := passivelight.ScenarioPreset("rx-lanes")
+//	src := passivelight.NewMultiSource(spec)
+//	pipe, _ := passivelight.NewPipeline(src, passivelight.TwoPhase(),
+//		passivelight.WithExpectedSymbols(spec.Decode.ExpectedSymbols))
+//	events, _ := pipe.Run(ctx)
+//	for _, ev := range events {
+//		rx := passivelight.ScenarioStreamReceiver(ev.Session)
+//		fmt.Println(src.Streams()[rx].Name, ev.BitString())
+//	}
+//
+// On top of the fan-out sits spec-driven load generation: a
+// ScenarioLoad names a base scenario and expands it into N sessions,
+// each with its own deterministic seed and a staggered (optionally
+// jittered) start — hundreds of staggered passes from one JSON-sized
+// spec. NewLoadSource feeds sessions x receivers streams into one
+// pipeline; ScenarioStreamSession / ScenarioStreamReceiver split
+// every event's stream id back into (session, receiver). The
+// fleet-load preset (ScenarioLoadPreset) fans the indoor bench out
+// into 128 staggered sessions by default and is what the
+// EngineSessions benchmarks run from; Window bounds how many sessions
+// replay concurrently, which with WithIdleTimeout models a fleet
+// arriving over time against a bounded session table:
+//
+//	load, _ := passivelight.ScenarioLoadPreset("fleet-load")
+//	load.Sessions = 256
+//	pipe, _ := passivelight.NewPipeline(passivelight.NewLoadSource(load),
+//		passivelight.Threshold(), passivelight.WithExpectedSymbols(8))
+//
+// cmd/plsim replays a load from the CLI (plsim -scenario fleet-load
+// -load 128) and cmd/plnet replays one as synthetic node traffic over
+// the rxnet wire protocol (plnet -mode load), one node per session.
 //
 // # Execution substrate
 //

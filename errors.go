@@ -27,6 +27,12 @@ var (
 	// the addressed session: it was never fed, ended explicitly, or
 	// idle-evicted.
 	ErrSessionEvicted = stream.ErrSessionEvicted
+	// ErrSessionTableFull means the engine already tracks MaxSessions
+	// sessions and a chunk addressed a new one — the oversubscription
+	// signal a load run hits when WithMaxSessions is undersized for
+	// the fleet (raise it, or let WithIdleTimeout evict idle sessions
+	// between staggered arrivals).
+	ErrSessionTableFull = stream.ErrSessionTableFull
 	// ErrEngineClosed means the streaming engine (or the Pipeline on
 	// top of it) has shut down and refuses further work.
 	ErrEngineClosed = stream.ErrEngineClosed

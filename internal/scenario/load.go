@@ -1,0 +1,274 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Load is a declarative load-generation spec: a base scenario fanned
+// out into N sessions, each with its own deterministic seed and a
+// staggered (optionally jittered) start. Expanding a Load yields one
+// Spec per session; compiling those (CompileMulti) yields sessions ×
+// receivers links — the spec-driven workload the streaming engine is
+// scale-tested and benchmarked against. A Load round-trips through
+// JSON and expands identically every time.
+type Load struct {
+	// Name labels the load (registry key for load presets).
+	Name string `json:"name,omitempty"`
+	// Description is a one-line summary for -list output.
+	Description string `json:"description,omitempty"`
+	// Preset names the base scenario in the preset registry. Base
+	// inlines a spec instead; setting both is an error.
+	Preset string `json:"preset,omitempty"`
+	// Base is the inline base scenario (nil selects Preset).
+	Base *Spec `json:"base,omitempty"`
+	// Sessions is the expanded session count (>= 1).
+	Sessions int `json:"sessions"`
+	// StaggerSec delays session k's objects by k*StaggerSec: the
+	// deterministic arrival ramp of a staggered fleet.
+	StaggerSec float64 `json:"stagger_sec,omitempty"`
+	// JitterSec adds a per-session uniform [0, JitterSec) extra delay,
+	// drawn from a deterministic stream seeded by the load seed, so
+	// sessions de-correlate without losing reproducibility.
+	JitterSec float64 `json:"jitter_sec,omitempty"`
+	// Seed drives the jitter stream and anchors the per-session spec
+	// seeds. Zero adopts the base spec's seed.
+	Seed int64 `json:"seed,omitempty"`
+	// SeedStride spaces per-session seeds: session k runs at seed +
+	// k*SeedStride. Zero selects DefaultSeedStride, wide enough that
+	// the per-receiver offsets CompileMulti adds (seed + receiver
+	// index) can never collide across sessions.
+	SeedStride int64 `json:"seed_stride,omitempty"`
+}
+
+// DefaultSeedStride is the per-session seed spacing Expand uses when
+// SeedStride is zero. It is deliberately huge: CompileMulti seeds
+// receiver i of a session at spec seed + i, so a stride of 1 would
+// give (session k, receiver i) and (session k+1, receiver i-1)
+// byte-identical noise streams; 2^20 keeps every (session, receiver)
+// seed distinct for any realistic receiver count.
+const DefaultSeedStride = int64(1) << 20
+
+// base resolves the base scenario spec.
+func (l Load) base() (Spec, error) {
+	if l.Base != nil {
+		if l.Preset != "" {
+			return Spec{}, errors.New("scenario: load sets both preset and base; pick one")
+		}
+		return *l.Base, nil
+	}
+	if l.Preset == "" {
+		return Spec{}, errors.New("scenario: load needs a base scenario (preset name or inline base)")
+	}
+	return Get(l.Preset)
+}
+
+// Expand produces the per-session specs: session k gets seed
+// seed+k*stride and every object delayed by k*StaggerSec plus its
+// jitter draw. Expansion is deterministic — the same Load expands to
+// the same specs (and therefore the same traces) every time.
+func (l Load) Expand() ([]Spec, error) {
+	if l.Sessions < 1 {
+		return nil, fmt.Errorf("scenario: load needs sessions >= 1, got %d", l.Sessions)
+	}
+	if l.StaggerSec < 0 || l.JitterSec < 0 {
+		return nil, errors.New("scenario: load stagger/jitter must be non-negative")
+	}
+	base, err := l.base()
+	if err != nil {
+		return nil, err
+	}
+	seed := l.Seed
+	if seed == 0 {
+		seed = base.Seed
+	}
+	stride := l.SeedStride
+	if stride == 0 {
+		stride = DefaultSeedStride
+	}
+	name := l.Name
+	if name == "" {
+		name = base.Name
+	}
+	jitter := rand.New(rand.NewSource(seed))
+	specs := make([]Spec, l.Sessions)
+	for k := range specs {
+		spec := base
+		// The base's slices are shared across sessions; copy before
+		// staggering the mobility so sessions stay independent.
+		spec.Objects = append([]ObjectSpec(nil), base.Objects...)
+		spec.Seed = seed + int64(k)*stride
+		spec.Name = fmt.Sprintf("%s#%d", name, k)
+		shiftPinnedSeeds(&spec, int64(k)*stride)
+		delay := float64(k) * l.StaggerSec
+		if l.JitterSec > 0 {
+			delay += jitter.Float64() * l.JitterSec
+		}
+		if delay > 0 {
+			for i := range spec.Objects {
+				spec.Objects[i].Mobility.DelaySec += delay
+			}
+			if spec.DurationSec > 0 {
+				spec.DurationSec += delay
+			}
+		}
+		specs[k] = spec
+	}
+	return specs, nil
+}
+
+// shiftPinnedSeeds moves a base spec's explicit seed overrides
+// (NoiseSpec.Seed, per-receiver ReceiverSpec.Seed and nested noise
+// seeds) by the session's seed offset. Overrides win over the
+// spec-level seed in CompileMulti, so without the shift a base that
+// pins any stream's seed would render that stream bit-identically in
+// every session — the opposite of what a load fan-out is for.
+// Session 0 (offset 0) keeps the base values exactly.
+func shiftPinnedSeeds(spec *Spec, offset int64) {
+	if offset == 0 {
+		return
+	}
+	shift := func(ns NoiseSpec) NoiseSpec {
+		if ns.Seed != nil {
+			v := *ns.Seed + offset
+			ns.Seed = &v
+		}
+		return ns
+	}
+	spec.Noise = shift(spec.Noise)
+	shiftReceiver := func(r *ReceiverSpec) {
+		if r.Seed != nil {
+			v := *r.Seed + offset
+			r.Seed = &v
+		}
+		if r.Noise != nil {
+			ns := shift(*r.Noise)
+			r.Noise = &ns
+		}
+	}
+	shiftReceiver(&spec.Receiver)
+	if len(spec.Receivers) == 0 {
+		return
+	}
+	spec.Receivers = append([]ReceiverSpec(nil), spec.Receivers...)
+	for i := range spec.Receivers {
+		shiftReceiver(&spec.Receivers[i])
+	}
+}
+
+// LoadEntry is one named load preset.
+type LoadEntry struct {
+	// Name is the registry key (also what cmd/plsim -scenario takes
+	// in -load mode).
+	Name string
+	// Description is a one-line summary for -list output.
+	Description string
+
+	build func() (Load, error)
+}
+
+// Load builds the preset's load (a fresh value each call; callers may
+// mutate it freely, e.g. override Sessions).
+func (e LoadEntry) Load() (Load, error) {
+	l, err := e.build()
+	if err != nil {
+		return Load{}, err
+	}
+	l.Name = e.Name
+	if l.Description == "" {
+		l.Description = e.Description
+	}
+	return l, nil
+}
+
+var (
+	loadMu    sync.RWMutex
+	loadReg   []LoadEntry
+	loadIndex = map[string]int{}
+)
+
+// RegisterLoad adds a named load preset; the name must be unused.
+func RegisterLoad(name, description string, build func() (Load, error)) error {
+	if build == nil {
+		return fmt.Errorf("scenario: load preset %q registered with a nil builder", name)
+	}
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	if _, dup := loadIndex[name]; dup {
+		return fmt.Errorf("scenario: load preset %q already registered", name)
+	}
+	loadIndex[name] = len(loadReg)
+	loadReg = append(loadReg, LoadEntry{Name: name, Description: description, build: build})
+	return nil
+}
+
+func mustRegisterLoad(name, description string, build func() (Load, error)) {
+	if err := RegisterLoad(name, description, build); err != nil {
+		panic(err)
+	}
+}
+
+// ErrUnknownLoad marks a GetLoad miss (no preset registered under
+// the name), distinguishable with errors.Is from a registered
+// preset's builder failing.
+var ErrUnknownLoad = errors.New("scenario: unknown load preset")
+
+// GetLoad builds the named load preset. A miss wraps ErrUnknownLoad;
+// any other error came from the preset's own builder.
+func GetLoad(name string) (Load, error) {
+	loadMu.RLock()
+	i, ok := loadIndex[name]
+	var entry LoadEntry
+	if ok {
+		entry = loadReg[i]
+	}
+	// Release before invoking the builder (it may re-enter the
+	// scenario registry), mirroring Get.
+	loadMu.RUnlock()
+	if !ok {
+		return Load{}, fmt.Errorf("%w %q (run with -list to see the registry)", ErrUnknownLoad, name)
+	}
+	return entry.Load()
+}
+
+// LoadEntries lists the registered load presets sorted by name.
+func LoadEntries() []LoadEntry {
+	loadMu.RLock()
+	defer loadMu.RUnlock()
+	out := make([]LoadEntry, len(loadReg))
+	copy(out, loadReg)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DefaultStaggerSec / DefaultJitterSec are the stagger policy the
+// fleet-load preset ships with, shared with ad-hoc fan-outs (plsim
+// -load over a plain scenario): the stagger keeps per-session traces
+// bounded (25 ms per session plus up to 400 ms jitter over a ~7.8 s
+// base pass) while spreading packet arrivals so the engine never
+// sees a synchronized decode burst.
+const (
+	DefaultStaggerSec = 0.025
+	DefaultJitterSec  = 0.4
+)
+
+const fleetLoadDescription = "N staggered indoor tag passes (default 128) — the spec-driven workload for engine-scale runs"
+
+// fleetLoad builds the fleet-load preset: the indoor bench fanned out
+// into staggered sessions.
+func fleetLoad() (Load, error) {
+	return Load{
+		Preset:     "indoor-bench",
+		Sessions:   128,
+		StaggerSec: DefaultStaggerSec,
+		JitterSec:  DefaultJitterSec,
+		Seed:       1,
+	}, nil
+}
+
+func init() {
+	mustRegisterLoad("fleet-load", fleetLoadDescription, fleetLoad)
+}

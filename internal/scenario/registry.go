@@ -135,6 +135,8 @@ func init() {
 	mustRegister("multi-lane", multiLaneDescription, multiLaneSpec)
 	mustRegister("tag-fleet", tagFleetDescription, tagFleetSpec)
 	mustRegister("weather-sweep", weatherSweepDescription, weatherSweepSpec)
+	mustRegister("rx-lanes", rxLanesDescription, rxLanesSpec)
+	mustRegister("stop-and-go", stopAndGoDescription, stopAndGoSpec)
 }
 
 const multiLaneDescription = "two staggered tagged cars in adjacent lanes under one pole receiver; each decodes in turn"
@@ -255,6 +257,117 @@ func tagFleetSpec() (Spec, error) {
 		}
 	}
 	spec.DurationSec = dur
+	return spec, nil
+}
+
+const rxLanesDescription = "two staggered tagged lanes observed by two heterogeneous receivers on one gantry (compiles to 2 links)"
+
+// rxLanesSpec builds the rx-lanes preset: the multi-lane world
+// observed by two heterogeneous receivers sharing one gantry — the
+// RX-LED pole of the paper's outdoor runs plus a lens-focused bare G3
+// photodiode one quarter-meter higher. It is the declarative form of
+// the Sec. 4.4 receiver-network deployment: one scene, N links, one
+// multi-session pipeline, detections attributed per receiver.
+func rxLanesSpec() (Spec, error) {
+	// The 6200-lux sky illuminates the scene; the receivers only see
+	// the light the cars reflect, which stays well under the G3's
+	// 5000-lux rail. The G3's wide 40-degree FoV is focused down to
+	// the RX-LED's 4 degrees, as a lens tube would.
+	const (
+		lux      = 6200.0
+		fs       = core.OutdoorFs
+		stagger  = 6.0
+		symbolW  = core.OutdoorSymbolWidth
+		marginM  = 0.5
+		leadInM  = 1.0
+		speedKmh = core.CarSpeedKmh
+	)
+	led := frontend.RXLED()
+	receivers := []ReceiverSpec{
+		{Name: "pole-led", Device: led.Name, HeightM: 0.75, FoVDeg: led.FoVHalfAngleDeg, Fs: fs},
+		{Name: "pole-pd", Device: "pd-G3", HeightM: 1.00, FoVDeg: led.FoVHalfAngleDeg, Fs: fs},
+	}
+	// The widest footprint among the receivers sizes lead-in and
+	// window so the pass clears every link.
+	var fp float64
+	for _, r := range receivers {
+		geom := channel.Receiver{X: r.X, Height: r.HeightM, FoVHalfAngleDeg: r.FoVDeg}
+		if f := geom.FootprintRadius(); f > fp {
+			fp = f
+		}
+	}
+	start := -(leadInM + fp)
+	speed := scene.KmhToMs(speedKmh)
+	lanes := []struct {
+		car, payload string
+		share, delay float64
+	}{
+		{"volvo-v40", "00", 0.60, 0},
+		{"bmw-3", "10", 0.40, stagger},
+	}
+	spec := Spec{
+		Seed:      1,
+		Optics:    SunOptics(lux, 0, 0),
+		Receivers: receivers,
+		Noise:     NoiseSpec{Profile: "outdoor"},
+		Decode:    DecodeSpec{Strategy: "two-phase", ExpectedSymbols: 8},
+	}
+	var dur float64
+	for i, lane := range lanes {
+		model, err := CarByName(lane.car)
+		if err != nil {
+			return Spec{}, err
+		}
+		mob := ConstantMobility(start, speed)
+		mob.DelaySec = lane.delay
+		spec.Objects = append(spec.Objects, ObjectSpec{
+			Kind:         "tagged-car",
+			Name:         fmt.Sprintf("lane%d-%s", i+1, lane.car),
+			Car:          lane.car,
+			Payload:      lane.payload,
+			SymbolWidthM: symbolW,
+			LateralShare: lane.share,
+			Mobility:     mob,
+		})
+		if end := lane.delay + (model.Length()-start+fp+marginM)/speed; end > dur {
+			dur = end
+		}
+	}
+	spec.DurationSec = dur
+	return spec, nil
+}
+
+const stopAndGoDescription = "indoor '10' pass that dwells mid-packet (urban stop-and-go) — threshold decode breaks, DTW classifies"
+
+// stopAndGoSpec builds the stop-and-go preset: the Fig. 5 bench tag
+// halting for 1.2 s with half the packet under the receiver. The
+// dwell stretches one symbol ~4x, which defeats the Sec. 4.1 fixed
+// tau_t slicing the paper's plain decoder uses — the scenario is the
+// registry's canonical DTW-fallback workload (Decode hint "dtw").
+func stopAndGoSpec() (Spec, error) {
+	b := BenchParams{Height: 0.20, SymbolWidth: 0.03, Speed: 0.08, Payload: "10", Seed: 1}
+	spec, err := b.Spec()
+	if err != nil {
+		return Spec{}, err
+	}
+	const dwell = 1.2
+	mob := spec.Objects[0].Mobility
+	tagLen, err := TagLength(b.Payload, b.SymbolWidth)
+	if err != nil {
+		return Spec{}, err
+	}
+	// Halt when the tag's midpoint crosses the receiver at x=0: the
+	// leading edge has covered -start plus half the tag by then.
+	atSec := (tagLen/2 - mob.StartM) / b.Speed
+	spec.Name = "stop-and-go"
+	spec.Objects[0].Mobility = MobilitySpec{
+		Kind:    "stop-and-go",
+		StartM:  mob.StartM,
+		SpeedMS: b.Speed,
+		Stops:   []StopSpec{{AtSec: atSec, DwellSec: dwell}},
+	}
+	spec.DurationSec += dwell
+	spec.Decode = DecodeSpec{Strategy: "dtw", ExpectedSymbols: 8}
 	return spec, nil
 }
 

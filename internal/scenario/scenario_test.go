@@ -21,6 +21,25 @@ func simulateSpec(t *testing.T, spec Spec) (*Compiled, *trace.Trace) {
 	return c, tr
 }
 
+// simulateLinks renders every receiver link of a (possibly
+// multi-receiver) spec, in receiver order.
+func simulateLinks(t *testing.T, spec Spec) (*MultiCompiled, []*trace.Trace) {
+	t.Helper()
+	m, err := spec.CompileMulti()
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := make([]*trace.Trace, len(m.Links))
+	for i, l := range m.Links {
+		tr, err := l.Link.Simulate()
+		if err != nil {
+			t.Fatalf("link %d (%s): %v", i, l.Name, err)
+		}
+		traces[i] = tr
+	}
+	return m, traces
+}
+
 func identical(t *testing.T, name string, a, b *trace.Trace) {
 	t.Helper()
 	if a.Len() != b.Len() {
@@ -45,9 +64,11 @@ func TestRegistryPresetsDeterministic(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			_, tr1 := simulateSpec(t, spec)
-			_, tr2 := simulateSpec(t, spec)
-			identical(t, e.Name, tr1, tr2)
+			_, trs1 := simulateLinks(t, spec)
+			_, trs2 := simulateLinks(t, spec)
+			for i := range trs1 {
+				identical(t, e.Name, trs1[i], trs2[i])
+			}
 		})
 	}
 }
@@ -69,9 +90,11 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 			if err := json.Unmarshal(data, &loaded); err != nil {
 				t.Fatal(err)
 			}
-			_, want := simulateSpec(t, spec)
-			_, got := simulateSpec(t, loaded)
-			identical(t, e.Name, want, got)
+			_, want := simulateLinks(t, spec)
+			_, got := simulateLinks(t, loaded)
+			for i := range want {
+				identical(t, e.Name, want[i], got[i])
+			}
 		})
 	}
 }
@@ -86,57 +109,92 @@ func TestRegistryPresetsDecode(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			c, tr := simulateSpec(t, spec)
-			switch spec.Decode.Strategy {
-			case "threshold", "two-phase":
-				dec, err := stream.NewDecoder(stream.Config{
-					Fs:       tr.Fs,
-					Decode:   decoder.Options{ExpectedSymbols: spec.Decode.ExpectedSymbols},
-					CarShape: spec.Decode.Strategy == "two-phase",
-				})
-				if err != nil {
-					t.Fatal(err)
-				}
-				dets := dec.Feed(tr.Samples)
-				dets = append(dets, dec.Flush()...)
-				var got []string
-				for _, d := range dets {
-					if d.Err != nil {
-						t.Fatalf("detection error: %v", d.Err)
+			c, trs := simulateLinks(t, spec)
+			for li, tr := range trs {
+				switch spec.Decode.Strategy {
+				case "threshold", "two-phase":
+					dec, err := stream.NewDecoder(stream.Config{
+						Fs:       tr.Fs,
+						Decode:   decoder.Options{ExpectedSymbols: spec.Decode.ExpectedSymbols},
+						CarShape: spec.Decode.Strategy == "two-phase",
+					})
+					if err != nil {
+						t.Fatal(err)
 					}
-					got = append(got, d.BitString())
-				}
-				if len(got) != len(c.Packets) {
-					t.Fatalf("decoded %d packets (%v), scenario encodes %d", len(got), got, len(c.Packets))
-				}
-				for i, want := range c.Packets {
-					if got[i] != want.Packet.BitString() {
-						t.Fatalf("packet %d: decoded %q, want %q (object %s)", i, got[i], want.Packet.BitString(), want.Object)
+					dets := dec.Feed(tr.Samples)
+					dets = append(dets, dec.Flush()...)
+					var got []string
+					for _, d := range dets {
+						if d.Err != nil {
+							t.Fatalf("link %s: detection error: %v", c.Links[li].Name, d.Err)
+						}
+						got = append(got, d.BitString())
 					}
+					if len(got) != len(c.Packets) {
+						t.Fatalf("link %s: decoded %d packets (%v), scenario encodes %d", c.Links[li].Name, len(got), got, len(c.Packets))
+					}
+					for i, want := range c.Packets {
+						if got[i] != want.Packet.BitString() {
+							t.Fatalf("link %s: packet %d: decoded %q, want %q (object %s)", c.Links[li].Name, i, got[i], want.Packet.BitString(), want.Object)
+						}
+					}
+				case "collision":
+					rep, err := decoder.AnalyzeCollision(tr, decoder.CollisionOptions{
+						MinFreq: 1.0, MaxFreq: 4.0, MinSeparation: 0.9, SignificanceRatio: 0.6,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rep.SignificantTones < 1 {
+						t.Fatalf("no significant tone in collision preset")
+					}
+				case "shape":
+					sig, err := decoder.DetectCarShape(tr)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if model := decoder.MatchCarModel(sig); model == "" {
+						t.Fatal("car shape not classified")
+					}
+				case "dtw":
+					cls := newBenchClassifier(t)
+					matches, err := cls.Classify(tr)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want := c.Packets[0].Packet.BitString(); matches[0].Label != want {
+						t.Fatalf("DTW classified %q, want %q", matches[0].Label, want)
+					}
+				default:
+					t.Fatalf("preset %q declares no decode strategy", e.Name)
 				}
-			case "collision":
-				rep, err := decoder.AnalyzeCollision(tr, decoder.CollisionOptions{
-					MinFreq: 1.0, MaxFreq: 4.0, MinSeparation: 0.9, SignificanceRatio: 0.6,
-				})
-				if err != nil {
-					t.Fatal(err)
-				}
-				if rep.SignificantTones < 1 {
-					t.Fatalf("no significant tone in collision preset")
-				}
-			case "shape":
-				sig, err := decoder.DetectCarShape(tr)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if model := decoder.MatchCarModel(sig); model == "" {
-					t.Fatal("car shape not classified")
-				}
-			default:
-				t.Fatalf("preset %q declares no decode strategy", e.Name)
 			}
 		})
 	}
+}
+
+// newBenchClassifier builds the Sec. 4.2 classifier database: clean
+// Fig. 5 bench baselines for the '00' and '10' payloads.
+func newBenchClassifier(t *testing.T) *decoder.Classifier {
+	t.Helper()
+	cls := decoder.NewClassifier(256)
+	for i, payload := range []string{"00", "10"} {
+		link, _, err := (BenchParams{
+			Height: 0.20, SymbolWidth: 0.03, Speed: 0.08,
+			Payload: payload, Seed: int64(10 + i),
+		}).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := link.Simulate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cls.AddBaseline(payload, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cls
 }
 
 // TestMultiLanePacketsAreOrdered pins the multi-lane preset shape:

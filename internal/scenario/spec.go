@@ -65,8 +65,18 @@ type Spec struct {
 	DurationSec float64 `json:"duration_sec,omitempty"`
 	// Optics is the ambient light source powering the channel.
 	Optics OpticsSpec `json:"optics"`
-	// Receiver is the receiver placement, optics and sampling.
-	Receiver ReceiverSpec `json:"receiver"`
+	// Receiver is the receiver placement, optics and sampling — the
+	// common single-receiver form, sugar for a one-element Receivers
+	// list.
+	Receiver ReceiverSpec `json:"receiver,omitempty"`
+	// Receivers is the multi-receiver form of the paper's Sec. 4.4
+	// deployment story: one deterministic core.Link per entry is
+	// compiled over the same shared world by CompileMulti
+	// (heterogeneous devices, placements, and per-receiver noise/seed
+	// overrides). Setting both Receiver and Receivers is an error;
+	// Compile requires exactly one receiver, CompileMulti accepts any
+	// count.
+	Receivers []ReceiverSpec `json:"receivers,omitempty"`
 	// Noise is the stochastic impairment profile (plus optional fog).
 	Noise NoiseSpec `json:"noise,omitempty"`
 	// Objects are the mobile reflective elements, in scene order
@@ -173,6 +183,9 @@ func (o OpticsSpec) AmbientLux() (float64, bool) {
 
 // ReceiverSpec places and configures the receiver.
 type ReceiverSpec struct {
+	// Name labels the receiver in multi-receiver scenarios (stream
+	// attribution, diagnostics). Empty derives "rx<i>-<device>".
+	Name string `json:"name,omitempty"`
 	// Device selects the front-end model by name: "pd-g1" | "pd-g2" |
 	// "pd-g3" | "rx-led", optionally with a "+cap" suffix. Empty
 	// selects the PD at G1.
@@ -188,6 +201,15 @@ type ReceiverSpec struct {
 	FoVDeg float64 `json:"fov_deg,omitempty"`
 	// Fs is the ADC sampling rate (Hz). Zero selects 1000.
 	Fs float64 `json:"fs,omitempty"`
+	// Seed overrides this receiver's deterministic seed (front-end
+	// electronics and, unless the noise spec overrides it again, the
+	// channel noise). Nil derives spec seed + receiver index, so
+	// receiver 0 reproduces the single-receiver compile exactly and
+	// every further receiver gets independent streams.
+	Seed *int64 `json:"seed,omitempty"`
+	// Noise overrides the spec-level noise/weather profile for this
+	// receiver's link (e.g. one lane in fog, one clear).
+	Noise *NoiseSpec `json:"noise,omitempty"`
 
 	// custom carries a programmatic receiver model that has no
 	// registry name (escape hatch for the typed params builders);
@@ -456,6 +478,7 @@ func (m MobilitySpec) trajectory() (scene.Trajectory, error) {
 // DecodeSpec hints how a scenario's trace is meant to be decoded.
 type DecodeSpec struct {
 	// Strategy: "threshold" | "two-phase" | "collision" | "shape" |
+	// "dtw" (distorted waveform, classify against clean baselines) |
 	// "none".
 	Strategy string `json:"strategy,omitempty"`
 	// ExpectedSymbols bounds the per-packet symbol slice (preamble +
@@ -492,25 +515,126 @@ func (c *Compiled) Packet() coding.Packet {
 	return c.Packets[0].Packet
 }
 
+// CompiledLink is one receiver's view of a compiled multi-receiver
+// scenario: its own core.Link (private front end, noise streams and
+// geometry) over the shared world scene.
+type CompiledLink struct {
+	// Index is the receiver's position in the effective receiver list.
+	Index int
+	// StreamID is the stable per-receiver stream id — StreamID(0,
+	// Index) for a plain compile; load generators re-key it with their
+	// session index so detections attribute back to both.
+	StreamID uint64
+	// Name labels the receiver (ReceiverSpec.Name, or
+	// "rx<i>-<device>").
+	Name string
+	// Receiver is the source spec entry.
+	Receiver ReceiverSpec
+	// Link is the assembled per-receiver world, ready to Simulate.
+	Link *core.Link
+}
+
+// MultiCompiled is a scenario compiled to one link per receiver over
+// a single shared world: every link references the same scene (same
+// objects, same trajectories, same light source), so the N receivers
+// observe one physical scene exactly as a deployed receiver network
+// would.
+type MultiCompiled struct {
+	// Spec is the source spec (after compilation defaults).
+	Spec Spec
+	// Links are the per-receiver links, in receiver order.
+	Links []CompiledLink
+	// Packets are the payloads physically present in the shared
+	// scene, in object order.
+	Packets []TagPacket
+}
+
+// StreamID composes the stable stream id of (session, receiver):
+// session in the high 32 bits, receiver index in the low 32 — the
+// same keying rxnet uses for (node, stream), so a fleet-load session
+// maps onto a synthetic node without translation.
+func StreamID(session, receiver int) uint64 {
+	return uint64(uint32(session))<<32 | uint64(uint32(receiver))
+}
+
+// StreamSession recovers the session half of a StreamID.
+func StreamSession(id uint64) int { return int(id >> 32) }
+
+// StreamReceiver recovers the receiver half of a StreamID.
+func StreamReceiver(id uint64) int { return int(uint32(id)) }
+
+// receiversList resolves the effective receiver list: Receivers when
+// set (the multi-receiver form), else the single Receiver field as a
+// one-element list.
+func (s Spec) receiversList() ([]ReceiverSpec, error) {
+	if len(s.Receivers) == 0 {
+		return []ReceiverSpec{s.Receiver}, nil
+	}
+	if s.Receiver != (ReceiverSpec{}) {
+		return nil, errors.New("scenario: set receiver or receivers, not both")
+	}
+	return s.Receivers, nil
+}
+
 // Compile assembles the scenario into a link. It is deterministic:
-// the same spec compiles to an identical world every time.
+// the same spec compiles to an identical world every time. Specs with
+// a Receivers list must use CompileMulti.
 func (s Spec) Compile() (*Compiled, error) {
-	dev, err := s.Receiver.device()
+	m, err := s.CompileMulti()
 	if err != nil {
 		return nil, err
 	}
-	fs := s.Receiver.Fs
-	if fs == 0 {
-		fs = 1000
+	if len(m.Links) != 1 {
+		return nil, fmt.Errorf("scenario: spec %q compiles to %d links; use CompileMulti", s.Name, len(m.Links))
 	}
-	if s.Receiver.HeightM <= 0 {
-		return nil, errors.New("scenario: receiver height must be positive")
+	return &Compiled{Spec: s, Link: m.Links[0].Link, Packets: m.Packets}, nil
+}
+
+// CompileMulti assembles the scenario into one deterministic link per
+// receiver over a single shared world. Receiver 0 of a
+// single-receiver spec compiles bit-identically to the historical
+// Compile path; each further receiver gets an independent front-end
+// and noise stream (spec seed + index, unless overridden per
+// receiver) over the same scene.
+func (s Spec) CompileMulti() (*MultiCompiled, error) {
+	recs, err := s.receiversList()
+	if err != nil {
+		return nil, err
 	}
-	fov := s.Receiver.FoVDeg
-	if fov == 0 {
-		fov = dev.FoVHalfAngleDeg
+	type resolved struct {
+		dev  frontend.Receiver
+		geom channel.Receiver
+		fs   float64
 	}
-	rx := channel.Receiver{X: s.Receiver.X, Height: s.Receiver.HeightM, FoVHalfAngleDeg: fov}
+	res := make([]resolved, len(recs))
+	for i, r := range recs {
+		wrap := func(err error) error {
+			if len(recs) == 1 {
+				return err
+			}
+			return fmt.Errorf("scenario: receiver %d: %w", i, err)
+		}
+		dev, err := r.device()
+		if err != nil {
+			return nil, wrap(err)
+		}
+		if r.HeightM <= 0 {
+			return nil, wrap(errors.New("scenario: receiver height must be positive"))
+		}
+		fs := r.Fs
+		if fs == 0 {
+			fs = 1000
+		}
+		fov := r.FoVDeg
+		if fov == 0 {
+			fov = dev.FoVHalfAngleDeg
+		}
+		res[i] = resolved{
+			dev:  dev,
+			geom: channel.Receiver{X: r.X, Height: r.HeightM, FoVHalfAngleDeg: fov},
+			fs:   fs,
+		}
+	}
 
 	src, err := s.Optics.source()
 	if err != nil {
@@ -537,36 +661,71 @@ func (s Spec) Compile() (*Compiled, error) {
 	}
 	sc := scene.New(src, objs...)
 
-	fe, err := frontend.NewChain(dev, fs, s.Seed)
-	if err != nil {
-		return nil, err
-	}
-	nm, err := s.Noise.model(s.Seed)
-	if err != nil {
-		return nil, err
-	}
-	var fog *noise.Fog
-	if f := s.Noise.Fog; f != nil {
-		fog = &noise.Fog{Transmission: 1 - f.Density, ScatterLevel: f.ScatterLux}
-	}
-
+	// One shared simulation window: the duration either comes from
+	// the spec or is derived so every object's pass clears every
+	// receiver's footprint — all links render the same time span.
 	dur := s.DurationSec
 	if dur == 0 {
-		dur, err = autoDuration(objs, rx, s.T0Sec)
-		if err != nil {
-			return nil, err
+		for _, r := range res {
+			d, err := autoDuration(objs, r.geom, s.T0Sec)
+			if err != nil {
+				return nil, err
+			}
+			if d > dur {
+				dur = d
+			}
 		}
 	}
-	link := &core.Link{
-		Scene:    sc,
-		Receiver: rx,
-		Frontend: fe,
-		Noise:    nm,
-		Fog:      fog,
-		T0:       s.T0Sec,
-		Duration: dur,
+
+	links := make([]CompiledLink, len(recs))
+	for i, r := range recs {
+		wrap := func(err error) error {
+			if len(recs) == 1 {
+				return err
+			}
+			return fmt.Errorf("scenario: receiver %d: %w", i, err)
+		}
+		seed := s.Seed + int64(i)
+		if r.Seed != nil {
+			seed = *r.Seed
+		}
+		ns := s.Noise
+		if r.Noise != nil {
+			ns = *r.Noise
+		}
+		fe, err := frontend.NewChain(res[i].dev, res[i].fs, seed)
+		if err != nil {
+			return nil, wrap(err)
+		}
+		nm, err := ns.model(seed)
+		if err != nil {
+			return nil, wrap(err)
+		}
+		var fog *noise.Fog
+		if f := ns.Fog; f != nil {
+			fog = &noise.Fog{Transmission: 1 - f.Density, ScatterLevel: f.ScatterLux}
+		}
+		name := r.Name
+		if name == "" {
+			name = fmt.Sprintf("rx%d-%s", i, res[i].dev.Name)
+		}
+		links[i] = CompiledLink{
+			Index:    i,
+			StreamID: StreamID(0, i),
+			Name:     name,
+			Receiver: r,
+			Link: &core.Link{
+				Scene:    sc,
+				Receiver: res[i].geom,
+				Frontend: fe,
+				Noise:    nm,
+				Fog:      fog,
+				T0:       s.T0Sec,
+				Duration: dur,
+			},
+		}
 	}
-	return &Compiled{Spec: s, Link: link, Packets: packets}, nil
+	return &MultiCompiled{Spec: s, Links: links, Packets: packets}, nil
 }
 
 // Simulate compiles the scenario and renders its trace — the one-call

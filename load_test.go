@@ -1,0 +1,245 @@
+package passivelight
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestMultiLinkRxLanesAttribution is the acceptance lock for the
+// multi-receiver fan-out: the rx-lanes preset compiles to two
+// heterogeneous links that decode end to end through one Pipeline,
+// and every detection attributes back to its receiver via the stream
+// id.
+func TestMultiLinkRxLanesAttribution(t *testing.T) {
+	spec, err := ScenarioPreset("rx-lanes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Receivers) < 2 {
+		t.Fatalf("rx-lanes declares %d receivers, want >= 2", len(spec.Receivers))
+	}
+	src := NewMultiSource(spec).Chunked(2048)
+	pipe, err := NewPipeline(src, TwoPhase(), WithExpectedSymbols(spec.Decode.ExpectedSymbols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := pipe.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := src.Streams()
+	if len(streams) != len(spec.Receivers) {
+		t.Fatalf("%d streams for %d receivers", len(streams), len(spec.Receivers))
+	}
+	byStream := map[uint64][]string{}
+	for _, ev := range events {
+		if ev.Err != nil {
+			t.Fatalf("session %d event error: %v", ev.Session, ev.Err)
+		}
+		byStream[ev.Session] = append(byStream[ev.Session], ev.BitString())
+	}
+	for _, st := range streams {
+		if st.Session != 0 || ScenarioStreamReceiver(st.ID) != st.Receiver {
+			t.Fatalf("stream %s keyed (%d,%d) id=%d", st.Name, st.Session, st.Receiver, st.ID)
+		}
+		got := byStream[st.ID]
+		if len(got) != len(st.Packets) {
+			t.Fatalf("receiver %s decoded %d packets (%v), scene encodes %d", st.Name, len(got), got, len(st.Packets))
+		}
+		for i, want := range st.Packets {
+			if got[i] != want.Packet.BitString() {
+				t.Fatalf("receiver %s packet %d: decoded %q, want %q", st.Name, i, got[i], want.Packet.BitString())
+			}
+		}
+	}
+}
+
+// TestLoadSourceFleetThroughPipeline: a fleet-load expansion streams
+// sessions × receivers through one pipeline, and every staggered
+// session's packet comes back attributed to its session index.
+func TestLoadSourceFleetThroughPipeline(t *testing.T) {
+	load, err := ScenarioLoadPreset("fleet-load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	load.Sessions = 12
+	src := NewLoadSource(load)
+	pipe, err := NewPipeline(src, Threshold(), WithExpectedSymbols(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := pipe.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded := map[int][]string{}
+	for _, ev := range events {
+		if ev.Err != nil {
+			t.Fatalf("session %d event error: %v", ev.Session, ev.Err)
+		}
+		decoded[ScenarioStreamSession(ev.Session)] = append(decoded[ScenarioStreamSession(ev.Session)], ev.BitString())
+	}
+	streams := src.Streams()
+	if len(streams) != load.Sessions {
+		t.Fatalf("%d streams for %d sessions", len(streams), load.Sessions)
+	}
+	for _, st := range streams {
+		got := decoded[st.Session]
+		if len(got) != len(st.Packets) {
+			t.Fatalf("session %d (%s): decoded %v, want %d packets", st.Session, st.Scenario, got, len(st.Packets))
+		}
+		for i, want := range st.Packets {
+			if got[i] != want.Packet.BitString() {
+				t.Fatalf("session %d packet %d: decoded %q, want %q", st.Session, i, got[i], want.Packet.BitString())
+			}
+		}
+	}
+	if st := pipe.Stats(); st.Detections != int64(load.Sessions) {
+		t.Fatalf("engine counted %d detections for %d sessions", st.Detections, load.Sessions)
+	}
+}
+
+// TestLoadOversubscriptionSurfacesTableFull: a fleet larger than
+// WithMaxSessions with eviction disabled must fail loudly — the
+// ErrSessionTableFull sentinel unwraps from Pipeline.Err and the
+// engine counters record the rejected feed.
+func TestLoadOversubscriptionSurfacesTableFull(t *testing.T) {
+	load, err := ScenarioLoadPreset("fleet-load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	load.Sessions = 12
+	const maxSessions = 4
+	src := NewLoadSource(load)
+	pipe, err := NewPipeline(src, Threshold(),
+		WithExpectedSymbols(8),
+		WithMaxSessions(maxSessions),
+		WithIdleTimeout(-1), // no eviction: the table can only grow
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Run(context.Background()); err == nil {
+		t.Fatal("oversubscribed fleet should fail the pipeline")
+	}
+	if err := pipe.Err(); !errors.Is(err, ErrSessionTableFull) {
+		t.Fatalf("pipeline error %v, want ErrSessionTableFull", err)
+	}
+	st := pipe.Stats()
+	if st.Sessions > maxSessions {
+		t.Fatalf("engine tracks %d sessions past the %d cap", st.Sessions, maxSessions)
+	}
+	if st.DroppedSamples == 0 {
+		t.Fatal("rejected feed should count dropped samples")
+	}
+}
+
+// pacedSource delays each stream hand-off so the engine's idle
+// janitor gets wall-clock room to evict finished sessions between
+// staggered arrivals.
+type pacedSource struct {
+	Source
+	delay time.Duration
+}
+
+func (p pacedSource) Next(ctx context.Context) (SourceChunk, error) {
+	chunk, err := p.Source.Next(ctx)
+	if err == nil && chunk.Reset {
+		time.Sleep(p.delay)
+	}
+	return chunk, err
+}
+
+// TestLoadEvictionKeepsFleetFlowing: with idle eviction enabled, a
+// fleet far larger than the session table flows through — finished
+// sessions are evicted between staggered arrivals (Stats().Evicted
+// counts them), the table never overflows, and every packet still
+// decodes. The Reset chunk each new stream leads with exercises the
+// pipeline's evicted-session tolerance (EndSession on an unknown or
+// evicted id must not fail the run).
+func TestLoadEvictionKeepsFleetFlowing(t *testing.T) {
+	load, err := ScenarioLoadPreset("fleet-load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	load.Sessions = 12
+	const maxSessions = 3
+	src := NewLoadSource(load).Window(1) // sessions arrive one after another
+	pipe, err := NewPipeline(pacedSource{Source: src, delay: 40 * time.Millisecond}, Threshold(),
+		WithExpectedSymbols(8),
+		WithMaxSessions(maxSessions),
+		WithIdleTimeout(5*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := pipe.Run(context.Background())
+	if err != nil {
+		t.Fatalf("evicting fleet should flow: %v", err)
+	}
+	got := 0
+	for _, ev := range events {
+		if ev.Err != nil {
+			t.Fatalf("session %d event error: %v", ev.Session, ev.Err)
+		}
+		got++
+	}
+	if got != load.Sessions {
+		t.Fatalf("decoded %d of %d sessions", got, load.Sessions)
+	}
+	st := pipe.Stats()
+	if st.Evicted == 0 {
+		t.Fatal("idle janitor evicted nothing; the fleet must have overflowed the table instead")
+	}
+	if st.DroppedSamples != 0 {
+		t.Fatalf("dropped %d samples", st.DroppedSamples)
+	}
+}
+
+// TestStopAndGoClassifiesThroughPipeline drives the stop-and-go
+// preset (mid-packet dwell) through a DTWClassify pipeline: the event
+// carries the correct nearest-baseline label even though the dwell
+// defeats plain threshold slicing.
+func TestStopAndGoClassifiesThroughPipeline(t *testing.T) {
+	cls := NewClassifier(256)
+	for i, payload := range []string{"00", "10"} {
+		link, _, err := (IndoorBench{
+			Height: 0.20, SymbolWidth: 0.03, Speed: 0.08,
+			Payload: payload, Seed: int64(10 + i),
+		}).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := link.Simulate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cls.AddBaseline(payload, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec, err := ScenarioPreset("stop-and-go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Decode.Strategy != "dtw" {
+		t.Fatalf("stop-and-go declares strategy %q, want dtw", spec.Decode.Strategy)
+	}
+	src := NewScenarioSource(spec).Chunked(1024)
+	pipe, err := NewPipeline(src, DTWClassify(cls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := pipe.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Err != nil {
+		t.Fatalf("expected one clean classification event, got %+v", events)
+	}
+	if want := src.Packets()[0].Packet.BitString(); events[0].Label != want {
+		t.Fatalf("classified %q, want %q (matches %v)", events[0].Label, want, events[0].Matches)
+	}
+}

@@ -83,6 +83,24 @@ func DTWClassify(c *Classifier) Strategy {
 	return Strategy{kind: strategyDTW, classifier: c}
 }
 
+// StrategyForScenario maps a scenario's decode hint onto a pipeline
+// strategy. Only the streaming hints are data-only: "threshold" and
+// "two-phase" resolve directly. "collision" and "dtw" need options or
+// a baseline database (build Collision/DTWClassify yourself), and
+// "shape"/"none" have no pipeline form — those return an error naming
+// the hint, so generic drivers (plsim -load, plnet -mode load) fail
+// with the same message.
+func StrategyForScenario(decode ScenarioDecode) (Strategy, error) {
+	switch decode.Strategy {
+	case "threshold":
+		return Threshold(), nil
+	case "two-phase":
+		return TwoPhase(), nil
+	default:
+		return Strategy{}, fmt.Errorf("passivelight: decode hint %q has no data-only pipeline strategy (want threshold | two-phase)", decode.Strategy)
+	}
+}
+
 func (s Strategy) String() string {
 	switch s.kind {
 	case strategyThreshold:

@@ -3,11 +3,39 @@ package passivelight
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"testing"
 	"time"
 
 	"passivelight/internal/rxnet"
 )
+
+// synthPacketStream synthesizes one session's observation (quiet,
+// packet, quiet) for network streaming tests.
+func synthPacketStream(payload string, fs float64, seed int64) []float64 {
+	const high, low, baseline = 90.0, 12.0, 10.0
+	rng := rand.New(rand.NewSource(seed))
+	gap := int(2.0 * fs)
+	perSymbol := int(0.2 * fs)
+	var out []float64
+	quiet := func(n int) {
+		for i := 0; i < n; i++ {
+			out = append(out, baseline+0.3*rng.NormFloat64())
+		}
+	}
+	quiet(gap)
+	for _, s := range MustPacket(payload).Symbols() {
+		level := low
+		if s == High {
+			level = high
+		}
+		for i := 0; i < perSymbol; i++ {
+			out = append(out, level+0.3*rng.NormFloat64())
+		}
+	}
+	quiet(gap)
+	return out
+}
 
 // testTrace renders the standard indoor '10' pass.
 func testTrace(t *testing.T) (*Trace, Packet) {
@@ -305,7 +333,7 @@ func TestPipelineNetSource(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	stream := engineBenchStream("1001", 1000, 3)
+	stream := synthPacketStream("1001", 1000, 3)
 	node, err := rxnet.Dial(ctx, src.Addr(), rxnet.Hello{NodeID: 9, PosX: 1, Height: 0.75, Name: "pole-9"})
 	if err != nil {
 		t.Fatal(err)

@@ -68,6 +68,33 @@ func TestScenarioPresetsThroughPipelines(t *testing.T) {
 			continue // shape-only presets are covered in internal/scenario
 		}
 		t.Run(e.Name, func(t *testing.T) {
+			if len(spec.Receivers) > 0 {
+				// Multi-receiver preset: all links through one pipeline,
+				// one event per (receiver, packet).
+				src := NewMultiSource(spec)
+				pipe, err := NewPipeline(src, strat, WithExpectedSymbols(spec.Decode.ExpectedSymbols))
+				if err != nil {
+					t.Fatal(err)
+				}
+				events, err := pipe.Run(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				streams := src.Streams()
+				perStream := map[uint64]int{}
+				for _, ev := range events {
+					if ev.Err != nil {
+						t.Fatalf("event error: %v", ev.Err)
+					}
+					perStream[ev.Session]++
+				}
+				for _, st := range streams {
+					if got := perStream[st.ID]; got != len(st.Packets) {
+						t.Fatalf("receiver %s: %d events for %d packets", st.Name, got, len(st.Packets))
+					}
+				}
+				return
+			}
 			src := NewScenarioSource(spec)
 			pipe, err := NewPipeline(src, strat, WithExpectedSymbols(spec.Decode.ExpectedSymbols))
 			if err != nil {

@@ -309,6 +309,244 @@ func (s *SimSource) Link() *Link { return s.link }
 // WithReceiverAutoSelect (empty without it).
 func (s *SimSource) Receiver() string { return s.receiverTag }
 
+// MultiStream identifies one link of an opened MultiSource: which
+// load session and which receiver of the compiled scenario the
+// stream id stands for. Pipeline events carry the stream id in
+// Event.Session, so detections attribute back through this table.
+type MultiStream struct {
+	// ID is the stream id chunks carry (ScenarioStreamID(Session,
+	// Receiver)).
+	ID uint64
+	// Session is the load session index (0 for NewMultiSource).
+	Session int
+	// Receiver is the receiver index within the scenario.
+	Receiver int
+	// Name labels the receiver ("pole-led", "rx0-pd-G1", ...).
+	Name string
+	// Scenario is the per-session spec name.
+	Scenario string
+	// Packets are the payloads physically present in the stream's
+	// world, in object order.
+	Packets []ScenarioPacket
+}
+
+// multiStream is one link's replay state.
+type multiStream struct {
+	info MultiStream
+	link *Link
+	fs   float64
+	tr   *Trace
+	pos  int
+}
+
+// MultiSource compiles a multi-receiver scenario (NewMultiSource) or
+// an expanded Load (NewLoadSource) into N deterministic links and
+// replays them as one interleaved multi-session stream: every chunk
+// carries its link's stream id, so one Pipeline decodes the whole
+// receiver network (or fleet) concurrently and events attribute back
+// to (session, receiver) via ScenarioStreamSession /
+// ScenarioStreamReceiver. Links render lazily as their replay starts;
+// Window bounds how many are live at once.
+type MultiSource struct {
+	name   string
+	build  func() ([]*multiStream, error)
+	chunk  int
+	window int
+
+	streams []*multiStream
+	active  []*multiStream
+	next    int // streams[next] is admitted when an active one ends
+	cursor  int
+}
+
+// NewMultiSource compiles a declarative scenario into one link per
+// receiver (CompileMulti) and replays all links through one pipeline.
+// Single-receiver scenarios work too (one stream); use
+// NewScenarioSource when you want the single-link extras
+// (auto-select, Customize).
+func NewMultiSource(spec Scenario) *MultiSource {
+	s := &MultiSource{name: "multi"}
+	if spec.Name != "" {
+		s.name = spec.Name
+	}
+	s.build = func() ([]*multiStream, error) {
+		m, err := spec.CompileMulti()
+		if err != nil {
+			return nil, err
+		}
+		return multiStreams(m, 0), nil
+	}
+	return s
+}
+
+// NewLoadSource expands a load spec into its staggered per-session
+// scenarios, compiles every session's receiver links, and replays
+// sessions × receivers streams into one pipeline — spec-driven load
+// generation for engine-scale runs.
+func NewLoadSource(load ScenarioLoad) *MultiSource {
+	s := &MultiSource{name: "load"}
+	if load.Name != "" {
+		s.name = load.Name
+	}
+	s.build = func() ([]*multiStream, error) {
+		specs, err := load.Expand()
+		if err != nil {
+			return nil, err
+		}
+		var out []*multiStream
+		for k, spec := range specs {
+			m, err := spec.CompileMulti()
+			if err != nil {
+				return nil, fmt.Errorf("passivelight: load session %d: %w", k, err)
+			}
+			out = append(out, multiStreams(m, k)...)
+		}
+		return out, nil
+	}
+	return s
+}
+
+// multiStreams keys one compiled scenario's links under a session
+// index.
+func multiStreams(m *ScenarioMultiWorld, session int) []*multiStream {
+	out := make([]*multiStream, len(m.Links))
+	for i, l := range m.Links {
+		// The front-end chain carries the compile-resolved sample
+		// rate, so chunks always declare the rate the trace actually
+		// renders at.
+		fs := l.Link.Frontend.Fs
+		out[i] = &multiStream{
+			info: MultiStream{
+				ID:       ScenarioStreamID(session, l.Index),
+				Session:  session,
+				Receiver: l.Index,
+				Name:     l.Name,
+				Scenario: m.Spec.Name,
+				Packets:  m.Packets,
+			},
+			link: l.Link,
+			fs:   fs,
+		}
+	}
+	return out
+}
+
+// Chunked sets the replay chunk size in samples (<= 0 keeps the
+// default 1024). Returns the source for chaining.
+func (s *MultiSource) Chunked(size int) *MultiSource {
+	if size > 0 {
+		s.chunk = size
+	}
+	return s
+}
+
+// Window bounds how many streams replay concurrently (0, the default,
+// replays all at once): earlier sessions finish before later ones are
+// admitted, modeling a fleet arriving over time and bounding the
+// rendered-trace memory to the window.
+func (s *MultiSource) Window(n int) *MultiSource {
+	s.window = n
+	return s
+}
+
+// Open implements Source: compile every link. Rendering is lazy (a
+// link simulates when its replay starts).
+func (s *MultiSource) Open(ctx context.Context) (SourceInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return SourceInfo{}, err
+	}
+	streams, err := s.build()
+	if err != nil {
+		return SourceInfo{}, err
+	}
+	if len(streams) == 0 {
+		return SourceInfo{}, errors.New("passivelight: multi source compiled no links")
+	}
+	if s.chunk <= 0 {
+		s.chunk = 1024
+	}
+	s.streams = streams
+	window := s.window
+	if window <= 0 || window > len(streams) {
+		window = len(streams)
+	}
+	s.active = append([]*multiStream(nil), streams[:window]...)
+	s.next = window
+	s.cursor = 0
+	// Chunks always carry their own rate (links may sample at
+	// different rates); declare the common one when it exists.
+	info := SourceInfo{Fs: streams[0].fs, Name: s.name}
+	for _, st := range streams {
+		if st.fs != info.Fs {
+			info.Fs = 0
+			break
+		}
+	}
+	return info, nil
+}
+
+// Next implements Source: round-robin one chunk per live stream. The
+// first chunk of every stream is a Reset, so re-used stream ids (or
+// engine-evicted sessions) start a fresh decode epoch.
+func (s *MultiSource) Next(ctx context.Context) (SourceChunk, error) {
+	if err := ctx.Err(); err != nil {
+		return SourceChunk{}, err
+	}
+	if s.streams == nil {
+		return SourceChunk{}, errors.New("passivelight: source not opened")
+	}
+	if len(s.active) == 0 {
+		return SourceChunk{}, io.EOF
+	}
+	if s.cursor >= len(s.active) {
+		s.cursor = 0
+	}
+	st := s.active[s.cursor]
+	if st.tr == nil {
+		tr, err := st.link.Simulate()
+		if err != nil {
+			return SourceChunk{}, fmt.Errorf("passivelight: stream %d (%s): %w", st.info.ID, st.info.Name, err)
+		}
+		st.tr = tr
+	}
+	hi := st.pos + s.chunk
+	if hi > st.tr.Len() {
+		hi = st.tr.Len()
+	}
+	out := SourceChunk{
+		Session: st.info.ID,
+		Fs:      st.fs,
+		Samples: st.tr.Samples[st.pos:hi],
+		Reset:   st.pos == 0,
+	}
+	st.pos = hi
+	if st.pos >= st.tr.Len() {
+		// Stream done: release the trace, admit the next pending one.
+		st.tr = nil
+		s.active = append(s.active[:s.cursor], s.active[s.cursor+1:]...)
+		if s.next < len(s.streams) {
+			s.active = append(s.active, s.streams[s.next])
+			s.next++
+		}
+	} else {
+		s.cursor++
+	}
+	return out, nil
+}
+
+// Close implements Source.
+func (s *MultiSource) Close() error { return nil }
+
+// Streams describes every link of the source, in replay-admission
+// order. Valid after the pipeline opened the source.
+func (s *MultiSource) Streams() []MultiStream {
+	out := make([]MultiStream, len(s.streams))
+	for i, st := range s.streams {
+		out[i] = st.info
+	}
+	return out
+}
+
 // ChunkSource adapts a live feed: the producer sends SourceChunks on
 // a channel (closing it to signal end of stream), the pipeline pulls
 // them. Chunks may carry per-session ids and rates, so one ChunkSource
