@@ -1,6 +1,8 @@
 package passivelight
 
 import (
+	"net/http"
+
 	"passivelight/internal/capacity"
 	"passivelight/internal/coding"
 	"passivelight/internal/core"
@@ -8,6 +10,7 @@ import (
 	"passivelight/internal/frontend"
 	"passivelight/internal/scenario"
 	"passivelight/internal/stream"
+	"passivelight/internal/telemetry"
 	"passivelight/internal/trace"
 )
 
@@ -278,6 +281,40 @@ func NewStreamDecoder(cfg StreamConfig) (*StreamDecoder, error) { return stream.
 // source (ListenSource, NewChunkSource) instead of driving the engine
 // directly.
 func NewStreamEngine(cfg StreamEngineConfig) (*StreamEngine, error) { return stream.NewEngine(cfg) }
+
+// Telemetry is a metrics registry: named counters, gauges and
+// latency histograms that render as Prometheus text or JSON. Pass one
+// to a pipeline with WithTelemetry (and to ListenSourceConfig for
+// ingest metrics); serve it live with TelemetryHandler. Registration
+// is get-or-create, so one registry can be shared across every layer
+// of a process.
+type Telemetry = telemetry.Registry
+
+// NewTelemetry builds an empty metrics registry.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// TelemetryHealth aggregates named degradation checks for the
+// /healthz endpoint served by TelemetryHandler.
+type TelemetryHealth = telemetry.Health
+
+// NewTelemetryHealth builds an empty health check set (always
+// healthy until checks are added).
+func NewTelemetryHealth() *TelemetryHealth { return telemetry.NewHealth() }
+
+// TelemetrySnapshot is the JSON form of a Telemetry registry.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// TelemetryHistogram is a point-in-time distribution summary
+// (count/sum/min/max plus p50/p90/p99) — the schema shared by the
+// /metrics.json endpoint and benchdump's committed BENCH files.
+type TelemetryHistogram = telemetry.HistogramSnapshot
+
+// TelemetryHandler serves a registry over HTTP: /metrics (Prometheus
+// text), /metrics.json (TelemetrySnapshot), /healthz (200 "ok" or
+// 503 "degraded" per the health checks). health may be nil.
+func TelemetryHandler(t *Telemetry, health *TelemetryHealth) http.Handler {
+	return telemetry.Handler(t, health)
+}
 
 // CapacitySweep is the configuration for decodable-region and
 // throughput measurements (Fig. 6).

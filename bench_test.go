@@ -20,6 +20,7 @@ import (
 	"passivelight/internal/channel"
 	"passivelight/internal/experiments"
 	"passivelight/internal/frontend"
+	"passivelight/internal/telemetry"
 )
 
 func benchRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
@@ -393,6 +394,12 @@ func fleetLoadStreams(b *testing.B, sessions int) fleetStreams {
 // throughput. shards 0 selects the engine's auto (GOMAXPROCS-bound)
 // sharding; workers is forced to cover every shard so a shard sweep
 // on a small box still exercises N independent queues.
+//
+// The run records into a telemetry registry (so the measured cost
+// includes live instrumentation, keeping the committed baselines
+// honest about production overhead) and reports the detection-latency
+// quantiles as custom bench metrics, which benchdump folds back into
+// a HistogramSnapshot in the committed BENCH files.
 func engineBenchRun(b *testing.B, sessions, shards int) {
 	b.Helper()
 	fleet := fleetLoadStreams(b, sessions)
@@ -404,6 +411,7 @@ func engineBenchRun(b *testing.B, sessions, shards int) {
 	if shards > 0 {
 		workers = max(shards, runtime.GOMAXPROCS(0))
 	}
+	tel := telemetry.NewRegistry()
 	b.SetBytes(int64(8 * total))
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -413,6 +421,7 @@ func engineBenchRun(b *testing.B, sessions, shards int) {
 			Workers:     workers,
 			Shards:      shards,
 			IdleTimeout: -1,
+			Metrics:     tel,
 		})
 		benchErr(b, err)
 		done := make(chan int)
@@ -452,6 +461,16 @@ func engineBenchRun(b *testing.B, sessions, shards int) {
 		if st.BufferedSamples > int64(sessions)*4000 {
 			b.Fatalf("buffered %d samples across %d sessions", st.BufferedSamples, sessions)
 		}
+	}
+	b.StopTimer()
+	// Latency quantiles accumulate across all iterations' engines (the
+	// histogram series is shared through the registry).
+	if lat := tel.Histogram("pl_engine_detection_latency_ns", "").Snapshot(); lat.Count > 0 {
+		b.ReportMetric(lat.P50, "lat-p50-ns")
+		b.ReportMetric(lat.P90, "lat-p90-ns")
+		b.ReportMetric(lat.P99, "lat-p99-ns")
+		b.ReportMetric(float64(lat.Max), "lat-max-ns")
+		b.ReportMetric(float64(lat.Count), "lat-count")
 	}
 }
 

@@ -21,6 +21,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"passivelight/internal/telemetry"
 )
 
 // Result is one parsed benchmark line.
@@ -32,6 +34,14 @@ type Result struct {
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units the schema has no
+	// dedicated field for.
+	Extra map[string]float64 `json:"extra,omitempty"`
+	// Latency is the detection-latency distribution reconstructed from
+	// the engine benchmarks' lat-* metrics — the same HistogramSnapshot
+	// schema the live /metrics.json endpoint serves, so committed
+	// baselines diff directly against production telemetry.
+	Latency *telemetry.HistogramSnapshot `json:"latency,omitempty"`
 }
 
 // Dump is the file schema.
@@ -154,10 +164,38 @@ func parseBenchLine(line string) (Result, bool) {
 			r.BytesPerOp = v
 		case "allocs/op":
 			r.AllocsPerOp = v
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[fields[i+1]] = v
 		}
 	}
 	if r.NsPerOp == 0 {
 		return Result{}, false
 	}
+	r.foldLatency()
 	return r, true
+}
+
+// foldLatency lifts the engine benchmarks' lat-* custom metrics out of
+// Extra into a HistogramSnapshot.
+func (r *Result) foldLatency() {
+	count, ok := r.Extra["lat-count"]
+	if !ok || count <= 0 {
+		return
+	}
+	r.Latency = &telemetry.HistogramSnapshot{
+		Count: int64(count),
+		Max:   int64(r.Extra["lat-max-ns"]),
+		P50:   r.Extra["lat-p50-ns"],
+		P90:   r.Extra["lat-p90-ns"],
+		P99:   r.Extra["lat-p99-ns"],
+	}
+	for _, k := range []string{"lat-count", "lat-max-ns", "lat-p50-ns", "lat-p90-ns", "lat-p99-ns"} {
+		delete(r.Extra, k)
+	}
+	if len(r.Extra) == 0 {
+		r.Extra = nil
+	}
 }

@@ -13,6 +13,10 @@
 //	                            # replay a scenario load spec as
 //	                            # synthetic node traffic: each session
 //	                            # is one node, each receiver one stream
+//	plnet -mode load -sessions 16 -metrics-addr :9090 -linger 5m
+//	                            # same, with live /metrics,
+//	                            # /metrics.json and /healthz; -linger
+//	                            # keeps the endpoint up after the run
 //
 // Stream mode is built on the unified Pipeline API: a NetSource
 // accepts the nodes' raw chunk streams, a TwoPhase pipeline decodes
@@ -34,6 +38,7 @@ import (
 	"passivelight"
 	"passivelight/internal/rxnet"
 	"passivelight/internal/scenario"
+	"passivelight/internal/telemetry"
 )
 
 func main() {
@@ -51,6 +56,8 @@ func main() {
 		shards   = flag.Int("shards", 0, "engine shard count (stream and load modes; 0 = min(workers, GOMAXPROCS))")
 		loadName = flag.String("load", "fleet-load", "load-registry preset to replay (load mode)")
 		sessions = flag.Int("sessions", 16, "session count to expand the load to (load mode; 0 keeps the preset's)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /healthz on this address (stream and load modes)")
+		linger   = flag.Duration("linger", 0, "keep the metrics endpoint alive this long after a stream/load run completes")
 	)
 	flag.Parse()
 	// One signal-handling context for every mode: Ctrl-C propagates
@@ -75,9 +82,9 @@ func main() {
 	case "demo":
 		err = runDemo(ctx)
 	case "stream":
-		err = runStream(ctx, *nodes, *chunk, *payload, *workers, *shards)
+		err = runStream(ctx, newObs(*metrics, *linger), *nodes, *chunk, *payload, *workers, *shards)
 	case "load":
-		err = runLoad(ctx, *loadName, *sessions, *chunk, *workers, *shards)
+		err = runLoad(ctx, newObs(*metrics, *linger), *loadName, *sessions, *chunk, *workers, *shards)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -185,10 +192,11 @@ func observe(ctx context.Context, payload string, seed int64) (rxnet.Detection, 
 // chunks to a NetSource; one TwoPhase pipeline decodes every stream
 // server-side and its sink feeds the aggregator's track fusion — the
 // paper's testbed inverted, with all DSP at the pipeline.
-func runStream(ctx context.Context, nodeCount, chunkSize int, payload string, workers, shards int) error {
+func runStream(ctx context.Context, mon *obs, nodeCount, chunkSize int, payload string, workers, shards int) error {
 	if nodeCount < 2 {
 		return fmt.Errorf("stream mode needs at least 2 nodes to fuse a track, got %d", nodeCount)
 	}
+	rootCtx := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -196,7 +204,7 @@ func runStream(ctx context.Context, nodeCount, chunkSize int, payload string, wo
 	agg := rxnet.NewAggregator(rxnet.AggregatorOptions{Logf: rxnet.StdLogf, TrackGap: time.Minute})
 	defer agg.Close()
 
-	src, err := passivelight.ListenSource("127.0.0.1:0")
+	src, err := passivelight.ListenSourceConfig("127.0.0.1:0", passivelight.NetSourceConfig{Telemetry: mon.registry()})
 	if err != nil {
 		return err
 	}
@@ -205,6 +213,7 @@ func runStream(ctx context.Context, nodeCount, chunkSize int, payload string, wo
 		passivelight.WithExpectedSymbols(4+2*len(payload)),
 		passivelight.WithWorkers(workers),
 		passivelight.WithShards(shards),
+		passivelight.WithTelemetry(mon.registry()),
 		passivelight.WithSink(func(ev passivelight.Event) {
 			if ev.Err != nil {
 				fmt.Printf("stream session %d segment [%d,%d): %v\n", ev.Session, ev.Start, ev.End, ev.Err)
@@ -233,6 +242,10 @@ func runStream(ctx context.Context, nodeCount, chunkSize int, payload string, wo
 		}
 		close(drained)
 	}()
+	if err := mon.serve(pipe, src); err != nil {
+		return err
+	}
+	defer mon.close()
 	fmt.Println("streaming decode pipeline on", src.Addr())
 
 	var sent int64
@@ -315,6 +328,7 @@ func runStream(ctx context.Context, nodeCount, chunkSize int, payload string, wo
 				rxnet.BitsString(t.ObjectBits), t.Confirmations, t.FirstNode, t.LastNode)
 			cancel()
 			<-drained
+			mon.wait(rootCtx)
 			return pipelineErr(pipe.Err())
 		}
 		if time.Now().After(deadline) {
@@ -329,7 +343,7 @@ func runStream(ctx context.Context, nodeCount, chunkSize int, payload string, wo
 // each of its compiled links' rendered traces chunk by chunk, so the
 // server-side pipeline sees exactly the fleet the spec describes —
 // spec-driven scale testing of the networked decode path.
-func runLoad(ctx context.Context, loadName string, sessions, chunkSize, workers, shards int) error {
+func runLoad(ctx context.Context, mon *obs, loadName string, sessions, chunkSize, workers, shards int) error {
 	load, err := scenario.GetLoad(loadName)
 	if err != nil {
 		return err
@@ -346,9 +360,10 @@ func runLoad(ctx context.Context, loadName string, sessions, chunkSize, workers,
 		return err
 	}
 
+	rootCtx := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	src, err := passivelight.ListenSource("127.0.0.1:0")
+	src, err := passivelight.ListenSourceConfig("127.0.0.1:0", passivelight.NetSourceConfig{Telemetry: mon.registry()})
 	if err != nil {
 		return err
 	}
@@ -357,6 +372,7 @@ func runLoad(ctx context.Context, loadName string, sessions, chunkSize, workers,
 		passivelight.WithExpectedSymbols(specs[0].Decode.ExpectedSymbols),
 		passivelight.WithWorkers(workers),
 		passivelight.WithShards(shards),
+		passivelight.WithTelemetry(mon.registry()),
 		passivelight.WithSink(func(ev passivelight.Event) {
 			if ev.Err != nil {
 				undecodable.Add(1)
@@ -378,6 +394,10 @@ func runLoad(ctx context.Context, loadName string, sessions, chunkSize, workers,
 		}
 		close(drained)
 	}()
+	if err := mon.serve(pipe, src); err != nil {
+		return err
+	}
+	defer mon.close()
 	fmt.Printf("load replay %s: %d sessions into pipeline on %s\n", load.Name, len(specs), src.Addr())
 
 	start := time.Now()
@@ -465,7 +485,95 @@ func runLoad(ctx context.Context, loadName string, sessions, chunkSize, workers,
 	if decoded.Load() == 0 {
 		return fmt.Errorf("load replay decoded nothing")
 	}
+	mon.wait(rootCtx)
 	return pipelineErr(pipe.Err())
+}
+
+// obs is the optional observability surface of the stream and load
+// modes: one registry shared by the chunk listener, the pipeline and
+// a live HTTP endpoint, plus the /healthz degradation checks.
+type obs struct {
+	addr   string
+	linger time.Duration
+	tel    *passivelight.Telemetry
+	srv    *telemetry.Server
+}
+
+// newObs builds the surface when -metrics-addr is set; nil otherwise
+// (every method no-ops on a nil receiver).
+func newObs(addr string, linger time.Duration) *obs {
+	if addr == "" {
+		return nil
+	}
+	return &obs{addr: addr, linger: linger, tel: passivelight.NewTelemetry()}
+}
+
+// registry returns the shared registry (nil when metrics are off —
+// the pipeline and source treat nil as "no telemetry").
+func (o *obs) registry() *passivelight.Telemetry {
+	if o == nil {
+		return nil
+	}
+	return o.tel
+}
+
+// serve starts the metrics endpoint once the pipeline and source
+// exist, wiring two /healthz checks: "drops" degrades when any drop
+// counter (engine samples/detections/flattened, listener chunks) grew
+// since the previous probe, and "sessions" degrades when the session
+// table is full.
+func (o *obs) serve(pipe *passivelight.Pipeline, src *passivelight.NetSource) error {
+	if o == nil {
+		return nil
+	}
+	health := passivelight.NewTelemetryHealth()
+	var lastDrops atomic.Int64
+	health.AddCheck("drops", func() (bool, string) {
+		st := pipe.Stats()
+		total := st.DroppedSamples + st.DroppedDetections + st.DroppedFlattened + src.DroppedChunks()
+		prev := lastDrops.Swap(total)
+		if total > prev {
+			return false, fmt.Sprintf("%d dropped (+%d since last probe)", total, total-prev)
+		}
+		return true, ""
+	})
+	health.AddCheck("sessions", func() (bool, string) {
+		// plnet never overrides WithMaxSessions, so the engine's
+		// default table bound applies.
+		const sessionLimit = 65536
+		if st := pipe.Stats(); st.Sessions >= sessionLimit {
+			return false, fmt.Sprintf("session table full (%d/%d)", st.Sessions, sessionLimit)
+		}
+		return true, ""
+	})
+	srv, err := telemetry.StartServer(o.addr, o.tel, health)
+	if err != nil {
+		return err
+	}
+	o.srv = srv
+	fmt.Println("metrics on http://" + srv.Addr())
+	return nil
+}
+
+// wait keeps the metrics endpoint up for the linger window after a
+// completed run, so scrapes and health probes can read the final
+// counters before the process exits.
+func (o *obs) wait(ctx context.Context) {
+	if o == nil || o.srv == nil || o.linger <= 0 {
+		return
+	}
+	fmt.Printf("metrics endpoint lingering for %s\n", o.linger)
+	select {
+	case <-time.After(o.linger):
+	case <-ctx.Done():
+	}
+}
+
+// close stops the metrics endpoint.
+func (o *obs) close() {
+	if o != nil && o.srv != nil {
+		o.srv.Close()
+	}
 }
 
 // pipelineErr strips the expected cancellation from a pipeline

@@ -178,6 +178,29 @@
 // parallelism; multi-core boxes add near-linear shard scaling on the
 // ingest path.
 //
+// # Observability
+//
+// WithTelemetry attaches a metrics registry (NewTelemetry) to a
+// pipeline: the engine records its session/throughput/drop counters,
+// ring occupancy and per-decode-step duration histogram under
+// pl_engine_*, and the pipeline records per-strategy event counts and
+// a detection-latency histogram (chunk arrival → event emit) under
+// pl_pipeline_*{strategy="..."}. ListenSourceConfig wires the same
+// registry into the receiver-network listener (per-node ingest bytes,
+// frame errors, queue depth, dropped chunks under pl_rxnet_*), and
+// NetSourceConfig{QueueDepth, DropOnFull} bounds the ingest queue —
+// lossless TCP backpressure by default, counted drops when opted in.
+//
+// The registry renders Prometheus text exposition and JSON;
+// TelemetryHandler serves both plus a /healthz endpoint driven by
+// TelemetryHealth checks. Histograms are log-bucketed (HDR-style,
+// ~6% worst-case quantile error) and every recording is a single
+// atomic add, so telemetry can stay attached under production load;
+// with no registry attached the hot paths skip instrumentation
+// entirely. cmd/plnet serves a live endpoint via -metrics-addr, and
+// cmd/benchdump embeds the same TelemetryHistogram schema in
+// committed BENCH baselines.
+//
 // # Deprecated free functions
 //
 // The pre-Pipeline entry points (Decode, DecodeCarPass,

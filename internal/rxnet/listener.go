@@ -2,9 +2,13 @@ package rxnet
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"passivelight/internal/telemetry"
 )
 
 // ChunkEvent is one raw-sample delivery surfaced by a ChunkListener:
@@ -35,41 +39,114 @@ type ChunkEvent struct {
 // node registration; Detection frames are rejected (nodes that decode
 // locally should talk to an Aggregator instead).
 type ChunkListener struct {
-	ln     net.Listener
-	out    chan ChunkEvent
-	hellos chan Hello
-	logf   func(format string, args ...any)
+	ln         net.Listener
+	out        chan ChunkEvent
+	hellos     chan Hello
+	logf       func(format string, args ...any)
+	dropOnFull bool
+	dropped    atomic.Int64
 
-	mu      sync.Mutex
-	cursors map[uint64]*chunkCursor
+	mu       sync.Mutex
+	cursors  map[uint64]*chunkCursor
+	reg      *telemetry.Registry
+	frameErr *telemetry.Counter
+	nodeTel  map[uint32]*telemetry.Counter
 
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
 }
 
+// ChunkListenerConfig tunes a ChunkListener beyond the address.
+type ChunkListenerConfig struct {
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+	// QueueDepth bounds the Chunks channel (the ingest queue between
+	// the network readers and the consumer). Zero selects 64.
+	QueueDepth int
+	// DropOnFull switches a full ingest queue from backpressure
+	// (connection readers block, TCP flow control pushes back on the
+	// nodes — the lossless default) to lossy ingest: the incoming
+	// chunk is discarded and counted in DroppedChunks. Use it when a
+	// stalled consumer must not stall the whole receiver network.
+	DropOnFull bool
+	// Metrics registers the listener's ingest series: per-node
+	// pl_rxnet_ingest_bytes_total{node="N"}, pl_rxnet_frame_errors_total,
+	// pl_rxnet_dropped_chunks_total and the pl_rxnet_queue_depth gauge.
+	Metrics *telemetry.Registry
+}
+
 // ListenChunks starts a chunk listener on addr ("host:port"; empty
-// port picks an ephemeral one). logf receives diagnostics; nil
-// silences them.
+// port picks an ephemeral one) with default config. logf receives
+// diagnostics; nil silences them.
 func ListenChunks(addr string, logf func(format string, args ...any)) (*ChunkListener, error) {
+	return ListenChunksConfig(addr, ChunkListenerConfig{Logf: logf})
+}
+
+// ListenChunksConfig starts a chunk listener with explicit queue and
+// telemetry configuration.
+func ListenChunksConfig(addr string, cfg ChunkListenerConfig) (*ChunkListener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
 	l := &ChunkListener{
-		ln:      ln,
-		out:     make(chan ChunkEvent, 64),
-		hellos:  make(chan Hello, 64),
-		logf:    logf,
-		cursors: make(map[uint64]*chunkCursor),
-		closed:  make(chan struct{}),
+		ln:         ln,
+		out:        make(chan ChunkEvent, depth),
+		hellos:     make(chan Hello, 64),
+		logf:       logf,
+		dropOnFull: cfg.DropOnFull,
+		cursors:    make(map[uint64]*chunkCursor),
+		closed:     make(chan struct{}),
+	}
+	if cfg.Metrics != nil {
+		l.reg = cfg.Metrics
+		l.nodeTel = make(map[uint32]*telemetry.Counter)
+		l.frameErr = l.reg.Counter("pl_rxnet_frame_errors_total",
+			"Malformed or unexpected frames received from nodes.")
+		l.reg.CounterFunc("pl_rxnet_dropped_chunks_total",
+			"Sample chunks discarded because the ingest queue was full (DropOnFull).",
+			l.dropped.Load)
+		l.reg.GaugeFunc("pl_rxnet_queue_depth",
+			"Chunk events waiting in the listener's ingest queue.",
+			func() float64 { return float64(len(l.out)) })
 	}
 	l.wg.Add(1)
 	go l.acceptLoop()
 	return l, nil
+}
+
+// DroppedChunks reports how many sample chunks a DropOnFull listener
+// has discarded because the ingest queue was full.
+func (l *ChunkListener) DroppedChunks() int64 { return l.dropped.Load() }
+
+// ingestCounter returns the per-node ingest-bytes counter, creating
+// its series on the node's first chunk.
+func (l *ChunkListener) ingestCounter(node uint32) *telemetry.Counter {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c, ok := l.nodeTel[node]
+	if !ok {
+		c = l.reg.Counter(fmt.Sprintf(`pl_rxnet_ingest_bytes_total{node="%d"}`, node),
+			"Sample-chunk frame bytes ingested per node.")
+		l.nodeTel[node] = c
+	}
+	return c
+}
+
+// countFrameErr counts one malformed/unexpected frame.
+func (l *ChunkListener) countFrameErr() {
+	if l.frameErr != nil {
+		l.frameErr.Inc()
+	}
 }
 
 // Addr returns the bound listen address.
@@ -151,6 +228,7 @@ func (l *ChunkListener) serveConn(conn net.Conn) {
 		case FrameHello:
 			h, err := UnmarshalHello(body)
 			if err != nil {
+				l.countFrameErr()
 				l.logf("rxnet: bad hello: %v", err)
 				return
 			}
@@ -163,8 +241,12 @@ func (l *ChunkListener) serveConn(conn net.Conn) {
 		case FrameSampleChunk:
 			c, err := UnmarshalSampleChunk(body)
 			if err != nil {
+				l.countFrameErr()
 				l.logf("rxnet: bad sample chunk: %v", err)
 				return
+			}
+			if l.reg != nil {
+				l.ingestCounter(c.NodeID).Add(int64(len(body)))
 			}
 			ev := ChunkEvent{
 				Session:  c.SessionKey(),
@@ -174,12 +256,23 @@ func (l *ChunkListener) serveConn(conn net.Conn) {
 				Samples:  c.Samples,
 				Reset:    l.advance(c),
 			}
+			if l.dropOnFull {
+				select {
+				case l.out <- ev:
+				case <-l.closed:
+					return
+				default:
+					l.dropped.Add(1)
+				}
+				continue
+			}
 			select {
 			case l.out <- ev:
 			case <-l.closed:
 				return
 			}
 		default:
+			l.countFrameErr()
 			l.logf("rxnet: chunk listener got unexpected frame type %d", t)
 			return
 		}

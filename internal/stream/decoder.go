@@ -78,6 +78,11 @@ type Detection struct {
 	// this is the actual pass time, independent of when the segment
 	// was decoded or consumed.
 	Wall time.Time
+	// Arrival is the wall-clock time the session was last fed before
+	// the decode step that produced this detection — the anchor of
+	// the detection-latency metric (arrival to emit). Set by the
+	// Engine; zero for a standalone Decoder.
+	Arrival time.Time
 	// SymbolRate is the measured symbols/second (1/tau_t).
 	SymbolRate float64
 	// RSSPeak is the largest window maximum of the decode.

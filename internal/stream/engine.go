@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"passivelight/internal/telemetry"
 )
 
 // Sentinel errors for engine session management; test with errors.Is.
@@ -52,6 +54,13 @@ type EngineConfig struct {
 	// MaxSessions bounds the session table across all shards. Feeds
 	// for new sessions beyond it are rejected. Zero selects 65536.
 	MaxSessions int
+	// Metrics, when non-nil, registers the engine's observability
+	// surface into the registry: counters and gauges mirroring Stats
+	// (read at snapshot time, zero hot-path cost) plus two histograms
+	// recorded live on the worker path — pl_engine_decode_step_ns
+	// (duration of one decode step) and pl_engine_detection_latency_ns
+	// (last chunk arrival to detection publish).
+	Metrics *telemetry.Registry
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -97,8 +106,15 @@ type Stats struct {
 	// completed but held no parsable packet.
 	Detections, DecodeErrors int64
 	// DroppedSamples were evicted from ring buffers of lagging
-	// sessions; DroppedDetections overflowed the detection channel.
+	// sessions; DroppedDetections overflowed the batched detection
+	// channel.
 	DroppedSamples, DroppedDetections int64
+	// DroppedFlattened counts detections the Detections() flattening
+	// forwarder discarded because its consumer stopped draining — the
+	// abandoned-consumer signal, kept separate from DroppedDetections
+	// so operators can tell a slow batch consumer from a dead
+	// per-detection one.
+	DroppedFlattened int64
 	// Evicted counts idle sessions removed.
 	Evicted int64
 	// BufferedSamples is the current memory footprint across all
@@ -211,6 +227,12 @@ type Engine struct {
 
 	samplesIn, detections, decodeErrs   atomic.Int64
 	droppedSamples, droppedDets, evicts atomic.Int64
+	droppedFlat                         atomic.Int64
+
+	// tel holds the live-recorded histograms; nil when the engine runs
+	// without a metrics registry, which keeps time.Now off the worker
+	// path entirely.
+	tel *engineTelemetry
 
 	rateMu      sync.Mutex
 	rateTime    time.Time
@@ -250,7 +272,47 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		e.wg.Add(1)
 		go e.janitor()
 	}
+	if cfg.Metrics != nil {
+		e.tel = e.registerMetrics(cfg.Metrics)
+	}
 	return e, nil
+}
+
+// engineTelemetry is the engine's live-recorded metric set.
+type engineTelemetry struct {
+	decodeStep *telemetry.Histogram
+	latency    *telemetry.Histogram
+}
+
+// registerMetrics publishes the engine's observability surface. The
+// Stats counters are exported as snapshot-time funcs over the atomics
+// the engine already maintains, so scraping costs nothing on the
+// decode path; only the two histograms record live.
+func (e *Engine) registerMetrics(reg *telemetry.Registry) *engineTelemetry {
+	reg.CounterFunc("pl_engine_samples_in_total", "samples accepted across all sessions", e.samplesIn.Load)
+	reg.CounterFunc("pl_engine_detections_total", "successfully decoded detections", e.detections.Load)
+	reg.CounterFunc("pl_engine_decode_errors_total", "segments that held no parsable packet", e.decodeErrs.Load)
+	reg.CounterFunc("pl_engine_dropped_samples_total", "samples evicted from lagging session rings", e.droppedSamples.Load)
+	reg.CounterFunc("pl_engine_dropped_detections_total", "detection batches dropped on channel overflow", e.droppedDets.Load)
+	reg.CounterFunc("pl_engine_dropped_flattened_total", "detections dropped by the flattening forwarder (abandoned consumer)", e.droppedFlat.Load)
+	reg.CounterFunc("pl_engine_sessions_evicted_total", "idle sessions evicted", e.evicts.Load)
+	reg.GaugeFunc("pl_engine_sessions_active", "sessions currently tracked", func() float64 {
+		return float64(e.sessionCount.Load())
+	})
+	reg.GaugeFunc("pl_engine_sessions_limit", "configured MaxSessions bound", func() float64 {
+		return float64(e.cfg.MaxSessions)
+	})
+	reg.GaugeFunc("pl_engine_shards", "configured shard count", func() float64 {
+		return float64(len(e.shards))
+	})
+	reg.GaugeFunc("pl_engine_buffered_samples", "ring-buffer plus open-segment occupancy in samples", func() float64 {
+		_, samples := e.bufferedSamples()
+		return float64(samples)
+	})
+	return &engineTelemetry{
+		decodeStep: reg.Histogram("pl_engine_decode_step_ns", "duration of one worker decode step"),
+		latency:    reg.Histogram("pl_engine_detection_latency_ns", "last chunk arrival to detection publish"),
+	}
 }
 
 // shardOf hashes a stream id onto a shard. Fibonacci mixing spreads
@@ -381,15 +443,23 @@ func (e *Engine) worker(sh *shard) {
 		for {
 			s.mu.Lock()
 			scratch = s.rng.drain(scratch[:0])
+			arrival := s.lastFeed
 			if len(scratch) == 0 {
 				s.scheduled = false
 				s.mu.Unlock()
 				break
 			}
 			s.mu.Unlock()
+			var t0 time.Time
+			if e.tel != nil {
+				t0 = time.Now()
+			}
 			dets := s.dec.Feed(scratch)
+			if e.tel != nil {
+				e.tel.decodeStep.Observe(int64(time.Since(t0)))
+			}
 			s.buffered.Store(int64(s.dec.Buffered()))
-			e.publish(s, dets)
+			e.publish(s, dets, arrival)
 		}
 	}
 }
@@ -397,9 +467,16 @@ func (e *Engine) worker(sh *shard) {
 // publish stamps one decode step's detections and delivers them to
 // the consumer in a single channel send. The slice comes fresh from
 // the session decoder, so ownership transfers to the consumer.
-func (e *Engine) publish(s *session, dets []Detection) {
+// arrival is the wall-clock time the session was last fed before this
+// decode step — the chunk-arrival anchor of the detection-latency
+// histogram and of Detection.Arrival.
+func (e *Engine) publish(s *session, dets []Detection, arrival time.Time) {
 	if len(dets) == 0 {
 		return
+	}
+	var latency int64
+	if e.tel != nil && !arrival.IsZero() {
+		latency = int64(time.Since(arrival))
 	}
 	e.pubMu.RLock()
 	defer e.pubMu.RUnlock()
@@ -410,10 +487,14 @@ func (e *Engine) publish(s *session, dets []Detection) {
 		// paced stream this is the actual pass time, regardless of
 		// when the segment got decoded or consumed.
 		det.Wall = s.created.Add(time.Duration(det.TimeSec * float64(time.Second)))
+		det.Arrival = arrival
 		if det.Err != nil {
 			e.decodeErrs.Add(1)
 		} else {
 			e.detections.Add(1)
+		}
+		if e.tel != nil {
+			e.tel.latency.Observe(latency)
 		}
 	}
 	if e.detsClosed {
@@ -466,7 +547,8 @@ func (e *Engine) janitor() {
 				stale = append(stale, shardStale...)
 			}
 			for _, s := range stale {
-				e.publish(s, s.dec.Flush())
+				// Terminal claim held: lastFeed is stable now.
+				e.publish(s, s.dec.Flush(), s.lastFeed)
 				e.evicts.Add(1)
 			}
 		}
@@ -534,13 +616,14 @@ func (e *Engine) drainNow(s *session) {
 		}
 		s.scheduled = true
 		pending := s.rng.drain(nil)
+		arrival := s.lastFeed
 		s.mu.Unlock()
 		if len(pending) > 0 {
-			e.publish(s, s.dec.Feed(pending))
+			e.publish(s, s.dec.Feed(pending), arrival)
 		}
 		dets := s.dec.Flush()
 		s.buffered.Store(int64(s.dec.Buffered()))
-		e.publish(s, dets)
+		e.publish(s, dets, arrival)
 		s.mu.Lock()
 		done := s.rng.len() == 0
 		s.scheduled = false
@@ -594,11 +677,12 @@ func (e *Engine) EndSession(id uint64) error {
 	}
 	s.mu.Lock()
 	pending := s.rng.drain(nil)
+	arrival := s.lastFeed
 	s.mu.Unlock()
 	if len(pending) > 0 {
-		e.publish(s, s.dec.Feed(pending))
+		e.publish(s, s.dec.Feed(pending), arrival)
 	}
-	e.publish(s, s.dec.Flush())
+	e.publish(s, s.dec.Flush(), arrival)
 	return nil
 }
 
@@ -625,7 +709,7 @@ func (e *Engine) Detections() <-chan Detection {
 					select {
 					case e.flat <- det:
 					default:
-						e.droppedDets.Add(1)
+						e.droppedFlat.Add(1)
 					}
 				}
 			}
@@ -633,6 +717,28 @@ func (e *Engine) Detections() <-chan Detection {
 		}()
 	})
 	return e.flat
+}
+
+// bufferedSamples walks the session tables and sums ring occupancy
+// plus open decode segments — shared by Stats and the
+// pl_engine_buffered_samples gauge.
+func (e *Engine) bufferedSamples() (sessions int, samples int64) {
+	var all []*session
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		sessions += len(sh.sessions)
+		for _, s := range sh.sessions {
+			all = append(all, s)
+		}
+		sh.mu.Unlock()
+	}
+	for _, s := range all {
+		s.mu.Lock()
+		pending := s.rng.len()
+		s.mu.Unlock()
+		samples += int64(pending) + s.buffered.Load()
+	}
+	return sessions, samples
 }
 
 // Stats returns an operational snapshot.
@@ -644,23 +750,10 @@ func (e *Engine) Stats() Stats {
 		DecodeErrors:      e.decodeErrs.Load(),
 		DroppedSamples:    e.droppedSamples.Load(),
 		DroppedDetections: e.droppedDets.Load(),
+		DroppedFlattened:  e.droppedFlat.Load(),
 		Evicted:           e.evicts.Load(),
 	}
-	var sessions []*session
-	for _, sh := range e.shards {
-		sh.mu.Lock()
-		st.Sessions += len(sh.sessions)
-		for _, s := range sh.sessions {
-			sessions = append(sessions, s)
-		}
-		sh.mu.Unlock()
-	}
-	for _, s := range sessions {
-		s.mu.Lock()
-		pending := s.rng.len()
-		s.mu.Unlock()
-		st.BufferedSamples += int64(pending) + s.buffered.Load()
-	}
+	st.Sessions, st.BufferedSamples = e.bufferedSamples()
 	e.rateMu.Lock()
 	now := time.Now()
 	if dt := now.Sub(e.rateTime).Seconds(); dt > 0 {
@@ -721,11 +814,12 @@ func (e *Engine) Close() {
 			s.mu.Lock()
 			s.evicted = true
 			pending := s.rng.drain(nil)
+			arrival := s.lastFeed
 			s.mu.Unlock()
 			if len(pending) > 0 {
-				e.publish(s, s.dec.Feed(pending))
+				e.publish(s, s.dec.Feed(pending), arrival)
 			}
-			e.publish(s, s.dec.Flush())
+			e.publish(s, s.dec.Flush(), arrival)
 		}
 		e.pubMu.Lock()
 		e.detsClosed = true

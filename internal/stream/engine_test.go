@@ -8,6 +8,7 @@ import (
 
 	"passivelight/internal/coding"
 	"passivelight/internal/decoder"
+	"passivelight/internal/telemetry"
 )
 
 // sessionStream synthesizes what one receiver node sees: quiet noise,
@@ -368,5 +369,122 @@ func TestEngineGuards(t *testing.T) {
 	e.Close()
 	if err := e.Feed(1, 0, chunk); err == nil {
 		t.Fatal("feed after close should fail")
+	}
+}
+
+// TestEngineDetectionsAbandonedConsumer is the regression test for
+// the flattening-forwarder drop counter: a caller that asks for the
+// per-detection view and then walks away must show up in
+// Stats().DroppedFlattened (and the matching telemetry counter), not
+// vanish into the batch-drop count.
+func TestEngineDetectionsAbandonedConsumer(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e, err := NewEngine(EngineConfig{
+		Session:     Config{Fs: 1000, Decode: decoder.Options{ExpectedSymbols: 12}},
+		IdleTimeout: -1,
+		// One slot in each output channel: with nobody draining the
+		// flattened view, detections beyond the first of a batch are
+		// dropped by the forwarder.
+		DetectionBuffer: 1,
+		Metrics:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := e.Detections() // start the forwarder, then stop consuming
+
+	// One session carrying several packets, fed as a single chunk: the
+	// decode step publishes its detections as one batch, which always
+	// fits the empty batch channel, so the forwarder (not the batch
+	// send) is what sheds the overflow.
+	const packets = 4
+	stream := sessionStream([]string{"1001", "1001", "1001", "1001"}, 1000, 0.2, 2.5, 0.3, 7)
+	if err := e.Feed(1, 0, stream); err != nil {
+		t.Fatal(err)
+	}
+	e.FlushAll()
+	e.Close()
+
+	// Close flushed every session and the forwarder has drained the
+	// closed batch channel once ch closes; count what it delivered.
+	delivered := int64(0)
+	for range ch {
+		delivered++
+	}
+
+	st := e.Stats()
+	total := st.Detections + st.DecodeErrors
+	if total < packets {
+		t.Fatalf("published %d detections, want >= %d: %+v", total, packets, st)
+	}
+	if st.DroppedFlattened < 1 {
+		t.Fatalf("abandoned consumer never surfaced in DroppedFlattened: %+v", st)
+	}
+	// Every published detection is delivered or counted in exactly one
+	// drop counter — the flattener's own drops must not leak into the
+	// batch-overflow count.
+	if delivered+st.DroppedFlattened+st.DroppedDetections != total {
+		t.Fatalf("detections unaccounted: delivered %d + flattened %d + batch %d != %d",
+			delivered, st.DroppedFlattened, st.DroppedDetections, total)
+	}
+	if got := reg.Snapshot().Counters["pl_engine_dropped_flattened_total"]; got != st.DroppedFlattened {
+		t.Fatalf("telemetry dropped_flattened = %d, want %d", got, st.DroppedFlattened)
+	}
+}
+
+// TestEngineTelemetry checks the metrics registry mirrors Stats after
+// a decode round and that the live histograms saw the decode steps.
+func TestEngineTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e, err := NewEngine(EngineConfig{
+		Session:     Config{Fs: 1000, Decode: decoder.Options{ExpectedSymbols: 12}},
+		IdleTimeout: -1,
+		Metrics:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int)
+	go func() {
+		got := 0
+		for batch := range e.Batches() {
+			for _, det := range batch {
+				if det.Err == nil {
+					got++
+				}
+				if det.Arrival.IsZero() {
+					t.Error("detection carries no Arrival stamp")
+				}
+			}
+		}
+		done <- got
+	}()
+	stream := sessionStream([]string{"1001", "0110"}, 1000, 0.2, 2.5, 0.3, 7)
+	if err := e.Feed(1, 0, stream); err != nil {
+		t.Fatal(err)
+	}
+	e.FlushAll()
+	st := e.Stats()
+	e.Close()
+	if got := <-done; got != 2 {
+		t.Fatalf("decoded %d packets, want 2", got)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["pl_engine_samples_in_total"]; got != st.SamplesIn {
+		t.Fatalf("samples_in = %d, want %d", got, st.SamplesIn)
+	}
+	if got := snap.Counters["pl_engine_detections_total"]; got != 2 {
+		t.Fatalf("detections_total = %d, want 2", got)
+	}
+	lat := snap.Histograms["pl_engine_detection_latency_ns"]
+	if lat.Count != st.Detections+st.DecodeErrors {
+		t.Fatalf("latency histogram count = %d, want %d", lat.Count, st.Detections+st.DecodeErrors)
+	}
+	if lat.Max <= 0 {
+		t.Fatalf("latency histogram never observed a positive latency: %+v", lat)
+	}
+	if steps := snap.Histograms["pl_engine_decode_step_ns"]; steps.Count == 0 {
+		t.Fatal("decode step histogram never recorded")
 	}
 }

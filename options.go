@@ -1,6 +1,10 @@
 package passivelight
 
-import "time"
+import (
+	"time"
+
+	"passivelight/internal/telemetry"
+)
 
 // pipeConfig is the resolved configuration a Pipeline runs with; it
 // is assembled exclusively through functional options so every knob
@@ -23,6 +27,7 @@ type pipeConfig struct {
 	sinks         []func(Event)
 	statsEvery    time.Duration
 	statsSink     func(StreamStats)
+	metrics       *telemetry.Registry
 }
 
 // Option configures a Pipeline.
@@ -137,6 +142,20 @@ func WithReceiverAutoSelect(candidates ...ReceiverDevice) Option {
 // must not block; they run on the pipeline's forwarding goroutine.
 func WithSink(fn func(Event)) Option {
 	return func(c *pipeConfig) { c.sinks = append(c.sinks, fn) }
+}
+
+// WithTelemetry records the pipeline's observability surface into the
+// registry: the engine's session/throughput/drop counters and
+// decode-step histogram (pl_engine_*), plus per-strategy event
+// counters and the detection latency histogram
+// pl_pipeline_detection_latency_ns{strategy="..."} — stamped from the
+// arrival of the chunk that completed each segment to the event's
+// emit on the pipeline's forwarder. Serve the registry live with
+// TelemetryHandler, or read it with Snapshot/WritePrometheus. One
+// registry may be shared across pipelines and other layers; metric
+// registration is get-or-create.
+func WithTelemetry(t *Telemetry) Option {
+	return func(c *pipeConfig) { c.metrics = t }
 }
 
 // WithStats registers a metrics sink called with an engine snapshot

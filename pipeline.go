@@ -12,6 +12,7 @@ import (
 	"passivelight/internal/coding"
 	"passivelight/internal/decoder"
 	"passivelight/internal/stream"
+	"passivelight/internal/telemetry"
 	"passivelight/internal/trace"
 )
 
@@ -138,6 +139,28 @@ type Pipeline struct {
 	err    error
 
 	samplesIn atomic.Int64
+	tel       *pipeTel
+}
+
+// pipeTel is the pipeline's own telemetry surface, one per-strategy
+// label set over the shared registry. The engine contributes its own
+// pl_engine_* series separately (wired through EngineConfig.Metrics).
+type pipeTel struct {
+	events  *telemetry.Counter
+	errors  *telemetry.Counter
+	latency *telemetry.Histogram
+}
+
+func newPipeTel(reg *telemetry.Registry, strategy string) *pipeTel {
+	label := fmt.Sprintf("{strategy=%q}", strategy)
+	return &pipeTel{
+		events: reg.Counter("pl_pipeline_events_total"+label,
+			"Events emitted by the pipeline (decode errors included)."),
+		errors: reg.Counter("pl_pipeline_event_errors_total"+label,
+			"Emitted events that carry a decode/analysis error."),
+		latency: reg.Histogram("pl_pipeline_detection_latency_ns"+label,
+			"Chunk arrival to event emit on the pipeline forwarder, nanoseconds."),
+	}
 }
 
 // NewPipeline binds a source to a decode strategy.
@@ -165,6 +188,9 @@ func NewPipeline(src Source, strat Strategy, opts ...Option) (*Pipeline, error) 
 func (p *Pipeline) Stream(ctx context.Context) (<-chan Event, error) {
 	if !p.started.CompareAndSwap(false, true) {
 		return nil, errors.New("passivelight: pipeline already started")
+	}
+	if p.cfg.metrics != nil {
+		p.tel = newPipeTel(p.cfg.metrics, p.strat.String())
 	}
 	if p.cfg.autoSelectOn {
 		rs, ok := p.src.(receiverSelectable)
@@ -227,6 +253,7 @@ func (p *Pipeline) startEngine(ctx context.Context, fs float64, out chan Event) 
 		IdleTimeout:     p.cfg.idleTimeout,
 		DetectionBuffer: cap(out),
 		MaxSessions:     p.cfg.maxSessions,
+		Metrics:         p.cfg.metrics,
 	})
 	if err != nil {
 		return err
@@ -424,6 +451,18 @@ func (p *Pipeline) event(det StreamDetection) Event {
 
 // emit runs sinks and delivers the event in stream order.
 func (p *Pipeline) emit(out chan Event, ev Event) {
+	if p.tel != nil {
+		p.tel.events.Inc()
+		if ev.Err != nil {
+			p.tel.errors.Inc()
+		}
+		// Whole-stream strategies carry no arrival stamp (they analyze
+		// at end of stream); only streaming events feed the latency
+		// histogram.
+		if !ev.Arrival.IsZero() {
+			p.tel.latency.Observe(int64(time.Since(ev.Arrival)))
+		}
+	}
 	for _, sink := range p.cfg.sinks {
 		sink(ev)
 	}

@@ -382,3 +382,96 @@ func TestPipelineNetSource(t *testing.T) {
 		t.Fatalf("pipeline error %v after cancel", pipe.Err())
 	}
 }
+
+// TestPipelineWithTelemetry runs a streaming pipeline with a metrics
+// registry attached and checks the full observability surface: the
+// per-strategy event counters and detection-latency histogram, plus
+// the engine series wired through the same registry.
+func TestPipelineWithTelemetry(t *testing.T) {
+	tr, packet := testTrace(t)
+	tel := NewTelemetry()
+	pipe, err := NewPipeline(NewTraceSource(tr, 500), Threshold(),
+		WithExpectedSymbols(8),
+		WithTelemetry(tel),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := pipe.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded int
+	for _, ev := range events {
+		if ev.Err == nil && ev.BitString() == packet.BitString() {
+			decoded++
+		}
+	}
+	if decoded != 1 {
+		t.Fatalf("decoded %d matching events, want 1", decoded)
+	}
+
+	snap := tel.Snapshot()
+	if got := snap.Counters[`pl_pipeline_events_total{strategy="threshold"}`]; got != int64(len(events)) {
+		t.Fatalf("pl_pipeline_events_total = %d, want %d", got, len(events))
+	}
+	var errEvents int64
+	for _, ev := range events {
+		if ev.Err != nil {
+			errEvents++
+		}
+	}
+	if got := snap.Counters[`pl_pipeline_event_errors_total{strategy="threshold"}`]; got != errEvents {
+		t.Fatalf("pl_pipeline_event_errors_total = %d, want %d", got, errEvents)
+	}
+	lat, ok := snap.Histograms[`pl_pipeline_detection_latency_ns{strategy="threshold"}`]
+	if !ok {
+		t.Fatal("detection latency histogram not registered")
+	}
+	if lat.Count != int64(len(events)) {
+		t.Fatalf("latency histogram count = %d, want %d", lat.Count, len(events))
+	}
+	if lat.P50 <= 0 || lat.P99 < lat.P50 || lat.Max < int64(lat.P99) {
+		t.Fatalf("latency quantiles inconsistent: p50=%g p99=%g max=%d", lat.P50, lat.P99, lat.Max)
+	}
+
+	// The engine's own series must land in the same registry.
+	if got := snap.Counters["pl_engine_detections_total"]; got != 1 {
+		t.Fatalf("pl_engine_detections_total = %d, want 1", got)
+	}
+	if snap.Counters["pl_engine_samples_in_total"] != pipe.Stats().SamplesIn {
+		t.Fatalf("pl_engine_samples_in_total = %d, want %d",
+			snap.Counters["pl_engine_samples_in_total"], pipe.Stats().SamplesIn)
+	}
+	if _, ok := snap.Histograms["pl_engine_decode_step_ns"]; !ok {
+		t.Fatal("engine decode-step histogram not registered")
+	}
+}
+
+// TestPipelineWholeStreamTelemetry checks that a whole-stream
+// strategy counts its events (no latency stamp — analysis runs at end
+// of stream).
+func TestPipelineWholeStreamTelemetry(t *testing.T) {
+	tr, _ := testTrace(t)
+	tel := NewTelemetry()
+	pipe, err := NewPipeline(NewTraceSource(tr, 1024), Collision(CollisionOptions{}),
+		WithTelemetry(tel),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := pipe.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("%d events, want 1", len(events))
+	}
+	snap := tel.Snapshot()
+	if got := snap.Counters[`pl_pipeline_events_total{strategy="collision"}`]; got != 1 {
+		t.Fatalf("pl_pipeline_events_total = %d, want 1", got)
+	}
+	if lat := snap.Histograms[`pl_pipeline_detection_latency_ns{strategy="collision"}`]; lat.Count != 0 {
+		t.Fatalf("whole-stream latency histogram count = %d, want 0", lat.Count)
+	}
+}

@@ -601,10 +601,40 @@ type NetSource struct {
 	onHello func(NodeHello)
 }
 
+// NetSourceConfig tunes a NetSource's ingest path.
+type NetSourceConfig struct {
+	// QueueDepth bounds the ingest queue between the network readers
+	// and the pipeline (in chunks). Zero selects 64.
+	QueueDepth int
+	// DropOnFull discards (and counts) chunks arriving while the
+	// ingest queue is full instead of exerting TCP backpressure on the
+	// nodes — lossy ingest for deployments where a stalled pipeline
+	// must not stall the receiver network. Default false: lossless.
+	DropOnFull bool
+	// Telemetry registers the listener's ingest series (per-node
+	// ingest bytes, frame errors, queue depth, dropped chunks) into
+	// the registry — typically the same one passed to WithTelemetry.
+	Telemetry *Telemetry
+	// Logf receives transport diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
 // ListenSource starts a NetSource listening on addr ("host:port";
-// empty port picks an ephemeral one).
+// empty port picks an ephemeral one) with default config: lossless
+// ingest, no telemetry.
 func ListenSource(addr string) (*NetSource, error) {
-	l, err := rxnet.ListenChunks(addr, nil)
+	return ListenSourceConfig(addr, NetSourceConfig{})
+}
+
+// ListenSourceConfig starts a NetSource with explicit ingest
+// configuration.
+func ListenSourceConfig(addr string, cfg NetSourceConfig) (*NetSource, error) {
+	l, err := rxnet.ListenChunksConfig(addr, rxnet.ChunkListenerConfig{
+		Logf:       cfg.Logf,
+		QueueDepth: cfg.QueueDepth,
+		DropOnFull: cfg.DropOnFull,
+		Metrics:    cfg.Telemetry,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -613,6 +643,10 @@ func ListenSource(addr string) (*NetSource, error) {
 
 // Addr returns the bound listen address (for nodes to Dial).
 func (s *NetSource) Addr() string { return s.l.Addr() }
+
+// DroppedChunks reports how many chunks a DropOnFull source has
+// discarded because the ingest queue was full (always 0 otherwise).
+func (s *NetSource) DroppedChunks() int64 { return s.l.DroppedChunks() }
 
 // OnHello registers a callback invoked (from the pipeline's pull
 // goroutine) for each node registration — e.g. to register node
