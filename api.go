@@ -262,6 +262,10 @@ type StreamEngine = stream.Engine
 // samples/s, detections, drops).
 type StreamStats = stream.Stats
 
+// SessionStats summarizes one streaming decode session (samples fed,
+// detections, errors, buffered) — the payload of WithSessionEnd.
+type SessionStats = stream.SessionStats
+
 // NewStreamDecoder builds a streaming decode session. With
 // PreRollSec < 0 (batch-equivalent mode, unbounded memory) a chunked
 // stream decode of a trace is bit-identical to the batch Decode of

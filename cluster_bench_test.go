@@ -1,0 +1,155 @@
+package passivelight
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"passivelight/internal/cluster"
+	"passivelight/internal/rxnet"
+	"passivelight/internal/scenario"
+)
+
+// benchSession is one pre-rendered session trace, chunked for replay.
+type benchSession struct {
+	fs     float64
+	chunks [][]float64
+	bytes  int64
+}
+
+// renderBenchSessions expands and renders the fleet load once, outside
+// the benchmark timer — socket transport and decode are under test,
+// not scene simulation.
+func renderBenchSessions(b *testing.B, n, chunkSize int) []benchSession {
+	b.Helper()
+	load, err := scenario.GetLoad("fleet-load")
+	if err != nil {
+		b.Fatal(err)
+	}
+	load.Sessions = n
+	specs, err := load.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]benchSession, n)
+	for k, spec := range specs {
+		world, err := spec.CompileMulti()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := world.Links[0].Link.Simulate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := benchSession{fs: tr.Fs}
+		for chunk := range tr.Chunks(chunkSize) {
+			c := append([]float64(nil), chunk...)
+			s.chunks = append(s.chunks, c)
+			s.bytes += int64(8 * len(c))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// benchClusterReplay measures end-to-end fleet throughput over real
+// sockets: sessions stream concurrently into target (a bare engine, or
+// a router fronting it) and an iteration completes when every packet
+// of the wave has decoded.
+func benchClusterReplay(b *testing.B, routed bool) {
+	const (
+		fleet     = 16
+		chunkSize = 2048
+	)
+	sessions := renderBenchSessions(b, fleet, chunkSize)
+
+	src, err := ListenSourceConfig("127.0.0.1:0", NetSourceConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var decoded atomic.Int64
+	pipe, err := NewPipeline(src, Threshold(),
+		WithExpectedSymbols(8),
+		WithIdleTimeout(100*time.Millisecond),
+		WithSink(func(ev Event) {
+			if ev.Err == nil {
+				decoded.Add(1)
+			}
+		}),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events, err := pipe.Stream(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for range events {
+		}
+	}()
+
+	target := src.Addr()
+	if routed {
+		ring, err := cluster.NewRing(0, cluster.Member{ID: "engine", Addr: src.Addr()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		router, err := cluster.NewRouter(cluster.RouterConfig{Ring: ring})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer router.Close()
+		target, err = router.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var perIter int64
+	for _, s := range sessions {
+		perIter += s.bytes
+	}
+	b.SetBytes(perIter)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for k, s := range sessions {
+			wg.Add(1)
+			go func(nodeID uint32, s benchSession) {
+				defer wg.Done()
+				node, err := rxnet.Dial(ctx, target, rxnet.Hello{NodeID: nodeID})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer node.Close()
+				for _, chunk := range s.chunks {
+					if err := node.StreamChunk(0, s.fs, chunk); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(uint32(i*fleet+k+1), s)
+		}
+		wg.Wait()
+		// The wave is done when its packets decode, not when its bytes
+		// are written: decode completion is the cluster's unit of work.
+		want := int64((i + 1) * fleet)
+		for decoded.Load() < want {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+// BenchmarkClusterDirect is the baseline: the fleet streams straight
+// into one engine's listener.
+func BenchmarkClusterDirect(b *testing.B) { benchClusterReplay(b, false) }
+
+// BenchmarkClusterRouted adds the consistent-hash router in front of
+// the same engine — its cost is the delta against BenchmarkClusterDirect.
+func BenchmarkClusterRouted(b *testing.B) { benchClusterReplay(b, true) }

@@ -1,0 +1,278 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The multi-process cluster smoke: a real plnet binary per role —
+// router, two engines, a load replayer — wired over loopback TCP,
+// with one engine SIGTERM-drained mid-replay. Gated behind
+// PLNET_CLUSTER_E2E because it builds the binary and takes tens of
+// seconds; CI runs it as the cluster smoke tier.
+
+// lineBuffer collects a child process's combined output; exec writes
+// from its own goroutine, so reads must synchronize.
+type lineBuffer struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (b *lineBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+
+func (b *lineBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return string(b.buf)
+}
+
+// proc is one plnet child process.
+type proc struct {
+	name string
+	cmd  *exec.Cmd
+	out  *lineBuffer
+	done chan error
+}
+
+func startProc(t *testing.T, bin, name string, args ...string) *proc {
+	t.Helper()
+	p := &proc{name: name, out: &lineBuffer{}, done: make(chan error, 1)}
+	p.cmd = exec.Command(bin, args...)
+	p.cmd.Stdout = p.out
+	p.cmd.Stderr = p.out
+	if err := p.cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", name, err)
+	}
+	go func() { p.done <- p.cmd.Wait() }()
+	t.Cleanup(func() {
+		select {
+		case <-p.done:
+		default:
+			p.cmd.Process.Kill()
+			<-p.done
+		}
+	})
+	return p
+}
+
+// wait blocks until the process exits and returns its error (nil on
+// exit status 0), failing the test on timeout.
+func (p *proc) wait(t *testing.T, timeout time.Duration) error {
+	t.Helper()
+	select {
+	case err := <-p.done:
+		p.done <- err // keep the cleanup non-blocking
+		return err
+	case <-time.After(timeout):
+		t.Fatalf("%s did not exit within %v; output:\n%s", p.name, timeout, p.out.String())
+		return nil
+	}
+}
+
+// freePort reserves an ephemeral TCP port and releases it for a child
+// process to bind.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().String()
+}
+
+func httpGet(addr, path string) (int, string, error) {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body), err
+}
+
+// waitHealthy polls /healthz until the endpoint answers at all (any
+// status: a draining engine reports 503 but is very much alive).
+func waitHealthy(t *testing.T, name, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, _, err := httpGet(addr, "/healthz"); err == nil {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("%s /healthz on %s never came up", name, addr)
+}
+
+// routerCounter reads one counter from the router's /metrics.json.
+func routerCounter(addr, name string) int64 {
+	_, body, err := httpGet(addr, "/metrics.json")
+	if err != nil {
+		return -1
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if json.Unmarshal([]byte(body), &snap) != nil {
+		return -1
+	}
+	return snap.Counters[name]
+}
+
+var drainSummaryRe = regexp.MustCompile(`engine (\S+) drained: (\d+) decoded, (\d+) undecodable`)
+
+// drainSummary parses an engine's exit summary into (decoded,
+// undecodable).
+func drainSummary(t *testing.T, p *proc) (int64, int64) {
+	t.Helper()
+	m := drainSummaryRe.FindStringSubmatch(p.out.String())
+	if m == nil {
+		t.Fatalf("%s printed no drain summary; output:\n%s", p.name, p.out.String())
+	}
+	decoded, _ := strconv.ParseInt(m[2], 10, 64)
+	undecodable, _ := strconv.ParseInt(m[3], 10, 64)
+	return decoded, undecodable
+}
+
+func TestClusterSmokeMultiProcess(t *testing.T) {
+	if os.Getenv("PLNET_CLUSTER_E2E") == "" {
+		t.Skip("set PLNET_CLUSTER_E2E=1 to run the multi-process cluster smoke")
+	}
+	bin := filepath.Join(t.TempDir(), "plnet")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	const sessions = 128
+	engAddr := map[string]string{"engine-a": freePort(t), "engine-b": freePort(t)}
+	obsAddr := map[string]string{"engine-a": freePort(t), "engine-b": freePort(t), "router": freePort(t)}
+	routerAddr := freePort(t)
+
+	// The paced replay gaps chunks by chunk/fs seconds of wall clock
+	// (512 samples at the indoor bench's 1 kHz = ~0.5 s), so the 3 s
+	// idle timeout must stay comfortably above the gap or the engines
+	// would evict live sessions mid-stream.
+	engineArgs := func(id string) []string {
+		return []string{
+			"-mode", "engine", "-engine-id", id,
+			"-listen", engAddr[id], "-metrics-addr", obsAddr[id],
+			"-idle", "3s", "-drain-wait", "30s",
+		}
+	}
+	engA := startProc(t, bin, "engine-a", engineArgs("engine-a")...)
+	engB := startProc(t, bin, "engine-b", engineArgs("engine-b")...)
+	waitHealthy(t, "engine-a", obsAddr["engine-a"])
+	waitHealthy(t, "engine-b", obsAddr["engine-b"])
+
+	router := startProc(t, bin, "router",
+		"-mode", "route", "-listen", routerAddr,
+		"-engines", fmt.Sprintf("engine-a=%s,engine-b=%s", engAddr["engine-a"], engAddr["engine-b"]),
+		"-metrics-addr", obsAddr["router"],
+	)
+	waitHealthy(t, "router", obsAddr["router"])
+
+	// Paced replay stretches the fleet over several seconds of wall
+	// clock — room to drain an engine while streams are in flight.
+	load := startProc(t, bin, "load",
+		"-mode", "load", "-load", "fleet-load", "-sessions", strconv.Itoa(sessions),
+		"-router", routerAddr, "-chunk", "512", "-fanout", "16", "-pace",
+	)
+
+	// SIGTERM engine A once the router has live routes on it.
+	deadline := time.Now().Add(30 * time.Second)
+	for routerCounter(obsAddr["router"], "pl_cluster_streams_routed_total") < 20 {
+		if time.Now().After(deadline) {
+			t.Fatalf("router never saw 20 streams; router output:\n%s", router.out.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err := engA.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// The drain must be visible from outside: /healthz flips to 503
+	// with the draining detail while in-flight sessions finish.
+	sawDraining := false
+	deadline = time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) && !sawDraining {
+		code, body, err := httpGet(obsAddr["engine-a"], "/healthz")
+		if err != nil {
+			break // the engine finished draining and exited
+		}
+		if code == http.StatusServiceUnavailable && regexp.MustCompile(`draining`).MatchString(body) {
+			sawDraining = true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !sawDraining {
+		t.Errorf("engine-a /healthz never reported draining; output:\n%s", engA.out.String())
+	}
+	if err := engA.wait(t, 60*time.Second); err != nil {
+		t.Fatalf("engine-a drain exit: %v\noutput:\n%s", err, engA.out.String())
+	}
+
+	if err := load.wait(t, 180*time.Second); err != nil {
+		t.Fatalf("load replay: %v\noutput:\n%s", err, load.out.String())
+	}
+
+	// Let B flush its tail (idle eviction releases the last sessions),
+	// then drain it for its summary. Zero loss across the restart:
+	// every session's packet decoded on exactly one engine.
+	aDecoded, aUndecodable := drainSummary(t, engA)
+	wantB := int64(sessions) - aDecoded
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		if m := regexp.MustCompile(`decoded`).FindAllString(engB.out.String(), -1); int64(len(m)) >= wantB {
+			break
+		}
+		if time.Now().After(deadline) {
+			break // the summary assertion below reports the shortfall
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := engB.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := engB.wait(t, 60*time.Second); err != nil {
+		t.Fatalf("engine-b drain exit: %v\noutput:\n%s", err, engB.out.String())
+	}
+	bDecoded, bUndecodable := drainSummary(t, engB)
+	if total := aDecoded + bDecoded; total != sessions {
+		t.Errorf("cluster decoded %d packets for %d sessions (a=%d b=%d)\nrouter:\n%s",
+			total, sessions, aDecoded, bDecoded, router.out.String())
+	}
+	if aUndecodable+bUndecodable != 0 {
+		t.Errorf("engines reported %d undecodable sessions", aUndecodable+bUndecodable)
+	}
+	if handoffs := routerCounter(obsAddr["router"], "pl_cluster_handoffs_total"); handoffs < 0 {
+		t.Error("router metrics endpoint went away before the final scrape")
+	} else {
+		t.Logf("cluster smoke: a=%d b=%d decoded, %d handoffs", aDecoded, bDecoded, handoffs)
+	}
+
+	// The router runs until interrupted (plnet cancels its context on
+	// SIGINT only; engines add their own SIGTERM drain handler).
+	router.cmd.Process.Signal(os.Interrupt)
+	if err := router.wait(t, 30*time.Second); err != nil {
+		t.Fatalf("router exit: %v\noutput:\n%s", err, router.out.String())
+	}
+}

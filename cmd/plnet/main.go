@@ -18,6 +18,26 @@
 //	                            # /metrics.json and /healthz; -linger
 //	                            # keeps the endpoint up after the run
 //
+// Cluster modes (internal/cluster): a router front-end consistent-
+// hashes each (node, stream) session onto a fleet of engine
+// processes, hands streams off losslessly when an engine drains, and
+// fails them over when one dies:
+//
+//	plnet -mode engine -listen :7501 -engine-id a -metrics-addr :9501
+//	plnet -mode engine -listen :7502 -engine-id b -metrics-addr :9502
+//	plnet -mode route  -listen :7500 -engines a=127.0.0.1:7501,b=127.0.0.1:7502
+//	plnet -mode load   -router 127.0.0.1:7500 -sessions 128 -pace
+//	                            # concurrent paced fleet replay against
+//	                            # the router instead of an in-process
+//	                            # pipeline
+//	plnet -mode drain  -connect 127.0.0.1:7501
+//	                            # ask an engine to drain over the wire
+//	                            # (SIGTERM to the engine does the same)
+//
+// A draining engine refuses new streams (the router re-routes them),
+// finishes its in-flight sessions, force-redirects stragglers after
+// -drain-wait, reports "draining" on /healthz, and exits clean.
+//
 // Stream mode is built on the unified Pipeline API: a NetSource
 // accepts the nodes' raw chunk streams, a TwoPhase pipeline decodes
 // them on the worker pool, and a sink feeds the detections into the
@@ -56,8 +76,21 @@ func main() {
 		shards   = flag.Int("shards", 0, "engine shard count (stream and load modes; 0 = min(workers, GOMAXPROCS))")
 		loadName = flag.String("load", "fleet-load", "load-registry preset to replay (load mode)")
 		sessions = flag.Int("sessions", 16, "session count to expand the load to (load mode; 0 keeps the preset's)")
-		metrics  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /healthz on this address (stream and load modes)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /healthz on this address (stream, load, engine and route modes)")
 		linger   = flag.Duration("linger", 0, "keep the metrics endpoint alive this long after a stream/load run completes")
+
+		pace      = flag.Bool("pace", false, "pace load replay to the stream clocks (wall time) instead of as fast as possible")
+		router    = flag.String("router", "", "replay the load against this router/engine address instead of an in-process pipeline (load mode)")
+		fanout    = flag.Int("fanout", 16, "concurrent sessions replaying at once (load mode with -router)")
+		engineID  = flag.String("engine-id", "engine", "this engine's ring member id (engine mode)")
+		engines   = flag.String("engines", "", "comma-separated id=host:port ring members (route mode, -dump-ring)")
+		ringPath  = flag.String("ring", "", "ring JSON file to route by, as printed by -dump-ring (route mode; overrides -engines)")
+		vnodes    = flag.Int("vnodes", 0, "virtual nodes per ring member (0 = default 128)")
+		dumpRing  = flag.Bool("dump-ring", false, "print the ring built from -engines/-vnodes as JSON and exit")
+		strategy  = flag.String("strategy", "threshold", "decode strategy for engine mode (threshold | two-phase)")
+		symbols   = flag.Int("symbols", 8, "expected symbols per packet (engine mode)")
+		idle      = flag.Duration("idle", 3*time.Second, "engine-mode session idle eviction (quiet streams flush and release after this long)")
+		drainWait = flag.Duration("drain-wait", 30*time.Second, "how long a draining engine waits for in-flight streams before force-redirecting them")
 	)
 	flag.Parse()
 	// One signal-handling context for every mode: Ctrl-C propagates
@@ -84,7 +117,21 @@ func main() {
 	case "stream":
 		err = runStream(ctx, newObs(*metrics, *linger), *nodes, *chunk, *payload, *workers, *shards)
 	case "load":
-		err = runLoad(ctx, newObs(*metrics, *linger), *loadName, *sessions, *chunk, *workers, *shards)
+		if *router != "" {
+			err = runLoadRemote(ctx, *loadName, *sessions, *chunk, *pace, *router, *fanout)
+		} else {
+			err = runLoad(ctx, newObs(*metrics, *linger), *loadName, *sessions, *chunk, *workers, *shards, *pace)
+		}
+	case "engine":
+		err = runEngine(ctx, newObs(*metrics, *linger), *listen, *engineID, *strategy, *symbols, *workers, *shards, *idle, *drainWait)
+	case "route":
+		if *dumpRing {
+			err = runDumpRing(*engines, *vnodes)
+		} else {
+			err = runRoute(ctx, newObs(*metrics, *linger), *listen, *engines, *ringPath, *vnodes)
+		}
+	case "drain":
+		err = runDrainRequest(*connect)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -343,7 +390,7 @@ func runStream(ctx context.Context, mon *obs, nodeCount, chunkSize int, payload 
 // each of its compiled links' rendered traces chunk by chunk, so the
 // server-side pipeline sees exactly the fleet the spec describes —
 // spec-driven scale testing of the networked decode path.
-func runLoad(ctx context.Context, mon *obs, loadName string, sessions, chunkSize, workers, shards int) error {
+func runLoad(ctx context.Context, mon *obs, loadName string, sessions, chunkSize, workers, shards int, pace bool) error {
 	load, err := scenario.GetLoad(loadName)
 	if err != nil {
 		return err
@@ -351,6 +398,7 @@ func runLoad(ctx context.Context, mon *obs, loadName string, sessions, chunkSize
 	if sessions > 0 {
 		load.Sessions = sessions
 	}
+	pace = pace || load.Pace
 	specs, err := load.Expand()
 	if err != nil {
 		return err
@@ -424,15 +472,23 @@ func runLoad(ctx context.Context, mon *obs, loadName string, sessions, chunkSize
 				node.Close()
 				return fmt.Errorf("session %d link %s: %w", k, l.Name, err)
 			}
+			pos, linkStart := 0, time.Now()
 			for chunk := range tr.Chunks(chunkSize) {
 				if err := ctx.Err(); err != nil {
 					node.Close()
 					return err
 				}
+				if pace {
+					if err := paceTo(ctx, linkStart, pos, tr.Fs); err != nil {
+						node.Close()
+						return err
+					}
+				}
 				if err := node.StreamChunk(uint32(l.Index), tr.Fs, chunk); err != nil {
 					node.Close()
 					return err
 				}
+				pos += len(chunk)
 			}
 			sent += int64(tr.Len())
 			links++
@@ -521,12 +577,16 @@ func (o *obs) registry() *passivelight.Telemetry {
 // exist, wiring two /healthz checks: "drops" degrades when any drop
 // counter (engine samples/detections/flattened, listener chunks) grew
 // since the previous probe, and "sessions" degrades when the session
-// table is full.
-func (o *obs) serve(pipe *passivelight.Pipeline, src *passivelight.NetSource) error {
+// table is full. hooks add mode-specific checks (e.g. the engine
+// mode's "draining" state).
+func (o *obs) serve(pipe *passivelight.Pipeline, src *passivelight.NetSource, hooks ...func(*passivelight.TelemetryHealth)) error {
 	if o == nil {
 		return nil
 	}
 	health := passivelight.NewTelemetryHealth()
+	for _, hook := range hooks {
+		hook(health)
+	}
 	var lastDrops atomic.Int64
 	health.AddCheck("drops", func() (bool, string) {
 		st := pipe.Stats()
@@ -546,6 +606,25 @@ func (o *obs) serve(pipe *passivelight.Pipeline, src *passivelight.NetSource) er
 		}
 		return true, ""
 	})
+	srv, err := telemetry.StartServer(o.addr, o.tel, health)
+	if err != nil {
+		return err
+	}
+	o.srv = srv
+	fmt.Println("metrics on http://" + srv.Addr())
+	return nil
+}
+
+// serveBare starts the metrics endpoint with only hook-provided
+// health checks — for modes without a pipeline (the cluster router).
+func (o *obs) serveBare(hooks ...func(*passivelight.TelemetryHealth)) error {
+	if o == nil {
+		return nil
+	}
+	health := passivelight.NewTelemetryHealth()
+	for _, hook := range hooks {
+		hook(health)
+	}
 	srv, err := telemetry.StartServer(o.addr, o.tel, health)
 	if err != nil {
 		return err

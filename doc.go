@@ -148,6 +148,29 @@
 // aggregator, or ship raw samples into a ListenSource pipeline whose
 // sink feeds the aggregator's track fusion.
 //
+// # Cluster tier
+//
+// When one engine is not enough, internal/cluster distributes the
+// receiver network across a fleet of them. A cluster.Ring
+// consistent-hashes (node, stream) sessions over virtual nodes —
+// deterministic for a member set, JSON-serializable, epoch-versioned —
+// and a cluster.Router fronts the fleet: receiver nodes dial it with
+// the unchanged wire protocol and every chunk is forwarded raw to its
+// session's owning engine, with sticky routes, a bounded per-stream
+// replay buffer, and crash failover. Engines stay plain pipelines:
+// plnet -mode engine wraps ListenSource + Pipeline with a graceful
+// drain path (SIGTERM or a wire drain request → refuse new streams,
+// finish in-flight ones, flush, NACK stragglers to the router for
+// replay on their new owner, exit clean), NetSource exposes the same
+// drain surface (Drain, Draining, ForceRedirect, Sessions) for
+// embedding, and WithSessionEnd observes every session release.
+// Handoffs, failovers and replays are visible under pl_cluster_*; the
+// README's "Running a cluster" section has the topology, the rolling-
+// restart runbook and the metric catalog. The zero-loss guarantee —
+// 128 staggered sessions through drain, shutdown and rejoin without
+// dropping a packet — is locked by an in-process integration test and
+// a multi-process CI smoke.
+//
 // # Performance
 //
 // The engine is sharded: sessions are hashed by stream id onto N

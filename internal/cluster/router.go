@@ -1,0 +1,779 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"passivelight/internal/rxnet"
+	"passivelight/internal/telemetry"
+)
+
+// RouterConfig tunes a Router beyond its ring.
+type RouterConfig struct {
+	// Ring is the engine fleet. Required, at least one member.
+	Ring *Ring
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+	// ReplayChunks bounds the per-stream replay buffer (recent chunk
+	// frames kept so a NACKed stream can be replayed on its new
+	// owner). Zero selects 64. A NACK that reaches past the buffer is
+	// counted in pl_cluster_replay_gaps_total and the stream resumes
+	// with a gap (the new owner's continuity cursor resets it).
+	ReplayChunks int
+	// RouteIdleTimeout evicts routes whose stream has been silent for
+	// this long, sending the owner a StreamEnd so the engine session
+	// releases too. Zero selects 120 s; negative disables eviction.
+	RouteIdleTimeout time.Duration
+	// DialTimeout bounds one upstream dial. Zero selects 5 s.
+	DialTimeout time.Duration
+	// RedialBackoff is how long a failed upstream is avoided before
+	// the next dial attempt. Zero selects 1 s.
+	RedialBackoff time.Duration
+	// Metrics registers the router's pl_cluster_* series.
+	Metrics *telemetry.Registry
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.ReplayChunks == 0 {
+		c.ReplayChunks = 64
+	}
+	if c.RouteIdleTimeout == 0 {
+		c.RouteIdleTimeout = 120 * time.Second
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.RedialBackoff == 0 {
+		c.RedialBackoff = time.Second
+	}
+	return c
+}
+
+// savedChunk is one buffered chunk frame for NACK replay.
+type savedChunk struct {
+	seq  uint32
+	body []byte
+}
+
+// route is the router's view of one chunk stream: its sticky owner
+// and a bounded replay buffer. fmu serializes the stream end to end —
+// resolve, buffer, forward, and NACK-triggered replay — so the new
+// owner can never observe replayed and live chunks out of order.
+type route struct {
+	fmu     sync.Mutex
+	owner   string // member ID; "" means unresolved
+	lastFwd uint32
+	lastAct time.Time
+	replay  []savedChunk
+}
+
+// upstream is the router's connection to one engine, redialed on
+// demand. wmu serializes writes from routing goroutines, the NACK
+// handler and the hello replay.
+type upstream struct {
+	id   string
+	addr string
+
+	wmu  sync.Mutex
+	conn net.Conn
+
+	// nextDial (unix nanos) and connected are read lock-free by
+	// resolve and Stats — resolve runs under a route's fmu and must
+	// not touch wmu, which send holds across dials.
+	nextDial  atomic.Int64
+	connected atomic.Bool
+	draining  atomic.Bool
+}
+
+// down reports whether the engine is unreachable and still in dial
+// backoff, i.e. not worth assigning new streams to.
+func (up *upstream) down(now time.Time) bool {
+	return !up.connected.Load() && now.UnixNano() < up.nextDial.Load()
+}
+
+// Router is the cluster front-end: it accepts rxnet chunk streams
+// from receiver nodes and forwards each stream to the engine that
+// owns it on the consistent-hash ring, over the same wire protocol.
+// Streams are sticky — once routed, a stream stays with its engine
+// until it ends, the engine refuses it (drain NACK), or a forced
+// Rebalance moves it — so membership changes never cut packets
+// mid-window unless explicitly forced.
+type Router struct {
+	cfg  RouterConfig
+	logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	ring   *Ring
+	routes map[uint64]*route
+	ups    map[string]*upstream
+	hellos map[uint32][]byte // latest Hello body per node, replayed on engine (re)connect
+	nconns map[net.Conn]struct{}
+
+	ln        net.Listener
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	chunksFwd   atomic.Int64
+	streams     atomic.Int64
+	handoffs    atomic.Int64
+	nacksRecv   atomic.Int64
+	replayed    atomic.Int64
+	replayGaps  atomic.Int64
+	redials     atomic.Int64
+	failovers   atomic.Int64
+	undeliv     atomic.Int64
+	routesEnded atomic.Int64
+}
+
+// RouterStats is an operational snapshot for health checks.
+type RouterStats struct {
+	// Routes currently tracked; Engines on the ring; Draining engines
+	// among them; Down engines in dial backoff.
+	Routes, Engines, Draining, Down int
+	// Epoch of the active ring.
+	Epoch uint64
+	// Handoffs is the total streams moved between engines.
+	Handoffs int64
+	// Undeliverable counts chunks dropped because no engine would
+	// take them.
+	Undeliverable int64
+}
+
+// NewRouter builds an idle router over the ring.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Ring == nil || cfg.Ring.Len() == 0 {
+		return nil, errors.New("cluster: router needs a ring with at least one member")
+	}
+	cfg = cfg.withDefaults()
+	r := &Router{
+		cfg:    cfg,
+		logf:   cfg.Logf,
+		ring:   cfg.Ring,
+		routes: make(map[uint64]*route),
+		ups:    make(map[string]*upstream),
+		hellos: make(map[uint32][]byte),
+		nconns: make(map[net.Conn]struct{}),
+		closed: make(chan struct{}),
+	}
+	for _, m := range cfg.Ring.Members() {
+		r.ups[m.ID] = &upstream{id: m.ID, addr: m.Addr}
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.CounterFunc("pl_cluster_chunks_forwarded_total",
+			"Sample chunks forwarded to owning engines.", r.chunksFwd.Load)
+		reg.CounterFunc("pl_cluster_streams_routed_total",
+			"Streams assigned an owning engine.", r.streams.Load)
+		reg.CounterFunc("pl_cluster_handoffs_total",
+			"Streams moved between engines (drain NACKs, forced rebalances, failovers).", r.handoffs.Load)
+		reg.CounterFunc("pl_cluster_nacks_received_total",
+			"Stream NACKs received from draining engines.", r.nacksRecv.Load)
+		reg.CounterFunc("pl_cluster_replayed_chunks_total",
+			"Buffered chunks replayed on a stream's new owner after a handoff.", r.replayed.Load)
+		reg.CounterFunc("pl_cluster_replay_gaps_total",
+			"Handoffs whose replay buffer no longer held every unconsumed chunk.", r.replayGaps.Load)
+		reg.CounterFunc("pl_cluster_upstream_redials_total",
+			"Engine connections re-established.", r.redials.Load)
+		reg.CounterFunc("pl_cluster_failovers_total",
+			"Streams moved because their engine connection failed mid-forward.", r.failovers.Load)
+		reg.CounterFunc("pl_cluster_undeliverable_chunks_total",
+			"Chunks dropped because no engine would accept their stream.", r.undeliv.Load)
+		reg.CounterFunc("pl_cluster_routes_ended_total",
+			"Routes released (idle eviction and shutdown).", r.routesEnded.Load)
+		reg.GaugeFunc("pl_cluster_epoch", "Active ring epoch.", func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return float64(r.ring.Epoch())
+		})
+		reg.GaugeFunc("pl_cluster_engines", "Engines on the ring.", func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return float64(r.ring.Len())
+		})
+		reg.GaugeFunc("pl_cluster_routes_active", "Streams currently routed.", func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return float64(len(r.routes))
+		})
+	}
+	return r, nil
+}
+
+// Listen starts accepting receiver-node connections on addr
+// ("host:port"; empty port picks an ephemeral one) and returns the
+// bound address.
+func (r *Router) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	r.mu.Lock()
+	r.ln = ln
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go r.acceptLoop(ln)
+	if r.cfg.RouteIdleTimeout > 0 {
+		r.wg.Add(1)
+		go r.janitor()
+	}
+	return ln.Addr().String(), nil
+}
+
+func (r *Router) acceptLoop(ln net.Listener) {
+	defer r.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-r.closed:
+				return
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			r.logf("cluster: accept: %v", err)
+			return
+		}
+		r.wg.Add(1)
+		go r.serveConn(conn)
+	}
+}
+
+// serveConn relays one receiver node's frames. Chunk bodies are
+// forwarded verbatim — only the 12-byte (NodeID, StreamID, Seq)
+// prefix is parsed to route them — so the router never touches the
+// sample payload.
+func (r *Router) serveConn(conn net.Conn) {
+	defer r.wg.Done()
+	r.mu.Lock()
+	r.nconns[conn] = struct{}{}
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.nconns, conn)
+		r.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(2 * time.Minute)); err != nil {
+			return
+		}
+		t, body, err := rxnet.ReadFrame(conn)
+		if err != nil {
+			select {
+			case <-r.closed:
+			default:
+				r.logf("cluster: node read: %v", err)
+			}
+			return
+		}
+		switch t {
+		case rxnet.FrameHello:
+			h, err := rxnet.UnmarshalHello(body)
+			if err != nil {
+				r.logf("cluster: bad hello: %v", err)
+				return
+			}
+			r.mu.Lock()
+			r.hellos[h.NodeID] = body
+			ups := r.upstreamsLocked()
+			r.mu.Unlock()
+			// Node metadata fans out to the whole fleet: any engine may
+			// end up owning one of this node's streams.
+			for _, up := range ups {
+				if err := r.send(up, rxnet.FrameHello, body); err != nil {
+					r.logf("cluster: hello to %s: %v", up.id, err)
+				}
+			}
+		case rxnet.FrameSampleChunk:
+			if len(body) < 12 {
+				r.logf("cluster: short chunk frame (%d bytes)", len(body))
+				return
+			}
+			node := binary.BigEndian.Uint32(body[0:4])
+			stream := binary.BigEndian.Uint32(body[4:8])
+			seq := binary.BigEndian.Uint32(body[8:12])
+			session := uint64(node)<<32 | uint64(stream)
+			r.forward(session, seq, body)
+		default:
+			r.logf("cluster: unexpected frame type %d from node", t)
+			return
+		}
+	}
+}
+
+// routeFor returns the session's route, creating it unresolved.
+func (r *Router) routeFor(session uint64) *route {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rt, ok := r.routes[session]
+	if !ok {
+		rt = &route{}
+		r.routes[session] = rt
+	}
+	return rt
+}
+
+// upstreamsLocked snapshots the upstream set. Callers hold r.mu.
+func (r *Router) upstreamsLocked() []*upstream {
+	ups := make([]*upstream, 0, len(r.ups))
+	for _, up := range r.ups {
+		ups = append(ups, up)
+	}
+	return ups
+}
+
+// resolve picks the owner for a session from the active ring,
+// walking past engines that are draining or in dial backoff, plus the
+// member named by exclude (the sender of a NACK refused the stream
+// whether or not its drain notice has been processed yet).
+func (r *Router) resolve(session uint64, exclude string) (*upstream, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	m, ok := r.ring.OwnerAvoiding(session, func(m Member) bool {
+		if m.ID == exclude {
+			return true
+		}
+		up := r.ups[m.ID]
+		return up == nil || up.draining.Load() || up.down(now)
+	})
+	if !ok {
+		return nil, false
+	}
+	return r.ups[m.ID], true
+}
+
+// forward routes one chunk frame to its stream's owner, assigning an
+// owner to new streams and buffering the frame for NACK replay.
+func (r *Router) forward(session uint64, seq uint32, body []byte) {
+	rt := r.routeFor(session)
+	rt.fmu.Lock()
+	defer rt.fmu.Unlock()
+	rt.lastAct = time.Now()
+	// Buffer first: a NACK can arrive for any forwarded chunk.
+	rt.replay = append(rt.replay, savedChunk{seq: seq, body: body})
+	if len(rt.replay) > r.cfg.ReplayChunks {
+		rt.replay = rt.replay[len(rt.replay)-r.cfg.ReplayChunks:]
+	}
+	rt.lastFwd = seq
+	for attempt := 0; attempt < 2; attempt++ {
+		if rt.owner == "" {
+			up, ok := r.resolve(session, "")
+			if !ok {
+				r.undeliv.Add(1)
+				return
+			}
+			rt.owner = up.id
+			r.streams.Add(1)
+		}
+		r.mu.Lock()
+		up := r.ups[rt.owner]
+		r.mu.Unlock()
+		if up == nil {
+			rt.owner = ""
+			continue
+		}
+		if err := r.send(up, rxnet.FrameSampleChunk, body); err != nil {
+			// The engine is gone mid-stream (crash, not drain): fail
+			// the stream over. What the dead engine consumed is
+			// unknown, so nothing is replayed — the new owner starts
+			// at the next chunk and its continuity cursor handles the
+			// boundary.
+			r.logf("cluster: forward to %s: %v; failing stream %d over", up.id, err, session)
+			r.failovers.Add(1)
+			r.handoffs.Add(1)
+			rt.owner = ""
+			continue
+		}
+		r.chunksFwd.Add(1)
+		return
+	}
+	r.undeliv.Add(1)
+}
+
+// send writes one frame to an upstream, dialing it first if needed.
+func (r *Router) send(up *upstream, t rxnet.FrameType, body []byte) error {
+	select {
+	case <-r.closed:
+		return errors.New("cluster: router closed")
+	default:
+	}
+	up.wmu.Lock()
+	defer up.wmu.Unlock()
+	if up.conn == nil {
+		if time.Now().UnixNano() < up.nextDial.Load() {
+			return fmt.Errorf("cluster: engine %s in dial backoff", up.id)
+		}
+		if err := r.dialLocked(up); err != nil {
+			up.nextDial.Store(time.Now().Add(r.cfg.RedialBackoff).UnixNano())
+			return err
+		}
+	}
+	if err := up.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return err
+	}
+	if err := rxnet.WriteFrame(up.conn, t, body); err != nil {
+		up.conn.Close()
+		up.conn = nil
+		up.connected.Store(false)
+		up.nextDial.Store(time.Now().Add(r.cfg.RedialBackoff).UnixNano())
+		return err
+	}
+	return nil
+}
+
+// dialLocked connects an upstream and starts its reader. Callers hold
+// up.wmu.
+func (r *Router) dialLocked(up *upstream) error {
+	conn, err := net.DialTimeout("tcp", up.addr, r.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	up.conn = conn
+	up.connected.Store(true)
+	up.draining.Store(false) // a fresh process announces its own state
+	r.redials.Add(1)
+	r.wg.Add(1)
+	go r.readUpstream(up, conn)
+	// A (re)connected engine needs the fleet's node metadata before
+	// any of their streams land on it.
+	r.mu.Lock()
+	hellos := make([][]byte, 0, len(r.hellos))
+	for _, h := range r.hellos {
+		hellos = append(hellos, h)
+	}
+	r.mu.Unlock()
+	for _, h := range hellos {
+		if err := conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+			return err
+		}
+		if err := rxnet.WriteFrame(conn, rxnet.FrameHello, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readUpstream consumes engine-to-router control frames (drain
+// notices, stream NACKs) until the connection dies.
+func (r *Router) readUpstream(up *upstream, conn net.Conn) {
+	defer r.wg.Done()
+	for {
+		// No deadline: engines speak only when state changes.
+		if err := conn.SetReadDeadline(time.Time{}); err != nil {
+			break
+		}
+		t, body, err := rxnet.ReadFrame(conn)
+		if err != nil {
+			select {
+			case <-r.closed:
+			default:
+				r.logf("cluster: engine %s read: %v", up.id, err)
+			}
+			break
+		}
+		switch t {
+		case rxnet.FrameDrain:
+			d, err := rxnet.UnmarshalDrain(body)
+			if err != nil {
+				r.logf("cluster: engine %s bad drain: %v", up.id, err)
+				continue
+			}
+			up.draining.Store(d.Draining)
+			r.logf("cluster: engine %s draining=%v", up.id, d.Draining)
+		case rxnet.FrameStreamNack:
+			n, err := rxnet.UnmarshalStreamNack(body)
+			if err != nil {
+				r.logf("cluster: engine %s bad nack: %v", up.id, err)
+				continue
+			}
+			r.nacksRecv.Add(1)
+			r.handleNack(up, n)
+		default:
+			// Engines send nothing else today; tolerate future frames.
+		}
+	}
+	up.wmu.Lock()
+	if up.conn == conn {
+		up.conn = nil
+		up.connected.Store(false)
+		up.nextDial.Store(time.Now().Add(r.cfg.RedialBackoff).UnixNano())
+	}
+	up.wmu.Unlock()
+}
+
+// handleNack moves a refused stream to a new owner and replays every
+// chunk the old owner did not consume (Seq > LastSeq) from the replay
+// buffer.
+func (r *Router) handleNack(from *upstream, n rxnet.StreamNack) {
+	r.mu.Lock()
+	rt := r.routes[n.Session]
+	r.mu.Unlock()
+	if rt == nil {
+		return
+	}
+	rt.fmu.Lock()
+	defer rt.fmu.Unlock()
+	if rt.owner != from.id {
+		// Stale NACK: the stream already moved (e.g. the first chunk
+		// was NACKed and follow-ups crossed it on the wire).
+		return
+	}
+	up, ok := r.resolve(n.Session, from.id)
+	if !ok {
+		// Nobody else will take it; unresolve so the next live chunk
+		// retries (the drain may have ended by then).
+		r.logf("cluster: stream %d refused by %s and no engine will take it", n.Session, from.id)
+		rt.owner = ""
+		return
+	}
+	rt.owner = up.id
+	r.handoffs.Add(1)
+	r.streams.Add(1)
+	// Replay the unconsumed window in order. If the buffer no longer
+	// reaches back to LastSeq+1, the stream resumes with a gap and
+	// the new owner's continuity cursor resets the session; count it.
+	if len(rt.replay) > 0 && n.LastSeq+1 < rt.replay[0].seq {
+		r.replayGaps.Add(1)
+	}
+	for _, c := range rt.replay {
+		if c.seq <= n.LastSeq {
+			continue
+		}
+		if err := r.send(up, rxnet.FrameSampleChunk, c.body); err != nil {
+			r.logf("cluster: replay to %s: %v", up.id, err)
+			r.failovers.Add(1)
+			rt.owner = ""
+			return
+		}
+		r.replayed.Add(1)
+		r.chunksFwd.Add(1)
+	}
+}
+
+// Rebalance installs a new ring. In-flight streams are sticky: by
+// default only future streams see the new layout, which is what keeps
+// membership changes lossless. With force, every routed stream whose
+// owner changed is handed off now — the old owner gets a StreamEnd
+// (finish the packet window, emit, release) and the stream continues
+// on its new owner from its next chunk.
+func (r *Router) Rebalance(ring *Ring, force bool) error {
+	if ring == nil || ring.Len() == 0 {
+		return errors.New("cluster: rebalance needs a non-empty ring")
+	}
+	r.mu.Lock()
+	r.ring = ring
+	keep := make(map[string]bool, ring.Len())
+	for _, m := range ring.Members() {
+		keep[m.ID] = true
+		if _, ok := r.ups[m.ID]; !ok {
+			r.ups[m.ID] = &upstream{id: m.ID, addr: m.Addr}
+		}
+	}
+	// Members that left the ring take their upstreams with them —
+	// routes they still own re-resolve on their next chunk, and hello
+	// fan-out stops courting the departed engine. The connections stay
+	// open until after the forced handoffs below so a departing owner
+	// still receives its StreamEnd flush.
+	departed := make(map[string]*upstream)
+	for id, up := range r.ups {
+		if !keep[id] {
+			departed[id] = up
+			delete(r.ups, id)
+		}
+	}
+	type pending struct {
+		session uint64
+		rt      *route
+	}
+	var all []pending
+	if force {
+		all = make([]pending, 0, len(r.routes))
+		for s, rt := range r.routes {
+			all = append(all, pending{s, rt})
+		}
+	}
+	r.mu.Unlock()
+	r.logf("cluster: ring epoch %d installed (%d members, force=%v)", ring.Epoch(), ring.Len(), force)
+	for _, p := range all {
+		p.rt.fmu.Lock()
+		if p.rt.owner == "" {
+			p.rt.fmu.Unlock()
+			continue
+		}
+		up, ok := r.resolve(p.session, "")
+		if !ok || up.id == p.rt.owner {
+			p.rt.fmu.Unlock()
+			continue
+		}
+		r.mu.Lock()
+		old := r.ups[p.rt.owner]
+		r.mu.Unlock()
+		if old == nil {
+			old = departed[p.rt.owner]
+		}
+		if old != nil {
+			// TCP ordering makes this lossless: the StreamEnd lands
+			// after every chunk already forwarded, so the old owner
+			// decodes everything it was given before flushing.
+			body := rxnet.MarshalStreamEnd(rxnet.StreamEnd{Session: p.session})
+			if err := r.send(old, rxnet.FrameStreamEnd, body); err != nil {
+				r.logf("cluster: stream end to %s: %v", old.id, err)
+			}
+		}
+		p.rt.owner = up.id
+		r.handoffs.Add(1)
+		r.streams.Add(1)
+		p.rt.fmu.Unlock()
+	}
+	for _, up := range departed {
+		up.wmu.Lock()
+		if up.conn != nil {
+			up.conn.Close()
+			up.conn = nil
+		}
+		up.connected.Store(false)
+		up.wmu.Unlock()
+		r.logf("cluster: engine %s left the ring", up.id)
+	}
+	return nil
+}
+
+// janitor evicts idle routes, releasing the engine session with a
+// StreamEnd so neither side leaks per-stream state.
+func (r *Router) janitor() {
+	defer r.wg.Done()
+	interval := r.cfg.RouteIdleTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.closed:
+			return
+		case now := <-tick.C:
+			type idle struct {
+				session uint64
+				owner   string
+			}
+			// Lock order is fmu -> r.mu everywhere else (resolve runs
+			// under a route's fmu), so snapshot first and take each
+			// fmu with r.mu released.
+			r.mu.Lock()
+			snapshot := make(map[uint64]*route, len(r.routes))
+			for s, rt := range r.routes {
+				snapshot[s] = rt
+			}
+			r.mu.Unlock()
+			var stale []idle
+			for s, rt := range snapshot {
+				rt.fmu.Lock()
+				quiet := now.Sub(rt.lastAct) > r.cfg.RouteIdleTimeout
+				owner := rt.owner
+				rt.fmu.Unlock()
+				if !quiet {
+					continue
+				}
+				r.mu.Lock()
+				if r.routes[s] == rt {
+					delete(r.routes, s)
+					stale = append(stale, idle{s, owner})
+				}
+				r.mu.Unlock()
+			}
+			for _, st := range stale {
+				r.routesEnded.Add(1)
+				if st.owner == "" {
+					continue
+				}
+				r.mu.Lock()
+				up := r.ups[st.owner]
+				r.mu.Unlock()
+				if up != nil {
+					body := rxnet.MarshalStreamEnd(rxnet.StreamEnd{Session: st.session})
+					if err := r.send(up, rxnet.FrameStreamEnd, body); err != nil {
+						r.logf("cluster: idle stream end to %s: %v", up.id, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Stats returns an operational snapshot.
+func (r *Router) Stats() RouterStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RouterStats{
+		Routes:        len(r.routes),
+		Engines:       r.ring.Len(),
+		Epoch:         r.ring.Epoch(),
+		Handoffs:      r.handoffs.Load(),
+		Undeliverable: r.undeliv.Load(),
+	}
+	now := time.Now()
+	for _, up := range r.ups {
+		if up.draining.Load() {
+			st.Draining++
+		}
+		if up.down(now) {
+			st.Down++
+		}
+	}
+	return st
+}
+
+// Addr returns the bound listen address ("" before Listen).
+func (r *Router) Addr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ln == nil {
+		return ""
+	}
+	return r.ln.Addr().String()
+}
+
+// Close stops the listener, node handlers and upstream connections.
+func (r *Router) Close() error {
+	var err error
+	r.closeOnce.Do(func() {
+		close(r.closed)
+		r.mu.Lock()
+		if r.ln != nil {
+			err = r.ln.Close()
+		}
+		ups := r.upstreamsLocked()
+		conns := make([]net.Conn, 0, len(r.nconns))
+		for c := range r.nconns {
+			conns = append(conns, c)
+		}
+		r.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+		for _, up := range ups {
+			up.wmu.Lock()
+			if up.conn != nil {
+				up.conn.Close()
+				up.conn = nil
+				up.connected.Store(false)
+			}
+			up.wmu.Unlock()
+		}
+		r.wg.Wait()
+	})
+	return err
+}

@@ -1,0 +1,421 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"passivelight/internal/rxnet"
+)
+
+// engineSim is a scripted cluster engine: a real ChunkListener plus a
+// collector goroutine standing in for the decode pipeline.
+type engineSim struct {
+	id string
+	l  *rxnet.ChunkListener
+
+	mu     sync.Mutex
+	events []rxnet.ChunkEvent
+}
+
+func startEngineSim(t *testing.T, id string) *engineSim {
+	t.Helper()
+	l, err := rxnet.ListenChunks("127.0.0.1:0", t.Logf)
+	if err != nil {
+		t.Fatalf("engine %s listen: %v", id, err)
+	}
+	e := &engineSim{id: id, l: l}
+	go func() {
+		for ev := range l.Chunks() {
+			e.mu.Lock()
+			e.events = append(e.events, ev)
+			e.mu.Unlock()
+		}
+	}()
+	t.Cleanup(func() { l.Close() })
+	return e
+}
+
+func (e *engineSim) snapshot() []rxnet.ChunkEvent {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]rxnet.ChunkEvent(nil), e.events...)
+}
+
+// samplesFor sums delivered samples for one session.
+func (e *engineSim) samplesFor(session uint64) int {
+	n := 0
+	for _, ev := range e.snapshot() {
+		if ev.Session == session {
+			n += len(ev.Samples)
+		}
+	}
+	return n
+}
+
+// endedFor reports whether an End event was delivered for the session.
+func (e *engineSim) endedFor(session uint64) bool {
+	for _, ev := range e.snapshot() {
+		if ev.Session == session && ev.End {
+			return true
+		}
+	}
+	return false
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// clusterRing builds a ring whose member addresses are the engines'
+// real listen addresses.
+func clusterRing(t *testing.T, engines ...*engineSim) *Ring {
+	t.Helper()
+	members := make([]Member, len(engines))
+	for i, e := range engines {
+		members[i] = Member{ID: e.id, Addr: e.l.Addr()}
+	}
+	ring, err := NewRing(0, members...)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	return ring
+}
+
+func startRouter(t *testing.T, cfg RouterConfig) (*Router, string) {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	addr, err := r.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("router listen: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r, addr
+}
+
+// streamOwnedBy scans stream IDs until one hashes to the wanted
+// engine, skipping IDs already claimed by the test.
+func streamOwnedBy(t *testing.T, ring *Ring, node uint32, owner string, used map[uint32]bool) uint32 {
+	t.Helper()
+	for sid := uint32(1); sid < 1<<16; sid++ {
+		if used[sid] {
+			continue
+		}
+		key := uint64(node)<<32 | uint64(sid)
+		if m, ok := ring.Owner(key); ok && m.ID == owner {
+			used[sid] = true
+			return sid
+		}
+	}
+	t.Fatalf("no stream id owned by %s", owner)
+	return 0
+}
+
+func dialNode(t *testing.T, addr string, id uint32) *rxnet.Node {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	n, err := rxnet.Dial(ctx, addr, rxnet.Hello{NodeID: id, Name: fmt.Sprintf("node-%d", id)})
+	if err != nil {
+		t.Fatalf("dial router: %v", err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+// Every chunk of every stream lands intact on the stream's ring
+// owner, with no resets and no leakage onto the other engine.
+func TestRouterRoutesByRing(t *testing.T) {
+	a := startEngineSim(t, "engine-a")
+	b := startEngineSim(t, "engine-b")
+	ring := clusterRing(t, a, b)
+	_, addr := startRouter(t, RouterConfig{Ring: ring})
+
+	node := dialNode(t, addr, 7)
+	const streams, chunks, per = 8, 3, 100
+	samples := make([]float64, per)
+	for i := range samples {
+		samples[i] = float64(i)
+	}
+	for c := 0; c < chunks; c++ {
+		for sid := uint32(1); sid <= streams; sid++ {
+			if err := node.StreamChunk(sid, 1000, samples); err != nil {
+				t.Fatalf("stream chunk: %v", err)
+			}
+		}
+	}
+
+	total := func() int {
+		n := 0
+		for _, e := range []*engineSim{a, b} {
+			for _, ev := range e.snapshot() {
+				n += len(ev.Samples)
+			}
+		}
+		return n
+	}
+	waitFor(t, "all chunks delivered", func() bool { return total() == streams*chunks*per })
+
+	byID := map[string]*engineSim{"engine-a": a, "engine-b": b}
+	for sid := uint32(1); sid <= streams; sid++ {
+		session := uint64(7)<<32 | uint64(sid)
+		m, ok := ring.Owner(session)
+		if !ok {
+			t.Fatalf("no owner for session %d", session)
+		}
+		owner := byID[m.ID]
+		if got := owner.samplesFor(session); got != chunks*per {
+			t.Errorf("session %d: owner %s got %d samples, want %d", session, m.ID, got, chunks*per)
+		}
+		for id, e := range byID {
+			if id == m.ID {
+				continue
+			}
+			if got := e.samplesFor(session); got != 0 {
+				t.Errorf("session %d leaked %d samples onto %s", session, got, id)
+			}
+		}
+		for _, ev := range owner.snapshot() {
+			if ev.Session == session && ev.Reset {
+				t.Errorf("session %d flagged reset on its owner", session)
+			}
+		}
+	}
+}
+
+// A draining engine keeps its in-flight streams but new streams are
+// routed to the surviving engine — the router learns the drain from
+// the FrameDrain notice on its upstream connection.
+func TestRouterDrainRoutesNewStreamsAway(t *testing.T) {
+	a := startEngineSim(t, "engine-a")
+	b := startEngineSim(t, "engine-b")
+	ring := clusterRing(t, a, b)
+	r, addr := startRouter(t, RouterConfig{Ring: ring})
+
+	node := dialNode(t, addr, 1)
+	used := map[uint32]bool{}
+	inflight := streamOwnedBy(t, ring, 1, "engine-a", used)
+	fresh := streamOwnedBy(t, ring, 1, "engine-a", used)
+	inKey := uint64(1)<<32 | uint64(inflight)
+	freshKey := uint64(1)<<32 | uint64(fresh)
+	samples := make([]float64, 50)
+
+	for i := 0; i < 2; i++ {
+		if err := node.StreamChunk(inflight, 1000, samples); err != nil {
+			t.Fatalf("stream chunk: %v", err)
+		}
+	}
+	waitFor(t, "in-flight stream on engine-a", func() bool { return a.samplesFor(inKey) == 100 })
+
+	a.l.Drain()
+	waitFor(t, "router to observe drain", func() bool { return r.Stats().Draining == 1 })
+
+	// New stream: ring says engine-a, drain steers it to engine-b.
+	for i := 0; i < 3; i++ {
+		if err := node.StreamChunk(fresh, 1000, samples); err != nil {
+			t.Fatalf("stream chunk: %v", err)
+		}
+	}
+	waitFor(t, "fresh stream on engine-b", func() bool { return b.samplesFor(freshKey) == 150 })
+	if got := a.samplesFor(freshKey); got != 0 {
+		t.Errorf("draining engine got %d samples of the fresh stream", got)
+	}
+
+	// The in-flight stream keeps flowing to the draining engine.
+	if err := node.StreamChunk(inflight, 1000, samples); err != nil {
+		t.Fatalf("stream chunk: %v", err)
+	}
+	waitFor(t, "in-flight stream still on engine-a", func() bool { return a.samplesFor(inKey) == 150 })
+	if got := b.samplesFor(inKey); got != 0 {
+		t.Errorf("in-flight stream leaked %d samples onto engine-b", got)
+	}
+}
+
+// ForceRedirect during a drain hands the straggler to the other
+// engine with zero loss and zero duplication: the old owner flushes
+// (End event), the NACK replays anything it did not consume, and
+// every sample is delivered exactly once across the fleet.
+func TestRouterForceRedirectHandoffZeroLoss(t *testing.T) {
+	a := startEngineSim(t, "engine-a")
+	b := startEngineSim(t, "engine-b")
+	ring := clusterRing(t, a, b)
+	r, addr := startRouter(t, RouterConfig{Ring: ring})
+
+	node := dialNode(t, addr, 3)
+	used := map[uint32]bool{}
+	sid := streamOwnedBy(t, ring, 3, "engine-a", used)
+	key := uint64(3)<<32 | uint64(sid)
+	samples := make([]float64, 100)
+
+	for i := 0; i < 4; i++ {
+		if err := node.StreamChunk(sid, 1000, samples); err != nil {
+			t.Fatalf("stream chunk: %v", err)
+		}
+	}
+	waitFor(t, "first window on engine-a", func() bool { return a.samplesFor(key) == 400 })
+
+	a.l.Drain()
+	waitFor(t, "router to observe drain", func() bool { return r.Stats().Draining == 1 })
+	if !a.l.ForceRedirect(key) {
+		t.Fatal("ForceRedirect: stream not known")
+	}
+
+	for i := 0; i < 4; i++ {
+		if err := node.StreamChunk(sid, 1000, samples); err != nil {
+			t.Fatalf("stream chunk: %v", err)
+		}
+	}
+	waitFor(t, "second window on engine-b", func() bool { return b.samplesFor(key) == 400 })
+	if got := a.samplesFor(key); got != 400 {
+		t.Errorf("old owner delivered %d samples, want exactly 400 (no dup, no loss)", got)
+	}
+	if !a.endedFor(key) {
+		t.Error("old owner never got the End event (decode session would leak)")
+	}
+	waitFor(t, "handoff counted", func() bool { return r.Stats().Handoffs >= 1 })
+	if n := r.nacksRecv.Load(); n < 1 {
+		t.Errorf("router counted %d NACKs, want >= 1", n)
+	}
+}
+
+// White-box: a NACK replays exactly the buffered chunks past LastSeq,
+// in order, on the stream's new owner.
+func TestRouterNackReplay(t *testing.T) {
+	a := startEngineSim(t, "engine-a")
+	b := startEngineSim(t, "engine-b")
+	ring := clusterRing(t, a, b)
+	r, _ := startRouter(t, RouterConfig{Ring: ring})
+
+	used := map[uint32]bool{}
+	sid := streamOwnedBy(t, ring, 9, "engine-a", used)
+	key := uint64(9)<<32 | uint64(sid)
+	samples := make([]float64, 25)
+	for seq := uint32(1); seq <= 3; seq++ {
+		body, err := rxnet.MarshalSampleChunk(rxnet.SampleChunk{
+			NodeID: 9, StreamID: sid, Seq: seq,
+			Fs: 1000, Start: uint64(seq-1) * 25, Samples: samples,
+		})
+		if err != nil {
+			t.Fatalf("marshal chunk: %v", err)
+		}
+		r.forward(key, seq, body)
+	}
+	waitFor(t, "chunks on engine-a", func() bool { return a.samplesFor(key) == 75 })
+
+	// Engine-a consumed through seq 1; replay 2 and 3 on engine-b.
+	r.handleNack(r.ups["engine-a"], rxnet.StreamNack{Session: key, LastSeq: 1})
+	waitFor(t, "replayed chunks on engine-b", func() bool { return b.samplesFor(key) == 50 })
+	if got := r.replayed.Load(); got != 2 {
+		t.Errorf("replayed counter = %d, want 2", got)
+	}
+	if got := r.replayGaps.Load(); got != 0 {
+		t.Errorf("replay gaps = %d, want 0", got)
+	}
+	evs := b.snapshot()
+	if len(evs) != 2 || evs[0].Reset || evs[1].Reset {
+		t.Errorf("replay delivered %d events (resets %v) — want 2 contiguous", len(evs), evs)
+	}
+
+	// A duplicate (stale) NACK from the old owner must be a no-op.
+	r.handleNack(r.ups["engine-a"], rxnet.StreamNack{Session: key, LastSeq: 1})
+	time.Sleep(20 * time.Millisecond)
+	if got := b.samplesFor(key); got != 50 {
+		t.Errorf("stale NACK re-replayed: engine-b now has %d samples", got)
+	}
+}
+
+// A forced Rebalance moves a routed stream immediately: the old owner
+// gets a StreamEnd (flush + release) and subsequent chunks flow to
+// the new ring's owner.
+func TestRouterForcedRebalance(t *testing.T) {
+	a := startEngineSim(t, "engine-a")
+	b := startEngineSim(t, "engine-b")
+	ring := clusterRing(t, a, b)
+	r, addr := startRouter(t, RouterConfig{Ring: ring})
+
+	node := dialNode(t, addr, 5)
+	used := map[uint32]bool{}
+	sid := streamOwnedBy(t, ring, 5, "engine-a", used)
+	key := uint64(5)<<32 | uint64(sid)
+	samples := make([]float64, 80)
+
+	for i := 0; i < 2; i++ {
+		if err := node.StreamChunk(sid, 1000, samples); err != nil {
+			t.Fatalf("stream chunk: %v", err)
+		}
+	}
+	waitFor(t, "stream on engine-a", func() bool { return a.samplesFor(key) == 160 })
+
+	ring2, err := NewRing(0, Member{ID: "engine-b", Addr: b.l.Addr()})
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	if err := r.Rebalance(ring2, true); err != nil {
+		t.Fatalf("Rebalance: %v", err)
+	}
+	waitFor(t, "old owner flushed", func() bool { return a.endedFor(key) })
+
+	for i := 0; i < 2; i++ {
+		if err := node.StreamChunk(sid, 1000, samples); err != nil {
+			t.Fatalf("stream chunk: %v", err)
+		}
+	}
+	waitFor(t, "stream on engine-b", func() bool { return b.samplesFor(key) == 160 })
+	if got := a.samplesFor(key); got != 160 {
+		t.Errorf("old owner delivered %d samples after rebalance, want 160", got)
+	}
+	if st := r.Stats(); st.Epoch != ring2.Epoch() || st.Engines != 1 || st.Handoffs < 1 {
+		t.Errorf("stats after rebalance: %+v", st)
+	}
+}
+
+// An engine that dies mid-stream (no drain, no NACK) fails the stream
+// over: the router moves it to the survivor and keeps forwarding.
+func TestRouterFailoverOnEngineCrash(t *testing.T) {
+	a := startEngineSim(t, "engine-a")
+	b := startEngineSim(t, "engine-b")
+	ring := clusterRing(t, a, b)
+	r, addr := startRouter(t, RouterConfig{Ring: ring})
+
+	node := dialNode(t, addr, 2)
+	used := map[uint32]bool{}
+	sid := streamOwnedBy(t, ring, 2, "engine-a", used)
+	key := uint64(2)<<32 | uint64(sid)
+	samples := make([]float64, 10)
+
+	if err := node.StreamChunk(sid, 1000, samples); err != nil {
+		t.Fatalf("stream chunk: %v", err)
+	}
+	waitFor(t, "stream on engine-a", func() bool { return a.samplesFor(key) == 10 })
+
+	a.l.Close()
+
+	// Keep sending until the failover lands; chunks sent into the dead
+	// connection's window are lost by design (consumption unknown).
+	waitFor(t, "failover to engine-b", func() bool {
+		if err := node.StreamChunk(sid, 1000, samples); err != nil {
+			t.Fatalf("stream chunk: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+		return b.samplesFor(key) > 0
+	})
+	if got := r.failovers.Load(); got < 1 {
+		t.Errorf("failovers = %d, want >= 1", got)
+	}
+}

@@ -571,6 +571,33 @@ func (n *Node) StreamChunk(streamID uint32, fs float64, samples []float64) error
 	return nil
 }
 
+// StreamState reports a stream's chunk accounting: the Seq of the
+// last chunk sent and the Start index the next chunk will carry.
+// Saved before a connection loss and restored with ResumeStream, it
+// lets a redialed node continue the stream seamlessly.
+func (n *Node) StreamState(streamID uint32) (seq uint32, start uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if st := n.streams[streamID]; st != nil {
+		return st.seq, st.start
+	}
+	return 0, 0
+}
+
+// ResumeStream primes a stream's chunk counters on a fresh Node so
+// its numbering continues exactly where a previous connection
+// stopped. The server-side continuity cursor then splices the
+// reconnected stream into the same decode session with no reset —
+// no duplicate and no gap.
+func (n *Node) ResumeStream(streamID uint32, seq uint32, start uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.streams == nil {
+		n.streams = make(map[uint32]*streamState)
+	}
+	n.streams[streamID] = &streamState{seq: seq, start: start}
+}
+
 // Close closes the node connection.
 func (n *Node) Close() error { return n.conn.Close() }
 

@@ -29,6 +29,28 @@ type ChunkEvent struct {
 	// the consumer must end any open decode session for Session before
 	// feeding these samples, so epochs cannot splice together.
 	Reset bool
+	// End means the stream is over (a cluster router moved it to
+	// another engine, or this engine force-redirected it): the
+	// consumer must flush and release the decode session. Samples is
+	// empty on End events.
+	End bool
+}
+
+// lconn is one accepted connection with a serialized write path, so
+// control frames (drain notices, NACKs) can be sent from goroutines
+// other than the connection's reader.
+type lconn struct {
+	c   net.Conn
+	wmu sync.Mutex
+}
+
+func (lc *lconn) writeFrame(t FrameType, body []byte) error {
+	lc.wmu.Lock()
+	defer lc.wmu.Unlock()
+	if err := lc.c.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return err
+	}
+	return WriteFrame(lc.c, t, body)
 }
 
 // ChunkListener accepts receiver-node connections speaking the rxnet
@@ -42,12 +64,20 @@ type ChunkListener struct {
 	ln         net.Listener
 	out        chan ChunkEvent
 	hellos     chan Hello
+	drainReq   chan struct{}
 	logf       func(format string, args ...any)
 	dropOnFull bool
 	dropped    atomic.Int64
+	received   atomic.Int64
+	refusedCnt atomic.Int64
+	nacksSent  atomic.Int64
+	endsRecv   atomic.Int64
 
 	mu       sync.Mutex
-	cursors  map[uint64]*chunkCursor
+	cursors  map[uint64]*streamCursor
+	refused  map[uint64]bool
+	conns    map[*lconn]struct{}
+	draining bool
 	reg      *telemetry.Registry
 	frameErr *telemetry.Counter
 	nodeTel  map[uint32]*telemetry.Counter
@@ -55,6 +85,14 @@ type ChunkListener struct {
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
+}
+
+// streamCursor extends the shared chunk-continuity cursor with the
+// connection the stream is arriving on, so a force-redirect can NACK
+// the right peer.
+type streamCursor struct {
+	chunkCursor
+	src *lconn
 }
 
 // ChunkListenerConfig tunes a ChunkListener beyond the address.
@@ -102,9 +140,12 @@ func ListenChunksConfig(addr string, cfg ChunkListenerConfig) (*ChunkListener, e
 		ln:         ln,
 		out:        make(chan ChunkEvent, depth),
 		hellos:     make(chan Hello, 64),
+		drainReq:   make(chan struct{}, 1),
 		logf:       logf,
 		dropOnFull: cfg.DropOnFull,
-		cursors:    make(map[uint64]*chunkCursor),
+		cursors:    make(map[uint64]*streamCursor),
+		refused:    make(map[uint64]bool),
+		conns:      make(map[*lconn]struct{}),
 		closed:     make(chan struct{}),
 	}
 	if cfg.Metrics != nil {
@@ -118,6 +159,15 @@ func ListenChunksConfig(addr string, cfg ChunkListenerConfig) (*ChunkListener, e
 		l.reg.GaugeFunc("pl_rxnet_queue_depth",
 			"Chunk events waiting in the listener's ingest queue.",
 			func() float64 { return float64(len(l.out)) })
+		l.reg.CounterFunc("pl_cluster_stream_nacks_sent_total",
+			"Streams this engine refused and redirected back to the router.",
+			l.nacksSent.Load)
+		l.reg.CounterFunc("pl_cluster_stream_ends_received_total",
+			"StreamEnd orders received from a cluster router (handoffs applied).",
+			l.endsRecv.Load)
+		l.reg.CounterFunc("pl_cluster_refused_chunks_total",
+			"Chunks discarded because their stream was NACKed while draining.",
+			l.refusedCnt.Load)
 	}
 	l.wg.Add(1)
 	go l.acceptLoop()
@@ -127,6 +177,124 @@ func ListenChunksConfig(addr string, cfg ChunkListenerConfig) (*ChunkListener, e
 // DroppedChunks reports how many sample chunks a DropOnFull listener
 // has discarded because the ingest queue was full.
 func (l *ChunkListener) DroppedChunks() int64 { return l.dropped.Load() }
+
+// ReceivedChunks reports how many well-formed sample chunks the
+// listener has read off its sockets. Every received chunk is either
+// delivered on Chunks, counted in DroppedChunks, or counted in
+// RefusedChunks — the three always sum to ReceivedChunks, including
+// across Close.
+func (l *ChunkListener) ReceivedChunks() int64 { return l.received.Load() }
+
+// RefusedChunks reports how many chunks were discarded because their
+// stream was NACKed back to the router (drain admission control).
+func (l *ChunkListener) RefusedChunks() int64 { return l.refusedCnt.Load() }
+
+// DrainRequests signals FrameDrainRequest arrivals (an ops client or
+// the router asking this engine to drain). The channel is buffered
+// and level-triggered: coalesced requests signal once.
+func (l *ChunkListener) DrainRequests() <-chan struct{} { return l.drainReq }
+
+// Draining reports whether the listener is refusing new streams.
+func (l *ChunkListener) Draining() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.draining
+}
+
+// Sessions returns the streams currently flowing through the listener
+// (those with a live continuity cursor), for drain bookkeeping.
+func (l *ChunkListener) Sessions() []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]uint64, 0, len(l.cursors))
+	for k := range l.cursors {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Drain switches the listener into drain mode: every connected peer
+// is sent a FrameDrain notice, new streams are refused with a NACK
+// (the router re-routes them), and in-flight streams keep flowing so
+// they can finish losslessly. Idempotent.
+func (l *ChunkListener) Drain() {
+	l.mu.Lock()
+	if l.draining {
+		l.mu.Unlock()
+		return
+	}
+	l.draining = true
+	conns := make([]*lconn, 0, len(l.conns))
+	for lc := range l.conns {
+		conns = append(conns, lc)
+	}
+	l.mu.Unlock()
+	body := MarshalDrain(Drain{Draining: true})
+	for _, lc := range conns {
+		if err := lc.writeFrame(FrameDrain, body); err != nil {
+			l.logf("rxnet: drain notice: %v", err)
+		}
+	}
+}
+
+// ForceRedirect ends an in-flight stream on this engine: the consumer
+// gets an End event (flush + release the decode session) and the
+// stream's peer gets a NACK carrying the last consumed chunk Seq, so
+// a router replays the remainder on the stream's new owner. It
+// reports whether the stream was known. Used to evict the stragglers
+// of a drain that must not wait for streams to finish naturally.
+func (l *ChunkListener) ForceRedirect(session uint64) bool {
+	l.mu.Lock()
+	cur, ok := l.cursors[session]
+	if !ok {
+		l.mu.Unlock()
+		return false
+	}
+	delete(l.cursors, session)
+	l.refuse(session)
+	l.mu.Unlock()
+	l.emitEnd(session)
+	if cur.src != nil {
+		l.nacksSent.Add(1)
+		nack := StreamNack{Session: session, LastSeq: cur.seq}
+		if err := cur.src.writeFrame(FrameStreamNack, MarshalStreamNack(nack)); err != nil {
+			l.logf("rxnet: redirect nack for session %d: %v", session, err)
+		}
+	}
+	return true
+}
+
+// refuse marks a session NACKed. Callers hold l.mu.
+func (l *ChunkListener) refuse(session uint64) {
+	if len(l.refused) >= maxStreamCursors {
+		for k := range l.refused {
+			delete(l.refused, k)
+			break
+		}
+	}
+	l.refused[session] = true
+}
+
+// emitEnd delivers a stream-End event to the consumer. End events are
+// control plane: they are never dropped for queue pressure (losing
+// one leaks a decode session), only when the listener is closing and
+// the consumer stopped draining.
+func (l *ChunkListener) emitEnd(session uint64) {
+	ev := ChunkEvent{
+		Session:  session,
+		NodeID:   SessionNodeID(session),
+		StreamID: SessionStreamID(session),
+		End:      true,
+	}
+	select {
+	case l.out <- ev:
+	case <-l.closed:
+		select {
+		case l.out <- ev:
+		default:
+		}
+	}
+}
 
 // ingestCounter returns the per-node ingest-bytes counter, creating
 // its series on the node's first chunk.
@@ -183,33 +351,73 @@ func (l *ChunkListener) acceptLoop() {
 	}
 }
 
-// advance checks chunk continuity against the shared cursor table
-// (same semantics as the aggregator's streaming path: a reconnect that
-// resumes exactly where the old connection left off continues
-// seamlessly, anything else flags a reset).
-func (l *ChunkListener) advance(c SampleChunk) (reset bool) {
+// admit applies cluster admission control and continuity checking to
+// one chunk. accept=false means the chunk must be discarded (counted
+// in RefusedChunks); nack=true additionally means this is the
+// stream's first refusal and the peer must be sent a StreamNack.
+// reset has the cursor-table semantics shared with the aggregator's
+// streaming path: a reconnect that resumes exactly where the old
+// connection left off continues seamlessly, anything else flags a
+// reset.
+func (l *ChunkListener) admit(c SampleChunk, src *lconn) (accept, nack, reset bool) {
 	key := c.SessionKey()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.refused[key] {
+		if l.draining {
+			return false, false, false
+		}
+		// Not draining anymore: the ring moved the stream back here.
+		// Accept it as a fresh stream (the redirect already released
+		// any decode session).
+		delete(l.refused, key)
+	}
 	cur, ok := l.cursors[key]
 	if !ok {
+		if l.draining {
+			// New streams are refused while draining; in-flight ones
+			// keep flowing so the drain stays lossless.
+			l.refuse(key)
+			return false, true, false
+		}
 		if len(l.cursors) >= maxStreamCursors {
 			for k := range l.cursors {
 				delete(l.cursors, k)
 				break
 			}
 		}
-		l.cursors[key] = &chunkCursor{seq: c.Seq, next: c.Start + uint64(len(c.Samples))}
-		return false
+		l.cursors[key] = &streamCursor{
+			chunkCursor: chunkCursor{seq: c.Seq, next: c.Start + uint64(len(c.Samples))},
+			src:         src,
+		}
+		return true, false, false
 	}
 	contiguous := c.Seq == cur.seq+1 && c.Start == cur.next
 	cur.seq, cur.next = c.Seq, c.Start+uint64(len(c.Samples))
-	return !contiguous
+	cur.src = src
+	return true, false, !contiguous
 }
 
 func (l *ChunkListener) serveConn(conn net.Conn) {
 	defer l.wg.Done()
 	defer conn.Close()
+	lc := &lconn{c: conn}
+	l.mu.Lock()
+	l.conns[lc] = struct{}{}
+	draining := l.draining
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.conns, lc)
+		l.mu.Unlock()
+	}()
+	if draining {
+		// A peer connecting to a draining engine (e.g. a router
+		// redial) learns immediately.
+		if err := lc.writeFrame(FrameDrain, MarshalDrain(Drain{Draining: true})); err != nil {
+			return
+		}
+	}
 	var nodeID uint32
 	for {
 		if err := conn.SetReadDeadline(time.Now().Add(2 * time.Minute)); err != nil {
@@ -248,18 +456,35 @@ func (l *ChunkListener) serveConn(conn net.Conn) {
 			if l.reg != nil {
 				l.ingestCounter(c.NodeID).Add(int64(len(body)))
 			}
+			l.received.Add(1)
+			accept, nack, reset := l.admit(c, lc)
+			if !accept {
+				l.refusedCnt.Add(1)
+				if nack {
+					l.nacksSent.Add(1)
+					// LastSeq 0: nothing of the stream was consumed
+					// here; the router replays it from the beginning.
+					body := MarshalStreamNack(StreamNack{Session: c.SessionKey()})
+					if err := lc.writeFrame(FrameStreamNack, body); err != nil {
+						l.logf("rxnet: stream nack: %v", err)
+						return
+					}
+				}
+				continue
+			}
 			ev := ChunkEvent{
 				Session:  c.SessionKey(),
 				NodeID:   c.NodeID,
 				StreamID: c.StreamID,
 				Fs:       c.Fs,
 				Samples:  c.Samples,
-				Reset:    l.advance(c),
+				Reset:    reset,
 			}
 			if l.dropOnFull {
 				select {
 				case l.out <- ev:
 				case <-l.closed:
+					l.dropped.Add(1)
 					return
 				default:
 					l.dropped.Add(1)
@@ -269,7 +494,35 @@ func (l *ChunkListener) serveConn(conn net.Conn) {
 			select {
 			case l.out <- ev:
 			case <-l.closed:
+				// Closing mid-send: the consumer may still be draining
+				// Chunks (Close only closes it after handlers exit), so
+				// try once more without blocking rather than silently
+				// abandoning the chunk in hand; count it dropped if the
+				// queue is truly full.
+				select {
+				case l.out <- ev:
+				default:
+					l.dropped.Add(1)
+				}
 				return
+			}
+		case FrameStreamEnd:
+			e, err := UnmarshalStreamEnd(body)
+			if err != nil {
+				l.countFrameErr()
+				l.logf("rxnet: bad stream end: %v", err)
+				return
+			}
+			l.endsRecv.Add(1)
+			l.mu.Lock()
+			delete(l.cursors, e.Session)
+			delete(l.refused, e.Session)
+			l.mu.Unlock()
+			l.emitEnd(e.Session)
+		case FrameDrainRequest:
+			select {
+			case l.drainReq <- struct{}{}:
+			default:
 			}
 		default:
 			l.countFrameErr()
@@ -280,12 +533,25 @@ func (l *ChunkListener) serveConn(conn net.Conn) {
 }
 
 // Close stops the listener and all connection handlers, then closes
-// the Chunks channel.
+// the Chunks channel. Active connections are closed (a handler parked
+// in a read would otherwise hold Close until its deadline), but each
+// handler's in-hand chunk is still offered to the queue and counted
+// if undeliverable, so delivered+dropped+refused always matches
+// ReceivedChunks.
 func (l *ChunkListener) Close() error {
 	var err error
 	l.closeOnce.Do(func() {
 		close(l.closed)
 		err = l.ln.Close()
+		l.mu.Lock()
+		conns := make([]*lconn, 0, len(l.conns))
+		for lc := range l.conns {
+			conns = append(conns, lc)
+		}
+		l.mu.Unlock()
+		for _, lc := range conns {
+			lc.c.Close()
+		}
 		l.wg.Wait()
 		close(l.out)
 		close(l.hellos)

@@ -2,6 +2,7 @@ package rxnet
 
 import (
 	"context"
+	"net"
 	"testing"
 	"time"
 
@@ -159,5 +160,295 @@ func TestChunkListenerDropOnFull(t *testing.T) {
 	evs := collectChunks(t, l, 1)
 	if evs[0].NodeID != 4 || len(evs[0].Samples) != len(samples) {
 		t.Fatalf("surviving chunk %+v", evs[0])
+	}
+}
+
+// TestChunkListenerCloseDrainsQueued locks in the close accounting
+// contract (delivered + dropped == received): closing the listener
+// while chunks sit in the ingest queue must not strand them — the
+// consumer can still drain the channel, and anything truly
+// undeliverable is counted, never silently abandoned.
+func TestChunkListenerCloseDrainsQueued(t *testing.T) {
+	l, err := ListenChunksConfig("127.0.0.1:0", ChunkListenerConfig{
+		Logf:       t.Logf,
+		QueueDepth: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	node, err := Dial(ctx, l.Addr(), Hello{NodeID: 9, Name: "pole-9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	const sent = 16
+	samples := make([]float64, 128)
+	for i := 0; i < sent; i++ {
+		if err := node.StreamChunk(1, 2000, samples); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Nobody consumes: the reader fills the queue (4) and blocks with
+	// one chunk in hand. Wait for ingestion to stall there.
+	deadline := time.Now().Add(5 * time.Second)
+	for l.ReceivedChunks() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d chunks, want at least 5", l.ReceivedChunks())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let ingestion settle
+
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- l.Close() }()
+
+	var delivered int64
+	for range l.Chunks() {
+		delivered++
+	}
+	select {
+	case err := <-closeDone:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("close did not finish")
+	}
+
+	received, dropped := l.ReceivedChunks(), l.DroppedChunks()
+	if delivered+dropped != received {
+		t.Fatalf("delivered %d + dropped %d != received %d: chunks abandoned on close",
+			delivered, dropped, received)
+	}
+	if delivered < 4 {
+		t.Fatalf("only %d of the 4 queued chunks survived close", delivered)
+	}
+}
+
+// TestNodeResumeStreamReconnect proves the lossless reconnect path: a
+// node that saves its stream state, redials, and resumes continues
+// the same session with no Reset — no duplicate, no gap.
+func TestNodeResumeStreamReconnect(t *testing.T) {
+	l, err := ListenChunks("127.0.0.1:0", t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	hello := Hello{NodeID: 3, Name: "pole-3"}
+	node, err := Dial(ctx, l.Addr(), hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]float64, 300)
+	if err := node.StreamChunk(5, 1000, samples[:200]); err != nil {
+		t.Fatal(err)
+	}
+	first := collectChunks(t, l, 1) // cursor established before the reconnect
+	seq, start := node.StreamState(5)
+	if seq != 1 || start != 200 {
+		t.Fatalf("stream state (%d, %d), want (1, 200)", seq, start)
+	}
+	node.Close()
+
+	node2, err := Dial(ctx, l.Addr(), hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node2.Close()
+	node2.ResumeStream(5, seq, start)
+	if err := node2.StreamChunk(5, 1000, samples[200:]); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := collectChunks(t, l, 1)
+	if first[0].Reset || evs[0].Reset {
+		t.Fatalf("resumed stream flagged reset: %v %v", first[0].Reset, evs[0].Reset)
+	}
+	if got := len(first[0].Samples) + len(evs[0].Samples); got != len(samples) {
+		t.Fatalf("delivered %d samples across reconnect, want %d", got, len(samples))
+	}
+}
+
+// readFrameWithin reads one frame off a raw connection with a deadline.
+func readFrameWithin(t *testing.T, c net.Conn, d time.Duration) (FrameType, []byte) {
+	t.Helper()
+	if err := c.SetReadDeadline(time.Now().Add(d)); err != nil {
+		t.Fatal(err)
+	}
+	ft, body, err := ReadFrame(c)
+	if err != nil {
+		t.Fatalf("read frame: %v", err)
+	}
+	return ft, body
+}
+
+// TestChunkListenerDrainRefusesNewStreams covers the drain admission
+// contract: draining notifies peers, NACKs new streams (replay from
+// the beginning), keeps in-flight streams flowing, and announces the
+// drain to late-connecting peers.
+func TestChunkListenerDrainRefusesNewStreams(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	l, err := ListenChunksConfig("127.0.0.1:0", ChunkListenerConfig{Logf: t.Logf, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	node, err := Dial(ctx, l.Addr(), Hello{NodeID: 1, Name: "pole-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	samples := make([]float64, 64)
+	if err := node.StreamChunk(1, 1000, samples); err != nil {
+		t.Fatal(err)
+	}
+	collectChunks(t, l, 1) // stream (1,1) is now in flight
+
+	l.Drain()
+	l.Drain() // idempotent
+	if !l.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	ft, body := readFrameWithin(t, node.conn, 5*time.Second)
+	if ft != FrameDrain {
+		t.Fatalf("peer got frame %d after Drain, want FrameDrain", ft)
+	}
+	if d, err := UnmarshalDrain(body); err != nil || !d.Draining {
+		t.Fatalf("drain notice %+v, %v", d, err)
+	}
+
+	// A NEW stream is refused with a replay-from-start NACK...
+	if err := node.StreamChunk(2, 1000, samples); err != nil {
+		t.Fatal(err)
+	}
+	ft, body = readFrameWithin(t, node.conn, 5*time.Second)
+	if ft != FrameStreamNack {
+		t.Fatalf("new stream got frame %d while draining, want FrameStreamNack", ft)
+	}
+	nack, err := UnmarshalStreamNack(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nack.Session != uint64(1)<<32|2 || nack.LastSeq != 0 {
+		t.Fatalf("nack %+v, want session (1,2) lastSeq 0", nack)
+	}
+	// ...and its follow-up chunks are discarded without a second NACK.
+	if err := node.StreamChunk(2, 1000, samples); err != nil {
+		t.Fatal(err)
+	}
+
+	// The in-flight stream keeps flowing.
+	if err := node.StreamChunk(1, 1000, samples); err != nil {
+		t.Fatal(err)
+	}
+	evs := collectChunks(t, l, 1)
+	if evs[0].StreamID != 1 || evs[0].Reset {
+		t.Fatalf("in-flight stream event %+v during drain", evs[0])
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for l.RefusedChunks() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("refused %d chunks, want 2", l.RefusedChunks())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["pl_cluster_stream_nacks_sent_total"]; got != 1 {
+		t.Fatalf("pl_cluster_stream_nacks_sent_total = %d, want 1", got)
+	}
+	if got := snap.Counters["pl_cluster_refused_chunks_total"]; got != 2 {
+		t.Fatalf("pl_cluster_refused_chunks_total = %d, want 2", got)
+	}
+
+	// A peer connecting mid-drain is told immediately.
+	late, err := Dial(ctx, l.Addr(), Hello{NodeID: 2, Name: "pole-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	if ft, _ := readFrameWithin(t, late.conn, 5*time.Second); ft != FrameDrain {
+		t.Fatalf("late peer got frame %d, want FrameDrain", ft)
+	}
+}
+
+// TestChunkListenerForceRedirectAndStreamEnd covers the two handoff
+// primitives: ForceRedirect (engine evicts an in-flight stream — End
+// event locally, NACK with the consumed Seq to the peer) and
+// FrameStreamEnd (router orders a flush+release — End event locally).
+func TestChunkListenerForceRedirectAndStreamEnd(t *testing.T) {
+	l, err := ListenChunks("127.0.0.1:0", t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	node, err := Dial(ctx, l.Addr(), Hello{NodeID: 8, Name: "pole-8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	samples := make([]float64, 64)
+	for i := 0; i < 3; i++ {
+		if err := node.StreamChunk(1, 1000, samples); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collectChunks(t, l, 3)
+
+	session := uint64(8)<<32 | 1
+	if !l.ForceRedirect(session) {
+		t.Fatal("ForceRedirect did not know the in-flight stream")
+	}
+	if l.ForceRedirect(session) {
+		t.Fatal("second ForceRedirect claims the stream is still here")
+	}
+	evs := collectChunks(t, l, 1)
+	if !evs[0].End || evs[0].Session != session || len(evs[0].Samples) != 0 {
+		t.Fatalf("redirect event %+v, want empty End for session %d", evs[0], session)
+	}
+	ft, body := readFrameWithin(t, node.conn, 5*time.Second)
+	if ft != FrameStreamNack {
+		t.Fatalf("redirect sent frame %d, want FrameStreamNack", ft)
+	}
+	nack, err := UnmarshalStreamNack(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nack.Session != session || nack.LastSeq != 3 {
+		t.Fatalf("redirect nack %+v, want session %d lastSeq 3 (3 chunks consumed)", nack, session)
+	}
+
+	// A router-ordered StreamEnd also surfaces as an End event.
+	endSession := uint64(8)<<32 | 9
+	if err := WriteFrame(node.conn, FrameStreamEnd, MarshalStreamEnd(StreamEnd{Session: endSession})); err != nil {
+		t.Fatal(err)
+	}
+	evs = collectChunks(t, l, 1)
+	if !evs[0].End || evs[0].Session != endSession {
+		t.Fatalf("stream-end event %+v, want End for session %d", evs[0], endSession)
+	}
+
+	// And a FrameDrainRequest surfaces on the DrainRequests channel.
+	if err := WriteFrame(node.conn, FrameDrainRequest, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-l.DrainRequests():
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain request not surfaced")
 	}
 }

@@ -54,6 +54,21 @@ const (
 	// Unacknowledged: chunk streams are high-rate and TCP already
 	// orders them.
 	FrameSampleChunk
+	// FrameStreamEnd ends one chunk stream (cluster router -> engine):
+	// the engine finishes the stream's current packet window, emits
+	// buffered detections and releases the session. Sent on handoff,
+	// before the stream's chunks replay on a new owner.
+	FrameStreamEnd
+	// FrameStreamNack refuses a chunk stream (engine -> router): the
+	// sender will consume no more of the stream's chunks and the
+	// router must re-route it, replaying from LastSeq+1.
+	FrameStreamNack
+	// FrameDrain announces the sender's drain state (engine ->
+	// router): draining engines get no new streams assigned.
+	FrameDrain
+	// FrameDrainRequest asks an engine to start draining (router/ops
+	// -> engine). Empty body.
+	FrameDrainRequest
 )
 
 // Errors.
@@ -366,6 +381,82 @@ func UnmarshalSampleChunk(b []byte) (SampleChunk, error) {
 		c.Samples[i] = v
 	}
 	return c, nil
+}
+
+// StreamEnd orders an engine to finish a chunk stream: flush the
+// session's decode boundary (current packet window), emit, release.
+type StreamEnd struct {
+	// Session is the stream's SessionKey.
+	Session uint64
+}
+
+// MarshalStreamEnd encodes a StreamEnd body.
+func MarshalStreamEnd(e StreamEnd) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], e.Session)
+	return b[:]
+}
+
+// UnmarshalStreamEnd decodes a StreamEnd body.
+func UnmarshalStreamEnd(b []byte) (StreamEnd, error) {
+	if len(b) < 8 {
+		return StreamEnd{}, ErrTruncated
+	}
+	return StreamEnd{Session: binary.BigEndian.Uint64(b[0:8])}, nil
+}
+
+// StreamNack tells the router the sending engine will consume no more
+// chunks of a stream (it is draining, or the stream was reassigned).
+type StreamNack struct {
+	// Session is the stream's SessionKey.
+	Session uint64
+	// LastSeq is the highest chunk Seq the engine consumed; the
+	// router replays the stream from LastSeq+1 on its new owner.
+	// Chunk Seqs start at 1, so 0 means "nothing consumed, replay
+	// from the beginning".
+	LastSeq uint32
+}
+
+// MarshalStreamNack encodes a StreamNack body.
+func MarshalStreamNack(n StreamNack) []byte {
+	var b [12]byte
+	binary.BigEndian.PutUint64(b[0:8], n.Session)
+	binary.BigEndian.PutUint32(b[8:12], n.LastSeq)
+	return b[:]
+}
+
+// UnmarshalStreamNack decodes a StreamNack body.
+func UnmarshalStreamNack(b []byte) (StreamNack, error) {
+	if len(b) < 12 {
+		return StreamNack{}, ErrTruncated
+	}
+	return StreamNack{
+		Session: binary.BigEndian.Uint64(b[0:8]),
+		LastSeq: binary.BigEndian.Uint32(b[8:12]),
+	}, nil
+}
+
+// Drain announces the sending engine's drain state. Draining engines
+// keep their in-flight streams (they finish at their own pace — that
+// is what makes drains lossless) but must be assigned no new ones.
+type Drain struct {
+	Draining bool
+}
+
+// MarshalDrain encodes a Drain body.
+func MarshalDrain(d Drain) []byte {
+	if d.Draining {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+// UnmarshalDrain decodes a Drain body.
+func UnmarshalDrain(b []byte) (Drain, error) {
+	if len(b) < 1 {
+		return Drain{}, ErrTruncated
+	}
+	return Drain{Draining: b[0] != 0}, nil
 }
 
 // MarshalTrack encodes a Track body.

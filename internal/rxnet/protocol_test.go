@@ -212,3 +212,33 @@ func TestDetectionRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestClusterFrameRoundTrips(t *testing.T) {
+	e := StreamEnd{Session: 0x0000002A0000_0007}
+	gotEnd, err := UnmarshalStreamEnd(MarshalStreamEnd(e))
+	if err != nil || gotEnd != e {
+		t.Fatalf("stream end round trip: %+v, %v", gotEnd, err)
+	}
+	if _, err := UnmarshalStreamEnd(nil); err == nil {
+		t.Fatal("empty stream end accepted")
+	}
+
+	n := StreamNack{Session: 42<<32 | 7, LastSeq: 19}
+	gotNack, err := UnmarshalStreamNack(MarshalStreamNack(n))
+	if err != nil || gotNack != n {
+		t.Fatalf("stream nack round trip: %+v, %v", gotNack, err)
+	}
+	if _, err := UnmarshalStreamNack(MarshalStreamEnd(e)); err == nil {
+		t.Fatal("8-byte nack body accepted")
+	}
+
+	for _, draining := range []bool{true, false} {
+		got, err := UnmarshalDrain(MarshalDrain(Drain{Draining: draining}))
+		if err != nil || got.Draining != draining {
+			t.Fatalf("drain round trip (%v): %+v, %v", draining, got, err)
+		}
+	}
+	if _, err := UnmarshalDrain(nil); err == nil {
+		t.Fatal("empty drain accepted")
+	}
+}

@@ -42,6 +42,12 @@ type Load struct {
 	// the per-receiver offsets CompileMulti adds (seed + receiver
 	// index) can never collide across sessions.
 	SeedStride int64 `json:"seed_stride,omitempty"`
+	// Pace asks replayers to deliver the expanded streams at their
+	// stream clocks (wall-time pacing) instead of as fast as possible.
+	// Expansion ignores it — the specs are identical either way — but
+	// NewLoadSource and plnet -mode load honor it, and -pace overrides
+	// it from the command line.
+	Pace bool `json:"pace,omitempty"`
 }
 
 // DefaultSeedStride is the per-session seed spacing Expand uses when

@@ -54,6 +54,15 @@ type EngineConfig struct {
 	// MaxSessions bounds the session table across all shards. Feeds
 	// for new sessions beyond it are rejected. Zero selects 65536.
 	MaxSessions int
+	// OnSessionEnd, when non-nil, fires once per session release,
+	// after the session's final flush has published its detections:
+	// reason "end" for an explicit EndSession, "idle" for janitor
+	// eviction, "close" for engine shutdown. It runs on the releasing
+	// goroutine (an EndSession caller, the janitor, or Close) with no
+	// engine locks held, but must not block — the janitor and Close
+	// release sessions serially. Cluster deployments use it to export
+	// per-session decode totals at handoff time.
+	OnSessionEnd func(id uint64, stats SessionStats, reason string)
 	// Metrics, when non-nil, registers the engine's observability
 	// surface into the registry: counters and gauges mirroring Stats
 	// (read at snapshot time, zero hot-path cost) plus two histograms
@@ -550,6 +559,7 @@ func (e *Engine) janitor() {
 				// Terminal claim held: lastFeed is stable now.
 				e.publish(s, s.dec.Flush(), s.lastFeed)
 				e.evicts.Add(1)
+				e.sessionEnded(s, "idle")
 			}
 		}
 	}
@@ -683,7 +693,16 @@ func (e *Engine) EndSession(id uint64) error {
 		e.publish(s, s.dec.Feed(pending), arrival)
 	}
 	e.publish(s, s.dec.Flush(), arrival)
+	e.sessionEnded(s, "end")
 	return nil
+}
+
+// sessionEnded fires the release hook for a terminally-claimed
+// session whose final flush has published.
+func (e *Engine) sessionEnded(s *session, reason string) {
+	if e.cfg.OnSessionEnd != nil {
+		e.cfg.OnSessionEnd(s.id, s.dec.Stats(), reason)
+	}
 }
 
 // Batches is the engine's native output: every channel receive
@@ -820,6 +839,7 @@ func (e *Engine) Close() {
 				e.publish(s, s.dec.Feed(pending), arrival)
 			}
 			e.publish(s, s.dec.Flush(), arrival)
+			e.sessionEnded(s, "close")
 		}
 		e.pubMu.Lock()
 		e.detsClosed = true

@@ -488,3 +488,90 @@ func TestEngineTelemetry(t *testing.T) {
 		t.Fatal("decode step histogram never recorded")
 	}
 }
+
+// TestEngineOnSessionEnd locks in the session-release hook: exactly
+// one callback per released session, after the final flush, with the
+// release reason ("end" | "idle" | "close") and the session's decode
+// totals — the export point cluster handoffs rely on.
+func TestEngineOnSessionEnd(t *testing.T) {
+	type ended struct {
+		id     uint64
+		stats  SessionStats
+		reason string
+	}
+	var mu sync.Mutex
+	var ends []ended
+	e, err := NewEngine(EngineConfig{
+		Session:     Config{Fs: 1000, Decode: decoder.Options{ExpectedSymbols: 12}},
+		IdleTimeout: 50 * time.Millisecond,
+		OnSessionEnd: func(id uint64, stats SessionStats, reason string) {
+			mu.Lock()
+			ends = append(ends, ended{id, stats, reason})
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range e.Batches() {
+		}
+	}()
+
+	samples := sessionStream([]string{"1001"}, 1000, 0.05, 1.0, 0.3, 1)
+
+	// Session 1: explicit end.
+	if err := e.Feed(1, 0, samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EndSession(1); err != nil {
+		t.Fatal(err)
+	}
+	// Session 2: idle-evicted by the janitor.
+	if err := e.Feed(2, 0, samples); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(ends)
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("have %d session-end callbacks, want 2 (end + idle)", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Session 3: released by Close.
+	if err := e.Feed(3, 0, samples); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	byID := map[uint64]ended{}
+	for _, en := range ends {
+		if prev, dup := byID[en.id]; dup {
+			t.Fatalf("session %d released twice: %q then %q", en.id, prev.reason, en.reason)
+		}
+		byID[en.id] = en
+	}
+	for id, want := range map[uint64]string{1: "end", 2: "idle", 3: "close"} {
+		en, ok := byID[id]
+		if !ok {
+			t.Fatalf("session %d never fired the release hook", id)
+		}
+		if en.reason != want {
+			t.Fatalf("session %d released with reason %q, want %q", id, en.reason, want)
+		}
+		if en.stats.Samples != int64(len(samples)) {
+			t.Fatalf("session %d exported %d samples, want %d", id, en.stats.Samples, len(samples))
+		}
+		if en.stats.Detections < 1 {
+			t.Fatalf("session %d exported %d detections, want >= 1", id, en.stats.Detections)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package passivelight
 import (
 	"context"
 	"errors"
+	"io"
 	"testing"
 	"time"
 )
@@ -241,5 +242,66 @@ func TestStopAndGoClassifiesThroughPipeline(t *testing.T) {
 	}
 	if want := src.Packets()[0].Packet.BitString(); events[0].Label != want {
 		t.Fatalf("classified %q, want %q (matches %v)", events[0].Label, want, events[0].Matches)
+	}
+}
+
+// TestPacedReplayHoldsStreamClock: a Paced MultiSource may not emit a
+// chunk before its stream clock — the whole replay therefore takes at
+// least the rendered duration of its longest stream. The lower bound
+// is what matters (and is timing-robust); as-fast-as-possible replay
+// is locked in by every other load test finishing instantly.
+func TestPacedReplayHoldsStreamClock(t *testing.T) {
+	spec, err := ScenarioPreset("multi-lane")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.DurationSec = 0.25 // truncate the pass; pacing, not decoding, is under test
+	const chunk = 64
+	src := NewMultiSource(spec).Chunked(chunk).Paced(true)
+	ctx := context.Background()
+	info, err := src.Open(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Fs <= 0 {
+		t.Fatalf("single-receiver scenario should declare a rate, got %v", info.Fs)
+	}
+	start := time.Now()
+	total := 0
+	for {
+		c, err := src.Next(ctx)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(c.Samples)
+	}
+	elapsed := time.Since(start)
+	// The final chunk is due when its first sample's stream time
+	// arrives, so the floor is (total - chunk) samples of wall clock.
+	floor := time.Duration(float64(total-chunk) / info.Fs * float64(time.Second))
+	if elapsed < floor {
+		t.Fatalf("paced replay of %d samples at %v Hz took %v, want >= %v", total, info.Fs, elapsed, floor)
+	}
+}
+
+// TestLoadPaceFlagPlumbsToSource: NewLoadSource adopts the load
+// spec's Pace field and Paced() overrides it either way.
+func TestLoadPaceFlagPlumbsToSource(t *testing.T) {
+	load, err := ScenarioLoadPreset("fleet-load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src := NewLoadSource(load); src.paced {
+		t.Fatal("pace should default off")
+	}
+	load.Pace = true
+	if src := NewLoadSource(load); !src.paced {
+		t.Fatal("load.Pace did not reach the source")
+	}
+	if src := NewLoadSource(load).Paced(false); src.paced {
+		t.Fatal("Paced(false) should override load.Pace")
 	}
 }

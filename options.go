@@ -28,6 +28,7 @@ type pipeConfig struct {
 	statsEvery    time.Duration
 	statsSink     func(StreamStats)
 	metrics       *telemetry.Registry
+	onSessionEnd  func(session uint64, stats SessionStats, reason string)
 }
 
 // Option configures a Pipeline.
@@ -156,6 +157,18 @@ func WithSink(fn func(Event)) Option {
 // registration is get-or-create.
 func WithTelemetry(t *Telemetry) Option {
 	return func(c *pipeConfig) { c.metrics = t }
+}
+
+// WithSessionEnd registers a release hook fired once per streaming
+// session after its final flush has emitted: reason "end" for an
+// explicit end (a Reset/End chunk, EndSession), "idle" for idle
+// eviction, "close" for pipeline shutdown. The hook runs on the
+// releasing goroutine and must not block. Cluster engines use it to
+// export per-session decode totals at handoff time. Streaming
+// strategies only (Threshold, TwoPhase); whole-stream strategies
+// ignore it.
+func WithSessionEnd(fn func(session uint64, stats SessionStats, reason string)) Option {
+	return func(c *pipeConfig) { c.onSessionEnd = fn }
 }
 
 // WithStats registers a metrics sink called with an engine snapshot

@@ -253,6 +253,7 @@ func (p *Pipeline) startEngine(ctx context.Context, fs float64, out chan Event) 
 		IdleTimeout:     p.cfg.idleTimeout,
 		DetectionBuffer: cap(out),
 		MaxSessions:     p.cfg.maxSessions,
+		OnSessionEnd:    p.cfg.onSessionEnd,
 		Metrics:         p.cfg.metrics,
 	})
 	if err != nil {

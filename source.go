@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"passivelight/internal/rxnet"
 )
@@ -352,11 +353,13 @@ type MultiSource struct {
 	build  func() ([]*multiStream, error)
 	chunk  int
 	window int
+	paced  bool
 
 	streams []*multiStream
 	active  []*multiStream
 	next    int // streams[next] is admitted when an active one ends
 	cursor  int
+	start   time.Time // wall-clock anchor of a paced replay
 }
 
 // NewMultiSource compiles a declarative scenario into one link per
@@ -388,6 +391,7 @@ func NewLoadSource(load ScenarioLoad) *MultiSource {
 	if load.Name != "" {
 		s.name = load.Name
 	}
+	s.paced = load.Pace
 	s.build = func() ([]*multiStream, error) {
 		specs, err := load.Expand()
 		if err != nil {
@@ -446,6 +450,20 @@ func (s *MultiSource) Chunked(size int) *MultiSource {
 // rendered-trace memory to the window.
 func (s *MultiSource) Window(n int) *MultiSource {
 	s.window = n
+	return s
+}
+
+// Paced switches the replay from as-fast-as-possible (the default,
+// right for throughput tests and benchmarks) to stream-clock pacing:
+// a chunk whose first sample lies at t seconds into its stream is not
+// emitted before t seconds of wall clock have elapsed since the first
+// Next. Every stream then delivers samples at its own rate in real
+// time — the replay a live receiver fleet would produce, which is
+// what a cluster drain rehearsal or latency measurement needs.
+// NewLoadSource adopts the load spec's Pace field; Paced overrides
+// either way. Returns the source for chaining.
+func (s *MultiSource) Paced(on bool) *MultiSource {
+	s.paced = on
 	return s
 }
 
@@ -508,6 +526,22 @@ func (s *MultiSource) Next(ctx context.Context) (SourceChunk, error) {
 			return SourceChunk{}, fmt.Errorf("passivelight: stream %d (%s): %w", st.info.ID, st.info.Name, err)
 		}
 		st.tr = tr
+	}
+	if s.paced {
+		if s.start.IsZero() {
+			s.start = time.Now()
+		}
+		// Round-robin keeps active streams within one chunk of each
+		// other, so gating each chunk on its own stream clock paces the
+		// whole interleave.
+		due := s.start.Add(time.Duration(float64(st.pos) / st.fs * float64(time.Second)))
+		if wait := time.Until(due); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return SourceChunk{}, ctx.Err()
+			}
+		}
 	}
 	hi := st.pos + s.chunk
 	if hi > st.tr.Len() {
@@ -657,6 +691,30 @@ func (s *NetSource) OnHello(fn func(NodeHello)) *NetSource {
 	return s
 }
 
+// Drain switches the source into cluster drain mode: connected peers
+// are notified, new streams are refused (NACKed back to the router so
+// it re-routes them) and in-flight streams keep flowing so they finish
+// losslessly. Idempotent.
+func (s *NetSource) Drain() { s.l.Drain() }
+
+// Draining reports whether the source is refusing new streams.
+func (s *NetSource) Draining() bool { return s.l.Draining() }
+
+// DrainRequests signals drain orders arriving over the wire (an ops
+// client asking this engine to drain). Level-triggered and coalesced.
+func (s *NetSource) DrainRequests() <-chan struct{} { return s.l.DrainRequests() }
+
+// Sessions lists the streams currently flowing through the source,
+// for drain bookkeeping.
+func (s *NetSource) Sessions() []uint64 { return s.l.Sessions() }
+
+// ForceRedirect evicts one in-flight stream: the pipeline flushes and
+// releases its decode session, and the stream's router replays the
+// unconsumed remainder on another engine. Reports whether the stream
+// was known. Used to finish a drain that must not wait for streams to
+// end naturally.
+func (s *NetSource) ForceRedirect(session uint64) bool { return s.l.ForceRedirect(session) }
+
 // Open implements Source. Network streams carry their own sample
 // rates, so the default rate is zero.
 func (s *NetSource) Open(ctx context.Context) (SourceInfo, error) {
@@ -672,6 +730,12 @@ func (s *NetSource) Next(ctx context.Context) (SourceChunk, error) {
 		case ev, ok := <-s.l.Chunks():
 			if !ok {
 				return SourceChunk{}, io.EOF
+			}
+			if ev.End {
+				// A cluster router (or ForceRedirect) ended the stream:
+				// an empty Reset chunk makes the pipeline flush and
+				// release the decode session without feeding samples.
+				return SourceChunk{Session: ev.Session, Reset: true}, nil
 			}
 			return SourceChunk{Session: ev.Session, Fs: ev.Fs, Samples: ev.Samples, Reset: ev.Reset}, nil
 		case h, ok := <-s.l.Hellos():
