@@ -34,9 +34,15 @@ func startClusterEngine(t *testing.T, id string) *clusterEngine {
 		t.Fatalf("engine %s listen: %v", id, err)
 	}
 	e := &clusterEngine{id: id, src: src, done: make(chan struct{})}
+	// The idle timeout must sit far above any scheduling stall between
+	// a session's chunks: under the race detector a loaded runtime can
+	// starve a sender for hundreds of milliseconds, and a reap
+	// mid-packet splits the session (a decode error on the residue, or
+	// a lost packet). 2 s keeps the reaper real without racing the
+	// fleet load.
 	pipe, err := NewPipeline(src, Threshold(),
 		WithExpectedSymbols(8),
-		WithIdleTimeout(250*time.Millisecond),
+		WithIdleTimeout(2*time.Second),
 	)
 	if err != nil {
 		t.Fatalf("engine %s pipeline: %v", id, err)
@@ -56,6 +62,11 @@ func startClusterEngine(t *testing.T, id string) *clusterEngine {
 				continue
 			}
 			e.decoded.Add(1)
+			// Confirm consumption upstream, as plnet's engine mode
+			// does: the router trims the session's replay buffer so an
+			// eviction-time failover never re-decodes what this engine
+			// already delivered.
+			src.AckSession(ev.Session)
 		}
 	}()
 	t.Cleanup(func() { e.stop() })

@@ -102,15 +102,23 @@ func runDumpRing(enginesFlag string, vnodes int) error {
 // runRoute fronts the engine fleet: receiver nodes connect here and
 // every (node, stream) session is forwarded to its ring owner, with
 // drain handoffs and crash failover handled by the cluster router.
-func runRoute(ctx context.Context, mon *obs, listen, enginesFlag, ringPath string, vnodes int) error {
-	ring, err := buildRing(enginesFlag, ringPath, vnodes)
-	if err != nil {
-		return err
+// With autoAdmit (and no -engines/-ring) it starts on an empty ring
+// and builds its fleet from EngineHello announcements alone.
+func runRoute(ctx context.Context, mon *obs, listen, enginesFlag, ringPath string, vnodes int, autoAdmit bool, deadTimeout time.Duration) error {
+	var ring *cluster.Ring
+	if enginesFlag != "" || ringPath != "" || !autoAdmit {
+		var err error
+		ring, err = buildRing(enginesFlag, ringPath, vnodes)
+		if err != nil {
+			return err
+		}
 	}
 	r, err := cluster.NewRouter(cluster.RouterConfig{
-		Ring:    ring,
-		Logf:    rxnet.StdLogf,
-		Metrics: mon.registry(),
+		Ring:              ring,
+		Logf:              rxnet.StdLogf,
+		Metrics:           mon.registry(),
+		AutoAdmit:         autoAdmit,
+		DeadEngineTimeout: deadTimeout,
 	})
 	if err != nil {
 		return err
@@ -120,7 +128,9 @@ func runRoute(ctx context.Context, mon *obs, listen, enginesFlag, ringPath strin
 	if err != nil {
 		return err
 	}
-	fmt.Printf("cluster router on %s fronting %d engines (ring epoch %d)\n", addr, ring.Len(), ring.Epoch())
+	st := r.Stats()
+	fmt.Printf("cluster router on %s fronting %d engines (ring epoch %d, auto-admit %v)\n",
+		addr, st.Engines, st.Epoch, autoAdmit)
 	if err := mon.serveBare(func(h *passivelight.TelemetryHealth) {
 		h.AddCheck("engines", func() (bool, string) {
 			st := r.Stats()
@@ -135,7 +145,7 @@ func runRoute(ctx context.Context, mon *obs, listen, enginesFlag, ringPath strin
 	}
 	defer mon.close()
 	<-ctx.Done()
-	st := r.Stats()
+	st = r.Stats()
 	fmt.Printf("router shutting down: %d routes, %d handoffs, %d undeliverable chunks\n",
 		st.Routes, st.Handoffs, st.Undeliverable)
 	return nil
@@ -146,7 +156,7 @@ func runRoute(ctx context.Context, mon *obs, listen, enginesFlag, ringPath strin
 // drain path — SIGTERM (or a wire FrameDrainRequest) stops new
 // streams, lets in-flight ones finish, force-redirects stragglers
 // after drainWait, then exits clean with a summary.
-func runEngine(ctx context.Context, mon *obs, listen, engineID, strategyName string, symbols, workers, shards int, idle, drainWait time.Duration) error {
+func runEngine(ctx context.Context, mon *obs, listen, engineID, strategyName string, symbols, workers, shards int, idle, drainWait time.Duration, joinAddr, advertiseAddr string, throttleHigh float64) error {
 	strat, err := passivelight.StrategyForScenario(passivelight.ScenarioDecode{Strategy: strategyName})
 	if err != nil {
 		return err
@@ -157,6 +167,9 @@ func runEngine(ctx context.Context, mon *obs, listen, engineID, strategyName str
 	src, err := passivelight.ListenSourceConfig(listen, passivelight.NetSourceConfig{
 		Telemetry: mon.registry(),
 		Logf:      rxnet.StdLogf,
+		// Paced chunks spanning at least the idle timeout would let
+		// the janitor flush sessions between chunks; warn and gauge it.
+		PaceGuardIdle: idle,
 	})
 	if err != nil {
 		return err
@@ -179,6 +192,10 @@ func runEngine(ctx context.Context, mon *obs, listen, engineID, strategyName str
 				return
 			}
 			decoded.Add(1)
+			// Confirm consumption upstream so the router trims the
+			// session's replay buffer: if this engine dies later, only
+			// unacked streams replay to a failover owner.
+			src.AckSession(ev.Session)
 			fmt.Printf("engine %s: session %d decoded %s\n", engineID, ev.Session, ev.BitString())
 		}),
 	)
@@ -206,6 +223,24 @@ func runEngine(ctx context.Context, mon *obs, listen, engineID, strategyName str
 		return err
 	}
 	defer mon.close()
+	if throttleHigh > 0 {
+		// Close the backpressure loop: occupancy past the watermark
+		// throttles the router, which pauses the nodes feeding us.
+		stopThrottle := src.AutoThrottle(pipe.Occupancy, throttleHigh, 0, 0)
+		defer stopThrottle()
+	}
+	if joinAddr != "" {
+		adv := advertiseAddr
+		if adv == "" {
+			adv = src.Addr()
+		}
+		stopJoin, err := cluster.Join(ctx, joinAddr, engineID, adv, cluster.JoinConfig{Logf: rxnet.StdLogf})
+		if err != nil {
+			return err
+		}
+		defer stopJoin()
+		fmt.Printf("engine %s joining router %s (advertising %s)\n", engineID, joinAddr, adv)
+	}
 	fmt.Printf("cluster engine %s (%s, %d symbols) decoding on %s\n", engineID, strategyName, symbols, src.Addr())
 
 	term := make(chan os.Signal, 1)
@@ -275,7 +310,7 @@ func runDrainRequest(target string) error {
 // (bounded by fanout), each as its own receiver node, optionally
 // paced to the stream clocks — the workload a rolling-restart
 // rehearsal is run against.
-func runLoadRemote(ctx context.Context, loadName string, sessions, chunkSize int, pace bool, target string, fanout int) error {
+func runLoadRemote(ctx context.Context, loadName string, sessions, chunkSize int, pace bool, target string, fanout int, engineIdle time.Duration) error {
 	load, err := scenario.GetLoad(loadName)
 	if err != nil {
 		return err
@@ -293,6 +328,23 @@ func runLoadRemote(ctx context.Context, loadName string, sessions, chunkSize int
 	}
 	fmt.Printf("load replay %s: %d sessions -> %s (fanout %d, paced %v)\n",
 		load.Name, len(specs), target, fanout, pace)
+
+	// A paced chunk that spans at least the engine's idle timeout
+	// means the engine flushes every session between chunks — the
+	// replay "works" but decodes nothing whole. Warn once, up front.
+	var paceWarn sync.Once
+	warnGap := func(fs float64) {
+		if !pace || engineIdle <= 0 || fs <= 0 {
+			return
+		}
+		gap := time.Duration(float64(chunkSize) / fs * float64(time.Second))
+		if gap >= engineIdle {
+			paceWarn.Do(func() {
+				fmt.Printf("warning: paced chunks span %s of signal at %.0f S/s — at least the engine idle timeout (%s); sessions will be flushed between chunks. Lower -chunk or raise the engine's -idle.\n",
+					gap.Round(time.Millisecond), fs, engineIdle)
+			})
+		}
+	}
 
 	var (
 		wg    sync.WaitGroup
@@ -320,7 +372,7 @@ func runLoadRemote(ctx context.Context, loadName string, sessions, chunkSize int
 				return
 			}
 			defer func() { <-sem }()
-			n, l, err := replaySession(ctx, target, k, spec, chunkSize, pace)
+			n, l, err := replaySession(ctx, target, k, spec, chunkSize, pace, warnGap)
 			sent.Add(n)
 			links.Add(l)
 			if err != nil {
@@ -343,8 +395,9 @@ func runLoadRemote(ctx context.Context, loadName string, sessions, chunkSize int
 }
 
 // replaySession renders one expanded session and ships every link's
-// trace to the target, returning samples and links sent.
-func replaySession(ctx context.Context, target string, k int, spec scenario.Spec, chunkSize int, pace bool) (int64, int64, error) {
+// trace to the target, returning samples and links sent. warnGap, if
+// non-nil, is told each link's sample rate for the pacing-gap guard.
+func replaySession(ctx context.Context, target string, k int, spec scenario.Spec, chunkSize int, pace bool, warnGap func(fs float64)) (int64, int64, error) {
 	world, err := spec.CompileMulti()
 	if err != nil {
 		return 0, 0, err
@@ -363,6 +416,9 @@ func replaySession(ctx context.Context, target string, k int, spec scenario.Spec
 		tr, err := l.Link.Simulate()
 		if err != nil {
 			return sent, links, fmt.Errorf("link %s: %w", l.Name, err)
+		}
+		if warnGap != nil {
+			warnGap(tr.Fs)
 		}
 		pos, linkStart := 0, time.Now()
 		for chunk := range tr.Chunks(chunkSize) {

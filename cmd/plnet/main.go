@@ -91,6 +91,12 @@ func main() {
 		symbols   = flag.Int("symbols", 8, "expected symbols per packet (engine mode)")
 		idle      = flag.Duration("idle", 3*time.Second, "engine-mode session idle eviction (quiet streams flush and release after this long)")
 		drainWait = flag.Duration("drain-wait", 30*time.Second, "how long a draining engine waits for in-flight streams before force-redirecting them")
+
+		join         = flag.String("join", "", "router address to announce this engine to — engine-initiated membership, no operator rebalance (engine mode)")
+		advertise    = flag.String("advertise", "", "chunk-ingest address to advertise when joining (engine mode; default: the bound -listen address)")
+		throttleHigh = flag.Float64("throttle-high", 0.75, "engine occupancy that engages cluster backpressure, released at half that (engine mode; 0 disables)")
+		autoAdmit    = flag.Bool("auto-admit", true, "accept EngineHello announcements onto the ring; allows starting with no -engines (route mode)")
+		deadTimeout  = flag.Duration("dead-timeout", 60*time.Second, "evict engines unreachable this long from the ring (route mode; negative disables)")
 	)
 	flag.Parse()
 	// One signal-handling context for every mode: Ctrl-C propagates
@@ -118,17 +124,17 @@ func main() {
 		err = runStream(ctx, newObs(*metrics, *linger), *nodes, *chunk, *payload, *workers, *shards)
 	case "load":
 		if *router != "" {
-			err = runLoadRemote(ctx, *loadName, *sessions, *chunk, *pace, *router, *fanout)
+			err = runLoadRemote(ctx, *loadName, *sessions, *chunk, *pace, *router, *fanout, *idle)
 		} else {
 			err = runLoad(ctx, newObs(*metrics, *linger), *loadName, *sessions, *chunk, *workers, *shards, *pace)
 		}
 	case "engine":
-		err = runEngine(ctx, newObs(*metrics, *linger), *listen, *engineID, *strategy, *symbols, *workers, *shards, *idle, *drainWait)
+		err = runEngine(ctx, newObs(*metrics, *linger), *listen, *engineID, *strategy, *symbols, *workers, *shards, *idle, *drainWait, *join, *advertise, *throttleHigh)
 	case "route":
 		if *dumpRing {
 			err = runDumpRing(*engines, *vnodes)
 		} else {
-			err = runRoute(ctx, newObs(*metrics, *linger), *listen, *engines, *ringPath, *vnodes)
+			err = runRoute(ctx, newObs(*metrics, *linger), *listen, *engines, *ringPath, *vnodes, *autoAdmit, *deadTimeout)
 		}
 	case "drain":
 		err = runDrainRequest(*connect)

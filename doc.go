@@ -171,6 +171,31 @@
 // dropping a packet — is locked by an in-process integration test and
 // a multi-process CI smoke.
 //
+// The cluster is self-healing. Membership is engine-initiated: an
+// engine announces itself over the wire (cluster.Join sends
+// EngineHello, the router answers with the ring) and keeps
+// re-announcing as a liveness beacon, so a router can start on an
+// empty ring, a crashed engine rejoins on restart with no operator
+// step, and an engine unreachable past a dead-engine timeout is
+// evicted automatically. Every dial path retries with capped, jittered
+// exponential backoff (rxnet.Backoff). Overload propagates backwards:
+// a hot engine (pl_engine_occupancy, NetSource.AutoThrottle) emits a
+// throttle upstream and the router pauses exactly the nodes feeding
+// it — flow-controlled nodes (rxnet.DialReliable) block or, with
+// ShedWhilePaused, shed at the edge with the gap kept visible to the
+// server's continuity cursor. Replay buffers are byte-bounded
+// (RouterConfig.ReplayBytes), so partitions cost bounded memory and
+// trimmed bytes are counted, never spliced over. Engines ack each
+// decoded session upstream (NetSource.AckSession), which trims the
+// stream's replay buffer; evicting a dead engine fails all its
+// streams over at once, replaying only the unacked tail — what its
+// nodes had finished sending does not die with the process. The
+// internal/cluster/chaos package injects connection faults (drop,
+// delay, duplicate, mid-frame sever, scripted kill/restart schedules)
+// for the churn tier that locks all of this down: an auto-assembled
+// fleet through three kill/rejoin cycles under paced load, zero loss,
+// no operator Rebalance.
+//
 // # Performance
 //
 // The engine is sharded: sessions are hashed by stream id onto N

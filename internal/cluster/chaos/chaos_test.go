@@ -1,0 +1,243 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pair returns a wrapped client conn and the raw server end of a real
+// loopback TCP connection (pipes lack the close semantics the sever
+// fault needs).
+func pair(t *testing.T, in *Injector) (*Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	a := <-ch
+	if a.err != nil {
+		t.Fatalf("accept: %v", a.err)
+	}
+	t.Cleanup(func() { client.Close(); a.c.Close() })
+	return in.WrapConn(client), a.c
+}
+
+func TestDropBlackholesWrites(t *testing.T) {
+	in := NewInjector(Faults{DropProb: 1})
+	c, server := pair(t, in)
+	if n, err := c.Write([]byte("vanish")); err != nil || n != 6 {
+		t.Fatalf("dropped write = (%d, %v), want (6, nil)", n, err)
+	}
+	server.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 16)
+	if n, err := server.Read(buf); err == nil {
+		t.Fatalf("server read %d bytes, want timeout", n)
+	}
+	if got := in.Dropped.Load(); got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+}
+
+func TestDupDoublesWrites(t *testing.T) {
+	in := NewInjector(Faults{DupProb: 1})
+	c, server := pair(t, in)
+	if _, err := c.Write([]byte("abc")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 6)
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(buf, []byte("abcabc")) {
+		t.Fatalf("server got %q, want %q", buf, "abcabc")
+	}
+	if got := in.Duplicated.Load(); got != 1 {
+		t.Fatalf("Duplicated = %d, want 1", got)
+	}
+}
+
+func TestSeverCutsMidWrite(t *testing.T) {
+	in := NewInjector(Faults{SeverProb: 1})
+	c, server := pair(t, in)
+	n, err := c.Write([]byte("0123456789"))
+	if err != ErrSevered {
+		t.Fatalf("severed write error = %v, want ErrSevered", err)
+	}
+	if n != 5 {
+		t.Fatalf("severed write wrote %d bytes, want 5", n)
+	}
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got, rerr := io.ReadAll(server)
+	if rerr != nil {
+		t.Fatalf("read severed conn: %v", rerr)
+	}
+	if !bytes.Equal(got, []byte("01234")) {
+		t.Fatalf("server got %q, want the first half %q", got, "01234")
+	}
+	if got := in.Severed.Load(); got != 1 {
+		t.Fatalf("Severed = %d, want 1", got)
+	}
+}
+
+func TestDelayStallsWrites(t *testing.T) {
+	in := NewInjector(Faults{DelayProb: 1, Delay: 60 * time.Millisecond})
+	c, _ := pair(t, in)
+	start := time.Now()
+	if _, err := c.Write([]byte("slow")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if el := time.Since(start); el < 60*time.Millisecond {
+		t.Fatalf("delayed write took %v, want >= 60ms", el)
+	}
+	if got := in.Delayed.Load(); got != 1 {
+		t.Fatalf("Delayed = %d, want 1", got)
+	}
+}
+
+func TestZeroFaultsPassThrough(t *testing.T) {
+	in := NewInjector(Faults{})
+	c, server := pair(t, in)
+	if _, err := c.Write([]byte("clean")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 5)
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(buf, []byte("clean")) {
+		t.Fatalf("server got %q", buf)
+	}
+	if got := in.Injected(); got != 0 {
+		t.Fatalf("Injected = %d, want 0", got)
+	}
+}
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(c, c) //nolint:errcheck
+				c.Close()
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func TestProxyPassThroughAndSever(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy(ln.Addr().String(), nil)
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 4)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("echo read: %v", err)
+	}
+	if !bytes.Equal(buf, []byte("ping")) {
+		t.Fatalf("echo got %q", buf)
+	}
+
+	p.Sever()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read after sever succeeded, want connection cut")
+	}
+
+	// The proxy keeps accepting after a sever.
+	c2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial after sever: %v", err)
+	}
+	defer c2.Close()
+	if _, err := c2.Write([]byte("back")); err != nil {
+		t.Fatalf("write after sever: %v", err)
+	}
+	c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c2, buf); err != nil {
+		t.Fatalf("echo after sever: %v", err)
+	}
+}
+
+func TestScriptRunsStepsInOrder(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	record := func(name string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+		}
+	}
+	s := &Script{Steps: []Step{
+		{After: 5 * time.Millisecond, Name: "a", Do: record("a")},
+		{After: 5 * time.Millisecond, Name: "b", Do: record("b")},
+		{After: 5 * time.Millisecond, Name: "c", Do: record("c")},
+	}}
+	stop := make(chan struct{})
+	wait := s.Start(stop)
+	wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("steps ran as %v, want [a b c]", order)
+	}
+}
+
+func TestScriptStops(t *testing.T) {
+	ran := make(chan struct{}, 1)
+	s := &Script{Steps: []Step{
+		{After: time.Hour, Name: "never", Do: func() { ran <- struct{}{} }},
+	}}
+	stop := make(chan struct{})
+	wait := s.Start(stop)
+	close(stop)
+	wait()
+	select {
+	case <-ran:
+		t.Fatal("stopped script still ran its step")
+	default:
+	}
+}

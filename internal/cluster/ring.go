@@ -115,6 +115,33 @@ func (r *Ring) Add(m Member) error {
 	return nil
 }
 
+// Clone returns an independent copy: same members, epoch and layout,
+// sharing no state with the receiver. The Router mutates clones so a
+// caller-held ring is never written behind its back.
+func (r *Ring) Clone() *Ring {
+	c := &Ring{vnodes: r.vnodes, epoch: r.epoch, members: append([]Member(nil), r.members...)}
+	c.rebuild()
+	return c
+}
+
+// SetAddr updates a member's address, bumping the epoch. Ownership
+// hashes IDs only, so no streams move — this is how a restarted
+// engine that kept its ID but landed on a new port rejoins without a
+// rebalance. It reports whether the member was present; an unchanged
+// address is a no-op (no epoch bump).
+func (r *Ring) SetAddr(id, addr string) bool {
+	for i := range r.members {
+		if r.members[i].ID == id {
+			if r.members[i].Addr != addr {
+				r.members[i].Addr = addr
+				r.epoch++
+			}
+			return true
+		}
+	}
+	return false
+}
+
 // Remove deletes the member with the given ID, bumping the epoch.
 // It reports whether the member was present.
 func (r *Ring) Remove(id string) bool {

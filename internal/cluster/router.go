@@ -19,21 +19,38 @@ type RouterConfig struct {
 	Ring *Ring
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
-	// ReplayChunks bounds the per-stream replay buffer (recent chunk
-	// frames kept so a NACKed stream can be replayed on its new
-	// owner). Zero selects 64. A NACK that reaches past the buffer is
-	// counted in pl_cluster_replay_gaps_total and the stream resumes
-	// with a gap (the new owner's continuity cursor resets it).
-	ReplayChunks int
+	// ReplayBytes bounds the per-stream replay buffer by payload bytes
+	// (recent chunk frames kept so a NACKed stream can be replayed on
+	// its new owner). Zero selects 1 MiB. Overflow evicts the oldest
+	// frames, counted in pl_cluster_replay_evicted_bytes_total; a NACK
+	// that reaches past the buffer is counted in
+	// pl_cluster_replay_gaps_total and the stream resumes with a gap
+	// (the new owner's continuity cursor resets it).
+	ReplayBytes int
 	// RouteIdleTimeout evicts routes whose stream has been silent for
 	// this long, sending the owner a StreamEnd so the engine session
 	// releases too. Zero selects 120 s; negative disables eviction.
 	RouteIdleTimeout time.Duration
 	// DialTimeout bounds one upstream dial. Zero selects 5 s.
 	DialTimeout time.Duration
-	// RedialBackoff is how long a failed upstream is avoided before
-	// the next dial attempt. Zero selects 1 s.
+	// RedialBackoff is the first-failure backoff before an upstream is
+	// redialed; consecutive failures double it (with jitter) up to
+	// RedialBackoffMax. Zero selects 1 s.
 	RedialBackoff time.Duration
+	// RedialBackoffMax caps the exponential redial backoff. Zero
+	// selects 15 s.
+	RedialBackoffMax time.Duration
+	// DeadEngineTimeout evicts an engine that has been continuously
+	// unreachable this long: the ring shrinks (its streams fail over
+	// permanently on their next chunk) and the epoch bumps. A later
+	// EngineHello re-admits it. Zero selects 60 s; negative disables
+	// eviction.
+	DeadEngineTimeout time.Duration
+	// AutoAdmit accepts EngineHello frames: an engine announcing
+	// itself is added to the ring (or has its address refreshed after
+	// a restart) with no operator Rebalance. With AutoAdmit the router
+	// may start on an empty ring and wait for its fleet.
+	AutoAdmit bool
 	// Metrics registers the router's pl_cluster_* series.
 	Metrics *telemetry.Registry
 }
@@ -42,8 +59,8 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
-	if c.ReplayChunks == 0 {
-		c.ReplayChunks = 64
+	if c.ReplayBytes == 0 {
+		c.ReplayBytes = 1 << 20
 	}
 	if c.RouteIdleTimeout == 0 {
 		c.RouteIdleTimeout = 120 * time.Second
@@ -53,6 +70,15 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	}
 	if c.RedialBackoff == 0 {
 		c.RedialBackoff = time.Second
+	}
+	if c.RedialBackoffMax == 0 {
+		c.RedialBackoffMax = 15 * time.Second
+	}
+	if c.RedialBackoffMax < c.RedialBackoff {
+		c.RedialBackoffMax = c.RedialBackoff
+	}
+	if c.DeadEngineTimeout == 0 {
+		c.DeadEngineTimeout = 60 * time.Second
 	}
 	return c
 }
@@ -68,11 +94,16 @@ type savedChunk struct {
 // resolve, buffer, forward, and NACK-triggered replay — so the new
 // owner can never observe replayed and live chunks out of order.
 type route struct {
-	fmu     sync.Mutex
-	owner   string // member ID; "" means unresolved
-	lastFwd uint32
-	lastAct time.Time
-	replay  []savedChunk
+	fmu         sync.Mutex
+	owner       string // member ID; "" means unresolved
+	lastFwd     uint32
+	lastAct     time.Time
+	replay      []savedChunk
+	replayBytes int // sum of len(body) across replay
+	// ackedThrough is the highest chunk Seq the owner confirmed
+	// consumed (StreamAck); acked frames are dropped from replay and a
+	// failover replay starting past ackedThrough+1 is a counted gap.
+	ackedThrough uint32
 }
 
 // upstream is the router's connection to one engine, redialed on
@@ -91,12 +122,58 @@ type upstream struct {
 	nextDial  atomic.Int64
 	connected atomic.Bool
 	draining  atomic.Bool
+	throttled atomic.Bool
+	// fails counts consecutive dial/write failures (exponential
+	// backoff input); downSince (unix nanos) marks the start of the
+	// current outage, 0 while healthy — the dead-engine eviction
+	// clock.
+	fails     atomic.Int32
+	downSince atomic.Int64
 }
 
 // down reports whether the engine is unreachable and still in dial
 // backoff, i.e. not worth assigning new streams to.
 func (up *upstream) down(now time.Time) bool {
 	return !up.connected.Load() && now.UnixNano() < up.nextDial.Load()
+}
+
+// failed records one dial/write failure: the outage clock starts (if
+// not already running) and the next dial backs off exponentially with
+// jitter.
+func (up *upstream) failed(backoff rxnet.Backoff) {
+	n := up.fails.Add(1)
+	now := time.Now()
+	up.nextDial.Store(now.Add(backoff.Delay(int(n))).UnixNano())
+	up.downSince.CompareAndSwap(0, now.UnixNano())
+}
+
+// recovered clears the failure state after a successful dial.
+func (up *upstream) recovered() {
+	up.fails.Store(0)
+	up.downSince.Store(0)
+	up.nextDial.Store(0)
+}
+
+// nodeConn is one accepted receiver-node connection. Writes (throttle
+// pause/resume relays) serialize on wmu; owners tracks which engines
+// this connection's streams were forwarded to, so backpressure from a
+// hot engine pauses exactly the nodes feeding it.
+type nodeConn struct {
+	c   net.Conn
+	wmu sync.Mutex
+
+	mu     sync.Mutex
+	owners map[string]bool
+	paused bool
+}
+
+func (nc *nodeConn) writeFrame(t rxnet.FrameType, body []byte) error {
+	nc.wmu.Lock()
+	defer nc.wmu.Unlock()
+	if err := nc.c.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return err
+	}
+	return rxnet.WriteFrame(nc.c, t, body)
 }
 
 // Router is the cluster front-end: it accepts rxnet chunk streams
@@ -115,23 +192,34 @@ type Router struct {
 	routes map[uint64]*route
 	ups    map[string]*upstream
 	hellos map[uint32][]byte // latest Hello body per node, replayed on engine (re)connect
-	nconns map[net.Conn]struct{}
+	nconns map[*nodeConn]struct{}
 
 	ln        net.Listener
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
 
-	chunksFwd   atomic.Int64
-	streams     atomic.Int64
-	handoffs    atomic.Int64
-	nacksRecv   atomic.Int64
-	replayed    atomic.Int64
-	replayGaps  atomic.Int64
-	redials     atomic.Int64
-	failovers   atomic.Int64
-	undeliv     atomic.Int64
-	routesEnded atomic.Int64
+	chunksFwd       atomic.Int64
+	streams         atomic.Int64
+	handoffs        atomic.Int64
+	nacksRecv       atomic.Int64
+	acksRecv        atomic.Int64
+	replayed        atomic.Int64
+	replayGaps      atomic.Int64
+	replayEvicted   atomic.Int64
+	redials         atomic.Int64
+	failovers       atomic.Int64
+	undeliv         atomic.Int64
+	routesEnded     atomic.Int64
+	joins           atomic.Int64
+	evicted         atomic.Int64
+	throttleSignals atomic.Int64
+	throttlePauses  atomic.Int64
+}
+
+// backoff is the upstream redial policy from the config.
+func (r *Router) backoff() rxnet.Backoff {
+	return rxnet.Backoff{Base: r.cfg.RedialBackoff, Max: r.cfg.RedialBackoffMax}
 }
 
 // RouterStats is an operational snapshot for health checks.
@@ -148,10 +236,21 @@ type RouterStats struct {
 	Undeliverable int64
 }
 
-// NewRouter builds an idle router over the ring.
+// NewRouter builds an idle router over the ring. With cfg.AutoAdmit
+// the ring may be nil or empty — the router waits for engines to
+// announce themselves with EngineHello.
 func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.Ring == nil || cfg.Ring.Len() == 0 {
-		return nil, errors.New("cluster: router needs a ring with at least one member")
+		if !cfg.AutoAdmit {
+			return nil, errors.New("cluster: router needs a ring with at least one member (or AutoAdmit)")
+		}
+		if cfg.Ring == nil {
+			empty, err := NewRing(0)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Ring = empty
+		}
 	}
 	cfg = cfg.withDefaults()
 	r := &Router{
@@ -161,7 +260,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		routes: make(map[uint64]*route),
 		ups:    make(map[string]*upstream),
 		hellos: make(map[uint32][]byte),
-		nconns: make(map[net.Conn]struct{}),
+		nconns: make(map[*nodeConn]struct{}),
 		closed: make(chan struct{}),
 	}
 	for _, m := range cfg.Ring.Members() {
@@ -176,10 +275,33 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 			"Streams moved between engines (drain NACKs, forced rebalances, failovers).", r.handoffs.Load)
 		reg.CounterFunc("pl_cluster_nacks_received_total",
 			"Stream NACKs received from draining engines.", r.nacksRecv.Load)
+		reg.CounterFunc("pl_cluster_stream_acks_total",
+			"Consumption acks received from engines (replay buffers trimmed).", r.acksRecv.Load)
 		reg.CounterFunc("pl_cluster_replayed_chunks_total",
 			"Buffered chunks replayed on a stream's new owner after a handoff.", r.replayed.Load)
 		reg.CounterFunc("pl_cluster_replay_gaps_total",
 			"Handoffs whose replay buffer no longer held every unconsumed chunk.", r.replayGaps.Load)
+		reg.CounterFunc("pl_cluster_replay_evicted_bytes_total",
+			"Replay-buffer bytes evicted by the per-stream ReplayBytes bound.", r.replayEvicted.Load)
+		reg.CounterFunc("pl_cluster_engine_joins_total",
+			"EngineHello admissions (new members plus address refreshes).", r.joins.Load)
+		reg.CounterFunc("pl_cluster_engines_evicted_total",
+			"Engines removed from the ring after DeadEngineTimeout.", r.evicted.Load)
+		reg.CounterFunc("pl_cluster_throttle_signals_total",
+			"Throttle state changes received from engines.", r.throttleSignals.Load)
+		reg.CounterFunc("pl_cluster_throttle_pauses_total",
+			"Pause frames relayed to receiver nodes feeding a hot engine.", r.throttlePauses.Load)
+		reg.GaugeFunc("pl_cluster_throttled_engines", "Engines currently signalling backpressure.", func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			n := 0
+			for _, up := range r.ups {
+				if up.throttled.Load() {
+					n++
+				}
+			}
+			return float64(n)
+		})
 		reg.CounterFunc("pl_cluster_upstream_redials_total",
 			"Engine connections re-established.", r.redials.Load)
 		reg.CounterFunc("pl_cluster_failovers_total",
@@ -220,7 +342,7 @@ func (r *Router) Listen(addr string) (string, error) {
 	r.mu.Unlock()
 	r.wg.Add(1)
 	go r.acceptLoop(ln)
-	if r.cfg.RouteIdleTimeout > 0 {
+	if r.cfg.RouteIdleTimeout > 0 || r.cfg.DeadEngineTimeout > 0 {
 		r.wg.Add(1)
 		go r.janitor()
 	}
@@ -252,15 +374,17 @@ func (r *Router) acceptLoop(ln net.Listener) {
 // serveConn relays one receiver node's frames. Chunk bodies are
 // forwarded verbatim — only the 12-byte (NodeID, StreamID, Seq)
 // prefix is parsed to route them — so the router never touches the
-// sample payload.
+// sample payload. The same port also accepts EngineHello frames from
+// engines joining the cluster (AutoAdmit).
 func (r *Router) serveConn(conn net.Conn) {
 	defer r.wg.Done()
+	nc := &nodeConn{c: conn, owners: make(map[string]bool)}
 	r.mu.Lock()
-	r.nconns[conn] = struct{}{}
+	r.nconns[nc] = struct{}{}
 	r.mu.Unlock()
 	defer func() {
 		r.mu.Lock()
-		delete(r.nconns, conn)
+		delete(r.nconns, nc)
 		r.mu.Unlock()
 		conn.Close()
 	}()
@@ -278,6 +402,34 @@ func (r *Router) serveConn(conn net.Conn) {
 			return
 		}
 		switch t {
+		case rxnet.FrameEngineHello:
+			eh, err := rxnet.UnmarshalEngineHello(body)
+			if err != nil {
+				r.logf("cluster: bad engine hello: %v", err)
+				return
+			}
+			if !r.cfg.AutoAdmit {
+				r.logf("cluster: engine %s hello refused (auto-admit disabled)", eh.ID)
+				continue
+			}
+			r.AdmitEngine(Member{ID: eh.ID, Addr: eh.Addr})
+			// Ack with the active ring so the engine can observe its
+			// own membership (and the fleet it joined).
+			r.mu.Lock()
+			ru := rxnet.RingUpdate{Epoch: r.ring.Epoch()}
+			for _, m := range r.ring.Members() {
+				ru.Members = append(ru.Members, rxnet.RingMember{ID: m.ID, Addr: m.Addr})
+			}
+			r.mu.Unlock()
+			rb, err := rxnet.MarshalRingUpdate(ru)
+			if err != nil {
+				r.logf("cluster: ring update for %s: %v", eh.ID, err)
+				continue
+			}
+			if err := nc.writeFrame(rxnet.FrameRingUpdate, rb); err != nil {
+				r.logf("cluster: ring update to %s: %v", eh.ID, err)
+				return
+			}
 		case rxnet.FrameHello:
 			h, err := rxnet.UnmarshalHello(body)
 			if err != nil {
@@ -304,7 +456,7 @@ func (r *Router) serveConn(conn net.Conn) {
 			stream := binary.BigEndian.Uint32(body[4:8])
 			seq := binary.BigEndian.Uint32(body[8:12])
 			session := uint64(node)<<32 | uint64(stream)
-			r.forward(session, seq, body)
+			r.forward(nc, session, seq, body)
 		default:
 			r.logf("cluster: unexpected frame type %d from node", t)
 			return
@@ -355,18 +507,31 @@ func (r *Router) resolve(session uint64, exclude string) (*upstream, bool) {
 }
 
 // forward routes one chunk frame to its stream's owner, assigning an
-// owner to new streams and buffering the frame for NACK replay.
-func (r *Router) forward(session uint64, seq uint32, body []byte) {
+// owner to new streams and buffering the frame for NACK replay. nc is
+// the node connection the chunk arrived on (nil in tests); successful
+// forwards record the owner on it so engine backpressure can be
+// relayed to exactly the nodes feeding that engine.
+func (r *Router) forward(nc *nodeConn, session uint64, seq uint32, body []byte) {
 	rt := r.routeFor(session)
 	rt.fmu.Lock()
 	defer rt.fmu.Unlock()
 	rt.lastAct = time.Now()
-	// Buffer first: a NACK can arrive for any forwarded chunk.
+	// Buffer first: a NACK can arrive for any forwarded chunk. The
+	// buffer is byte-bounded; overflow evicts from the oldest end but
+	// always keeps the newest frame.
 	rt.replay = append(rt.replay, savedChunk{seq: seq, body: body})
-	if len(rt.replay) > r.cfg.ReplayChunks {
-		rt.replay = rt.replay[len(rt.replay)-r.cfg.ReplayChunks:]
+	rt.replayBytes += len(body)
+	drop := 0
+	for rt.replayBytes > r.cfg.ReplayBytes && drop < len(rt.replay)-1 {
+		rt.replayBytes -= len(rt.replay[drop].body)
+		r.replayEvicted.Add(int64(len(rt.replay[drop].body)))
+		drop++
+	}
+	if drop > 0 {
+		rt.replay = append(rt.replay[:0], rt.replay[drop:]...)
 	}
 	rt.lastFwd = seq
+	failedOver := false
 	for attempt := 0; attempt < 2; attempt++ {
 		if rt.owner == "" {
 			up, ok := r.resolve(session, "")
@@ -384,22 +549,67 @@ func (r *Router) forward(session uint64, seq uint32, body []byte) {
 			rt.owner = ""
 			continue
 		}
-		if err := r.send(up, rxnet.FrameSampleChunk, body); err != nil {
+		// Normally only the live chunk goes out. After a crash
+		// failover the new owner has no state for this stream, so the
+		// whole retained unacked buffer is replayed in front of it —
+		// what the dead engine consumed past its last ack is unknown,
+		// and at-least-once is safe on a blank continuity cursor.
+		// Anything the byte bound already trimmed is a counted gap,
+		// never a silent splice.
+		frames := rt.replay[len(rt.replay)-1:]
+		if failedOver {
+			frames = rt.replay
+			if frames[0].seq > rt.ackedThrough+1 {
+				r.replayGaps.Add(1)
+			}
+		}
+		var err error
+		for _, c := range frames {
+			if err = r.send(up, rxnet.FrameSampleChunk, c.body); err != nil {
+				break
+			}
+			r.chunksFwd.Add(1)
+			if c.seq != seq {
+				r.replayed.Add(1)
+			}
+		}
+		if err != nil {
 			// The engine is gone mid-stream (crash, not drain): fail
-			// the stream over. What the dead engine consumed is
-			// unknown, so nothing is replayed — the new owner starts
-			// at the next chunk and its continuity cursor handles the
-			// boundary.
+			// the stream over to a survivor.
 			r.logf("cluster: forward to %s: %v; failing stream %d over", up.id, err, session)
 			r.failovers.Add(1)
 			r.handoffs.Add(1)
 			rt.owner = ""
+			failedOver = true
 			continue
 		}
-		r.chunksFwd.Add(1)
+		if nc != nil {
+			r.noteOwner(nc, up)
+		}
 		return
 	}
 	r.undeliv.Add(1)
+}
+
+// noteOwner records that nc's streams feed engine up, and pauses the
+// node immediately if that engine is already throttled (a stream that
+// lands on a hot engine after the propagation pass must not bypass
+// the backpressure).
+func (r *Router) noteOwner(nc *nodeConn, up *upstream) {
+	nc.mu.Lock()
+	nc.owners[up.id] = true
+	pause := up.throttled.Load() && !nc.paused
+	if pause {
+		nc.paused = true
+	}
+	nc.mu.Unlock()
+	if !pause {
+		return
+	}
+	r.throttlePauses.Add(1)
+	if err := nc.writeFrame(rxnet.FrameThrottle, rxnet.MarshalThrottle(rxnet.Throttle{Paused: true})); err != nil {
+		r.logf("cluster: throttle to node: %v", err)
+	}
 }
 
 // send writes one frame to an upstream, dialing it first if needed.
@@ -416,7 +626,7 @@ func (r *Router) send(up *upstream, t rxnet.FrameType, body []byte) error {
 			return fmt.Errorf("cluster: engine %s in dial backoff", up.id)
 		}
 		if err := r.dialLocked(up); err != nil {
-			up.nextDial.Store(time.Now().Add(r.cfg.RedialBackoff).UnixNano())
+			up.failed(r.backoff())
 			return err
 		}
 	}
@@ -427,7 +637,7 @@ func (r *Router) send(up *upstream, t rxnet.FrameType, body []byte) error {
 		up.conn.Close()
 		up.conn = nil
 		up.connected.Store(false)
-		up.nextDial.Store(time.Now().Add(r.cfg.RedialBackoff).UnixNano())
+		up.failed(r.backoff())
 		return err
 	}
 	return nil
@@ -443,6 +653,7 @@ func (r *Router) dialLocked(up *upstream) error {
 	up.conn = conn
 	up.connected.Store(true)
 	up.draining.Store(false) // a fresh process announces its own state
+	up.recovered()
 	r.redials.Add(1)
 	r.wg.Add(1)
 	go r.readUpstream(up, conn)
@@ -500,6 +711,25 @@ func (r *Router) readUpstream(up *upstream, conn net.Conn) {
 			}
 			r.nacksRecv.Add(1)
 			r.handleNack(up, n)
+		case rxnet.FrameStreamAck:
+			a, err := rxnet.UnmarshalStreamAck(body)
+			if err != nil {
+				r.logf("cluster: engine %s bad ack: %v", up.id, err)
+				continue
+			}
+			r.acksRecv.Add(1)
+			r.handleAck(up, a)
+		case rxnet.FrameThrottle:
+			th, err := rxnet.UnmarshalThrottle(body)
+			if err != nil {
+				r.logf("cluster: engine %s bad throttle: %v", up.id, err)
+				continue
+			}
+			if up.throttled.Swap(th.Paused) != th.Paused {
+				r.throttleSignals.Add(1)
+				r.logf("cluster: engine %s throttled=%v", up.id, th.Paused)
+				r.propagateThrottle()
+			}
 		default:
 			// Engines send nothing else today; tolerate future frames.
 		}
@@ -508,9 +738,88 @@ func (r *Router) readUpstream(up *upstream, conn net.Conn) {
 	if up.conn == conn {
 		up.conn = nil
 		up.connected.Store(false)
-		up.nextDial.Store(time.Now().Add(r.cfg.RedialBackoff).UnixNano())
+		up.failed(r.backoff())
 	}
 	up.wmu.Unlock()
+	// A dead engine drops its throttle with its connection.
+	if up.throttled.Swap(false) {
+		r.propagateThrottle()
+	}
+}
+
+// propagateThrottle recomputes every node connection's pause state
+// from the throttled-engine set and relays the changes. A node pauses
+// while any engine its streams feed is throttled, and resumes when
+// the last of them recovers.
+func (r *Router) propagateThrottle() {
+	r.mu.Lock()
+	hot := make(map[string]bool)
+	for id, up := range r.ups {
+		if up.throttled.Load() {
+			hot[id] = true
+		}
+	}
+	nconns := make([]*nodeConn, 0, len(r.nconns))
+	for nc := range r.nconns {
+		nconns = append(nconns, nc)
+	}
+	r.mu.Unlock()
+	for _, nc := range nconns {
+		nc.mu.Lock()
+		want := false
+		for id := range nc.owners {
+			if hot[id] {
+				want = true
+				break
+			}
+		}
+		changed := want != nc.paused
+		if changed {
+			nc.paused = want
+		}
+		nc.mu.Unlock()
+		if !changed {
+			continue
+		}
+		if want {
+			r.throttlePauses.Add(1)
+		}
+		body := rxnet.MarshalThrottle(rxnet.Throttle{Paused: want})
+		if err := nc.writeFrame(rxnet.FrameThrottle, body); err != nil {
+			r.logf("cluster: throttle relay to node: %v", err)
+		}
+	}
+}
+
+// handleAck trims a stream's replay buffer: the owner decoded every
+// chunk through LastSeq, so none of them ever needs replaying again.
+// This is what keeps crash failover exactly-once on the happy path —
+// an evicted engine's streams replay only their unacked tail.
+func (r *Router) handleAck(from *upstream, a rxnet.StreamAck) {
+	r.mu.Lock()
+	rt := r.routes[a.Session]
+	r.mu.Unlock()
+	if rt == nil {
+		return
+	}
+	rt.fmu.Lock()
+	defer rt.fmu.Unlock()
+	if rt.owner != from.id {
+		// Stale ack: the stream already moved; the new owner's acks are
+		// the ones that matter now.
+		return
+	}
+	if a.LastSeq > rt.ackedThrough {
+		rt.ackedThrough = a.LastSeq
+	}
+	drop := 0
+	for drop < len(rt.replay) && rt.replay[drop].seq <= a.LastSeq {
+		rt.replayBytes -= len(rt.replay[drop].body)
+		drop++
+	}
+	if drop > 0 {
+		rt.replay = append(rt.replay[:0], rt.replay[drop:]...)
+	}
 }
 
 // handleNack moves a refused stream to a new owner and replays every
@@ -559,6 +868,72 @@ func (r *Router) handleNack(from *upstream, n rxnet.StreamNack) {
 		}
 		r.replayed.Add(1)
 		r.chunksFwd.Add(1)
+	}
+}
+
+// AdmitEngine adds (or refreshes) an engine on the active ring — the
+// engine-initiated path behind EngineHello, no operator Rebalance
+// required. Three cases:
+//
+//   - Unknown ID: the member joins the ring (epoch bump). Existing
+//     streams stay sticky with their owners; future streams see it.
+//   - Known ID, new address: the engine restarted elsewhere. The
+//     address is refreshed in place (epoch bump, no ownership
+//     movement — the ring hashes IDs only) and the stale connection
+//     is dropped.
+//   - Known ID, same address: a restart behind a stable address or a
+//     keepalive re-hello. If the engine was in dial backoff, the
+//     backoff clears so its streams return on their next chunk.
+//
+// Admission never clears a draining flag — a keepalive from a
+// draining engine must not un-drain it; the flag resets when the
+// router redials the fresh process.
+func (r *Router) AdmitEngine(m Member) {
+	if m.ID == "" || m.Addr == "" {
+		return
+	}
+	var stale *upstream
+	r.mu.Lock()
+	up := r.ups[m.ID]
+	switch {
+	case up == nil:
+		nr := r.ring.Clone()
+		if !nr.SetAddr(m.ID, m.Addr) {
+			if err := nr.Add(m); err != nil {
+				r.mu.Unlock()
+				r.logf("cluster: admit %s: %v", m.ID, err)
+				return
+			}
+		}
+		r.ring = nr
+		r.ups[m.ID] = &upstream{id: m.ID, addr: m.Addr}
+		r.joins.Add(1)
+		r.logf("cluster: engine %s joined at %s (epoch %d, %d members)",
+			m.ID, m.Addr, nr.Epoch(), nr.Len())
+	case up.addr != m.Addr:
+		nr := r.ring.Clone()
+		nr.SetAddr(m.ID, m.Addr)
+		r.ring = nr
+		stale = up
+		r.ups[m.ID] = &upstream{id: m.ID, addr: m.Addr}
+		r.joins.Add(1)
+		r.logf("cluster: engine %s moved to %s (epoch %d)", m.ID, m.Addr, nr.Epoch())
+	default:
+		if !up.connected.Load() && (up.fails.Load() > 0 || up.downSince.Load() != 0) {
+			up.recovered()
+			r.joins.Add(1)
+			r.logf("cluster: engine %s rejoined at %s", m.ID, m.Addr)
+		}
+	}
+	r.mu.Unlock()
+	if stale != nil {
+		stale.wmu.Lock()
+		if stale.conn != nil {
+			stale.conn.Close()
+			stale.conn = nil
+			stale.connected.Store(false)
+		}
+		stale.wmu.Unlock()
 	}
 }
 
@@ -650,11 +1025,18 @@ func (r *Router) Rebalance(ring *Ring, force bool) error {
 	return nil
 }
 
-// janitor evicts idle routes, releasing the engine session with a
-// StreamEnd so neither side leaks per-stream state.
+// janitor evicts idle routes (releasing the engine session with a
+// StreamEnd so neither side leaks per-stream state) and engines that
+// have been continuously unreachable past DeadEngineTimeout.
 func (r *Router) janitor() {
 	defer r.wg.Done()
-	interval := r.cfg.RouteIdleTimeout / 4
+	interval := 30 * time.Second
+	if r.cfg.RouteIdleTimeout > 0 && r.cfg.RouteIdleTimeout/4 < interval {
+		interval = r.cfg.RouteIdleTimeout / 4
+	}
+	if r.cfg.DeadEngineTimeout > 0 && r.cfg.DeadEngineTimeout/4 < interval {
+		interval = r.cfg.DeadEngineTimeout / 4
+	}
 	if interval < 10*time.Millisecond {
 		interval = 10 * time.Millisecond
 	}
@@ -665,6 +1047,12 @@ func (r *Router) janitor() {
 		case <-r.closed:
 			return
 		case now := <-tick.C:
+			if r.cfg.DeadEngineTimeout > 0 {
+				r.evictDeadEngines(now)
+			}
+			if r.cfg.RouteIdleTimeout <= 0 {
+				continue
+			}
 			type idle struct {
 				session uint64
 				owner   string
@@ -713,6 +1101,107 @@ func (r *Router) janitor() {
 	}
 }
 
+// evictDeadEngines removes ring members whose upstream has been
+// continuously unreachable past DeadEngineTimeout. Their streams fail
+// over permanently on their next chunk (the owner lookup misses and
+// re-resolves); a later EngineHello re-admits the engine.
+func (r *Router) evictDeadEngines(now time.Time) {
+	cutoff := now.Add(-r.cfg.DeadEngineTimeout).UnixNano()
+	var dead []*upstream
+	r.mu.Lock()
+	for id, up := range r.ups {
+		ds := up.downSince.Load()
+		if up.connected.Load() || ds == 0 || ds > cutoff {
+			continue
+		}
+		nr := r.ring.Clone()
+		if nr.Remove(id) {
+			r.ring = nr
+		}
+		delete(r.ups, id)
+		dead = append(dead, up)
+	}
+	r.mu.Unlock()
+	if len(dead) == 0 {
+		return
+	}
+	deadIDs := make(map[string]bool, len(dead))
+	for _, up := range dead {
+		deadIDs[up.id] = true
+		r.evicted.Add(1)
+		r.logf("cluster: engine %s evicted after %v unreachable", up.id, r.cfg.DeadEngineTimeout)
+		up.wmu.Lock()
+		if up.conn != nil {
+			up.conn.Close()
+			up.conn = nil
+			up.connected.Store(false)
+		}
+		up.wmu.Unlock()
+	}
+	r.failOverRoutes(deadIDs)
+}
+
+// failOverRoutes moves every stream owned by an evicted engine to a
+// survivor NOW, replaying its unacked replay buffer. Waiting for the
+// stream's next live chunk is not enough: a stream whose node already
+// finished sending never produces another chunk, so whatever the dead
+// engine had received but not yet decoded would be lost silently even
+// though the router still holds it. Acked streams (buffer empty) just
+// unresolve — there is nothing left to deliver.
+func (r *Router) failOverRoutes(dead map[string]bool) {
+	// Lock order is fmu -> r.mu (resolve runs under a route's fmu), so
+	// snapshot the table first and take each fmu with r.mu released.
+	r.mu.Lock()
+	snapshot := make(map[uint64]*route, len(r.routes))
+	for s, rt := range r.routes {
+		snapshot[s] = rt
+	}
+	r.mu.Unlock()
+	for session, rt := range snapshot {
+		rt.fmu.Lock()
+		if !dead[rt.owner] {
+			rt.fmu.Unlock()
+			continue
+		}
+		rt.owner = ""
+		if len(rt.replay) == 0 {
+			rt.fmu.Unlock()
+			continue
+		}
+		up, ok := r.resolve(session, "")
+		if !ok {
+			r.undeliv.Add(int64(len(rt.replay)))
+			r.logf("cluster: stream %d orphaned by eviction and no engine will take it", session)
+			rt.fmu.Unlock()
+			continue
+		}
+		if rt.replay[0].seq > rt.ackedThrough+1 {
+			r.replayGaps.Add(1)
+		}
+		r.failovers.Add(1)
+		r.handoffs.Add(1)
+		r.streams.Add(1)
+		var err error
+		for _, c := range rt.replay {
+			if err = r.send(up, rxnet.FrameSampleChunk, c.body); err != nil {
+				break
+			}
+			r.chunksFwd.Add(1)
+			r.replayed.Add(1)
+		}
+		if err != nil {
+			// The survivor is down too; leave the route unresolved so
+			// the next live chunk (or a later NACK) retries.
+			r.logf("cluster: eviction replay to %s: %v", up.id, err)
+		} else {
+			rt.owner = up.id
+			r.logf("cluster: stream %d failed over to %s after eviction (%d chunks replayed)",
+				session, up.id, len(rt.replay))
+		}
+		rt.fmu.Unlock()
+	}
+}
+
 // Stats returns an operational snapshot.
 func (r *Router) Stats() RouterStats {
 	r.mu.Lock()
@@ -757,8 +1246,8 @@ func (r *Router) Close() error {
 		}
 		ups := r.upstreamsLocked()
 		conns := make([]net.Conn, 0, len(r.nconns))
-		for c := range r.nconns {
-			conns = append(conns, c)
+		for nc := range r.nconns {
+			conns = append(conns, nc.c)
 		}
 		r.mu.Unlock()
 		for _, c := range conns {

@@ -314,7 +314,7 @@ func TestRouterNackReplay(t *testing.T) {
 		if err != nil {
 			t.Fatalf("marshal chunk: %v", err)
 		}
-		r.forward(key, seq, body)
+		r.forward(nil, key, seq, body)
 	}
 	waitFor(t, "chunks on engine-a", func() bool { return a.samplesFor(key) == 75 })
 
@@ -406,16 +406,101 @@ func TestRouterFailoverOnEngineCrash(t *testing.T) {
 
 	a.l.Close()
 
-	// Keep sending until the failover lands; chunks sent into the dead
-	// connection's window are lost by design (consumption unknown).
+	// Keep sending until the failover lands. The crash loses nothing
+	// the router still holds: the survivor gets the stream's full
+	// retained buffer replayed in front of the live chunk (what the
+	// dead engine consumed is unknown, so at-least-once, and the blank
+	// continuity cursor on the new owner makes that safe).
+	sent := 1
 	waitFor(t, "failover to engine-b", func() bool {
 		if err := node.StreamChunk(sid, 1000, samples); err != nil {
 			t.Fatalf("stream chunk: %v", err)
 		}
+		sent++
 		time.Sleep(10 * time.Millisecond)
 		return b.samplesFor(key) > 0
 	})
+	waitFor(t, "full stream replayed on engine-b", func() bool {
+		return b.samplesFor(key) == sent*10
+	})
 	if got := r.failovers.Load(); got < 1 {
 		t.Errorf("failovers = %d, want >= 1", got)
+	}
+	if got := r.replayed.Load(); got < 1 {
+		t.Errorf("replayed = %d, want >= 1 (crash failover must replay the buffer)", got)
+	}
+}
+
+// Evicting a dead engine fails its streams over immediately — a stream
+// whose node already finished sending never produces the live chunk
+// that would otherwise trigger the failover, so the survivor must get
+// the retained buffer now. Acked streams (the old owner confirmed the
+// decode) replay nothing: that is what keeps eviction exactly-once on
+// the happy path instead of re-decoding the whole fleet.
+func TestEvictionFailsOverUnackedStreams(t *testing.T) {
+	a := startEngineSim(t, "engine-a")
+	b := startEngineSim(t, "engine-b")
+	ring := clusterRing(t, a, b)
+	r, _ := startRouter(t, RouterConfig{
+		Ring:              ring,
+		RedialBackoff:     10 * time.Millisecond,
+		DeadEngineTimeout: 80 * time.Millisecond,
+	})
+
+	used := map[uint32]bool{}
+	stuck := streamOwnedBy(t, ring, 11, "engine-a", used)
+	done := streamOwnedBy(t, ring, 11, "engine-a", used)
+	stuckKey := uint64(11)<<32 | uint64(stuck)
+	doneKey := uint64(11)<<32 | uint64(done)
+	samples := make([]float64, 25)
+	for _, sid := range []uint32{stuck, done} {
+		for seq := uint32(1); seq <= 3; seq++ {
+			body, err := rxnet.MarshalSampleChunk(rxnet.SampleChunk{
+				NodeID: 11, StreamID: sid, Seq: seq,
+				Fs: 1000, Start: uint64(seq-1) * 25, Samples: samples,
+			})
+			if err != nil {
+				t.Fatalf("marshal chunk: %v", err)
+			}
+			r.forward(nil, uint64(11)<<32|uint64(sid), seq, body)
+		}
+	}
+	waitFor(t, "both streams on engine-a", func() bool {
+		return a.samplesFor(stuckKey) == 75 && a.samplesFor(doneKey) == 75
+	})
+
+	// engine-a decodes the done stream and acks it; the router trims
+	// its replay buffer to nothing.
+	if !a.l.AckSession(doneKey) {
+		t.Fatal("AckSession did not know the stream")
+	}
+	waitFor(t, "ack to trim the replay buffer", func() bool {
+		rt := r.routeFor(doneKey)
+		rt.fmu.Lock()
+		defer rt.fmu.Unlock()
+		return len(rt.replay) == 0
+	})
+
+	// engine-a dies with the stuck stream undecoded and both nodes
+	// done sending — no live chunk will ever trigger a forward.
+	a.l.Close()
+	waitFor(t, "dead engine evicted", func() bool { return r.Stats().Engines == 1 })
+
+	// Eviction replays the stuck stream's full buffer on the survivor
+	// and leaves the acked stream alone.
+	waitFor(t, "stuck stream replayed on engine-b", func() bool {
+		return b.samplesFor(stuckKey) == 75
+	})
+	if got := b.samplesFor(doneKey); got != 0 {
+		t.Errorf("acked stream re-replayed %d samples on the survivor", got)
+	}
+	if got := r.failovers.Load(); got != 1 {
+		t.Errorf("failovers = %d, want exactly 1 (the unacked stream)", got)
+	}
+	if got := r.acksRecv.Load(); got != 1 {
+		t.Errorf("acks received = %d, want 1", got)
+	}
+	if got := r.replayGaps.Load(); got != 0 {
+		t.Errorf("replay gaps = %d, want 0 (buffer was complete)", got)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"passivelight/internal/stream"
@@ -448,13 +449,31 @@ func (a *Aggregator) Close() error {
 }
 
 // Node is a receiver-side client publishing detections or streaming
-// raw samples.
+// raw samples. Dial builds a plain node whose writes fail when the
+// connection dies; DialReliable builds one that redials with backoff
+// and honors server backpressure.
 type Node struct {
 	hello   Hello
 	conn    net.Conn
 	mu      sync.Mutex
 	seq     uint32
 	streams map[uint32]*streamState
+
+	// Reliable-mode state (see redial.go); nil rcfg on a plain node.
+	addr      string
+	rcfg      *RedialConfig
+	helloBody []byte
+	rctx      context.Context
+	gen       int // connection generation, under mu
+	redials   atomic.Int64
+	shedCnt   atomic.Int64
+	readerWG  sync.WaitGroup
+	closedCh  chan struct{}
+	closeOnce sync.Once
+
+	pmu      sync.Mutex
+	paused   bool
+	resumeCh chan struct{}
 }
 
 // streamState tracks per-stream chunk accounting on the node side.
@@ -530,6 +549,9 @@ func (n *Node) Publish(d Detection) error {
 // bursts in per-session ring buffers. The node's ID is stamped on the
 // chunk; Seq and Start are maintained per stream automatically.
 func (n *Node) StreamChunk(streamID uint32, fs float64, samples []float64) error {
+	if err := n.pauseGate(); err != nil {
+		return err
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.streams == nil {
@@ -546,6 +568,15 @@ func (n *Node) StreamChunk(streamID uint32, fs float64, samples []float64) error
 		if len(part) > MaxChunkSamples {
 			part = part[:MaxChunkSamples]
 		}
+		if n.shedGateLocked() {
+			// Paused and shedding: drop the chunk but advance the
+			// counters, so the server's continuity cursor sees the gap
+			// as a counted reset rather than a silent splice.
+			st.seq++
+			st.start += uint64(len(part))
+			samples = samples[len(part):]
+			continue
+		}
 		c := SampleChunk{
 			NodeID:   n.hello.NodeID,
 			StreamID: streamID,
@@ -558,10 +589,7 @@ func (n *Node) StreamChunk(streamID uint32, fs float64, samples []float64) error
 		if err != nil {
 			return err
 		}
-		if err := n.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
-			return err
-		}
-		if err := WriteFrame(n.conn, FrameSampleChunk, body); err != nil {
+		if err := n.writeChunkLocked(body); err != nil {
 			return err
 		}
 		st.seq++
@@ -598,8 +626,24 @@ func (n *Node) ResumeStream(streamID uint32, seq uint32, start uint64) {
 	n.streams[streamID] = &streamState{seq: seq, start: start}
 }
 
-// Close closes the node connection.
-func (n *Node) Close() error { return n.conn.Close() }
+// Close closes the node connection (and stops a reliable node's
+// redial/control machinery).
+func (n *Node) Close() error {
+	if n.rcfg == nil {
+		return n.conn.Close()
+	}
+	var err error
+	n.closeOnce.Do(func() {
+		close(n.closedCh)
+		n.mu.Lock()
+		if n.conn != nil {
+			err = n.conn.Close()
+		}
+		n.mu.Unlock()
+		n.readerWG.Wait()
+	})
+	return err
+}
 
 // StdLogf adapts the standard logger for AggregatorOptions.Logf.
 func StdLogf(format string, args ...any) { log.Printf(format, args...) }

@@ -1,0 +1,82 @@
+package rxnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// frameBytes assembles a raw frame for the seed corpus without going
+// through WriteFrame's validation.
+func frameBytes(t FrameType, body []byte) []byte {
+	b := []byte{MagicByte, Version, byte(t), 0, 0, 0, 0}
+	binary.BigEndian.PutUint32(b[3:7], uint32(len(body)))
+	return append(b, body...)
+}
+
+// FuzzParseFrame drives the full wire-parsing surface with arbitrary
+// bytes: framing (ReadFrame) and every per-type unmarshal. The
+// invariant is the cluster's byzantine-input contract — malformed
+// frames must return errors; they must never panic, hang, or
+// allocate unboundedly (length fields are validated before use).
+func FuzzParseFrame(f *testing.F) {
+	// Well-formed frames so the fuzzer starts inside the grammar.
+	hello, _ := MarshalHello(Hello{NodeID: 7, Name: "rx-7", PosX: 12.5, Height: 2})
+	f.Add(frameBytes(FrameHello, hello))
+	chunk, _ := MarshalSampleChunk(SampleChunk{
+		NodeID: 7, StreamID: 1, Seq: 1, Fs: 1000, Samples: []float64{0.5, -0.5},
+	})
+	f.Add(frameBytes(FrameSampleChunk, chunk))
+	eh, _ := MarshalEngineHello(EngineHello{ID: "engine-a", Addr: "127.0.0.1:9"})
+	f.Add(frameBytes(FrameEngineHello, eh))
+	ru, _ := MarshalRingUpdate(RingUpdate{Epoch: 3, Members: []RingMember{{ID: "a", Addr: "x:1"}}})
+	f.Add(frameBytes(FrameRingUpdate, ru))
+	f.Add(frameBytes(FrameStreamEnd, MarshalStreamEnd(StreamEnd{Session: 99})))
+	f.Add(frameBytes(FrameStreamNack, MarshalStreamNack(StreamNack{Session: 99, LastSeq: 4})))
+	f.Add(frameBytes(FrameStreamAck, MarshalStreamAck(StreamAck{Session: 99, LastSeq: 4})))
+	f.Add(frameBytes(FrameDrain, MarshalDrain(Drain{Draining: true})))
+	f.Add(frameBytes(FrameThrottle, MarshalThrottle(Throttle{Paused: true})))
+	// Malformed shapes: truncated bodies, bad magic, huge length.
+	f.Add(frameBytes(FrameDrain, nil))
+	f.Add(frameBytes(FrameStreamNack, []byte{1, 2, 3}))
+	f.Add(frameBytes(FrameStreamEnd, []byte{0}))
+	f.Add([]byte{0xFF, Version, byte(FrameHello), 0, 0, 0, 0})
+	f.Add([]byte{MagicByte, Version, byte(FrameHello), 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{MagicByte})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			ft, body, err := ReadFrame(r)
+			if err != nil {
+				return // any error ends the stream; must not panic
+			}
+			switch ft {
+			case FrameHello:
+				UnmarshalHello(body) //nolint:errcheck
+			case FrameDetection:
+				UnmarshalDetection(body) //nolint:errcheck
+			case FrameAck:
+				UnmarshalAck(body) //nolint:errcheck
+			case FrameSampleChunk:
+				UnmarshalSampleChunk(body) //nolint:errcheck
+			case FrameTrack:
+				UnmarshalTrack(body) //nolint:errcheck
+			case FrameStreamEnd:
+				UnmarshalStreamEnd(body) //nolint:errcheck
+			case FrameStreamNack:
+				UnmarshalStreamNack(body) //nolint:errcheck
+			case FrameStreamAck:
+				UnmarshalStreamAck(body) //nolint:errcheck
+			case FrameDrain, FrameDrainRequest:
+				UnmarshalDrain(body) //nolint:errcheck
+			case FrameEngineHello:
+				UnmarshalEngineHello(body) //nolint:errcheck
+			case FrameRingUpdate:
+				UnmarshalRingUpdate(body) //nolint:errcheck
+			case FrameThrottle:
+				UnmarshalThrottle(body) //nolint:errcheck
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package rxnet
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -67,20 +68,27 @@ type ChunkListener struct {
 	drainReq   chan struct{}
 	logf       func(format string, args ...any)
 	dropOnFull bool
+	paceIdle   time.Duration
 	dropped    atomic.Int64
 	received   atomic.Int64
 	refusedCnt atomic.Int64
 	nacksSent  atomic.Int64
+	acksSent   atomic.Int64
 	endsRecv   atomic.Int64
+	resets     atomic.Int64
+	throttles  atomic.Int64
+	paceRatio  atomic.Uint64 // float64 bits: max observed chunkGap/idle
+	paceWarned atomic.Bool
 
-	mu       sync.Mutex
-	cursors  map[uint64]*streamCursor
-	refused  map[uint64]bool
-	conns    map[*lconn]struct{}
-	draining bool
-	reg      *telemetry.Registry
-	frameErr *telemetry.Counter
-	nodeTel  map[uint32]*telemetry.Counter
+	mu        sync.Mutex
+	cursors   map[uint64]*streamCursor
+	refused   map[uint64]bool
+	conns     map[*lconn]struct{}
+	draining  bool
+	throttled bool
+	reg       *telemetry.Registry
+	frameErr  *telemetry.Counter
+	nodeTel   map[uint32]*telemetry.Counter
 
 	wg        sync.WaitGroup
 	closed    chan struct{}
@@ -112,6 +120,13 @@ type ChunkListenerConfig struct {
 	// pl_rxnet_ingest_bytes_total{node="N"}, pl_rxnet_frame_errors_total,
 	// pl_rxnet_dropped_chunks_total and the pl_rxnet_queue_depth gauge.
 	Metrics *telemetry.Registry
+	// PaceGuardIdle, when positive, is the consumer's session idle
+	// timeout: a stream whose per-chunk span (len(Samples)/Fs — the
+	// wall-clock gap between paced chunks) reaches it would be
+	// idle-evicted mid-stream. The listener warns once and tracks the
+	// worst ratio in the pl_rxnet_pace_gap_ratio gauge (>= 1 means the
+	// documented timing invariant is violated).
+	PaceGuardIdle time.Duration
 }
 
 // ListenChunks starts a chunk listener on addr ("host:port"; empty
@@ -143,6 +158,7 @@ func ListenChunksConfig(addr string, cfg ChunkListenerConfig) (*ChunkListener, e
 		drainReq:   make(chan struct{}, 1),
 		logf:       logf,
 		dropOnFull: cfg.DropOnFull,
+		paceIdle:   cfg.PaceGuardIdle,
 		cursors:    make(map[uint64]*streamCursor),
 		refused:    make(map[uint64]bool),
 		conns:      make(map[*lconn]struct{}),
@@ -162,12 +178,36 @@ func ListenChunksConfig(addr string, cfg ChunkListenerConfig) (*ChunkListener, e
 		l.reg.CounterFunc("pl_cluster_stream_nacks_sent_total",
 			"Streams this engine refused and redirected back to the router.",
 			l.nacksSent.Load)
+		l.reg.CounterFunc("pl_cluster_stream_acks_sent_total",
+			"Consumption acks sent upstream (sessions decoded; replay buffers trimmable).",
+			l.acksSent.Load)
 		l.reg.CounterFunc("pl_cluster_stream_ends_received_total",
 			"StreamEnd orders received from a cluster router (handoffs applied).",
 			l.endsRecv.Load)
 		l.reg.CounterFunc("pl_cluster_refused_chunks_total",
 			"Chunks discarded because their stream was NACKed while draining.",
 			l.refusedCnt.Load)
+		l.reg.CounterFunc("pl_rxnet_stream_resets_total",
+			"Streams restarted or spliced with a gap (reconnects, discontinuities, shed chunks).",
+			l.resets.Load)
+		l.reg.CounterFunc("pl_cluster_throttle_engaged_total",
+			"Times this engine signaled backpressure upstream (pauses only).",
+			l.throttles.Load)
+		l.reg.GaugeFunc("pl_cluster_throttled",
+			"1 while this engine holds its peers paused, else 0.",
+			func() float64 {
+				l.mu.Lock()
+				defer l.mu.Unlock()
+				if l.throttled {
+					return 1
+				}
+				return 0
+			})
+		if cfg.PaceGuardIdle > 0 {
+			l.reg.GaugeFunc("pl_rxnet_pace_gap_ratio",
+				"Worst observed chunk span / idle timeout; >= 1 means paced streams outlast idle eviction.",
+				func() float64 { return math.Float64frombits(l.paceRatio.Load()) })
+		}
 	}
 	l.wg.Add(1)
 	go l.acceptLoop()
@@ -188,6 +228,12 @@ func (l *ChunkListener) ReceivedChunks() int64 { return l.received.Load() }
 // RefusedChunks reports how many chunks were discarded because their
 // stream was NACKed back to the router (drain admission control).
 func (l *ChunkListener) RefusedChunks() int64 { return l.refusedCnt.Load() }
+
+// StreamResets reports how many times a stream restarted or spliced
+// with a gap (reconnects, discontinuities, shed chunks) — every
+// non-graceful loss surfaces here, which is what makes chunk loss
+// countable rather than silent.
+func (l *ChunkListener) StreamResets() int64 { return l.resets.Load() }
 
 // DrainRequests signals FrameDrainRequest arrivals (an ops client or
 // the router asking this engine to drain). The channel is buffered
@@ -237,6 +283,67 @@ func (l *ChunkListener) Drain() {
 	}
 }
 
+// SetThrottled flips the listener's backpressure signal: every
+// connected peer (and every later one) is sent a Throttle frame, so a
+// router pauses the contributing nodes — or a directly-connected
+// flow-controlled node stalls/sheds itself — until the signal clears.
+// Idempotent per state.
+func (l *ChunkListener) SetThrottled(paused bool) {
+	l.mu.Lock()
+	if l.throttled == paused {
+		l.mu.Unlock()
+		return
+	}
+	l.throttled = paused
+	conns := make([]*lconn, 0, len(l.conns))
+	for lc := range l.conns {
+		conns = append(conns, lc)
+	}
+	l.mu.Unlock()
+	if paused {
+		l.throttles.Add(1)
+	}
+	body := MarshalThrottle(Throttle{Paused: paused})
+	for _, lc := range conns {
+		if err := lc.writeFrame(FrameThrottle, body); err != nil {
+			l.logf("rxnet: throttle notice: %v", err)
+		}
+	}
+}
+
+// Throttled reports whether the listener currently signals
+// backpressure.
+func (l *ChunkListener) Throttled() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.throttled
+}
+
+// paceGuard checks one chunk against the consumer's idle timeout: a
+// paced stream whose chunks each span >= the idle timeout will be
+// idle-evicted mid-stream (the documented timing invariant). Tracks
+// the worst ratio and warns once.
+func (l *ChunkListener) paceGuard(c SampleChunk) {
+	if l.paceIdle <= 0 || c.Fs <= 0 || len(c.Samples) == 0 {
+		return
+	}
+	gap := float64(len(c.Samples)) / c.Fs
+	ratio := gap / l.paceIdle.Seconds()
+	for {
+		old := l.paceRatio.Load()
+		if ratio <= math.Float64frombits(old) {
+			break
+		}
+		if l.paceRatio.CompareAndSwap(old, math.Float64bits(ratio)) {
+			break
+		}
+	}
+	if ratio >= 1 && l.paceWarned.CompareAndSwap(false, true) {
+		l.logf("rxnet: stream %d/%d chunk span %.2fs >= idle timeout %v; paced sessions will be idle-evicted mid-stream (shrink the chunk size or raise the idle timeout)",
+			c.NodeID, c.StreamID, gap, l.paceIdle)
+	}
+}
+
 // ForceRedirect ends an in-flight stream on this engine: the consumer
 // gets an End event (flush + release the decode session) and the
 // stream's peer gets a NACK carrying the last consumed chunk Seq, so
@@ -260,6 +367,36 @@ func (l *ChunkListener) ForceRedirect(session uint64) bool {
 		if err := cur.src.writeFrame(FrameStreamNack, MarshalStreamNack(nack)); err != nil {
 			l.logf("rxnet: redirect nack for session %d: %v", session, err)
 		}
+	}
+	return true
+}
+
+// AckSession tells a session's peer that everything received so far
+// has been consumed (decoded) through the stream's continuity cursor:
+// the peer gets a StreamAck carrying the last consumed chunk Seq, so a
+// cluster router can trim the stream's replay buffer — acked chunks
+// never need replaying to a failover owner if this engine dies. It
+// reports whether the stream was still known (a redirected or ended
+// stream has no cursor left to ack). Peers that are not routers
+// tolerate the frame: reliable nodes ignore unknown control frames and
+// plain streaming nodes never read.
+func (l *ChunkListener) AckSession(session uint64) bool {
+	l.mu.Lock()
+	cur, ok := l.cursors[session]
+	var src *lconn
+	var seq uint32
+	if ok {
+		src, seq = cur.src, cur.seq
+	}
+	l.mu.Unlock()
+	if !ok || src == nil {
+		return false
+	}
+	l.acksSent.Add(1)
+	ack := StreamAck{Session: session, LastSeq: seq}
+	if err := src.writeFrame(FrameStreamAck, MarshalStreamAck(ack)); err != nil {
+		l.logf("rxnet: ack for session %d: %v", session, err)
+		return false
 	}
 	return true
 }
@@ -405,6 +542,7 @@ func (l *ChunkListener) serveConn(conn net.Conn) {
 	l.mu.Lock()
 	l.conns[lc] = struct{}{}
 	draining := l.draining
+	throttled := l.throttled
 	l.mu.Unlock()
 	defer func() {
 		l.mu.Lock()
@@ -415,6 +553,12 @@ func (l *ChunkListener) serveConn(conn net.Conn) {
 		// A peer connecting to a draining engine (e.g. a router
 		// redial) learns immediately.
 		if err := lc.writeFrame(FrameDrain, MarshalDrain(Drain{Draining: true})); err != nil {
+			return
+		}
+	}
+	if throttled {
+		// Likewise for a live backpressure signal.
+		if err := lc.writeFrame(FrameThrottle, MarshalThrottle(Throttle{Paused: true})); err != nil {
 			return
 		}
 	}
@@ -457,7 +601,11 @@ func (l *ChunkListener) serveConn(conn net.Conn) {
 				l.ingestCounter(c.NodeID).Add(int64(len(body)))
 			}
 			l.received.Add(1)
+			l.paceGuard(c)
 			accept, nack, reset := l.admit(c, lc)
+			if reset {
+				l.resets.Add(1)
+			}
 			if !accept {
 				l.refusedCnt.Add(1)
 				if nack {

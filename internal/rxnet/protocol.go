@@ -69,6 +69,30 @@ const (
 	// FrameDrainRequest asks an engine to start draining (router/ops
 	// -> engine). Empty body.
 	FrameDrainRequest
+	// FrameEngineHello announces a decode engine to a cluster router
+	// (engine -> router): the engine's stable ID and its chunk-ingest
+	// listen address. The router admits it onto the ring (or refreshes
+	// its address after a restart) — membership is engine-initiated,
+	// no operator rebalance needed. Re-sent periodically as a
+	// keepalive; admission is idempotent.
+	FrameEngineHello
+	// FrameRingUpdate answers an EngineHello (router -> engine) with
+	// the router's active ring epoch and member set, so an engine can
+	// observe its own admission.
+	FrameRingUpdate
+	// FrameThrottle carries a backpressure signal. Engines emit it
+	// upstream when their session rings or batch channel run hot
+	// (paused=true) and again when pressure clears (paused=false);
+	// a router relays pause/resume to the receiver-node connections
+	// whose streams feed the hot engine, so nodes shed or stall at
+	// the edge instead of overrunning it.
+	FrameThrottle
+	// FrameStreamAck confirms consumption on a chunk stream (engine ->
+	// router): every chunk through LastSeq has been decoded, so the
+	// router can trim the stream's replay buffer — acked chunks never
+	// need replaying to a failover owner. Plain nodes receiving one
+	// (direct engine connections) may ignore it.
+	FrameStreamAck
 )
 
 // Errors.
@@ -436,6 +460,37 @@ func UnmarshalStreamNack(b []byte) (StreamNack, error) {
 	}, nil
 }
 
+// StreamAck tells the router the sending engine has consumed
+// (decoded) a stream's chunks through LastSeq. It is the inverse of a
+// StreamNack: instead of pushing unconsumed chunks to a new owner, it
+// lets the router drop them from the replay buffer — a later crash of
+// this engine must replay only what was never acked.
+type StreamAck struct {
+	// Session is the stream's SessionKey.
+	Session uint64
+	// LastSeq is the highest chunk Seq consumed into a decoded packet.
+	LastSeq uint32
+}
+
+// MarshalStreamAck encodes a StreamAck body.
+func MarshalStreamAck(a StreamAck) []byte {
+	var b [12]byte
+	binary.BigEndian.PutUint64(b[0:8], a.Session)
+	binary.BigEndian.PutUint32(b[8:12], a.LastSeq)
+	return b[:]
+}
+
+// UnmarshalStreamAck decodes a StreamAck body.
+func UnmarshalStreamAck(b []byte) (StreamAck, error) {
+	if len(b) < 12 {
+		return StreamAck{}, ErrTruncated
+	}
+	return StreamAck{
+		Session: binary.BigEndian.Uint64(b[0:8]),
+		LastSeq: binary.BigEndian.Uint32(b[8:12]),
+	}, nil
+}
+
 // Drain announces the sending engine's drain state. Draining engines
 // keep their in-flight streams (they finish at their own pace — that
 // is what makes drains lossless) but must be assigned no new ones.
@@ -457,6 +512,160 @@ func UnmarshalDrain(b []byte) (Drain, error) {
 		return Drain{}, ErrTruncated
 	}
 	return Drain{Draining: b[0] != 0}, nil
+}
+
+// EngineHello announces a decode engine to a cluster router: its
+// stable ring identity and the address the router should dial for
+// chunk forwarding.
+type EngineHello struct {
+	// ID is the engine's stable ring identity (<= 64 bytes). Ownership
+	// hashes IDs, so a restarted engine that keeps its ID keeps its
+	// ring slice even on a new address.
+	ID string
+	// Addr is the engine's chunk-ingest listen address ("host:port",
+	// <= 255 bytes).
+	Addr string
+}
+
+// MarshalEngineHello encodes an EngineHello body.
+func MarshalEngineHello(h EngineHello) ([]byte, error) {
+	if h.ID == "" || len(h.ID) > 64 {
+		return nil, fmt.Errorf("rxnet: engine hello needs an ID of 1-64 bytes, got %d", len(h.ID))
+	}
+	if h.Addr == "" || len(h.Addr) > 255 {
+		return nil, fmt.Errorf("rxnet: engine hello needs an address of 1-255 bytes, got %d", len(h.Addr))
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(byte(len(h.ID)))
+	buf.WriteString(h.ID)
+	buf.WriteByte(byte(len(h.Addr)))
+	buf.WriteString(h.Addr)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalEngineHello decodes an EngineHello body.
+func UnmarshalEngineHello(b []byte) (EngineHello, error) {
+	if len(b) < 1 {
+		return EngineHello{}, ErrTruncated
+	}
+	idLen := int(b[0])
+	if idLen == 0 || idLen > 64 {
+		return EngineHello{}, fmt.Errorf("rxnet: engine hello ID length %d out of range", idLen)
+	}
+	if len(b) < 1+idLen+1 {
+		return EngineHello{}, ErrTruncated
+	}
+	h := EngineHello{ID: string(b[1 : 1+idLen])}
+	addrLen := int(b[1+idLen])
+	if addrLen == 0 {
+		return EngineHello{}, errors.New("rxnet: engine hello has an empty address")
+	}
+	if len(b) < 2+idLen+addrLen {
+		return EngineHello{}, ErrTruncated
+	}
+	h.Addr = string(b[2+idLen : 2+idLen+addrLen])
+	return h, nil
+}
+
+// MaxRingMembers bounds a RingUpdate's member list.
+const MaxRingMembers = 1024
+
+// RingMember is one engine in a RingUpdate.
+type RingMember struct {
+	ID   string
+	Addr string
+}
+
+// RingUpdate reports a router's active ring to an engine, answering
+// its EngineHello.
+type RingUpdate struct {
+	// Epoch is the ring's membership version.
+	Epoch uint64
+	// Members is the admitted engine set.
+	Members []RingMember
+}
+
+// MarshalRingUpdate encodes a RingUpdate body.
+func MarshalRingUpdate(u RingUpdate) ([]byte, error) {
+	if len(u.Members) > MaxRingMembers {
+		return nil, fmt.Errorf("rxnet: %d ring members exceeds limit %d", len(u.Members), MaxRingMembers)
+	}
+	var buf bytes.Buffer
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], u.Epoch)
+	buf.Write(u64[:])
+	var u16 [2]byte
+	binary.BigEndian.PutUint16(u16[:], uint16(len(u.Members)))
+	buf.Write(u16[:])
+	for _, m := range u.Members {
+		if len(m.ID) > 64 || len(m.Addr) > 255 {
+			return nil, fmt.Errorf("rxnet: ring member %q fields too long", m.ID)
+		}
+		buf.WriteByte(byte(len(m.ID)))
+		buf.WriteString(m.ID)
+		buf.WriteByte(byte(len(m.Addr)))
+		buf.WriteString(m.Addr)
+	}
+	if buf.Len() > MaxFrameSize {
+		return nil, ErrFrameTooBig
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalRingUpdate decodes a RingUpdate body.
+func UnmarshalRingUpdate(b []byte) (RingUpdate, error) {
+	if len(b) < 10 {
+		return RingUpdate{}, ErrTruncated
+	}
+	u := RingUpdate{Epoch: binary.BigEndian.Uint64(b[0:8])}
+	n := int(binary.BigEndian.Uint16(b[8:10]))
+	if n > MaxRingMembers {
+		return RingUpdate{}, fmt.Errorf("rxnet: %d ring members exceeds limit %d", n, MaxRingMembers)
+	}
+	off := 10
+	for i := 0; i < n; i++ {
+		if len(b) < off+1 {
+			return RingUpdate{}, ErrTruncated
+		}
+		idLen := int(b[off])
+		off++
+		if len(b) < off+idLen+1 {
+			return RingUpdate{}, ErrTruncated
+		}
+		m := RingMember{ID: string(b[off : off+idLen])}
+		off += idLen
+		addrLen := int(b[off])
+		off++
+		if len(b) < off+addrLen {
+			return RingUpdate{}, ErrTruncated
+		}
+		m.Addr = string(b[off : off+addrLen])
+		off += addrLen
+		u.Members = append(u.Members, m)
+	}
+	return u, nil
+}
+
+// Throttle is a backpressure signal: paused=true asks the receiver to
+// stop (or shed) new sample chunks until a paused=false follows.
+type Throttle struct {
+	Paused bool
+}
+
+// MarshalThrottle encodes a Throttle body.
+func MarshalThrottle(t Throttle) []byte {
+	if t.Paused {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+// UnmarshalThrottle decodes a Throttle body.
+func UnmarshalThrottle(b []byte) (Throttle, error) {
+	if len(b) < 1 {
+		return Throttle{}, ErrTruncated
+	}
+	return Throttle{Paused: b[0] != 0}, nil
 }
 
 // MarshalTrack encodes a Track body.

@@ -232,6 +232,15 @@ func TestClusterFrameRoundTrips(t *testing.T) {
 		t.Fatal("8-byte nack body accepted")
 	}
 
+	a := StreamAck{Session: 42<<32 | 7, LastSeq: 23}
+	gotAck, err := UnmarshalStreamAck(MarshalStreamAck(a))
+	if err != nil || gotAck != a {
+		t.Fatalf("stream ack round trip: %+v, %v", gotAck, err)
+	}
+	if _, err := UnmarshalStreamAck(MarshalStreamEnd(e)); err == nil {
+		t.Fatal("8-byte ack body accepted")
+	}
+
 	for _, draining := range []bool{true, false} {
 		got, err := UnmarshalDrain(MarshalDrain(Drain{Draining: draining}))
 		if err != nil || got.Draining != draining {
@@ -240,5 +249,67 @@ func TestClusterFrameRoundTrips(t *testing.T) {
 	}
 	if _, err := UnmarshalDrain(nil); err == nil {
 		t.Fatal("empty drain accepted")
+	}
+}
+
+func TestMembershipFrameRoundTrips(t *testing.T) {
+	eh := EngineHello{ID: "engine-a", Addr: "10.0.0.7:9200"}
+	body, err := MarshalEngineHello(eh)
+	if err != nil {
+		t.Fatalf("marshal engine hello: %v", err)
+	}
+	got, err := UnmarshalEngineHello(body)
+	if err != nil || got != eh {
+		t.Fatalf("engine hello round trip: %+v, %v", got, err)
+	}
+	if _, err := MarshalEngineHello(EngineHello{ID: "", Addr: "x:1"}); err == nil {
+		t.Fatal("empty engine ID accepted")
+	}
+	if _, err := MarshalEngineHello(EngineHello{ID: "a", Addr: ""}); err == nil {
+		t.Fatal("empty engine addr accepted")
+	}
+	for cut := 0; cut < len(body); cut++ {
+		if _, err := UnmarshalEngineHello(body[:cut]); err == nil {
+			t.Fatalf("truncated engine hello (%d bytes) accepted", cut)
+		}
+	}
+
+	ru := RingUpdate{Epoch: 9, Members: []RingMember{
+		{ID: "engine-a", Addr: "10.0.0.7:9200"},
+		{ID: "engine-b", Addr: "10.0.0.8:9200"},
+	}}
+	rb, err := MarshalRingUpdate(ru)
+	if err != nil {
+		t.Fatalf("marshal ring update: %v", err)
+	}
+	gotRu, err := UnmarshalRingUpdate(rb)
+	if err != nil {
+		t.Fatalf("unmarshal ring update: %v", err)
+	}
+	if gotRu.Epoch != ru.Epoch || len(gotRu.Members) != 2 ||
+		gotRu.Members[0] != ru.Members[0] || gotRu.Members[1] != ru.Members[1] {
+		t.Fatalf("ring update round trip: %+v", gotRu)
+	}
+	empty, err := MarshalRingUpdate(RingUpdate{Epoch: 1})
+	if err != nil {
+		t.Fatalf("marshal empty ring update: %v", err)
+	}
+	if got, err := UnmarshalRingUpdate(empty); err != nil || len(got.Members) != 0 {
+		t.Fatalf("empty ring update round trip: %+v, %v", got, err)
+	}
+	for cut := 0; cut < len(rb); cut++ {
+		if _, err := UnmarshalRingUpdate(rb[:cut]); err == nil {
+			t.Fatalf("truncated ring update (%d bytes) accepted", cut)
+		}
+	}
+
+	for _, paused := range []bool{true, false} {
+		got, err := UnmarshalThrottle(MarshalThrottle(Throttle{Paused: paused}))
+		if err != nil || got.Paused != paused {
+			t.Fatalf("throttle round trip (%v): %+v, %v", paused, got, err)
+		}
+	}
+	if _, err := UnmarshalThrottle(nil); err == nil {
+		t.Fatal("empty throttle accepted")
 	}
 }

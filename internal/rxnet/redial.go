@@ -1,0 +1,335 @@
+package rxnet
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// Backoff computes capped exponential redial delays with jitter:
+// attempt n (1-based) waits Base<<(n-1) capped at Max, scaled by a
+// uniform factor in [0.5, 1.5) so a fleet of retrying peers does not
+// thundering-herd a restarted server. The zero value selects
+// 500 ms / 15 s.
+type Backoff struct {
+	// Base is the first-attempt delay. Zero selects 500 ms.
+	Base time.Duration
+	// Max caps the exponential growth. Zero selects 15 s.
+	Max time.Duration
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 500 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 15 * time.Second
+	}
+	if b.Max < b.Base {
+		b.Max = b.Base
+	}
+	return b
+}
+
+// Delay returns the jittered delay before attempt n (1-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	b = b.withDefaults()
+	d := b.Base
+	for i := 1; i < attempt && d < b.Max; i++ {
+		d *= 2
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	// Uniform jitter in [0.5d, 1.5d).
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// RedialConfig tunes a reliable node client (DialReliable).
+type RedialConfig struct {
+	// Backoff paces reconnect attempts after a connection failure.
+	Backoff Backoff
+	// MaxDowntime bounds one reconnect episode: if the server stays
+	// unreachable this long, the pending write fails with the dial
+	// error. Zero selects 30 s; negative retries forever.
+	MaxDowntime time.Duration
+	// FlowControl starts a control reader that honors server-sent
+	// Throttle frames: StreamChunk stalls while paused (or sheds, see
+	// ShedWhilePaused). A flow-controlled node must not use Publish —
+	// the reader would consume its acks.
+	FlowControl bool
+	// ShedWhilePaused makes a paused StreamChunk discard the chunk
+	// (advancing the stream counters so the gap stays visible to the
+	// server's continuity cursor, and counting it in Shed) instead of
+	// blocking until resume — edge-side load shedding.
+	ShedWhilePaused bool
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (c RedialConfig) withDefaults() RedialConfig {
+	if c.MaxDowntime == 0 {
+		c.MaxDowntime = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// ErrNodeClosed reports a write on a closed reliable node.
+var ErrNodeClosed = errors.New("rxnet: node closed")
+
+// DialReliable connects a node like Dial but survives server
+// restarts: writes that hit a dead connection redial with capped
+// exponential backoff and jitter, re-announce the Hello, and resume
+// every stream's chunk numbering — a router bounce costs at most one
+// counted continuity reset, never a silent splice. With
+// cfg.FlowControl it also honors server Throttle frames (cluster
+// backpressure). The initial dial retries under the same policy, so
+// nodes may start before their router.
+func DialReliable(ctx context.Context, addr string, hello Hello, cfg RedialConfig) (*Node, error) {
+	cfg = cfg.withDefaults()
+	helloBody, err := MarshalHello(hello)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		hello:     hello,
+		addr:      addr,
+		rcfg:      &cfg,
+		helloBody: helloBody,
+		rctx:      ctx,
+		closedCh:  make(chan struct{}),
+		resumeCh:  make(chan struct{}),
+	}
+	n.mu.Lock()
+	err = n.reconnectLocked(0)
+	n.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FlowControl {
+		n.readerWG.Add(1)
+		go n.controlLoop()
+	}
+	return n, nil
+}
+
+// Redials reports how many times a reliable node has re-established
+// its connection (the initial dial not counted).
+func (n *Node) Redials() int64 { return n.redials.Load() }
+
+// Shed reports how many chunks a ShedWhilePaused node discarded while
+// the server held it paused.
+func (n *Node) Shed() int64 { return n.shedCnt.Load() }
+
+// Paused reports whether the server currently holds this
+// flow-controlled node paused.
+func (n *Node) Paused() bool {
+	if n.rcfg == nil {
+		return false
+	}
+	n.pmu.Lock()
+	defer n.pmu.Unlock()
+	return n.paused
+}
+
+// reconnectLocked re-establishes the connection if generation gen is
+// still current (a concurrent caller may have beaten us to it),
+// retrying with backoff until MaxDowntime. Callers hold n.mu.
+func (n *Node) reconnectLocked(gen int) error {
+	if n.gen != gen {
+		return nil // already reconnected by another path
+	}
+	if n.conn != nil {
+		n.conn.Close()
+		n.conn = nil
+	}
+	var deadline time.Time
+	if n.rcfg.MaxDowntime > 0 {
+		deadline = time.Now().Add(n.rcfg.MaxDowntime)
+	}
+	for attempt := 1; ; attempt++ {
+		select {
+		case <-n.closedCh:
+			return ErrNodeClosed
+		case <-n.rctx.Done():
+			return n.rctx.Err()
+		default:
+		}
+		conn, err := n.dialOnce()
+		if err == nil {
+			n.conn = conn
+			n.gen++
+			if n.gen > 1 {
+				n.redials.Add(1)
+				n.rcfg.Logf("rxnet: node %d reconnected to %s (attempt %d)", n.hello.NodeID, n.addr, attempt)
+			}
+			return nil
+		}
+		delay := n.rcfg.Backoff.Delay(attempt)
+		if !deadline.IsZero() && time.Now().Add(delay).After(deadline) {
+			return err
+		}
+		select {
+		case <-time.After(delay):
+		case <-n.closedCh:
+			return ErrNodeClosed
+		case <-n.rctx.Done():
+			return n.rctx.Err()
+		}
+	}
+}
+
+// dialOnce makes one connection attempt and sends the Hello.
+func (n *Node) dialOnce() (net.Conn, error) {
+	var d net.Dialer
+	dctx, cancel := context.WithTimeout(n.rctx, 5*time.Second)
+	defer cancel()
+	conn, err := d.DialContext(dctx, "tcp", n.addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := WriteFrame(conn, FrameHello, n.helloBody); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// writeChunkLocked writes one chunk frame, redialing and retrying on
+// failure for reliable nodes. Callers hold n.mu.
+func (n *Node) writeChunkLocked(body []byte) error {
+	for {
+		gen := n.gen
+		if err := n.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err == nil {
+			if err := WriteFrame(n.conn, FrameSampleChunk, body); err == nil {
+				return nil
+			} else if n.rcfg == nil {
+				return err
+			}
+		} else if n.rcfg == nil {
+			return err
+		}
+		// The connection died under the write: reconnect and resend.
+		// Whether the server consumed the failed chunk is unknowable
+		// without acks; a duplicate surfaces as a counted continuity
+		// reset on the server, never a silent splice.
+		if err := n.reconnectLocked(gen); err != nil {
+			return err
+		}
+	}
+}
+
+// pauseGate blocks while a flow-controlled (non-shedding) node is
+// paused by the server. Advisory: a pause that lands after the gate
+// delays only until the next chunk.
+func (n *Node) pauseGate() error {
+	if n.rcfg == nil || !n.rcfg.FlowControl || n.rcfg.ShedWhilePaused {
+		return nil
+	}
+	for {
+		n.pmu.Lock()
+		if !n.paused {
+			n.pmu.Unlock()
+			return nil
+		}
+		ch := n.resumeCh
+		n.pmu.Unlock()
+		select {
+		case <-ch:
+		case <-n.closedCh:
+			return ErrNodeClosed
+		case <-n.rctx.Done():
+			return n.rctx.Err()
+		}
+	}
+}
+
+// shedGateLocked reports whether a paused shedding node should drop
+// the chunk in hand. Callers hold n.mu; counters still advance so the
+// server's continuity cursor sees the gap.
+func (n *Node) shedGateLocked() bool {
+	if n.rcfg == nil || !n.rcfg.FlowControl || !n.rcfg.ShedWhilePaused {
+		return false
+	}
+	n.pmu.Lock()
+	paused := n.paused
+	n.pmu.Unlock()
+	if paused {
+		n.shedCnt.Add(1)
+	}
+	return paused
+}
+
+// controlLoop consumes server-to-node control frames (Throttle
+// pause/resume, drain notices) and drives reconnects when the read
+// side sees the connection die first.
+func (n *Node) controlLoop() {
+	defer n.readerWG.Done()
+	for {
+		n.mu.Lock()
+		conn, gen := n.conn, n.gen
+		n.mu.Unlock()
+		if conn == nil {
+			return
+		}
+		conn.SetReadDeadline(time.Time{})
+		t, body, err := ReadFrame(conn)
+		if err != nil {
+			select {
+			case <-n.closedCh:
+				return
+			case <-n.rctx.Done():
+				return
+			default:
+			}
+			n.mu.Lock()
+			rerr := n.reconnectLocked(gen)
+			n.mu.Unlock()
+			if rerr != nil {
+				n.rcfg.Logf("rxnet: node %d control reader giving up: %v", n.hello.NodeID, rerr)
+				return
+			}
+			// A reconnect lands on a fresh server conn with no pause
+			// state; release any stalled writer.
+			n.setPaused(false)
+			continue
+		}
+		switch t {
+		case FrameThrottle:
+			th, err := UnmarshalThrottle(body)
+			if err != nil {
+				n.rcfg.Logf("rxnet: node %d bad throttle: %v", n.hello.NodeID, err)
+				continue
+			}
+			n.setPaused(th.Paused)
+		default:
+			// Drain notices and future control frames are advisory for
+			// a sending node; ignore.
+		}
+	}
+}
+
+// setPaused flips the flow-control state, waking blocked writers on
+// resume.
+func (n *Node) setPaused(paused bool) {
+	n.pmu.Lock()
+	defer n.pmu.Unlock()
+	if paused == n.paused {
+		return
+	}
+	n.paused = paused
+	if paused {
+		n.resumeCh = make(chan struct{})
+	} else {
+		close(n.resumeCh)
+	}
+}

@@ -318,6 +318,7 @@ func (e *Engine) registerMetrics(reg *telemetry.Registry) *engineTelemetry {
 		_, samples := e.bufferedSamples()
 		return float64(samples)
 	})
+	reg.GaugeFunc("pl_engine_occupancy", "queue fill fraction (0 idle .. 1 saturated), the backpressure signal", e.Occupancy)
 	return &engineTelemetry{
 		decodeStep: reg.Histogram("pl_engine_decode_step_ns", "duration of one worker decode step"),
 		latency:    reg.Histogram("pl_engine_detection_latency_ns", "last chunk arrival to detection publish"),
@@ -736,6 +737,28 @@ func (e *Engine) Detections() <-chan Detection {
 		}()
 	})
 	return e.flat
+}
+
+// Occupancy reports how full the engine is on a 0..1 scale: the
+// larger of mean session-ring fill (buffered samples over sessions ×
+// QueueSamples) and detection-channel fill. Near 0 the engine is
+// keeping up; near 1 the next chunks will start displacing buffered
+// samples or detection batches. This is the signal cluster
+// backpressure keys off (NetSource.AutoThrottle).
+func (e *Engine) Occupancy() float64 {
+	sessions, samples := e.bufferedSamples()
+	var ring float64
+	if capacity := int64(sessions) * int64(e.cfg.QueueSamples); capacity > 0 {
+		ring = float64(samples) / float64(capacity)
+	}
+	var dets float64
+	if c := cap(e.batches); c > 0 {
+		dets = float64(len(e.batches)) / float64(c)
+	}
+	if dets > ring {
+		return dets
+	}
+	return ring
 }
 
 // bufferedSamples walks the session tables and sums ring occupancy

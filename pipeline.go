@@ -511,6 +511,20 @@ func (p *Pipeline) Stats() StreamStats {
 	return StreamStats{SamplesIn: p.samplesIn.Load()}
 }
 
+// Occupancy reports the streaming engine's queue fill on a 0..1
+// scale (0 before the engine starts or for whole-stream strategies).
+// Feed it to NetSource.AutoThrottle to close the cluster
+// backpressure loop.
+func (p *Pipeline) Occupancy() float64 {
+	p.mu.Lock()
+	eng := p.engine
+	p.mu.Unlock()
+	if eng == nil {
+		return 0
+	}
+	return eng.Occupancy()
+}
+
 // Err returns the first pipeline failure (nil on a clean end of
 // stream). Meaningful once the Stream channel has closed or Run has
 // returned.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"passivelight/internal/rxnet"
@@ -649,6 +650,12 @@ type NetSourceConfig struct {
 	// ingest bytes, frame errors, queue depth, dropped chunks) into
 	// the registry — typically the same one passed to WithTelemetry.
 	Telemetry *Telemetry
+	// PaceGuardIdle, when positive, is this engine's session idle
+	// timeout: if an arriving chunk spans at least that much signal
+	// time (its pacing gap would expire idle sessions between
+	// chunks), the listener warns once and publishes the worst ratio
+	// as pl_rxnet_pace_gap_ratio.
+	PaceGuardIdle time.Duration
 	// Logf receives transport diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -664,10 +671,11 @@ func ListenSource(addr string) (*NetSource, error) {
 // configuration.
 func ListenSourceConfig(addr string, cfg NetSourceConfig) (*NetSource, error) {
 	l, err := rxnet.ListenChunksConfig(addr, rxnet.ChunkListenerConfig{
-		Logf:       cfg.Logf,
-		QueueDepth: cfg.QueueDepth,
-		DropOnFull: cfg.DropOnFull,
-		Metrics:    cfg.Telemetry,
+		Logf:          cfg.Logf,
+		QueueDepth:    cfg.QueueDepth,
+		DropOnFull:    cfg.DropOnFull,
+		Metrics:       cfg.Telemetry,
+		PaceGuardIdle: cfg.PaceGuardIdle,
 	})
 	if err != nil {
 		return nil, err
@@ -714,6 +722,74 @@ func (s *NetSource) Sessions() []uint64 { return s.l.Sessions() }
 // was known. Used to finish a drain that must not wait for streams to
 // end naturally.
 func (s *NetSource) ForceRedirect(session uint64) bool { return s.l.ForceRedirect(session) }
+
+// AckSession confirms consumption upstream: everything received on the
+// session so far has been decoded, so a cluster router can trim the
+// stream's replay buffer — if this engine later dies, only unacked
+// chunks are replayed to the failover owner. Call it when a session's
+// packet decodes. Reports whether the stream was still known.
+func (s *NetSource) AckSession(session uint64) bool { return s.l.AckSession(session) }
+
+// Throttle flips the source's backpressure signal: paused sends a
+// Throttle frame to every connected peer (a cluster router relays it
+// to the receiver nodes feeding this engine, which pause or shed at
+// the edge), resume releases them. Idempotent per state.
+func (s *NetSource) Throttle(paused bool) { s.l.SetThrottled(paused) }
+
+// Throttled reports whether the source currently signals
+// backpressure.
+func (s *NetSource) Throttled() bool { return s.l.Throttled() }
+
+// StreamResets reports how many continuity resets the ingest side has
+// observed (reconnects, sequence gaps, shed chunks) — the "counted,
+// never silent" loss ledger.
+func (s *NetSource) StreamResets() int64 { return s.l.StreamResets() }
+
+// AutoThrottle ties the throttle signal to a load measure with
+// hysteresis: a monitor goroutine samples occupancy (typically
+// Pipeline.Occupancy) every interval, engages the throttle at high
+// and releases it back below low. Zero interval selects 250 ms; low
+// defaults to high/2 when not below high. The returned stop function
+// ends the monitor and releases any engaged throttle.
+func (s *NetSource) AutoThrottle(occupancy func() float64, high, low float64, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	if low <= 0 || low >= high {
+		low = high / 2
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				occ := occupancy()
+				if occ >= high && !s.Throttled() {
+					s.Throttle(true)
+				} else if occ <= low && s.Throttled() {
+					s.Throttle(false)
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			if s.Throttled() {
+				s.Throttle(false)
+			}
+		})
+	}
+}
 
 // Open implements Source. Network streams carry their own sample
 // rates, so the default rate is zero.
