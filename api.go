@@ -286,6 +286,14 @@ func NewStreamDecoder(cfg StreamConfig) (*StreamDecoder, error) { return stream.
 // directly.
 func NewStreamEngine(cfg StreamEngineConfig) (*StreamEngine, error) { return stream.NewEngine(cfg) }
 
+// RecycleDetections returns a batch received from StreamEngine.Batches
+// (or Pipeline internals) to the engine's slice pool once the caller
+// is done with every element. Optional — unreturned batches are simply
+// garbage-collected — but consumers that process batches promptly and
+// do not retain Detection values can call it to keep the steady-state
+// feed path allocation-free.
+func RecycleDetections(batch []StreamDetection) { stream.RecycleBatch(batch) }
+
 // Telemetry is a metrics registry: named counters, gauges and
 // latency histograms that render as Prometheus text or JSON. Pass one
 // to a pipeline with WithTelemetry (and to ListenSourceConfig for

@@ -402,10 +402,18 @@ func fleetLoadStreams(b *testing.B, sessions int) fleetStreams {
 // a HistogramSnapshot in the committed BENCH files.
 func engineBenchRun(b *testing.B, sessions, shards int) {
 	b.Helper()
-	fleet := fleetLoadStreams(b, sessions)
+	// Above 512 sessions the fleet cycles a 512-trace rendered pool
+	// (session i feeds trace i mod 512): the engine still tracks every
+	// session independently, but render time and resident trace memory
+	// stay bounded for the 1024/4096 sweeps.
+	rendered := sessions
+	if rendered > 512 {
+		rendered = 512
+	}
+	fleet := fleetLoadStreams(b, rendered)
 	total := 0
-	for _, s := range fleet.traces {
-		total += len(s)
+	for id := 0; id < sessions; id++ {
+		total += len(fleet.traces[id%len(fleet.traces)])
 	}
 	workers := 0
 	if shards > 0 {
@@ -433,10 +441,12 @@ func engineBenchRun(b *testing.B, sessions, shards int) {
 						got++
 					}
 				}
+				RecycleDetections(batch)
 			}
 			done <- got
 		}()
-		for id, s := range fleet.traces {
+		for id := 0; id < sessions; id++ {
+			s := fleet.traces[id%len(fleet.traces)]
 			sid := ScenarioStreamID(id, 0)
 			for lo := 0; lo < len(s); lo += 1024 {
 				hi := lo + 1024
@@ -481,6 +491,14 @@ func BenchmarkEngineSessions128(b *testing.B) { engineBenchRun(b, 128, 0) }
 // BenchmarkEngineSessions512 scales the session count 4x to expose
 // table-pressure effects the 128-way round hides.
 func BenchmarkEngineSessions512(b *testing.B) { engineBenchRun(b, 512, 0) }
+
+// BenchmarkEngineSessions1024 and ...4096 push into the regime where
+// per-session state dominates: with lazy rings and the pooled
+// decoder/batch buffers, memory per tracked session is what these
+// numbers certify (traces cycle a 512-render pool above 512 sessions).
+func BenchmarkEngineSessions1024(b *testing.B) { engineBenchRun(b, 1024, 0) }
+
+func BenchmarkEngineSessions4096(b *testing.B) { engineBenchRun(b, 4096, 0) }
 
 // BenchmarkEngineShards sweeps the shard count at a fixed 128
 // sessions so the sharding win (or its absence on a small box) is

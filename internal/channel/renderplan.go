@@ -47,6 +47,12 @@ type renderPlan struct {
 	// term, accumulated in kernel order so it is bit-identical to the
 	// per-sample loop.
 	quietOut float64
+	// groundPrefix[k] is the running sum of wE[j]*ground for j < k,
+	// accumulated in kernel order — exactly the value the reflected
+	// accumulator holds after the ground prefix loop, so render can
+	// start the active span from a table lookup instead of re-summing
+	// the quiet prefix every time step.
+	groundPrefix []float64
 	// accShare/accRho are per-footprint-point blend accumulators
 	// reused across time steps (zeroed over the active span only).
 	accShare, accRho []float64
@@ -152,10 +158,13 @@ func newRenderPlan(s *scene.Scene, r Receiver, offsets, weights []float64) (*ren
 			p.wE[k] = weights[k] * s.Source.IlluminanceAt(x, 0)
 		}
 		p.strayE = r.StrayCoupling * s.Source.IlluminanceAt(r.X, 0)
+		p.groundPrefix = make([]float64, len(p.xs)+1)
 		var ground float64
 		for k := range p.xs {
+			p.groundPrefix[k] = ground
 			ground += p.wE[k] * p.ground
 		}
+		p.groundPrefix[len(p.xs)] = ground
 		p.quietOut = r.CollectionEfficiency*ground + p.strayE
 	} else if us, ok := s.Source.(optics.UniformSource); ok && us.UniformIlluminance() {
 		p.srcKind = srcUniform
@@ -184,9 +193,8 @@ func (o *planObject) kernelRange(xs []float64) (int, int) {
 // per-point object order is preserved.
 func (p *renderPlan) blendSpan(kStart, kEnd int) {
 	accShare, accRho := p.accShare, p.accRho
-	for k := kStart; k < kEnd; k++ {
-		accShare[k], accRho[k] = 0, 0
-	}
+	clear(accShare[kStart:kEnd])
+	clear(accRho[kStart:kEnd])
 	xs := p.xs
 	for j := range p.objs {
 		o := &p.objs[j]
@@ -198,13 +206,25 @@ func (p *renderPlan) blendSpan(kStart, kEnd int) {
 		edges, rho := o.edges, o.rho
 		seg := o.seg
 		if o.ovRho == nil {
+			// Cache the current segment's bounds and reflectance in
+			// locals: the monotone cursor stays put for nearly every
+			// point, so the common case touches no slice element of
+			// the profile at all (the original loop re-read edges[seg]
+			// and edges[seg+1] — bounds checks included — per point).
+			// Re-walking only when u leaves [e0, e1) takes the exact
+			// steps the unconditional walk would, so seg and the
+			// blended output are bit-identical.
+			e0, e1, rv := edges[seg], edges[seg+1], rho[seg]
 			for k := lo; k < hi; k++ {
 				u := lead - xs[k]
-				for u < edges[seg] {
-					seg--
-				}
-				for u >= edges[seg+1] {
-					seg++
+				if u < e0 || u >= e1 {
+					for u < edges[seg] {
+						seg--
+					}
+					for u >= edges[seg+1] {
+						seg++
+					}
+					e0, e1, rv = edges[seg], edges[seg+1], rho[seg]
 				}
 				s := share
 				if as := accShare[k]; as+s > 1 {
@@ -214,31 +234,42 @@ func (p *renderPlan) blendSpan(kStart, kEnd int) {
 					continue
 				}
 				accShare[k] += s
-				accRho[k] += s * rho[seg]
+				accRho[k] += s * rv
 			}
 		} else {
 			ovEdges, ovRho := o.ovEdges, o.ovRho
 			ovOffset, ovLen := o.ovOffset, o.ovLen
 			ovSeg := o.ovSeg
+			// Both layers get the cached-segment treatment; which
+			// layer a point samples is decided per point exactly as
+			// before.
+			be0, be1, brv := edges[seg], edges[seg+1], rho[seg]
+			oe0, oe1, orv := ovEdges[ovSeg], ovEdges[ovSeg+1], ovRho[ovSeg]
 			for k := lo; k < hi; k++ {
 				u := lead - xs[k]
 				var r float64
 				if v := u - ovOffset; v >= 0 && v < ovLen {
-					for v < ovEdges[ovSeg] {
-						ovSeg--
+					if v < oe0 || v >= oe1 {
+						for v < ovEdges[ovSeg] {
+							ovSeg--
+						}
+						for v >= ovEdges[ovSeg+1] {
+							ovSeg++
+						}
+						oe0, oe1, orv = ovEdges[ovSeg], ovEdges[ovSeg+1], ovRho[ovSeg]
 					}
-					for v >= ovEdges[ovSeg+1] {
-						ovSeg++
-					}
-					r = ovRho[ovSeg]
+					r = orv
 				} else {
-					for u < edges[seg] {
-						seg--
+					if u < be0 || u >= be1 {
+						for u < edges[seg] {
+							seg--
+						}
+						for u >= edges[seg+1] {
+							seg++
+						}
+						be0, be1, brv = edges[seg], edges[seg+1], rho[seg]
 					}
-					for u >= edges[seg+1] {
-						seg++
-					}
-					r = rho[seg]
+					r = brv
 				}
 				s := share
 				if as := accShare[k]; as+s > 1 {
@@ -255,9 +286,12 @@ func (p *renderPlan) blendSpan(kStart, kEnd int) {
 		o.seg = seg
 	}
 	ground := p.ground
-	for k := kStart; k < kEnd; k++ {
-		if as := accShare[k]; as < 1 {
-			accRho[k] += (1 - as) * ground
+	share := accShare[kStart:kEnd]
+	blend := accRho[kStart:kEnd]
+	blend = blend[:len(share)]
+	for k := range share {
+		if as := share[k]; as < 1 {
+			blend[k] += (1 - as) * ground
 		}
 	}
 }
@@ -301,14 +335,41 @@ func (p *renderPlan) render(t0, fs float64, out []float64) {
 				out[i] = p.quietOut
 				continue
 			}
-			for k := 0; k < kStart; k++ {
-				reflected += p.wE[k] * p.ground
+			// The quiet prefix collapses to its precomputed running
+			// sum — the same additions in the same order, done once at
+			// plan build instead of every time step.
+			reflected = p.groundPrefix[kStart]
+			// Active span: subslices of equal length eliminate the
+			// bounds checks, and the 4-wide unroll (single
+			// accumulator, so the addition order is untouched) keeps
+			// the loop busy on the multiplies.
+			wE := p.wE[kStart:kEnd]
+			acc := p.accRho[kStart:kEnd]
+			wE = wE[:len(acc)]
+			k := 0
+			for ; k+4 <= len(acc); k += 4 {
+				reflected += wE[k] * acc[k]
+				reflected += wE[k+1] * acc[k+1]
+				reflected += wE[k+2] * acc[k+2]
+				reflected += wE[k+3] * acc[k+3]
 			}
-			for k := kStart; k < kEnd; k++ {
-				reflected += p.wE[k] * p.accRho[k]
+			for ; k < len(acc); k++ {
+				reflected += wE[k] * acc[k]
 			}
-			for k := kEnd; k < len(p.xs); k++ {
-				reflected += p.wE[k] * p.ground
+			// Quiet suffix: its start value depends on the span sum,
+			// so it cannot be a table lookup, but the same unroll
+			// applies.
+			wTail := p.wE[kEnd:]
+			g := p.ground
+			k = 0
+			for ; k+4 <= len(wTail); k += 4 {
+				reflected += wTail[k] * g
+				reflected += wTail[k+1] * g
+				reflected += wTail[k+2] * g
+				reflected += wTail[k+3] * g
+			}
+			for ; k < len(wTail); k++ {
+				reflected += wTail[k] * g
 			}
 			out[i] = r.CollectionEfficiency*reflected + p.strayE
 		case srcUniform:

@@ -136,6 +136,27 @@ func NewIncremental(fs float64, opt Options, cfg IncrementalConfig) *Incremental
 // Position returns the number of samples consumed so far.
 func (inc *Incremental) Position() int64 { return inc.pos }
 
+// AdoptBuf seeds the retained-sample buffer with recycled capacity
+// from a previous session. It is a no-op unless the machine is fresh
+// (nothing retained yet) and the donated capacity beats the current
+// one. The buffer is owned by the Incremental from here on.
+func (inc *Incremental) AdoptBuf(buf []float64) {
+	if len(inc.buf) == 0 && inc.batchRef == nil && cap(buf) > cap(inc.buf) {
+		inc.buf = buf[:0]
+	}
+}
+
+// ReleaseBuf surrenders the retained-sample buffer for reuse by a
+// later session and leaves the machine without retained samples. Only
+// call it when the stream is over (after Flush); the returned slice
+// never aliases caller memory (batch-mode aliases are not released).
+func (inc *Incremental) ReleaseBuf() []float64 {
+	buf := inc.buf
+	inc.buf = nil
+	inc.batchRef = nil
+	return buf[:0:cap(buf)]
+}
+
 // Buffered returns the number of samples currently retained (the
 // memory footprint of the state machine, up to slice overallocation).
 func (inc *Incremental) Buffered() int { return len(inc.buf) + len(inc.batchRef) }

@@ -162,7 +162,12 @@ func (p *FFTPlan) Inverse(x []complex128) error {
 }
 
 // transform is the radix-2 kernel: iterative Cooley-Tukey over the
-// precomputed twiddle table.
+// precomputed twiddle table. The first stage is peeled into a pure
+// add/sub sweep (its only twiddle is 1+0i, and multiplying by exactly
+// one is the identity), and the remaining stages run over per-block
+// subslices with a 4-wide manual unroll — each butterfly touches a
+// disjoint element pair and keeps its own operation order, so the
+// output matches the plain triple loop.
 func (p *FFTPlan) transform(x []complex128) {
 	n := p.n
 	for i, r := range p.bitrev {
@@ -170,17 +175,44 @@ func (p *FFTPlan) transform(x []complex128) {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
+	if n < 2 {
+		return
+	}
+	for start := 0; start+2 <= n; start += 2 {
+		a, b := x[start], x[start+1]
+		x[start], x[start+1] = a+b, a-b
+	}
 	tw := p.twiddle
-	for size := 2; size <= n; size <<= 1 {
+	for size := 4; size <= n; size <<= 1 {
 		half := size >> 1
 		stride := n / size
 		for start := 0; start < n; start += size {
+			// Equal-length subslices of the block's two halves let the
+			// compiler drop the bounds checks inside the butterfly.
+			xa := x[start : start+half]
+			xb := x[start+half : start+size]
+			xa = xa[:len(xb)]
 			ti := 0
-			for k := start; k < start+half; k++ {
-				a := x[k]
-				b := x[k+half] * tw[ti]
-				x[k] = a + b
-				x[k+half] = a - b
+			k := 0
+			for ; k+4 <= len(xb); k += 4 {
+				a0 := xa[k]
+				b0 := xb[k] * tw[ti]
+				xa[k], xb[k] = a0+b0, a0-b0
+				a1 := xa[k+1]
+				b1 := xb[k+1] * tw[ti+stride]
+				xa[k+1], xb[k+1] = a1+b1, a1-b1
+				a2 := xa[k+2]
+				b2 := xb[k+2] * tw[ti+2*stride]
+				xa[k+2], xb[k+2] = a2+b2, a2-b2
+				a3 := xa[k+3]
+				b3 := xb[k+3] * tw[ti+3*stride]
+				xa[k+3], xb[k+3] = a3+b3, a3-b3
+				ti += 4 * stride
+			}
+			for ; k < len(xb); k++ {
+				a := xa[k]
+				b := xb[k] * tw[ti]
+				xa[k], xb[k] = a+b, a-b
 				ti += stride
 			}
 		}

@@ -239,11 +239,12 @@ func (a *Aggregator) serveConn(conn net.Conn) {
 	defer a.wg.Done()
 	defer conn.Close()
 	var nodeID uint32
+	fr := newFrameReader(conn)
 	for {
 		if err := conn.SetReadDeadline(time.Now().Add(2 * time.Minute)); err != nil {
 			return
 		}
-		t, body, err := ReadFrame(conn)
+		t, body, err := fr.next()
 		if err != nil {
 			select {
 			case <-a.closed:
@@ -283,7 +284,10 @@ func (a *Aggregator) serveConn(conn net.Conn) {
 				a.logf("rxnet: node %d streamed samples but streaming is disabled", nodeID)
 				return
 			}
-			c, err := UnmarshalSampleChunk(body)
+			// Pooled decode: Feed copies the samples into the session
+			// ring before returning, so the buffer can be released
+			// right after.
+			c, sb, err := unmarshalSampleChunkPooled(body)
 			if err != nil {
 				a.logf("rxnet: bad sample chunk: %v", err)
 				return
@@ -303,6 +307,7 @@ func (a *Aggregator) serveConn(conn net.Conn) {
 			if err := a.engine.Feed(c.SessionKey(), c.Fs, c.Samples); err != nil {
 				a.logf("rxnet: stream feed node %d stream %d: %v", c.NodeID, c.StreamID, err)
 			}
+			sb.Release()
 		default:
 			a.logf("rxnet: unexpected frame type %d from node", t)
 			return

@@ -35,7 +35,18 @@ type ChunkEvent struct {
 	// consumer must flush and release the decode session. Samples is
 	// empty on End events.
 	End bool
+	// Buf, when non-nil, is the pooled buffer backing Samples. The
+	// consumer owns one reference and must call Release (directly or
+	// via ChunkEvent.Release) once the samples have been consumed —
+	// e.g. copied into an engine session ring. Ignoring it is safe
+	// (the buffer falls to the garbage collector, costing only a pool
+	// miss), but a consumer must never retain Samples past Release.
+	Buf *SampleBuf
 }
+
+// Release returns the event's pooled sample buffer, if any. Safe on
+// events without one (End events, hand-built test events).
+func (ev ChunkEvent) Release() { ev.Buf.Release() }
 
 // lconn is one accepted connection with a serialized write path, so
 // control frames (drain notices, NACKs) can be sent from goroutines
@@ -563,11 +574,15 @@ func (l *ChunkListener) serveConn(conn net.Conn) {
 		}
 	}
 	var nodeID uint32
+	// One frame buffer per connection: every frame body lands in it
+	// (and is fully consumed before the next read), so the read loop
+	// allocates nothing per frame.
+	fr := newFrameReader(conn)
 	for {
 		if err := conn.SetReadDeadline(time.Now().Add(2 * time.Minute)); err != nil {
 			return
 		}
-		t, body, err := ReadFrame(conn)
+		t, body, err := fr.next()
 		if err != nil {
 			select {
 			case <-l.closed:
@@ -591,7 +606,11 @@ func (l *ChunkListener) serveConn(conn net.Conn) {
 			}
 			l.logf("rxnet: chunk node %d (%s) at x=%.2f m joined", h.NodeID, h.Name, h.PosX)
 		case FrameSampleChunk:
-			c, err := UnmarshalSampleChunk(body)
+			// Decode straight into a pooled sample buffer: the wire →
+			// buffer copy here is the only copy the chunk pays before
+			// it reaches a session ring. The consumer releases the
+			// buffer (ChunkEvent.Release) once the samples are fed.
+			c, sb, err := unmarshalSampleChunkPooled(body)
 			if err != nil {
 				l.countFrameErr()
 				l.logf("rxnet: bad sample chunk: %v", err)
@@ -607,6 +626,7 @@ func (l *ChunkListener) serveConn(conn net.Conn) {
 				l.resets.Add(1)
 			}
 			if !accept {
+				sb.Release()
 				l.refusedCnt.Add(1)
 				if nack {
 					l.nacksSent.Add(1)
@@ -627,15 +647,18 @@ func (l *ChunkListener) serveConn(conn net.Conn) {
 				Fs:       c.Fs,
 				Samples:  c.Samples,
 				Reset:    reset,
+				Buf:      sb,
 			}
 			if l.dropOnFull {
 				select {
 				case l.out <- ev:
 				case <-l.closed:
 					l.dropped.Add(1)
+					sb.Release()
 					return
 				default:
 					l.dropped.Add(1)
+					sb.Release()
 				}
 				continue
 			}
@@ -651,6 +674,7 @@ func (l *ChunkListener) serveConn(conn net.Conn) {
 				case l.out <- ev:
 				default:
 					l.dropped.Add(1)
+					sb.Release()
 				}
 				return
 			}

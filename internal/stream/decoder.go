@@ -117,12 +117,25 @@ type Decoder struct {
 	errors     int64
 }
 
-// NewDecoder builds a streaming session.
+// NewDecoder builds a streaming session. The session's retained-sample
+// buffer starts from the recycled-capacity pool, so session churn
+// under a steady load stops hitting the allocator; release() returns
+// it when the engine retires the session.
 func NewDecoder(cfg Config) (*Decoder, error) {
 	if cfg.Fs <= 0 {
 		return nil, errors.New("stream: config needs a positive sample rate Fs")
 	}
-	return &Decoder{cfg: cfg, inc: decoder.NewIncremental(cfg.Fs, cfg.Decode, cfg.incremental())}, nil
+	d := &Decoder{cfg: cfg, inc: decoder.NewIncremental(cfg.Fs, cfg.Decode, cfg.incremental())}
+	if buf := getSegBuf(); buf != nil {
+		d.inc.AdoptBuf(buf)
+	}
+	return d, nil
+}
+
+// release returns the session's pooled state after its final flush.
+// The decoder must not be fed again afterwards.
+func (d *Decoder) release() {
+	putSegBuf(d.inc.ReleaseBuf())
 }
 
 // Feed consumes one chunk of RSS samples and returns the detections
@@ -141,7 +154,10 @@ func (d *Decoder) convert(segs []decoder.SegmentResult) []Detection {
 	if len(segs) == 0 {
 		return nil
 	}
-	out := make([]Detection, 0, len(segs))
+	// The batch comes from (and, when the consumer recycles, returns
+	// to) the shared pool — one decode step no longer costs one heap
+	// allocation for its batch header.
+	out := getBatch(len(segs))
 	for _, seg := range segs {
 		det := Detection{
 			Start:      seg.Start,

@@ -132,7 +132,11 @@ type Stats struct {
 }
 
 type session struct {
-	id  uint64
+	id uint64
+	// sh is the owning shard — the home of the session's share of the
+	// engine counters and of the ring-buffer free-list its buffer
+	// retires to.
+	sh  *shard
 	mu  sync.Mutex
 	rng *ring
 	// dec is owned by whichever goroutine holds a claim (scheduled
@@ -157,20 +161,88 @@ type session struct {
 	buffered atomic.Int64
 }
 
+// shardStats is one shard's slice of the engine-wide counters. Every
+// shard owns a private copy — padded out to a cache line — so feeders
+// and workers of different shards never write the same line (the old
+// engine-global atomics funneled every shard's feed and publish path
+// through one contended cache line); Stats() and the telemetry counter
+// funcs fold the shards at snapshot time instead.
+type shardStats struct {
+	samplesIn, detections, decodeErrs   atomic.Int64
+	droppedSamples, droppedDets, evicts atomic.Int64
+	_                                   [16]byte // pad to 64 bytes
+}
+
+// maxShardFreeBufs bounds each shard's ring-buffer free-list; overflow
+// spills to the global ringBufPool.
+const maxShardFreeBufs = 32
+
 // shard is one independent slice of the engine: its own session
-// table, lock, and run queue, drained by its own workers. Feeders and
-// workers of different shards share nothing but the detection output.
-// The run queue is a slice FIFO under the shard mutex (not a channel
-// pre-sized at MaxSessions — that would multiply idle memory by the
-// shard count); cond wakes the shard's workers on enqueue and on
-// Close. At most one entry exists per session (the scheduled flag),
-// so the FIFO is bounded by the shard's session count.
+// table, lock, run queue, counters and ring-buffer free-list, drained
+// by its own workers. Feeders and workers of different shards share
+// nothing but the detection output. The run queue is a slice FIFO
+// under the shard mutex (not a channel pre-sized at MaxSessions — that
+// would multiply idle memory by the shard count); cond wakes the
+// shard's workers on enqueue and on Close. At most one entry exists
+// per session (the scheduled flag), so the FIFO is bounded by the
+// shard's session count.
 type shard struct {
 	mu       sync.Mutex
 	sessions map[uint64]*session
 	stopped  bool // set under mu by Close; session lookup refuses new sessions, workers exit
+	// runq[runqHead:] is the FIFO of scheduled sessions. A head index
+	// (instead of re-slicing runq[1:]) keeps the backing array in
+	// place, so steady-state enqueue/dequeue cycles never re-allocate
+	// it; the array is bounded by the shard's session count because at
+	// most one entry exists per session.
 	runq     []*session
+	runqHead int
 	cond     *sync.Cond // signaled on enqueue; broadcast on Close
+
+	stats shardStats
+
+	// freeMu guards the shard-local ring-buffer free-list, the fast
+	// front of the sync.Pool hybrid: session churn inside one shard
+	// recycles buffers without even the pool's CAS traffic, and the
+	// global pool catches cross-shard and cross-engine reuse. Lock
+	// order: sh.mu may be held when freeMu is taken, never the
+	// reverse.
+	freeMu   sync.Mutex
+	freeBufs [][]float64
+}
+
+// getRingBuf pops a recycled ring backing array: shard free-list
+// first, then the global pool. nil means allocate lazily.
+func (sh *shard) getRingBuf() []float64 {
+	sh.freeMu.Lock()
+	if n := len(sh.freeBufs); n > 0 {
+		b := sh.freeBufs[n-1]
+		sh.freeBufs[n-1] = nil
+		sh.freeBufs = sh.freeBufs[:n-1]
+		sh.freeMu.Unlock()
+		return b
+	}
+	sh.freeMu.Unlock()
+	if v := ringBufPool.Get(); v != nil {
+		return *(v.(*[]float64))
+	}
+	return nil
+}
+
+// recycleRingBuf returns a retired session's ring backing array to the
+// free-list (or the global pool when the list is full).
+func (sh *shard) recycleRingBuf(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	sh.freeMu.Lock()
+	if len(sh.freeBufs) < maxShardFreeBufs {
+		sh.freeBufs = append(sh.freeBufs, buf)
+		sh.freeMu.Unlock()
+		return
+	}
+	sh.freeMu.Unlock()
+	ringBufPool.Put(&buf)
 }
 
 // enqueue appends a scheduled session and wakes one worker.
@@ -187,16 +259,19 @@ func (sh *shard) enqueue(s *session) {
 func (sh *shard) dequeue() (*session, bool) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	for len(sh.runq) == 0 && !sh.stopped {
+	for sh.runqHead == len(sh.runq) && !sh.stopped {
 		sh.cond.Wait()
 	}
 	if sh.stopped {
 		return nil, false
 	}
-	s := sh.runq[0]
-	sh.runq = sh.runq[1:]
-	if len(sh.runq) == 0 {
-		sh.runq = nil // release the drifting backing array
+	s := sh.runq[sh.runqHead]
+	sh.runq[sh.runqHead] = nil
+	sh.runqHead++
+	if sh.runqHead == len(sh.runq) {
+		// Empty: rewind onto the same backing array.
+		sh.runq = sh.runq[:0]
+		sh.runqHead = 0
 	}
 	return s, true
 }
@@ -234,9 +309,9 @@ type Engine struct {
 	pubMu      sync.RWMutex
 	detsClosed bool
 
-	samplesIn, detections, decodeErrs   atomic.Int64
-	droppedSamples, droppedDets, evicts atomic.Int64
-	droppedFlat                         atomic.Int64
+	// droppedFlat belongs to the engine-wide flattening forwarder; all
+	// hot-path counters live in the per-shard shardStats blocks.
+	droppedFlat atomic.Int64
 
 	// tel holds the live-recorded histograms; nil when the engine runs
 	// without a metrics registry, which keeps time.Now off the worker
@@ -247,6 +322,12 @@ type Engine struct {
 	rateTime    time.Time
 	rateSamples int64
 }
+
+// DefaultShards reports the shard count a zero EngineConfig resolves
+// to in this process — the GOMAXPROCS-bound auto setting. Tooling
+// (benchdump) records it alongside bench results so committed
+// baselines say what sharding they actually ran with.
+func DefaultShards() int { return EngineConfig{}.withDefaults().Shards }
 
 // NewEngine starts the sharded worker pool and idle-eviction janitor.
 func NewEngine(cfg EngineConfig) (*Engine, error) {
@@ -293,18 +374,41 @@ type engineTelemetry struct {
 	latency    *telemetry.Histogram
 }
 
+// sumShards folds one shard-local counter across all shards — the
+// snapshot-time half of the shard-local counter scheme. pick must be a
+// capture-free selector so the call allocates nothing.
+func (e *Engine) sumShards(pick func(*shardStats) *atomic.Int64) int64 {
+	var n int64
+	for _, sh := range e.shards {
+		n += pick(&sh.stats).Load()
+	}
+	return n
+}
+
 // registerMetrics publishes the engine's observability surface. The
-// Stats counters are exported as snapshot-time funcs over the atomics
-// the engine already maintains, so scraping costs nothing on the
-// decode path; only the two histograms record live.
+// Stats counters are exported as snapshot-time funcs folding the
+// shard-local counters, so scraping costs nothing on the decode path;
+// only the two histograms record live.
 func (e *Engine) registerMetrics(reg *telemetry.Registry) *engineTelemetry {
-	reg.CounterFunc("pl_engine_samples_in_total", "samples accepted across all sessions", e.samplesIn.Load)
-	reg.CounterFunc("pl_engine_detections_total", "successfully decoded detections", e.detections.Load)
-	reg.CounterFunc("pl_engine_decode_errors_total", "segments that held no parsable packet", e.decodeErrs.Load)
-	reg.CounterFunc("pl_engine_dropped_samples_total", "samples evicted from lagging session rings", e.droppedSamples.Load)
-	reg.CounterFunc("pl_engine_dropped_detections_total", "detection batches dropped on channel overflow", e.droppedDets.Load)
+	reg.CounterFunc("pl_engine_samples_in_total", "samples accepted across all sessions", func() int64 {
+		return e.sumShards(func(st *shardStats) *atomic.Int64 { return &st.samplesIn })
+	})
+	reg.CounterFunc("pl_engine_detections_total", "successfully decoded detections", func() int64 {
+		return e.sumShards(func(st *shardStats) *atomic.Int64 { return &st.detections })
+	})
+	reg.CounterFunc("pl_engine_decode_errors_total", "segments that held no parsable packet", func() int64 {
+		return e.sumShards(func(st *shardStats) *atomic.Int64 { return &st.decodeErrs })
+	})
+	reg.CounterFunc("pl_engine_dropped_samples_total", "samples evicted from lagging session rings", func() int64 {
+		return e.sumShards(func(st *shardStats) *atomic.Int64 { return &st.droppedSamples })
+	})
+	reg.CounterFunc("pl_engine_dropped_detections_total", "detection batches dropped on channel overflow", func() int64 {
+		return e.sumShards(func(st *shardStats) *atomic.Int64 { return &st.droppedDets })
+	})
 	reg.CounterFunc("pl_engine_dropped_flattened_total", "detections dropped by the flattening forwarder (abandoned consumer)", e.droppedFlat.Load)
-	reg.CounterFunc("pl_engine_sessions_evicted_total", "idle sessions evicted", e.evicts.Load)
+	reg.CounterFunc("pl_engine_sessions_evicted_total", "idle sessions evicted", func() int64 {
+		return e.sumShards(func(st *shardStats) *atomic.Int64 { return &st.evicts })
+	})
 	reg.GaugeFunc("pl_engine_sessions_active", "sessions currently tracked", func() float64 {
 		return float64(e.sessionCount.Load())
 	})
@@ -367,7 +471,7 @@ func (e *Engine) feedChunk(id uint64, fs float64, chunk []float64, wait bool) er
 	for {
 		s, err := e.session(sh, id, fs)
 		if err != nil {
-			e.droppedSamples.Add(int64(len(chunk)))
+			sh.stats.droppedSamples.Add(int64(len(chunk)))
 			return err
 		}
 		s.mu.Lock()
@@ -378,7 +482,7 @@ func (e *Engine) feedChunk(id uint64, fs float64, chunk []float64, wait bool) er
 			s.mu.Unlock()
 			continue
 		}
-		if wait && s.rng.len()+len(chunk) > len(s.rng.buf) {
+		if wait && s.rng.len()+len(chunk) > s.rng.capacity() {
 			// Backpressure: the ring holds earlier sub-chunks a
 			// worker has not copied out yet. The content's wake is
 			// already queued (scheduled), so a worker will free the
@@ -395,9 +499,9 @@ func (e *Engine) feedChunk(id uint64, fs float64, chunk []float64, wait bool) er
 			s.scheduled = true
 		}
 		s.mu.Unlock()
-		e.samplesIn.Add(int64(len(chunk)))
+		sh.stats.samplesIn.Add(int64(len(chunk)))
 		if dropped > 0 {
-			e.droppedSamples.Add(int64(dropped))
+			sh.stats.droppedSamples.Add(int64(dropped))
 		}
 		if wake {
 			sh.enqueue(s)
@@ -434,7 +538,14 @@ func (e *Engine) session(sh *shard, id uint64, fs float64) (*session, error) {
 		return nil, err
 	}
 	now := time.Now()
-	s := &session{id: id, rng: newRing(e.cfg.QueueSamples), dec: dec, lastFeed: now, created: now}
+	s := &session{
+		id:       id,
+		sh:       sh,
+		rng:      newRingWith(e.cfg.QueueSamples, sh.getRingBuf()),
+		dec:      dec,
+		lastFeed: now,
+		created:  now,
+	}
 	sh.sessions[id] = s
 	return s, nil
 }
@@ -488,6 +599,7 @@ func (e *Engine) publish(s *session, dets []Detection, arrival time.Time) {
 	if e.tel != nil && !arrival.IsZero() {
 		latency = int64(time.Since(arrival))
 	}
+	st := &s.sh.stats
 	e.pubMu.RLock()
 	defer e.pubMu.RUnlock()
 	for i := range dets {
@@ -499,22 +611,26 @@ func (e *Engine) publish(s *session, dets []Detection, arrival time.Time) {
 		det.Wall = s.created.Add(time.Duration(det.TimeSec * float64(time.Second)))
 		det.Arrival = arrival
 		if det.Err != nil {
-			e.decodeErrs.Add(1)
+			st.decodeErrs.Add(1)
 		} else {
-			e.detections.Add(1)
+			st.detections.Add(1)
 		}
 		if e.tel != nil {
 			e.tel.latency.Observe(latency)
 		}
 	}
 	if e.detsClosed {
-		e.droppedDets.Add(int64(len(dets)))
+		st.droppedDets.Add(int64(len(dets)))
+		RecycleBatch(dets)
 		return
 	}
 	select {
 	case e.batches <- dets:
 	default:
-		e.droppedDets.Add(int64(len(dets)))
+		// No consumer took ownership: count the loss and recycle the
+		// batch ourselves.
+		st.droppedDets.Add(int64(len(dets)))
+		RecycleBatch(dets)
 	}
 }
 
@@ -559,7 +675,7 @@ func (e *Engine) janitor() {
 			for _, s := range stale {
 				// Terminal claim held: lastFeed is stable now.
 				e.publish(s, s.dec.Flush(), s.lastFeed)
-				e.evicts.Add(1)
+				s.sh.stats.evicts.Add(1)
 				e.sessionEnded(s, "idle")
 			}
 		}
@@ -626,12 +742,13 @@ func (e *Engine) drainNow(s *session) {
 			continue
 		}
 		s.scheduled = true
-		pending := s.rng.drain(nil)
+		pending := s.rng.drain(getSegBuf())
 		arrival := s.lastFeed
 		s.mu.Unlock()
 		if len(pending) > 0 {
 			e.publish(s, s.dec.Feed(pending), arrival)
 		}
+		putSegBuf(pending)
 		dets := s.dec.Flush()
 		s.buffered.Store(int64(s.dec.Buffered()))
 		e.publish(s, dets, arrival)
@@ -687,23 +804,31 @@ func (e *Engine) EndSession(id uint64) error {
 		time.Sleep(time.Millisecond)
 	}
 	s.mu.Lock()
-	pending := s.rng.drain(nil)
+	pending := s.rng.drain(getSegBuf())
 	arrival := s.lastFeed
 	s.mu.Unlock()
 	if len(pending) > 0 {
 		e.publish(s, s.dec.Feed(pending), arrival)
 	}
+	putSegBuf(pending)
 	e.publish(s, s.dec.Flush(), arrival)
 	e.sessionEnded(s, "end")
 	return nil
 }
 
 // sessionEnded fires the release hook for a terminally-claimed
-// session whose final flush has published.
+// session whose final flush has published, then recycles the session's
+// pooled state (ring backing array to the shard free-list, decoder
+// segment buffer to the global pool). Safe without s.mu: the terminal
+// claim was taken under s.mu, so every other goroutine that could
+// touch the ring or decoder has either finished or will observe
+// evicted first and back off.
 func (e *Engine) sessionEnded(s *session, reason string) {
 	if e.cfg.OnSessionEnd != nil {
 		e.cfg.OnSessionEnd(s.id, s.dec.Stats(), reason)
 	}
+	s.sh.recycleRingBuf(s.rng.release())
+	s.dec.release()
 }
 
 // Batches is the engine's native output: every channel receive
@@ -732,6 +857,10 @@ func (e *Engine) Detections() <-chan Detection {
 						e.droppedFlat.Add(1)
 					}
 				}
+				// The forwarder is the batch's consumer of record;
+				// once flattened (values copied onto flat) the slice
+				// goes back to the pool.
+				RecycleBatch(batch)
 			}
 			close(e.flat)
 		}()
@@ -763,37 +892,40 @@ func (e *Engine) Occupancy() float64 {
 
 // bufferedSamples walks the session tables and sums ring occupancy
 // plus open decode segments — shared by Stats and the
-// pl_engine_buffered_samples gauge.
+// pl_engine_buffered_samples gauge. Sessions are visited in place
+// under their shard lock (the same sh.mu → s.mu nesting the janitor
+// uses), so polling it — AutoThrottle does, several times a second —
+// allocates nothing.
 func (e *Engine) bufferedSamples() (sessions int, samples int64) {
-	var all []*session
 	for _, sh := range e.shards {
 		sh.mu.Lock()
 		sessions += len(sh.sessions)
 		for _, s := range sh.sessions {
-			all = append(all, s)
+			s.mu.Lock()
+			pending := s.rng.len()
+			s.mu.Unlock()
+			samples += int64(pending) + s.buffered.Load()
 		}
 		sh.mu.Unlock()
-	}
-	for _, s := range all {
-		s.mu.Lock()
-		pending := s.rng.len()
-		s.mu.Unlock()
-		samples += int64(pending) + s.buffered.Load()
 	}
 	return sessions, samples
 }
 
-// Stats returns an operational snapshot.
+// Stats returns an operational snapshot, folding the shard-local
+// counters.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Shards:            len(e.shards),
-		SamplesIn:         e.samplesIn.Load(),
-		Detections:        e.detections.Load(),
-		DecodeErrors:      e.decodeErrs.Load(),
-		DroppedSamples:    e.droppedSamples.Load(),
-		DroppedDetections: e.droppedDets.Load(),
-		DroppedFlattened:  e.droppedFlat.Load(),
-		Evicted:           e.evicts.Load(),
+		Shards:           len(e.shards),
+		DroppedFlattened: e.droppedFlat.Load(),
+	}
+	for _, sh := range e.shards {
+		ss := &sh.stats
+		st.SamplesIn += ss.samplesIn.Load()
+		st.Detections += ss.detections.Load()
+		st.DecodeErrors += ss.decodeErrs.Load()
+		st.DroppedSamples += ss.droppedSamples.Load()
+		st.DroppedDetections += ss.droppedDets.Load()
+		st.Evicted += ss.evicts.Load()
 	}
 	st.Sessions, st.BufferedSamples = e.bufferedSamples()
 	e.rateMu.Lock()
@@ -836,12 +968,12 @@ func (e *Engine) Close() {
 			// exited hold a scheduled claim nobody will release;
 			// clear them so the per-session drain below owns the
 			// decoders.
-			for _, s := range sh.runq {
+			for _, s := range sh.runq[sh.runqHead:] {
 				s.mu.Lock()
 				s.scheduled = false
 				s.mu.Unlock()
 			}
-			sh.runq = nil
+			sh.runq, sh.runqHead = nil, 0
 			for _, s := range sh.sessions {
 				sessions = append(sessions, s)
 			}
@@ -855,12 +987,13 @@ func (e *Engine) Close() {
 			// error instead of feeding a dead ring), then drain.
 			s.mu.Lock()
 			s.evicted = true
-			pending := s.rng.drain(nil)
+			pending := s.rng.drain(getSegBuf())
 			arrival := s.lastFeed
 			s.mu.Unlock()
 			if len(pending) > 0 {
 				e.publish(s, s.dec.Feed(pending), arrival)
 			}
+			putSegBuf(pending)
 			e.publish(s, s.dec.Flush(), arrival)
 			e.sessionEnded(s, "close")
 		}

@@ -1,0 +1,288 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// engineSteadyStateAllocCeiling is the committed allocs-per-run bound
+// for steady-state feed+decode of a small fleet (8 sessions × 4096
+// quiet samples, ring drain + decode + synchronous flush per session).
+// The pooled-session-state design holds this near zero — the ceiling
+// leaves slack for scheduler noise (testing.AllocsPerRun measures
+// every goroutine's allocations, including the decode workers') but
+// fails loudly if a per-chunk or per-decode-step allocation sneaks
+// back onto the hot path: before pooling, the same loop cost several
+// hundred allocations per run.
+const engineSteadyStateAllocCeiling = 48
+
+// TestEngineSteadyStateAllocs is the alloc-regression guard for the
+// engine hot path: feeding and decoding a steady fleet must not hit
+// the allocator once rings, decoder buffers and batch slices have
+// reached steady state.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	const (
+		sessions  = 8
+		chunkSize = 512
+		chunks    = 8
+	)
+	e, err := NewEngine(EngineConfig{
+		Session:     Config{Fs: 1000},
+		Workers:     2,
+		Shards:      2,
+		IdleTimeout: -1, // no janitor: nothing but the fed work runs
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Quiet baseline samples: the noise tracker settles and no segment
+	// ever opens, so every chunk exercises exactly the steady-state
+	// path (ring push, worker drain, per-sample state machine,
+	// pre-roll trim).
+	chunk := make([]float64, chunkSize)
+	for i := range chunk {
+		chunk[i] = 10
+	}
+	oneRound := func() {
+		for id := uint64(1); id <= sessions; id++ {
+			for c := 0; c < chunks; c++ {
+				if err := e.Feed(id, 0, chunk); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// FlushSession is synchronous: when it returns, the session
+		// ring is empty and the decoder idle — a deterministic
+		// steady-state boundary for the measurement.
+		for id := uint64(1); id <= sessions; id++ {
+			if err := e.FlushSession(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Warm up: first rounds grow rings, decoder buffers and the
+	// pre-roll to their steady capacity.
+	for i := 0; i < 3; i++ {
+		oneRound()
+	}
+	avg := testing.AllocsPerRun(20, oneRound)
+	t.Logf("steady-state allocs/run: %.1f (ceiling %d)", avg, engineSteadyStateAllocCeiling)
+	if avg > engineSteadyStateAllocCeiling {
+		t.Fatalf("engine steady-state feed+decode allocates %.1f/run, above the committed ceiling %d — a hot-path allocation regressed",
+			avg, engineSteadyStateAllocCeiling)
+	}
+}
+
+// TestEngineShardHammer drives every shard from many goroutines at
+// once — disjoint session feeds, concurrent Stats/Occupancy polling,
+// explicit EndSession churn and janitor eviction — and then checks
+// the folded shard-local counters account for every sample. Run under
+// -race (CI does) this locks the shard-local accumulator fold-up and
+// the pooled session teardown as race-free.
+func TestEngineShardHammer(t *testing.T) {
+	const (
+		feeders    = 8
+		perFeeder  = 4 // disjoint sessions per feeder
+		duration   = 300 * time.Millisecond
+		chunkSize  = 256
+		queueLimit = 1 << 15
+	)
+	e, err := NewEngine(EngineConfig{
+		Session:      Config{Fs: 1000},
+		Workers:      4,
+		Shards:       4,
+		QueueSamples: queueLimit,
+		IdleTimeout:  40 * time.Millisecond, // janitor evicts mid-hammer
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fed atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(f)))
+			chunk := make([]float64, chunkSize)
+			for i := range chunk {
+				chunk[i] = 10 + 0.1*rng.NormFloat64()
+			}
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := uint64(f*perFeeder+n%perFeeder) + 1
+				if err := e.Feed(id, 0, chunk); err != nil {
+					t.Errorf("feed session %d: %v", id, err)
+					return
+				}
+				fed.Add(int64(chunkSize))
+				if n%97 == 0 {
+					// Session churn: end one of our sessions so the
+					// next feed recreates it from the pooled state.
+					// An already-evicted session is fine.
+					e.EndSession(id)
+				}
+				if n%31 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(f)
+	}
+	// Pollers: fold the shard-local counters while feeders write them.
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := e.Stats()
+				if st.SamplesIn < 0 || st.BufferedSamples < 0 {
+					t.Error("stats went negative")
+					return
+				}
+				_ = e.Occupancy()
+				runtime.Gosched()
+			}
+		}()
+	}
+	// Consumer: drain batches (quiet data decodes to errors at most)
+	// and recycle them, the consumer contract the pipeline follows.
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for batch := range e.Batches() {
+			RecycleBatch(batch)
+		}
+	}()
+
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+
+	// With the feeders quiet, the janitor (period IdleTimeout/4) must
+	// evict the whole fleet — this is the concurrent-eviction leg, and
+	// it races only against the pollers still folding Stats.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Sessions > 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	evicted := e.Stats().Evicted
+	e.Close()
+	<-consumerDone
+
+	st := e.Stats()
+	if st.SamplesIn != fed.Load() {
+		t.Fatalf("accepted %d samples, fed %d — shard counter fold-up lost samples", st.SamplesIn, fed.Load())
+	}
+	if st.DroppedSamples != 0 {
+		t.Fatalf("dropped %d samples with rings far below capacity", st.DroppedSamples)
+	}
+	if evicted == 0 {
+		t.Fatal("janitor evicted nothing after the feeders stopped")
+	}
+	if st.Sessions != 0 {
+		t.Fatalf("%d sessions still tracked after idle eviction window", st.Sessions)
+	}
+	t.Logf("hammer: %d samples, %d evictions", st.SamplesIn, st.Evicted)
+}
+
+// TestEngineSessionStateRecycled pins the pooling behavior: a session
+// ended and recreated on the same shard reuses the retired ring
+// buffer via the shard free-list instead of allocating a fresh one.
+func TestEngineSessionStateRecycled(t *testing.T) {
+	e, err := NewEngine(EngineConfig{
+		Session:      Config{Fs: 1000},
+		Workers:      1,
+		Shards:       1,
+		QueueSamples: 2048,
+		IdleTimeout:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	chunk := make([]float64, 1024)
+	for i := range chunk {
+		chunk[i] = 10
+	}
+	if err := e.Feed(1, 0, chunk); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FlushSession(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EndSession(1); err != nil {
+		t.Fatal(err)
+	}
+	sh := e.shards[0]
+	sh.freeMu.Lock()
+	free := len(sh.freeBufs)
+	sh.freeMu.Unlock()
+	if free != 1 {
+		t.Fatalf("ended session left %d buffers on the shard free-list, want 1", free)
+	}
+	if err := e.Feed(2, 0, chunk); err != nil {
+		t.Fatal(err)
+	}
+	sh.freeMu.Lock()
+	free = len(sh.freeBufs)
+	sh.freeMu.Unlock()
+	if free != 0 {
+		t.Fatalf("recreated session did not take the free-list buffer (%d left)", free)
+	}
+}
+
+// TestRingLazyGrowth pins the lazy-allocation contract: a fresh ring
+// owns no backing store, materializes it geometrically as pushes
+// arrive, and never exceeds the configured bound.
+func TestRingLazyGrowth(t *testing.T) {
+	r := newRing(1 << 15)
+	if got := len(r.buf); got != 0 {
+		t.Fatalf("fresh ring materialized %d samples of backing store", got)
+	}
+	r.push(make([]float64, 100))
+	if got := len(r.buf); got > 1024 {
+		t.Fatalf("100-sample ring materialized %d samples", got)
+	}
+	if d := r.push(make([]float64, 5000)); d != 0 {
+		t.Fatalf("dropped %d below capacity", d)
+	}
+	if got, want := r.len(), 5100; got != want {
+		t.Fatalf("len %d, want %d", got, want)
+	}
+	if len(r.buf) > 1<<15 {
+		t.Fatalf("backing store %d exceeds bound %d", len(r.buf), 1<<15)
+	}
+	out := r.drain(nil)
+	if len(out) != 5100 {
+		t.Fatalf("drained %d", len(out))
+	}
+	// Overflow only at the bound.
+	small := newRing(8)
+	small.push([]float64{1, 2, 3, 4, 5, 6})
+	if d := small.push([]float64{7, 8, 9, 10}); d != 2 {
+		t.Fatalf("dropped %d at bound, want 2", d)
+	}
+	got := small.drain(nil)
+	want := []float64{3, 4, 5, 6, 7, 8, 9, 10}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}

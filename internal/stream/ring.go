@@ -1,24 +1,99 @@
 package stream
 
-// ring is a fixed-capacity FIFO of RSS samples with drop-oldest
-// overflow: a session that falls behind loses its oldest samples (a
-// stale pass) rather than growing without bound or stalling the
-// network reader.
+import "sync"
+
+// ring is a bounded FIFO of RSS samples with drop-oldest overflow: a
+// session that falls behind loses its oldest samples (a stale pass)
+// rather than growing without bound or stalling the network reader.
+//
+// The backing buffer is allocated lazily and grown geometrically up to
+// the configured bound, so an idle or well-drained session costs a few
+// KB instead of the full QueueSamples capacity (32768 samples would be
+// 256 KB per session). Drop-oldest semantics only engage once the
+// buffer has reached the bound, so the observable push/drain behavior
+// is identical to a fully pre-allocated ring.
 type ring struct {
 	buf  []float64
 	head int // index of the oldest sample
 	size int
+	max  int // capacity bound (drop-oldest engages here)
 }
 
+// ringBufPool recycles ring backing arrays across sessions and across
+// engines; shards additionally keep a small free-list in front of it
+// (see shard.getRingBuf) so same-shard session churn never touches the
+// pool's CAS either.
+var ringBufPool = sync.Pool{}
+
 func newRing(capacity int) *ring {
-	return &ring{buf: make([]float64, capacity)}
+	return &ring{max: capacity}
+}
+
+// newRingWith seeds the ring with a recycled backing array (clamped to
+// the capacity bound); recycled == nil is a plain lazy ring.
+func newRingWith(capacity int, recycled []float64) *ring {
+	r := &ring{max: capacity}
+	if n := cap(recycled); n > 0 {
+		if n > capacity {
+			n = capacity
+		}
+		r.buf = recycled[:n]
+	}
+	return r
 }
 
 func (r *ring) len() int { return r.size }
 
+// capacity is the configured bound, regardless of how much backing
+// store has been materialized so far.
+func (r *ring) capacity() int { return r.max }
+
+// release surrenders the backing array for reuse by another session.
+// Only the terminal claim holder may call it.
+func (r *ring) release() []float64 {
+	buf := r.buf
+	r.buf = nil
+	r.head = 0
+	r.size = 0
+	return buf
+}
+
+// grow materializes backing store for at least need samples (clamped
+// to the bound), linearizing the contents so head restarts at 0.
+func (r *ring) grow(need int) {
+	newCap := 2 * len(r.buf)
+	if newCap < 1024 {
+		newCap = 1024
+	}
+	for newCap < need {
+		newCap *= 2
+	}
+	if newCap > r.max {
+		newCap = r.max
+	}
+	var buf []float64
+	if v := ringBufPool.Get(); v != nil {
+		if b := *(v.(*[]float64)); cap(b) >= newCap {
+			buf = b[:newCap]
+		}
+	}
+	if buf == nil {
+		buf = make([]float64, newCap)
+	}
+	n := copy(buf, r.buf[r.head:r.head+min(r.size, len(r.buf)-r.head)])
+	if n < r.size {
+		copy(buf[n:], r.buf[:r.size-n])
+	}
+	r.buf = buf
+	r.head = 0
+}
+
 // push appends chunk, evicting the oldest samples on overflow, and
 // returns how many were dropped.
 func (r *ring) push(chunk []float64) (dropped int) {
+	if need := r.size + len(chunk); need > len(r.buf) && len(r.buf) < r.max {
+		r.grow(need)
+	}
 	c := len(r.buf)
 	if len(chunk) >= c {
 		// The chunk alone fills the ring: keep only its tail.

@@ -290,6 +290,9 @@ func (p *Pipeline) startEngine(ctx context.Context, fs float64, out chan Event) 
 			for _, det := range batch {
 				p.emit(out, p.event(det))
 			}
+			// The events copied everything they need; hand the batch
+			// slice back to the engine's pool.
+			stream.RecycleBatch(batch)
 		}
 		if p.cfg.statsSink != nil {
 			close(statsDone)
@@ -319,14 +322,20 @@ func (p *Pipeline) startEngine(ctx context.Context, fs float64, out chan Event) 
 				}
 			}
 			if len(chunk.Samples) == 0 {
+				chunk.Release()
 				continue
 			}
 			if chunk.Fs == 0 && fs == 0 {
+				chunk.Release()
 				p.fail(fmt.Errorf("passivelight: session %d chunk carries no sample rate and the source declares none; use WithSampleRate", chunk.Session))
 				return
 			}
 			p.samplesIn.Add(int64(len(chunk.Samples)))
-			if err := eng.Feed(chunk.Session, chunk.Fs, chunk.Samples); err != nil {
+			err = eng.Feed(chunk.Session, chunk.Fs, chunk.Samples)
+			// Feed has copied the samples into the session ring (or
+			// dropped them); the pooled wire buffer can go back now.
+			chunk.Release()
+			if err != nil {
 				p.fail(err)
 				return
 			}
@@ -400,6 +409,7 @@ func (p *Pipeline) runWholeStream(ctx context.Context, fs float64, out chan Even
 		}
 		a.buf = append(a.buf, chunk.Samples...)
 		p.samplesIn.Add(int64(len(chunk.Samples)))
+		chunk.Release()
 	}
 	for _, id := range order {
 		analyze(id, bufs[id])

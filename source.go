@@ -28,6 +28,21 @@ type SourceChunk struct {
 	// pipeline ends any open decode session for Session before feeding
 	// these samples, so old and new epochs cannot splice together.
 	Reset bool
+	// release, when non-nil, returns the chunk's pooled sample buffer
+	// to its source (e.g. the rxnet listener pool). The pipeline calls
+	// Release once the samples have been consumed; sources whose
+	// chunks are plain slices leave it nil.
+	release func()
+}
+
+// Release hands the chunk's sample buffer back to its source's pool,
+// if the chunk carries one. After Release the Samples slice must not
+// be used. Safe to call on any chunk (no-op without a pooled buffer)
+// but not twice on the same pooled chunk.
+func (c SourceChunk) Release() {
+	if c.release != nil {
+		c.release()
+	}
 }
 
 // SourceInfo describes an opened source.
@@ -813,7 +828,15 @@ func (s *NetSource) Next(ctx context.Context) (SourceChunk, error) {
 				// release the decode session without feeding samples.
 				return SourceChunk{Session: ev.Session, Reset: true}, nil
 			}
-			return SourceChunk{Session: ev.Session, Fs: ev.Fs, Samples: ev.Samples, Reset: ev.Reset}, nil
+			chunk := SourceChunk{Session: ev.Session, Fs: ev.Fs, Samples: ev.Samples, Reset: ev.Reset}
+			if ev.Buf != nil {
+				// Zero-copy path: the samples still live in the
+				// listener's pooled buffer; the pipeline releases it
+				// after Engine.Feed has copied them into the session
+				// ring.
+				chunk.release = ev.Buf.Release
+			}
+			return chunk, nil
 		case h, ok := <-s.l.Hellos():
 			if ok && s.onHello != nil {
 				s.onHello(h)
