@@ -43,6 +43,17 @@ func paceTo(ctx context.Context, start time.Time, pos int, fs float64) error {
 	}
 }
 
+// splitAddrs parses a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 // parseEngines parses "id=host:port,id=host:port" into ring members.
 func parseEngines(s string) ([]cluster.Member, error) {
 	if strings.TrimSpace(s) == "" {
@@ -103,8 +114,9 @@ func runDumpRing(enginesFlag string, vnodes int) error {
 // every (node, stream) session is forwarded to its ring owner, with
 // drain handoffs and crash failover handled by the cluster router.
 // With autoAdmit (and no -engines/-ring) it starts on an empty ring
-// and builds its fleet from EngineHello announcements alone.
-func runRoute(ctx context.Context, mon *obs, listen, enginesFlag, ringPath string, vnodes int, autoAdmit bool, deadTimeout time.Duration) error {
+// and builds its fleet from EngineHello announcements alone. peers
+// names replica routers to share ring state with — the HA pair.
+func runRoute(ctx context.Context, mon *obs, listen, enginesFlag, ringPath string, vnodes int, autoAdmit bool, deadTimeout time.Duration, peers []string, ringBatch time.Duration) error {
 	var ring *cluster.Ring
 	if enginesFlag != "" || ringPath != "" || !autoAdmit {
 		var err error
@@ -119,6 +131,8 @@ func runRoute(ctx context.Context, mon *obs, listen, enginesFlag, ringPath strin
 		Metrics:           mon.registry(),
 		AutoAdmit:         autoAdmit,
 		DeadEngineTimeout: deadTimeout,
+		Peers:             peers,
+		RingBatchWindow:   ringBatch,
 	})
 	if err != nil {
 		return err
@@ -129,8 +143,8 @@ func runRoute(ctx context.Context, mon *obs, listen, enginesFlag, ringPath strin
 		return err
 	}
 	st := r.Stats()
-	fmt.Printf("cluster router on %s fronting %d engines (ring epoch %d, auto-admit %v)\n",
-		addr, st.Engines, st.Epoch, autoAdmit)
+	fmt.Printf("cluster router on %s fronting %d engines (ring epoch %d, auto-admit %v, %d peers)\n",
+		addr, st.Engines, st.Epoch, autoAdmit, len(peers))
 	if err := mon.serveBare(func(h *passivelight.TelemetryHealth) {
 		h.AddCheck("engines", func() (bool, string) {
 			st := r.Stats()
@@ -229,17 +243,22 @@ func runEngine(ctx context.Context, mon *obs, listen, engineID, strategyName str
 		stopThrottle := src.AutoThrottle(pipe.Occupancy, throttleHigh, 0, 0)
 		defer stopThrottle()
 	}
-	if joinAddr != "" {
+	if routers := splitAddrs(joinAddr); len(routers) > 0 {
 		adv := advertiseAddr
 		if adv == "" {
 			adv = src.Addr()
 		}
-		stopJoin, err := cluster.Join(ctx, joinAddr, engineID, adv, cluster.JoinConfig{Logf: rxnet.StdLogf})
-		if err != nil {
-			return err
+		// -join accepts a comma list: an HA pair of routers each gets
+		// its own hello/keepalive loop, so the engine stays admitted on
+		// whichever replicas survive.
+		for _, raddr := range routers {
+			stopJoin, err := cluster.Join(ctx, raddr, engineID, adv, cluster.JoinConfig{Logf: rxnet.StdLogf})
+			if err != nil {
+				return err
+			}
+			defer stopJoin()
 		}
-		defer stopJoin()
-		fmt.Printf("engine %s joining router %s (advertising %s)\n", engineID, joinAddr, adv)
+		fmt.Printf("engine %s joining router(s) %s (advertising %s)\n", engineID, strings.Join(routers, ","), adv)
 	}
 	fmt.Printf("cluster engine %s (%s, %d symbols) decoding on %s\n", engineID, strategyName, symbols, src.Addr())
 
@@ -309,8 +328,13 @@ func runDrainRequest(target string) error {
 // (or single engine) over real sockets: sessions stream concurrently
 // (bounded by fanout), each as its own receiver node, optionally
 // paced to the stream clocks — the workload a rolling-restart
-// rehearsal is run against.
-func runLoadRemote(ctx context.Context, loadName string, sessions, chunkSize int, pace bool, target string, fanout int, engineIdle time.Duration) error {
+// rehearsal is run against. targets[0] is dialed; any further
+// addresses are standby routers the nodes fail over to transparently
+// (reliable dial + buffered-tail resend) when the primary dies.
+func runLoadRemote(ctx context.Context, loadName string, sessions, chunkSize int, pace bool, targets []string, fanout int, engineIdle time.Duration) error {
+	if len(targets) == 0 {
+		return errors.New("load replay needs at least one target address")
+	}
 	load, err := scenario.GetLoad(loadName)
 	if err != nil {
 		return err
@@ -327,7 +351,7 @@ func runLoadRemote(ctx context.Context, loadName string, sessions, chunkSize int
 		fanout = 1
 	}
 	fmt.Printf("load replay %s: %d sessions -> %s (fanout %d, paced %v)\n",
-		load.Name, len(specs), target, fanout, pace)
+		load.Name, len(specs), strings.Join(targets, ","), fanout, pace)
 
 	// A paced chunk that spans at least the engine's idle timeout
 	// means the engine flushes every session between chunks — the
@@ -372,7 +396,7 @@ func runLoadRemote(ctx context.Context, loadName string, sessions, chunkSize int
 				return
 			}
 			defer func() { <-sem }()
-			n, l, err := replaySession(ctx, target, k, spec, chunkSize, pace, warnGap)
+			n, l, err := replaySession(ctx, targets, k, spec, chunkSize, pace, warnGap)
 			sent.Add(n)
 			links.Add(l)
 			if err != nil {
@@ -395,18 +419,30 @@ func runLoadRemote(ctx context.Context, loadName string, sessions, chunkSize int
 }
 
 // replaySession renders one expanded session and ships every link's
-// trace to the target, returning samples and links sent. warnGap, if
-// non-nil, is told each link's sample rate for the pacing-gap guard.
-func replaySession(ctx context.Context, target string, k int, spec scenario.Spec, chunkSize int, pace bool, warnGap func(fs float64)) (int64, int64, error) {
+// trace to the first target, returning samples and links sent.
+// Additional targets become the node's failover rotation: the dial
+// turns reliable and a dead primary costs a reconnect plus a
+// buffered-tail resend, not the session. warnGap, if non-nil, is told
+// each link's sample rate for the pacing-gap guard.
+func replaySession(ctx context.Context, targets []string, k int, spec scenario.Spec, chunkSize int, pace bool, warnGap func(fs float64)) (int64, int64, error) {
 	world, err := spec.CompileMulti()
 	if err != nil {
 		return 0, 0, err
 	}
-	node, err := rxnet.Dial(ctx, target, rxnet.Hello{
+	hello := rxnet.Hello{
 		NodeID: uint32(k + 1),
 		Height: world.Links[0].Receiver.HeightM,
 		Name:   spec.Name,
-	})
+	}
+	var node *rxnet.Node
+	if len(targets) > 1 {
+		node, err = rxnet.DialReliable(ctx, targets[0], hello, rxnet.RedialConfig{
+			Addrs: targets[1:],
+			Logf:  rxnet.StdLogf,
+		})
+	} else {
+		node, err = rxnet.Dial(ctx, targets[0], hello)
+	}
 	if err != nil {
 		return 0, 0, err
 	}

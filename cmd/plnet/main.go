@@ -92,11 +92,14 @@ func main() {
 		idle      = flag.Duration("idle", 3*time.Second, "engine-mode session idle eviction (quiet streams flush and release after this long)")
 		drainWait = flag.Duration("drain-wait", 30*time.Second, "how long a draining engine waits for in-flight streams before force-redirecting them")
 
-		join         = flag.String("join", "", "router address to announce this engine to — engine-initiated membership, no operator rebalance (engine mode)")
+		join         = flag.String("join", "", "comma-separated router addresses to announce this engine to — engine-initiated membership, no operator rebalance; list both routers of an HA pair (engine mode)")
 		advertise    = flag.String("advertise", "", "chunk-ingest address to advertise when joining (engine mode; default: the bound -listen address)")
 		throttleHigh = flag.Float64("throttle-high", 0.75, "engine occupancy that engages cluster backpressure, released at half that (engine mode; 0 disables)")
 		autoAdmit    = flag.Bool("auto-admit", true, "accept EngineHello announcements onto the ring; allows starting with no -engines (route mode)")
 		deadTimeout  = flag.Duration("dead-timeout", 60*time.Second, "evict engines unreachable this long from the ring (route mode; negative disables)")
+		peers        = flag.String("peers", "", "comma-separated peer router addresses to replicate ring and membership with — run two routers pointing at each other for an HA pair (route mode)")
+		ringBatch    = flag.Duration("ring-batch", 0, "coalesce engine admissions landing within this window into one epoch bump (route mode; 0 = default 250ms, negative = apply each immediately)")
+		routers      = flag.String("routers", "", "comma-separated router addresses for load replay with transparent failover — the first is dialed, the rest are standbys (load mode; overrides -router)")
 	)
 	flag.Parse()
 	// One signal-handling context for every mode: Ctrl-C propagates
@@ -123,8 +126,10 @@ func main() {
 	case "stream":
 		err = runStream(ctx, newObs(*metrics, *linger), *nodes, *chunk, *payload, *workers, *shards)
 	case "load":
-		if *router != "" {
-			err = runLoadRemote(ctx, *loadName, *sessions, *chunk, *pace, *router, *fanout, *idle)
+		if targets := splitAddrs(*routers); len(targets) > 0 {
+			err = runLoadRemote(ctx, *loadName, *sessions, *chunk, *pace, targets, *fanout, *idle)
+		} else if *router != "" {
+			err = runLoadRemote(ctx, *loadName, *sessions, *chunk, *pace, []string{*router}, *fanout, *idle)
 		} else {
 			err = runLoad(ctx, newObs(*metrics, *linger), *loadName, *sessions, *chunk, *workers, *shards, *pace)
 		}
@@ -134,7 +139,7 @@ func main() {
 		if *dumpRing {
 			err = runDumpRing(*engines, *vnodes)
 		} else {
-			err = runRoute(ctx, newObs(*metrics, *linger), *listen, *engines, *ringPath, *vnodes, *autoAdmit, *deadTimeout)
+			err = runRoute(ctx, newObs(*metrics, *linger), *listen, *engines, *ringPath, *vnodes, *autoAdmit, *deadTimeout, splitAddrs(*peers), *ringBatch)
 		}
 	case "drain":
 		err = runDrainRequest(*connect)

@@ -196,6 +196,26 @@
 // fleet through three kill/rejoin cycles under paced load, zero loss,
 // no operator Rebalance.
 //
+// The routing tier itself is replicated — a router is not a single
+// point of failure. Routers name each other as peers
+// (RouterConfig.Peers, Router.AddPeer) and share ring state over the
+// same RingUpdate frames engines already receive: every membership
+// change is pushed to every peer, a router adopts a peer ring with a
+// higher epoch wholesale and unions an equal-epoch one without a
+// bump, so replicas converge with no external coordinator. Receiver
+// nodes carry a failover rotation (rxnet.RedialConfig.Addrs): when
+// their router dies they redial the next address and proactively
+// resend a byte-bounded tail of each stream (ResendBytes) as marked
+// replay frames — the engine's continuity cursor discards what the
+// dead router already delivered and keeps what it took with it, so a
+// router SIGKILL costs neither a lost packet nor a duplicate decode.
+// Ring changes are batched (RouterConfig.RingBatchWindow, default
+// 250ms): a join stampede of N engines — or a restarted router
+// re-learning its whole fleet — produces one epoch bump, not N.
+// Sequence comparisons use serial-number arithmetic (rxnet.SeqLess),
+// so replay buffers and acks survive uint32 wraparound on
+// long-lived streams.
+//
 // # Performance
 //
 // The engine is sharded: sessions are hashed by stream id onto N

@@ -100,7 +100,7 @@ func TestNackAfterRingChangedTwice(t *testing.T) {
 		if err != nil {
 			t.Fatalf("marshal chunk: %v", err)
 		}
-		r.forward(nil, key, seq, body)
+		r.forward(nil, key, seq, body, rxnet.FrameSampleChunk)
 	}
 	waitFor(t, "chunks on engine-a", func() bool { return a.samplesFor(key) == 75 })
 
@@ -232,7 +232,7 @@ func TestReplayBufferByteBound(t *testing.T) {
 		if err != nil {
 			t.Fatalf("marshal chunk: %v", err)
 		}
-		r.forward(nil, key, seq, body)
+		r.forward(nil, key, seq, body, rxnet.FrameSampleChunk)
 		lastSeq = seq
 	}
 	waitFor(t, "chunks delivered", func() bool { return a.samplesFor(key) == 150 })
@@ -240,7 +240,7 @@ func TestReplayBufferByteBound(t *testing.T) {
 	if got := r.replayEvicted.Load(); got <= 0 {
 		t.Fatalf("replay evicted bytes = %d, want > 0", got)
 	}
-	rt := r.routeFor(key)
+	rt, _ := r.routeFor(key)
 	rt.fmu.Lock()
 	kept, keptBytes := len(rt.replay), rt.replayBytes
 	newest := rt.replay[len(rt.replay)-1].seq
@@ -278,7 +278,7 @@ func TestDeadEngineEviction(t *testing.T) {
 	if err != nil {
 		t.Fatalf("marshal chunk: %v", err)
 	}
-	r.forward(nil, key, 1, body)
+	r.forward(nil, key, 1, body, rxnet.FrameSampleChunk)
 	waitFor(t, "failover to engine-a", func() bool { return a.samplesFor(key) == 10 })
 
 	waitFor(t, "dead engine evicted", func() bool { return r.Stats().Engines == 1 })

@@ -142,6 +142,42 @@ func (r *Ring) SetAddr(id, addr string) bool {
 	return false
 }
 
+// Absorb applies a batch of admissions as one membership change: each
+// member is added if its ID is new, or has its address refreshed if
+// it moved. However many members land, the epoch bumps AT MOST once —
+// this is what lets a router coalesce a join stampede into a single
+// rebalance instead of N epochs. It reports whether anything changed
+// (and hence whether the epoch bumped). Members with empty IDs and
+// exact duplicates of existing members are skipped.
+func (r *Ring) Absorb(members []Member) bool {
+	changed := false
+	for _, m := range members {
+		if m.ID == "" {
+			continue
+		}
+		found := false
+		for i := range r.members {
+			if r.members[i].ID == m.ID {
+				found = true
+				if r.members[i].Addr != m.Addr {
+					r.members[i].Addr = m.Addr
+					changed = true
+				}
+				break
+			}
+		}
+		if !found {
+			r.members = append(r.members, m)
+			changed = true
+		}
+	}
+	if changed {
+		r.epoch++
+		r.rebuild()
+	}
+	return changed
+}
+
 // Remove deletes the member with the given ID, bumping the epoch.
 // It reports whether the member was present.
 func (r *Ring) Remove(id string) bool {

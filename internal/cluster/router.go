@@ -51,6 +51,23 @@ type RouterConfig struct {
 	// a restart) with no operator Rebalance. With AutoAdmit the router
 	// may start on an empty ring and wait for its fleet.
 	AutoAdmit bool
+	// Peers lists the addresses of this router's replicas. Each peer is
+	// dialed with backoff and pushed this router's ring on every
+	// membership change (plus a periodic keepalive), over the same
+	// RingUpdate frames engines receive; incoming peer updates converge
+	// on the highest epoch. Two routers with each other as peers form
+	// the HA pair: nodes carry both addresses (rxnet.RedialConfig.Addrs)
+	// and fail over between them with no external coordinator. Peers
+	// can also be added after Listen with AddPeer.
+	Peers []string
+	// RingBatchWindow coalesces ring-changing admissions (new engines,
+	// address moves): the first one arms a timer and everything that
+	// lands within the window is absorbed as ONE epoch bump, so a join
+	// stampede of N engines costs one rebalance instead of N. Zero
+	// selects 250 ms; negative applies every admission synchronously
+	// (no batching — what the pre-batching tests and latency-sensitive
+	// single-join deployments want).
+	RingBatchWindow time.Duration
 	// Metrics registers the router's pl_cluster_* series.
 	Metrics *telemetry.Registry
 }
@@ -79,6 +96,9 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	}
 	if c.DeadEngineTimeout == 0 {
 		c.DeadEngineTimeout = 60 * time.Second
+	}
+	if c.RingBatchWindow == 0 {
+		c.RingBatchWindow = 250 * time.Millisecond
 	}
 	return c
 }
@@ -193,6 +213,12 @@ type Router struct {
 	ups    map[string]*upstream
 	hellos map[uint32][]byte // latest Hello body per node, replayed on engine (re)connect
 	nconns map[*nodeConn]struct{}
+	peers  map[string]*peerLink
+
+	// pendAdmits holds ring-changing admissions waiting for the batch
+	// window to close; pendTimer is armed by the first of them.
+	pendAdmits map[string]Member
+	pendTimer  *time.Timer
 
 	ln        net.Listener
 	wg        sync.WaitGroup
@@ -215,6 +241,9 @@ type Router struct {
 	evicted         atomic.Int64
 	throttleSignals atomic.Int64
 	throttlePauses  atomic.Int64
+	ringBatches     atomic.Int64
+	resyncs         atomic.Int64
+	peerUpdates     atomic.Int64
 }
 
 // backoff is the upstream redial policy from the config.
@@ -234,6 +263,9 @@ type RouterStats struct {
 	// Undeliverable counts chunks dropped because no engine would
 	// take them.
 	Undeliverable int64
+	// Peers is the number of configured router replicas; PeersUp how
+	// many of their links are currently connected.
+	Peers, PeersUp int
 }
 
 // NewRouter builds an idle router over the ring. With cfg.AutoAdmit
@@ -254,14 +286,16 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	cfg = cfg.withDefaults()
 	r := &Router{
-		cfg:    cfg,
-		logf:   cfg.Logf,
-		ring:   cfg.Ring,
-		routes: make(map[uint64]*route),
-		ups:    make(map[string]*upstream),
-		hellos: make(map[uint32][]byte),
-		nconns: make(map[*nodeConn]struct{}),
-		closed: make(chan struct{}),
+		cfg:        cfg,
+		logf:       cfg.Logf,
+		ring:       cfg.Ring,
+		routes:     make(map[uint64]*route),
+		ups:        make(map[string]*upstream),
+		hellos:     make(map[uint32][]byte),
+		nconns:     make(map[*nodeConn]struct{}),
+		peers:      make(map[string]*peerLink),
+		pendAdmits: make(map[string]Member),
+		closed:     make(chan struct{}),
 	}
 	for _, m := range cfg.Ring.Members() {
 		r.ups[m.ID] = &upstream{id: m.ID, addr: m.Addr}
@@ -310,6 +344,23 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 			"Chunks dropped because no engine would accept their stream.", r.undeliv.Load)
 		reg.CounterFunc("pl_cluster_routes_ended_total",
 			"Routes released (idle eviction and shutdown).", r.routesEnded.Load)
+		reg.CounterFunc("pl_cluster_ring_batches_total",
+			"Batched membership changes applied (each is one epoch bump covering every admission or eviction in the window).", r.ringBatches.Load)
+		reg.CounterFunc("pl_cluster_stream_resyncs_total",
+			"Mid-stream first-sight chunks that triggered a resync NACK to the node (router failover arrivals).", r.resyncs.Load)
+		reg.CounterFunc("pl_cluster_peer_updates_total",
+			"Ring updates received from router peers.", r.peerUpdates.Load)
+		reg.GaugeFunc("pl_cluster_router_peers", "Router peer links currently connected.", func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			n := 0
+			for _, pl := range r.peers {
+				if pl.connected.Load() {
+					n++
+				}
+			}
+			return float64(n)
+		})
 		reg.GaugeFunc("pl_cluster_epoch", "Active ring epoch.", func() float64 {
 			r.mu.Lock()
 			defer r.mu.Unlock()
@@ -345,6 +396,9 @@ func (r *Router) Listen(addr string) (string, error) {
 	if r.cfg.RouteIdleTimeout > 0 || r.cfg.DeadEngineTimeout > 0 {
 		r.wg.Add(1)
 		go r.janitor()
+	}
+	for _, p := range r.cfg.Peers {
+		r.AddPeer(p)
 	}
 	return ln.Addr().String(), nil
 }
@@ -414,11 +468,20 @@ func (r *Router) serveConn(conn net.Conn) {
 			}
 			r.AdmitEngine(Member{ID: eh.ID, Addr: eh.Addr})
 			// Ack with the active ring so the engine can observe its
-			// own membership (and the fleet it joined).
+			// own membership (and the fleet it joined). Admissions still
+			// waiting in the batch window are included — the engine sees
+			// itself immediately even though the epoch bump is pending.
 			r.mu.Lock()
 			ru := rxnet.RingUpdate{Epoch: r.ring.Epoch()}
+			seen := make(map[string]bool, r.ring.Len())
 			for _, m := range r.ring.Members() {
 				ru.Members = append(ru.Members, rxnet.RingMember{ID: m.ID, Addr: m.Addr})
+				seen[m.ID] = true
+			}
+			for _, m := range r.pendAdmits {
+				if !seen[m.ID] {
+					ru.Members = append(ru.Members, rxnet.RingMember{ID: m.ID, Addr: m.Addr})
+				}
 			}
 			r.mu.Unlock()
 			rb, err := rxnet.MarshalRingUpdate(ru)
@@ -447,7 +510,7 @@ func (r *Router) serveConn(conn net.Conn) {
 					r.logf("cluster: hello to %s: %v", up.id, err)
 				}
 			}
-		case rxnet.FrameSampleChunk:
+		case rxnet.FrameSampleChunk, rxnet.FrameSampleReplay:
 			if len(body) < 12 {
 				r.logf("cluster: short chunk frame (%d bytes)", len(body))
 				return
@@ -456,7 +519,16 @@ func (r *Router) serveConn(conn net.Conn) {
 			stream := binary.BigEndian.Uint32(body[4:8])
 			seq := binary.BigEndian.Uint32(body[8:12])
 			session := uint64(node)<<32 | uint64(stream)
-			r.forward(nc, session, seq, body)
+			r.forward(nc, session, seq, body, t)
+		case rxnet.FrameRingUpdate:
+			// A router peer pushing its ring (peer link, or an operator
+			// tool relaying state). Converge on it.
+			ru, err := rxnet.UnmarshalRingUpdate(body)
+			if err != nil {
+				r.logf("cluster: bad peer ring update: %v", err)
+				return
+			}
+			r.applyPeerUpdate(ru)
 		default:
 			r.logf("cluster: unexpected frame type %d from node", t)
 			return
@@ -464,8 +536,9 @@ func (r *Router) serveConn(conn net.Conn) {
 	}
 }
 
-// routeFor returns the session's route, creating it unresolved.
-func (r *Router) routeFor(session uint64) *route {
+// routeFor returns the session's route, creating it unresolved, and
+// reports whether this call created it (the stream's first sight).
+func (r *Router) routeFor(session uint64) (*route, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rt, ok := r.routes[session]
@@ -473,7 +546,7 @@ func (r *Router) routeFor(session uint64) *route {
 		rt = &route{}
 		r.routes[session] = rt
 	}
-	return rt
+	return rt, !ok
 }
 
 // upstreamsLocked snapshots the upstream set. Callers hold r.mu.
@@ -510,15 +583,46 @@ func (r *Router) resolve(session uint64, exclude string) (*upstream, bool) {
 // owner to new streams and buffering the frame for NACK replay. nc is
 // the node connection the chunk arrived on (nil in tests); successful
 // forwards record the owner on it so engine backpressure can be
-// relayed to exactly the nodes feeding that engine.
-func (r *Router) forward(nc *nodeConn, session uint64, seq uint32, body []byte) {
-	rt := r.routeFor(session)
+// relayed to exactly the nodes feeding that engine. ft is the frame
+// type the chunk arrived as: replay frames (node retransmissions
+// after a failover) forward under the same marking so the engine can
+// dedup them against its cursor, and never masquerade as live
+// restarts.
+func (r *Router) forward(nc *nodeConn, session uint64, seq uint32, body []byte, ft rxnet.FrameType) {
+	rt, created := r.routeFor(session)
 	rt.fmu.Lock()
 	defer rt.fmu.Unlock()
 	rt.lastAct = time.Now()
+	if created && seq != 1 && ft == rxnet.FrameSampleChunk && nc != nil {
+		// First sight of a mid-stream live chunk: this router holds
+		// none of the stream's history (the node failed over from a
+		// dead peer, or the route idled out). Ask the node to resend
+		// its buffered tail — everything the engine already consumed
+		// dedups against its continuity cursor, everything else closes
+		// the gap the dead router's replay buffer took with it.
+		r.resyncs.Add(1)
+		nb := rxnet.MarshalStreamNack(rxnet.StreamNack{Session: session})
+		if err := nc.writeFrame(rxnet.FrameStreamNack, nb); err != nil {
+			r.logf("cluster: resync nack for stream %d: %v", session, err)
+		}
+	}
 	// Buffer first: a NACK can arrive for any forwarded chunk. The
 	// buffer is byte-bounded; overflow evicts from the oldest end but
-	// always keeps the newest frame.
+	// always keeps the newest frame. Appends must keep the buffer
+	// seq-ordered — a retransmission of a chunk already buffered (the
+	// node resent its tail to a router that survived) is skipped
+	// entirely: it was already forwarded once and a failover replay
+	// must not deliver it out of order.
+	if n := len(rt.replay); n > 0 && !rxnet.SeqLess(rt.replay[n-1].seq, seq) {
+		if ft == rxnet.FrameSampleReplay || seq != 1 {
+			return
+		}
+		// A live Seq=1 behind the buffer is a genuine stream restart:
+		// the buffered chunks belong to the previous incarnation.
+		rt.replay = rt.replay[:0]
+		rt.replayBytes = 0
+		rt.ackedThrough = 0
+	}
 	rt.replay = append(rt.replay, savedChunk{seq: seq, body: body})
 	rt.replayBytes += len(body)
 	drop := 0
@@ -553,19 +657,26 @@ func (r *Router) forward(nc *nodeConn, session uint64, seq uint32, body []byte) 
 		// failover the new owner has no state for this stream, so the
 		// whole retained unacked buffer is replayed in front of it —
 		// what the dead engine consumed past its last ack is unknown,
-		// and at-least-once is safe on a blank continuity cursor.
+		// and at-least-once is safe because replayed frames carry the
+		// replay marking and dedup against the new owner's cursor.
 		// Anything the byte bound already trimmed is a counted gap,
 		// never a silent splice.
 		frames := rt.replay[len(rt.replay)-1:]
 		if failedOver {
 			frames = rt.replay
-			if frames[0].seq > rt.ackedThrough+1 {
+			if rxnet.SeqLess(rt.ackedThrough+1, frames[0].seq) {
 				r.replayGaps.Add(1)
 			}
 		}
 		var err error
 		for _, c := range frames {
-			if err = r.send(up, rxnet.FrameSampleChunk, c.body); err != nil {
+			// The in-hand chunk keeps its arrival type; everything in
+			// front of it is a retransmission.
+			ftc := rxnet.FrameSampleReplay
+			if c.seq == seq {
+				ftc = ft
+			}
+			if err = r.send(up, ftc, c.body); err != nil {
 				break
 			}
 			r.chunksFwd.Add(1)
@@ -809,11 +920,14 @@ func (r *Router) handleAck(from *upstream, a rxnet.StreamAck) {
 		// the ones that matter now.
 		return
 	}
-	if a.LastSeq > rt.ackedThrough {
+	// Serial-number comparisons throughout: a long-lived stream's Seq
+	// wraps past MaxUint32, where naked uint32 ordering inverts and an
+	// ack would either be ignored or trim the whole buffer.
+	if rxnet.SeqLess(rt.ackedThrough, a.LastSeq) {
 		rt.ackedThrough = a.LastSeq
 	}
 	drop := 0
-	for drop < len(rt.replay) && rt.replay[drop].seq <= a.LastSeq {
+	for drop < len(rt.replay) && rxnet.SeqLEq(rt.replay[drop].seq, a.LastSeq) {
 		rt.replayBytes -= len(rt.replay[drop].body)
 		drop++
 	}
@@ -853,14 +967,15 @@ func (r *Router) handleNack(from *upstream, n rxnet.StreamNack) {
 	// Replay the unconsumed window in order. If the buffer no longer
 	// reaches back to LastSeq+1, the stream resumes with a gap and
 	// the new owner's continuity cursor resets the session; count it.
-	if len(rt.replay) > 0 && n.LastSeq+1 < rt.replay[0].seq {
+	// Serial-number comparisons: seqs wrap on long-lived streams.
+	if len(rt.replay) > 0 && rxnet.SeqLess(n.LastSeq+1, rt.replay[0].seq) {
 		r.replayGaps.Add(1)
 	}
 	for _, c := range rt.replay {
-		if c.seq <= n.LastSeq {
+		if rxnet.SeqLEq(c.seq, n.LastSeq) {
 			continue
 		}
-		if err := r.send(up, rxnet.FrameSampleChunk, c.body); err != nil {
+		if err := r.send(up, rxnet.FrameSampleReplay, c.body); err != nil {
 			r.logf("cluster: replay to %s: %v", up.id, err)
 			r.failovers.Add(1)
 			rt.owner = ""
@@ -884,6 +999,13 @@ func (r *Router) handleNack(from *upstream, n rxnet.StreamNack) {
 //   - Known ID, same address: a restart behind a stable address or a
 //     keepalive re-hello. If the engine was in dial backoff, the
 //     backoff clears so its streams return on their next chunk.
+//     Applied immediately — no ring change, nothing to batch.
+//
+// Ring-changing admissions (the first two cases) coalesce inside
+// RingBatchWindow: the first one arms a timer, everything arriving
+// before it fires is absorbed as ONE epoch bump — a join stampede of
+// N engines costs one rebalance instead of N. A negative window
+// applies each admission synchronously.
 //
 // Admission never clears a draining flag — a keepalive from a
 // draining engine must not un-drain it; the flag resets when the
@@ -892,49 +1014,83 @@ func (r *Router) AdmitEngine(m Member) {
 	if m.ID == "" || m.Addr == "" {
 		return
 	}
-	var stale *upstream
 	r.mu.Lock()
-	up := r.ups[m.ID]
-	switch {
-	case up == nil:
-		nr := r.ring.Clone()
-		if !nr.SetAddr(m.ID, m.Addr) {
-			if err := nr.Add(m); err != nil {
-				r.mu.Unlock()
-				r.logf("cluster: admit %s: %v", m.ID, err)
-				return
+	if up := r.ups[m.ID]; up != nil && up.addr == m.Addr {
+		if _, pending := r.pendAdmits[m.ID]; !pending {
+			if !up.connected.Load() && (up.fails.Load() > 0 || up.downSince.Load() != 0) {
+				up.recovered()
+				r.joins.Add(1)
+				r.logf("cluster: engine %s rejoined at %s", m.ID, m.Addr)
 			}
+			r.mu.Unlock()
+			return
 		}
-		r.ring = nr
-		r.ups[m.ID] = &upstream{id: m.ID, addr: m.Addr}
-		r.joins.Add(1)
-		r.logf("cluster: engine %s joined at %s (epoch %d, %d members)",
-			m.ID, m.Addr, nr.Epoch(), nr.Len())
-	case up.addr != m.Addr:
-		nr := r.ring.Clone()
-		nr.SetAddr(m.ID, m.Addr)
-		r.ring = nr
-		stale = up
-		r.ups[m.ID] = &upstream{id: m.ID, addr: m.Addr}
-		r.joins.Add(1)
-		r.logf("cluster: engine %s moved to %s (epoch %d)", m.ID, m.Addr, nr.Epoch())
-	default:
-		if !up.connected.Load() && (up.fails.Load() > 0 || up.downSince.Load() != 0) {
-			up.recovered()
-			r.joins.Add(1)
-			r.logf("cluster: engine %s rejoined at %s", m.ID, m.Addr)
+		// A queued address move for this ID is pending; fall through so
+		// the newest announcement wins when the batch flushes.
+	}
+	r.pendAdmits[m.ID] = m
+	if r.cfg.RingBatchWindow > 0 {
+		if r.pendTimer == nil {
+			r.pendTimer = time.AfterFunc(r.cfg.RingBatchWindow, r.flushAdmits)
 		}
+		r.mu.Unlock()
+		return
 	}
 	r.mu.Unlock()
-	if stale != nil {
-		stale.wmu.Lock()
-		if stale.conn != nil {
-			stale.conn.Close()
-			stale.conn = nil
-			stale.connected.Store(false)
+	r.flushAdmits()
+}
+
+// flushAdmits applies every admission queued in the batch window as
+// one membership change: a single ring clone, a single epoch bump
+// (Ring.Absorb), however many engines joined or moved. Runs on the
+// batch timer, or synchronously when batching is disabled.
+func (r *Router) flushAdmits() {
+	var stale []*upstream
+	r.mu.Lock()
+	r.pendTimer = nil
+	members := make([]Member, 0, len(r.pendAdmits))
+	for _, m := range r.pendAdmits {
+		// Drop entries that became no-ops while queued (a keepalive or
+		// peer update already landed the same ID+addr).
+		if up := r.ups[m.ID]; up != nil && up.addr == m.Addr {
+			continue
 		}
-		stale.wmu.Unlock()
+		members = append(members, m)
 	}
+	r.pendAdmits = make(map[string]Member)
+	if len(members) == 0 {
+		r.mu.Unlock()
+		return
+	}
+	nr := r.ring.Clone()
+	if !nr.Absorb(members) {
+		r.mu.Unlock()
+		return
+	}
+	r.ring = nr
+	for _, m := range members {
+		if old := r.ups[m.ID]; old != nil {
+			stale = append(stale, old)
+			r.logf("cluster: engine %s moved to %s (epoch %d)", m.ID, m.Addr, nr.Epoch())
+		} else {
+			r.logf("cluster: engine %s joined at %s (epoch %d, %d members)",
+				m.ID, m.Addr, nr.Epoch(), nr.Len())
+		}
+		r.ups[m.ID] = &upstream{id: m.ID, addr: m.Addr}
+		r.joins.Add(1)
+	}
+	r.ringBatches.Add(1)
+	r.mu.Unlock()
+	for _, up := range stale {
+		up.wmu.Lock()
+		if up.conn != nil {
+			up.conn.Close()
+			up.conn = nil
+			up.connected.Store(false)
+		}
+		up.wmu.Unlock()
+	}
+	r.kickPeers()
 }
 
 // Rebalance installs a new ring. In-flight streams are sticky: by
@@ -1022,6 +1178,7 @@ func (r *Router) Rebalance(ring *Ring, force bool) error {
 		up.wmu.Unlock()
 		r.logf("cluster: engine %s left the ring", up.id)
 	}
+	r.kickPeers()
 	return nil
 }
 
@@ -1109,22 +1266,32 @@ func (r *Router) evictDeadEngines(now time.Time) {
 	cutoff := now.Add(-r.cfg.DeadEngineTimeout).UnixNano()
 	var dead []*upstream
 	r.mu.Lock()
+	// One ring clone and ONE epoch bump however many engines die in
+	// the same sweep — evictions batch like admissions do.
+	var nr *Ring
 	for id, up := range r.ups {
 		ds := up.downSince.Load()
 		if up.connected.Load() || ds == 0 || ds > cutoff {
 			continue
 		}
-		nr := r.ring.Clone()
-		if nr.Remove(id) {
-			r.ring = nr
+		if nr == nil {
+			nr = r.ring.Clone()
 		}
+		nr.Remove(id)
 		delete(r.ups, id)
 		dead = append(dead, up)
+	}
+	if nr != nil && len(dead) > 0 {
+		// Remove bumps per call; collapse the batch to a single bump.
+		nr.epoch = r.ring.epoch + 1
+		r.ring = nr
+		r.ringBatches.Add(1)
 	}
 	r.mu.Unlock()
 	if len(dead) == 0 {
 		return
 	}
+	r.kickPeers()
 	deadIDs := make(map[string]bool, len(dead))
 	for _, up := range dead {
 		deadIDs[up.id] = true
@@ -1175,7 +1342,7 @@ func (r *Router) failOverRoutes(dead map[string]bool) {
 			rt.fmu.Unlock()
 			continue
 		}
-		if rt.replay[0].seq > rt.ackedThrough+1 {
+		if rxnet.SeqLess(rt.ackedThrough+1, rt.replay[0].seq) {
 			r.replayGaps.Add(1)
 		}
 		r.failovers.Add(1)
@@ -1183,7 +1350,7 @@ func (r *Router) failOverRoutes(dead map[string]bool) {
 		r.streams.Add(1)
 		var err error
 		for _, c := range rt.replay {
-			if err = r.send(up, rxnet.FrameSampleChunk, c.body); err != nil {
+			if err = r.send(up, rxnet.FrameSampleReplay, c.body); err != nil {
 				break
 			}
 			r.chunksFwd.Add(1)
@@ -1222,6 +1389,12 @@ func (r *Router) Stats() RouterStats {
 			st.Down++
 		}
 	}
+	st.Peers = len(r.peers)
+	for _, pl := range r.peers {
+		if pl.connected.Load() {
+			st.PeersUp++
+		}
+	}
 	return st
 }
 
@@ -1241,6 +1414,10 @@ func (r *Router) Close() error {
 	r.closeOnce.Do(func() {
 		close(r.closed)
 		r.mu.Lock()
+		if r.pendTimer != nil {
+			r.pendTimer.Stop()
+			r.pendTimer = nil
+		}
 		if r.ln != nil {
 			err = r.ln.Close()
 		}

@@ -97,6 +97,11 @@ func startRouter(t *testing.T, cfg RouterConfig) (*Router, string) {
 	if cfg.Logf == nil {
 		cfg.Logf = t.Logf
 	}
+	if cfg.RingBatchWindow == 0 {
+		// Most tests assert one epoch bump per admission; batching
+		// tests opt back in explicitly.
+		cfg.RingBatchWindow = -1
+	}
 	r, err := NewRouter(cfg)
 	if err != nil {
 		t.Fatalf("NewRouter: %v", err)
@@ -314,7 +319,7 @@ func TestRouterNackReplay(t *testing.T) {
 		if err != nil {
 			t.Fatalf("marshal chunk: %v", err)
 		}
-		r.forward(nil, key, seq, body)
+		r.forward(nil, key, seq, body, rxnet.FrameSampleChunk)
 	}
 	waitFor(t, "chunks on engine-a", func() bool { return a.samplesFor(key) == 75 })
 
@@ -462,7 +467,7 @@ func TestEvictionFailsOverUnackedStreams(t *testing.T) {
 			if err != nil {
 				t.Fatalf("marshal chunk: %v", err)
 			}
-			r.forward(nil, uint64(11)<<32|uint64(sid), seq, body)
+			r.forward(nil, uint64(11)<<32|uint64(sid), seq, body, rxnet.FrameSampleChunk)
 		}
 	}
 	waitFor(t, "both streams on engine-a", func() bool {
@@ -475,7 +480,7 @@ func TestEvictionFailsOverUnackedStreams(t *testing.T) {
 		t.Fatal("AckSession did not know the stream")
 	}
 	waitFor(t, "ack to trim the replay buffer", func() bool {
-		rt := r.routeFor(doneKey)
+		rt, _ := r.routeFor(doneKey)
 		rt.fmu.Lock()
 		defer rt.fmu.Unlock()
 		return len(rt.replay) == 0

@@ -201,11 +201,13 @@ type chunkCursor struct {
 // advanceCursor checks a chunk against the stream's cursor (shared
 // across connections, so a reconnect that resumes exactly where the
 // old connection left off continues seamlessly) and reports whether
-// the server-side decode session must be reset first. shedKey, when
-// non-zero-ok, is a stream whose cursor was evicted to bound the
-// table — the caller must end its engine session too, since without
-// a cursor its continuity can no longer be checked.
-func (a *Aggregator) advanceCursor(c SampleChunk) (reset bool, reason string, shedKey uint64, shed bool) {
+// the server-side decode session must be reset first, or whether the
+// chunk is a duplicate of something already consumed (a replayed
+// retransmission to discard, not a restart). shedKey, when non-zero-ok,
+// is a stream whose cursor was evicted to bound the table — the
+// caller must end its engine session too, since without a cursor its
+// continuity can no longer be checked.
+func (a *Aggregator) advanceCursor(c SampleChunk, replay bool) (reset bool, reason string, dup bool, shedKey uint64, shed bool) {
 	key := c.SessionKey()
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -221,17 +223,27 @@ func (a *Aggregator) advanceCursor(c SampleChunk) (reset bool, reason string, sh
 			}
 		}
 		a.cursors[key] = &chunkCursor{seq: c.Seq, next: c.Start + uint64(len(c.Samples))}
-		return false, "", shedKey, shed
+		return false, "", false, shedKey, shed
 	}
 	contiguous := c.Seq == cur.seq+1 && c.Start == cur.next
+	if !contiguous {
+		// A chunk wholly within the cursor is a duplicate when it is
+		// provably a retransmission: either explicitly marked (replay),
+		// or mid-stream (a live Seq=1/Start=0 could be a genuine
+		// restart, which must reset — never silently discard).
+		within := SeqLEq(c.Seq, cur.seq) && c.Start+uint64(len(c.Samples)) <= cur.next
+		if within && (replay || (c.Seq != 1 && c.Start != 0)) {
+			return false, "", true, 0, false
+		}
+	}
 	cur.seq, cur.next = c.Seq, c.Start+uint64(len(c.Samples))
 	switch {
 	case contiguous:
-		return false, "", 0, false
+		return false, "", false, 0, false
 	case c.Seq == 1 || c.Start == 0:
-		return true, "stream restarted", 0, false
+		return true, "stream restarted", false, 0, false
 	default:
-		return true, "discontinuity", 0, false
+		return true, "discontinuity", false, 0, false
 	}
 }
 
@@ -279,7 +291,7 @@ func (a *Aggregator) serveConn(conn net.Conn) {
 				a.logf("rxnet: ack to node %d: %v", d.NodeID, err)
 				return
 			}
-		case FrameSampleChunk:
+		case FrameSampleChunk, FrameSampleReplay:
 			if a.engine == nil {
 				a.logf("rxnet: node %d streamed samples but streaming is disabled", nodeID)
 				return
@@ -292,7 +304,11 @@ func (a *Aggregator) serveConn(conn net.Conn) {
 				a.logf("rxnet: bad sample chunk: %v", err)
 				return
 			}
-			reset, reason, shedKey, shed := a.advanceCursor(c)
+			reset, reason, dup, shedKey, shed := a.advanceCursor(c, t == FrameSampleReplay)
+			if dup {
+				sb.Release()
+				continue
+			}
 			if shed {
 				// The shed stream's engine session must not outlive
 				// its cursor, or its next chunk would splice in with
@@ -466,12 +482,15 @@ type Node struct {
 
 	// Reliable-mode state (see redial.go); nil rcfg on a plain node.
 	addr      string
+	addrs     []string // failover rotation; addrs[0] == addr
+	addrIdx   int      // current rotation position, under mu
 	rcfg      *RedialConfig
 	helloBody []byte
 	rctx      context.Context
 	gen       int // connection generation, under mu
 	redials   atomic.Int64
 	shedCnt   atomic.Int64
+	resent    atomic.Int64
 	readerWG  sync.WaitGroup
 	closedCh  chan struct{}
 	closeOnce sync.Once
@@ -485,6 +504,18 @@ type Node struct {
 type streamState struct {
 	seq   uint32
 	start uint64
+	// saved is the stream's bounded resend buffer (multi-address
+	// reliable nodes only): the marshaled bodies of the most recently
+	// sent chunks, replayed on reconnect or on a server StreamNack so
+	// a failover router that never saw the stream can rebuild it.
+	saved      []savedBody
+	savedBytes int
+}
+
+// savedBody is one buffered chunk body awaiting possible replay.
+type savedBody struct {
+	seq  uint32
+	body []byte
 }
 
 // Dial connects a node to the aggregator and sends its Hello.
@@ -596,6 +627,9 @@ func (n *Node) StreamChunk(streamID uint32, fs float64, samples []float64) error
 		}
 		if err := n.writeChunkLocked(body); err != nil {
 			return err
+		}
+		if n.rcfg != nil && n.rcfg.ResendBytes > 0 {
+			n.saveChunkLocked(st, c.Seq, body)
 		}
 		st.seq++
 		st.start += uint64(len(part))

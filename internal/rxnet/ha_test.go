@@ -1,0 +1,215 @@
+package rxnet
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+// Regression for the Backoff.Delay jitter panic: rand.Int63n panics
+// on a non-positive argument, so a degenerate config (sub-millisecond
+// Base, a doubling that overflows int64, an absurd Max whose jitter
+// sum overflows) must clamp rather than crash the redial loop.
+func TestBackoffDelayDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		b    Backoff
+	}{
+		{"zero value", Backoff{}},
+		{"nanosecond base", Backoff{Base: 1}},
+		{"negative base", Backoff{Base: -time.Second}},
+		{"base above max", Backoff{Base: time.Second, Max: time.Millisecond}},
+		{"nanosecond base and max", Backoff{Base: 1, Max: 1}},
+		{"max int64 max", Backoff{Base: time.Second, Max: math.MaxInt64}},
+	}
+	attempts := []int{0, 1, 2, 63, 64, 100}
+	for _, tc := range cases {
+		for _, attempt := range attempts {
+			d := tc.b.Delay(attempt)
+			if d <= 0 {
+				t.Errorf("%s: Delay(%d) = %v, want > 0", tc.name, attempt, d)
+			}
+		}
+	}
+}
+
+// chunkAt builds a marshaled chunk body for the dedup tests: node 9,
+// stream 2, 50 samples per chunk, Start following seq.
+func chunkAt(t *testing.T, seq uint32, start uint64) []byte {
+	t.Helper()
+	body, err := MarshalSampleChunk(SampleChunk{
+		NodeID: 9, StreamID: 2, Seq: seq,
+		Fs: 1000, Start: start, Samples: make([]float64, 50),
+	})
+	if err != nil {
+		t.Fatalf("marshal chunk: %v", err)
+	}
+	return body
+}
+
+// The listener discards chunks its continuity cursor already covers —
+// marked replays unconditionally, live retransmissions unless they
+// are a genuine stream restart (Seq 1, Start 0) — without resetting
+// the cursor, and counts every discard.
+func TestChunkListenerDedupsReplayedChunks(t *testing.T) {
+	l, err := ListenChunks("127.0.0.1:0", t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	node, err := Dial(ctx, l.Addr(), Hello{NodeID: 9, Name: "pole-9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	samples := make([]float64, 50)
+	for i := 0; i < 3; i++ {
+		if err := node.StreamChunk(2, 1000, samples); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collectChunks(t, l, 3) // cursor now at seq 3, next 150
+
+	waitDup := func(want int64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for l.DuplicateChunks() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("duplicates = %d, want %d", l.DuplicateChunks(), want)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// A marked replay of an already-consumed chunk is discarded.
+	if err := WriteFrame(node.conn, FrameSampleReplay, chunkAt(t, 2, 50)); err != nil {
+		t.Fatal(err)
+	}
+	waitDup(1)
+
+	// A LIVE retransmission within the cursor (a router resent a chunk
+	// it could not prove delivered) is discarded too.
+	if err := WriteFrame(node.conn, FrameSampleChunk, chunkAt(t, 2, 50)); err != nil {
+		t.Fatal(err)
+	}
+	waitDup(2)
+
+	// The live stream continues past the duplicates with no reset: the
+	// cursor must not have moved.
+	if err := node.StreamChunk(2, 1000, samples); err != nil {
+		t.Fatal(err)
+	}
+	evs := collectChunks(t, l, 1)
+	if evs[0].Reset {
+		t.Fatal("live chunk after discarded duplicates flagged reset")
+	}
+
+	// A live Seq=1/Start=0 inside the cursor window is NOT a duplicate:
+	// it is a genuine stream restart and must reset the session.
+	if err := WriteFrame(node.conn, FrameSampleChunk, chunkAt(t, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	evs = collectChunks(t, l, 1)
+	if !evs[0].Reset {
+		t.Fatal("live stream restart treated as duplicate")
+	}
+	if got := l.DuplicateChunks(); got != 2 {
+		t.Fatalf("duplicates = %d, want 2", got)
+	}
+
+	// A replay for a stream with no cursor (failover target that never
+	// saw it) is accepted, establishing the cursor.
+	if err := WriteFrame(node.conn, FrameSampleReplay, MarshalOrDie(t, SampleChunk{
+		NodeID: 9, StreamID: 3, Seq: 4, Fs: 1000, Start: 150, Samples: make([]float64, 50),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	evs = collectChunks(t, l, 1)
+	if evs[0].StreamID != 3 || len(evs[0].Samples) != 50 {
+		t.Fatalf("replay onto cold stream delivered %+v", evs[0])
+	}
+}
+
+// MarshalOrDie marshals a chunk or fails the test.
+func MarshalOrDie(t *testing.T, c SampleChunk) []byte {
+	t.Helper()
+	body, err := MarshalSampleChunk(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// A multi-address node fails over transparently: when its primary
+// dies mid-stream, the next chunk rotates the node to the standby
+// address and the buffered tail is retransmitted there as marked
+// replays, so the standby sees the whole stream exactly once.
+func TestNodeMultiAddressFailoverResendsTail(t *testing.T) {
+	l1, err := ListenChunks("127.0.0.1:0", t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l1.Close()
+	l2, err := ListenChunks("127.0.0.1:0", t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	node, err := DialReliable(ctx, l1.Addr(), Hello{NodeID: 4, Name: "pole-4"}, RedialConfig{
+		Addrs:       []string{l2.Addr()},
+		Backoff:     Backoff{Base: 10 * time.Millisecond, Max: 50 * time.Millisecond},
+		MaxDowntime: 10 * time.Second,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	samples := make([]float64, 50)
+	for i := 0; i < 5; i++ {
+		if err := node.StreamChunk(8, 1000, samples); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := collectChunks(t, l1, 5)
+	key := uint64(4)<<32 | 8
+
+	// Kill the primary; the next chunk must land on the standby,
+	// preceded by the resent tail.
+	l1.Close()
+	if err := node.StreamChunk(8, 1000, samples); err != nil {
+		t.Fatalf("chunk after primary death: %v", err)
+	}
+	evs = append(evs, collectChunks(t, l2, 6)...)
+
+	if got := node.Resent(); got != 5 {
+		t.Fatalf("node resent %d chunks, want 5", got)
+	}
+	total := 0
+	for _, ev := range evs {
+		if ev.Session != key {
+			t.Fatalf("event for session %d, want %d", ev.Session, key)
+		}
+		if ev.Reset {
+			t.Fatal("failover produced a continuity reset")
+		}
+		total += len(ev.Samples)
+	}
+	// 5 chunks on the primary + (5 replayed + 1 live) on the standby:
+	// the stream is complete on the standby, with no gap and no reset.
+	if total != 11*50 {
+		t.Fatalf("delivered %d samples across failover, want %d", total, 11*50)
+	}
+	if got := l2.DuplicateChunks(); got != 0 {
+		t.Fatalf("standby counted %d duplicates, want 0 (it never saw the stream)", got)
+	}
+}

@@ -83,6 +83,7 @@ type ChunkListener struct {
 	dropped    atomic.Int64
 	received   atomic.Int64
 	refusedCnt atomic.Int64
+	duplicates atomic.Int64
 	nacksSent  atomic.Int64
 	acksSent   atomic.Int64
 	endsRecv   atomic.Int64
@@ -201,6 +202,9 @@ func ListenChunksConfig(addr string, cfg ChunkListenerConfig) (*ChunkListener, e
 		l.reg.CounterFunc("pl_rxnet_stream_resets_total",
 			"Streams restarted or spliced with a gap (reconnects, discontinuities, shed chunks).",
 			l.resets.Load)
+		l.reg.CounterFunc("pl_rxnet_duplicate_chunks_total",
+			"Replayed chunks discarded because the stream cursor had already consumed them (router failover retransmissions).",
+			l.duplicates.Load)
 		l.reg.CounterFunc("pl_cluster_throttle_engaged_total",
 			"Times this engine signaled backpressure upstream (pauses only).",
 			l.throttles.Load)
@@ -231,14 +235,21 @@ func (l *ChunkListener) DroppedChunks() int64 { return l.dropped.Load() }
 
 // ReceivedChunks reports how many well-formed sample chunks the
 // listener has read off its sockets. Every received chunk is either
-// delivered on Chunks, counted in DroppedChunks, or counted in
-// RefusedChunks — the three always sum to ReceivedChunks, including
-// across Close.
+// delivered on Chunks, counted in DroppedChunks, counted in
+// RefusedChunks, or counted in DuplicateChunks — the four always sum
+// to ReceivedChunks, including across Close.
 func (l *ChunkListener) ReceivedChunks() int64 { return l.received.Load() }
 
 // RefusedChunks reports how many chunks were discarded because their
 // stream was NACKed back to the router (drain admission control).
 func (l *ChunkListener) RefusedChunks() int64 { return l.refusedCnt.Load() }
+
+// DuplicateChunks reports how many replayed chunks were discarded
+// because the stream's continuity cursor had already consumed them —
+// the failover-dedup ledger: a router crash replays its unacked
+// buffer, a node failover retransmits its saved tail, and everything
+// already decoded lands here instead of double-counting as samples.
+func (l *ChunkListener) DuplicateChunks() int64 { return l.duplicates.Load() }
 
 // StreamResets reports how many times a stream restarted or spliced
 // with a gap (reconnects, discontinuities, shed chunks) — every
@@ -500,20 +511,26 @@ func (l *ChunkListener) acceptLoop() {
 }
 
 // admit applies cluster admission control and continuity checking to
-// one chunk. accept=false means the chunk must be discarded (counted
-// in RefusedChunks); nack=true additionally means this is the
-// stream's first refusal and the peer must be sent a StreamNack.
-// reset has the cursor-table semantics shared with the aggregator's
-// streaming path: a reconnect that resumes exactly where the old
-// connection left off continues seamlessly, anything else flags a
-// reset.
-func (l *ChunkListener) admit(c SampleChunk, src *lconn) (accept, nack, reset bool) {
+// one chunk. accept=false means the chunk must be discarded: counted
+// in RefusedChunks (nack=true additionally means this is the stream's
+// first refusal and the peer must be sent a StreamNack), or in
+// DuplicateChunks when dup=true — a retransmission the cursor already
+// consumed (router failover replay), discarded without disturbing the
+// decode session. reset has the cursor-table semantics shared with
+// the aggregator's streaming path: a reconnect that resumes exactly
+// where the old connection left off continues seamlessly, anything
+// else flags a reset. replay marks an explicitly-retransmitted chunk
+// (FrameSampleReplay): within the cursor it is always a duplicate —
+// never a stream restart — while a live chunk is only treated as a
+// duplicate when unambiguous (a live Seq=1/Start=0 could be a genuine
+// restart and must reset instead).
+func (l *ChunkListener) admit(c SampleChunk, src *lconn, replay bool) (accept, nack, reset, dup bool) {
 	key := c.SessionKey()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.refused[key] {
 		if l.draining {
-			return false, false, false
+			return false, false, false, false
 		}
 		// Not draining anymore: the ring moved the stream back here.
 		// Accept it as a fresh stream (the redirect already released
@@ -526,7 +543,7 @@ func (l *ChunkListener) admit(c SampleChunk, src *lconn) (accept, nack, reset bo
 			// New streams are refused while draining; in-flight ones
 			// keep flowing so the drain stays lossless.
 			l.refuse(key)
-			return false, true, false
+			return false, true, false, false
 		}
 		if len(l.cursors) >= maxStreamCursors {
 			for k := range l.cursors {
@@ -538,12 +555,23 @@ func (l *ChunkListener) admit(c SampleChunk, src *lconn) (accept, nack, reset bo
 			chunkCursor: chunkCursor{seq: c.Seq, next: c.Start + uint64(len(c.Samples))},
 			src:         src,
 		}
-		return true, false, false
+		return true, false, false, false
 	}
 	contiguous := c.Seq == cur.seq+1 && c.Start == cur.next
+	if !contiguous {
+		within := SeqLEq(c.Seq, cur.seq) && c.Start+uint64(len(c.Samples)) <= cur.next
+		if within && (replay || (c.Seq != 1 && c.Start != 0)) {
+			// Already consumed: keep the cursor where it is (the live
+			// stream continues past it) but remember the connection —
+			// after a failover the replaying conn IS the stream's new
+			// source, and control frames must go there.
+			cur.src = src
+			return false, false, false, true
+		}
+	}
 	cur.seq, cur.next = c.Seq, c.Start+uint64(len(c.Samples))
 	cur.src = src
-	return true, false, !contiguous
+	return true, false, !contiguous, false
 }
 
 func (l *ChunkListener) serveConn(conn net.Conn) {
@@ -605,7 +633,7 @@ func (l *ChunkListener) serveConn(conn net.Conn) {
 			default:
 			}
 			l.logf("rxnet: chunk node %d (%s) at x=%.2f m joined", h.NodeID, h.Name, h.PosX)
-		case FrameSampleChunk:
+		case FrameSampleChunk, FrameSampleReplay:
 			// Decode straight into a pooled sample buffer: the wire →
 			// buffer copy here is the only copy the chunk pays before
 			// it reaches a session ring. The consumer releases the
@@ -621,9 +649,14 @@ func (l *ChunkListener) serveConn(conn net.Conn) {
 			}
 			l.received.Add(1)
 			l.paceGuard(c)
-			accept, nack, reset := l.admit(c, lc)
+			accept, nack, reset, dup := l.admit(c, lc, t == FrameSampleReplay)
 			if reset {
 				l.resets.Add(1)
+			}
+			if dup {
+				sb.Release()
+				l.duplicates.Add(1)
+				continue
 			}
 			if !accept {
 				sb.Release()

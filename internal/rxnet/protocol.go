@@ -93,6 +93,17 @@ const (
 	// need replaying to a failover owner. Plain nodes receiving one
 	// (direct engine connections) may ignore it.
 	FrameStreamAck
+	// FrameSampleReplay carries a resent sample chunk — identical body
+	// to FrameSampleChunk, but explicitly marked as a retransmission
+	// (node resend after a router failover, or a router replaying its
+	// buffer to a failover engine). Receivers dedup replay frames
+	// against their per-stream cursor and discard anything already
+	// consumed instead of treating it as a stream restart; a replay
+	// past the cursor is delivered normally. The distinct type exists
+	// because a live chunk with Seq=1/Start=0 is indistinguishable
+	// from a genuine restart, while a replayed one is provably a
+	// duplicate.
+	FrameSampleReplay
 )
 
 // Errors.

@@ -3,6 +3,7 @@ package rxnet
 import (
 	"context"
 	"errors"
+	"math"
 	"math/rand"
 	"net"
 	"time"
@@ -33,15 +34,40 @@ func (b Backoff) withDefaults() Backoff {
 	return b
 }
 
+// minBackoffDelay floors the pre-jitter delay. rand.Int63n panics on
+// a non-positive argument, so the delay must stay strictly positive
+// through every degenerate config (sub-millisecond Base, a doubling
+// that overflows int64 on large attempt counts). Degenerate configs
+// with Max below this floor may therefore see delays slightly above
+// their Max — a millisecond of extra patience beats a panic.
+const minBackoffDelay = time.Millisecond
+
+// maxBackoffDelay caps the pre-jitter delay: the jitter scales by up
+// to 1.5x, so anything above MaxInt64/2 could overflow int64 and come
+// out negative. Half of MaxInt64 is ~146 years — not a real cap.
+const maxBackoffDelay = time.Duration(math.MaxInt64 / 2)
+
 // Delay returns the jittered delay before attempt n (1-based).
 func (b Backoff) Delay(attempt int) time.Duration {
 	b = b.withDefaults()
 	d := b.Base
 	for i := 1; i < attempt && d < b.Max; i++ {
 		d *= 2
+		if d <= 0 {
+			// Doubling overflowed (huge Max, many attempts): the intent
+			// was "as long as allowed", so cap and stop.
+			d = b.Max
+			break
+		}
 	}
 	if d > b.Max {
 		d = b.Max
+	}
+	if d < minBackoffDelay {
+		d = minBackoffDelay
+	}
+	if d > maxBackoffDelay {
+		d = maxBackoffDelay
 	}
 	// Uniform jitter in [0.5d, 1.5d).
 	return d/2 + time.Duration(rand.Int63n(int64(d)))
@@ -65,6 +91,21 @@ type RedialConfig struct {
 	// server's continuity cursor, and counting it in Shed) instead of
 	// blocking until resume — edge-side load shedding.
 	ShedWhilePaused bool
+	// Addrs lists additional server addresses beyond the one passed to
+	// DialReliable. When a reconnect episode cannot reach the current
+	// address, the node rotates through the list — transparent router
+	// failover. Multi-address nodes keep a bounded per-stream resend
+	// buffer (see ResendBytes) and replay its tail as SampleReplay
+	// frames on every reconnect, so a failover target that never saw
+	// the stream's recent chunks receives them without a continuity
+	// reset; receivers dedup anything the old server already
+	// delivered. A multi-address node must not use Publish (the
+	// control reader would consume its acks).
+	Addrs []string
+	// ResendBytes bounds each stream's resend buffer. Zero selects
+	// 256 KiB per stream when Addrs is non-empty, otherwise disabled;
+	// negative disables resend buffering entirely.
+	ResendBytes int
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -72,6 +113,12 @@ type RedialConfig struct {
 func (c RedialConfig) withDefaults() RedialConfig {
 	if c.MaxDowntime == 0 {
 		c.MaxDowntime = 30 * time.Second
+	}
+	if c.ResendBytes == 0 && len(c.Addrs) > 0 {
+		c.ResendBytes = 256 << 10
+	}
+	if c.ResendBytes < 0 {
+		c.ResendBytes = 0
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -96,9 +143,16 @@ func DialReliable(ctx context.Context, addr string, hello Hello, cfg RedialConfi
 	if err != nil {
 		return nil, err
 	}
+	addrs := []string{addr}
+	for _, a := range cfg.Addrs {
+		if a != "" && a != addr {
+			addrs = append(addrs, a)
+		}
+	}
 	n := &Node{
 		hello:     hello,
 		addr:      addr,
+		addrs:     addrs,
 		rcfg:      &cfg,
 		helloBody: helloBody,
 		rctx:      ctx,
@@ -111,12 +165,21 @@ func DialReliable(ctx context.Context, addr string, hello Hello, cfg RedialConfi
 	if err != nil {
 		return nil, err
 	}
-	if cfg.FlowControl {
+	// The control reader also drives reconnects when the read side sees
+	// the connection die first, which is how a multi-address node
+	// notices a dead router before its next write — so it runs for
+	// failover nodes too, not just flow-controlled ones.
+	if cfg.FlowControl || len(addrs) > 1 {
 		n.readerWG.Add(1)
 		go n.controlLoop()
 	}
 	return n, nil
 }
+
+// Resent reports how many buffered chunks a multi-address node has
+// retransmitted as SampleReplay frames (on reconnect, or answering a
+// server StreamNack).
+func (n *Node) Resent() int64 { return n.resent.Load() }
 
 // Redials reports how many times a reliable node has re-established
 // its connection (the initial dial not counted).
@@ -162,13 +225,30 @@ func (n *Node) reconnectLocked(gen int) error {
 		}
 		conn, err := n.dialOnce()
 		if err == nil {
-			n.conn = conn
-			n.gen++
-			if n.gen > 1 {
-				n.redials.Add(1)
-				n.rcfg.Logf("rxnet: node %d reconnected to %s (attempt %d)", n.hello.NodeID, n.addr, attempt)
+			// Retransmit the buffered stream tails on the fresh
+			// connection BEFORE any live chunk can follow: a failover
+			// target that never saw this stream receives the missing
+			// chunks in TCP order ahead of everything else, and a server
+			// that already consumed them discards the marked replays
+			// against its cursor. A resend failure is a dial failure —
+			// the connection is already dead.
+			if rerr := n.resendSavedOn(conn); rerr != nil {
+				conn.Close()
+				err = rerr
+			} else {
+				n.conn = conn
+				n.gen++
+				if n.gen > 1 {
+					n.redials.Add(1)
+					n.rcfg.Logf("rxnet: node %d reconnected to %s (attempt %d)", n.hello.NodeID, n.curAddr(), attempt)
+				}
+				return nil
 			}
-			return nil
+		}
+		// Rotate to the next configured server for the next attempt —
+		// transparent failover when the current router is gone.
+		if len(n.addrs) > 1 {
+			n.addrIdx = (n.addrIdx + 1) % len(n.addrs)
 		}
 		delay := n.rcfg.Backoff.Delay(attempt)
 		if !deadline.IsZero() && time.Now().Add(delay).After(deadline) {
@@ -184,12 +264,21 @@ func (n *Node) reconnectLocked(gen int) error {
 	}
 }
 
+// curAddr is the address the rotation currently points at. Callers
+// hold n.mu.
+func (n *Node) curAddr() string {
+	if len(n.addrs) == 0 {
+		return n.addr
+	}
+	return n.addrs[n.addrIdx%len(n.addrs)]
+}
+
 // dialOnce makes one connection attempt and sends the Hello.
 func (n *Node) dialOnce() (net.Conn, error) {
 	var d net.Dialer
 	dctx, cancel := context.WithTimeout(n.rctx, 5*time.Second)
 	defer cancel()
-	conn, err := d.DialContext(dctx, "tcp", n.addr)
+	conn, err := d.DialContext(dctx, "tcp", n.curAddr())
 	if err != nil {
 		return nil, err
 	}
@@ -225,6 +314,72 @@ func (n *Node) writeChunkLocked(body []byte) error {
 		if err := n.reconnectLocked(gen); err != nil {
 			return err
 		}
+	}
+}
+
+// saveChunkLocked copies one sent chunk's marshaled body into the
+// stream's bounded resend buffer, trimming the oldest entries past
+// the byte budget. Callers hold n.mu.
+func (n *Node) saveChunkLocked(st *streamState, seq uint32, body []byte) {
+	limit := n.rcfg.ResendBytes
+	st.saved = append(st.saved, savedBody{seq: seq, body: append([]byte(nil), body...)})
+	st.savedBytes += len(body)
+	drop := 0
+	for st.savedBytes > limit && drop < len(st.saved)-1 {
+		st.savedBytes -= len(st.saved[drop].body)
+		drop++
+	}
+	if drop > 0 {
+		st.saved = append(st.saved[:0], st.saved[drop:]...)
+	}
+}
+
+// resendSavedOn retransmits every stream's buffered tail on conn as
+// SampleReplay frames. Callers hold n.mu; conn is not yet installed
+// as n.conn, so a failure leaves the node's state untouched.
+func (n *Node) resendSavedOn(conn net.Conn) error {
+	for _, st := range n.streams {
+		for _, sb := range st.saved {
+			if err := conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+				return err
+			}
+			if err := WriteFrame(conn, FrameSampleReplay, sb.body); err != nil {
+				return err
+			}
+			n.resent.Add(1)
+		}
+	}
+	return nil
+}
+
+// handleStreamNack answers a server StreamNack by retransmitting the
+// buffered chunks past the server's cursor as SampleReplay frames —
+// how a failover router that never saw the stream rebuilds it without
+// a continuity reset.
+func (n *Node) handleStreamNack(nk StreamNack) {
+	if SessionNodeID(nk.Session) != n.hello.NodeID {
+		return
+	}
+	streamID := SessionStreamID(nk.Session)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.streams[streamID]
+	if st == nil || len(st.saved) == 0 || n.conn == nil {
+		return
+	}
+	for _, sb := range st.saved {
+		if !SeqLess(nk.LastSeq, sb.seq) {
+			continue // server already consumed it
+		}
+		if err := n.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+			return
+		}
+		if err := WriteFrame(n.conn, FrameSampleReplay, sb.body); err != nil {
+			// The connection died mid-resend; the next write or the
+			// control reader reconnects and replays the full tail.
+			return
+		}
+		n.resent.Add(1)
 	}
 }
 
@@ -311,6 +466,13 @@ func (n *Node) controlLoop() {
 				continue
 			}
 			n.setPaused(th.Paused)
+		case FrameStreamNack:
+			nk, err := UnmarshalStreamNack(body)
+			if err != nil {
+				n.rcfg.Logf("rxnet: node %d bad stream nack: %v", n.hello.NodeID, err)
+				continue
+			}
+			n.handleStreamNack(nk)
 		default:
 			// Drain notices and future control frames are advisory for
 			// a sending node; ignore.

@@ -1,0 +1,20 @@
+package rxnet
+
+// Serial-number arithmetic (RFC 1982) over the protocol's uint32
+// chunk sequence numbers. Chunk seqs start at 1 and increment per
+// chunk; a long-lived stream eventually wraps past math.MaxUint32,
+// at which point naked uint32 comparisons invert: seq 3 is "after"
+// seq 4294967295 even though 3 < 4294967295. Every ordering decision
+// over live seqs (ack trims, NACK replay windows, failover gap
+// detection) must go through these helpers instead.
+//
+// The comparison is exact as long as the two seqs are within 2^31 of
+// each other — far beyond any replay buffer or ack lag the protocol
+// allows.
+
+// SeqLess reports whether sequence number a precedes b in serial
+// order, correctly across uint32 wraparound.
+func SeqLess(a, b uint32) bool { return int32(a-b) < 0 }
+
+// SeqLEq reports whether a precedes or equals b in serial order.
+func SeqLEq(a, b uint32) bool { return int32(a-b) <= 0 }

@@ -1,0 +1,33 @@
+package rxnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeqOrderingAcrossWraparound(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		less bool
+	}{
+		{1, 2, true},
+		{2, 1, false},
+		{7, 7, false},
+		// The wrap: MaxUint32 precedes 0, 1, 2... in serial order even
+		// though it is numerically the largest value.
+		{math.MaxUint32, 0, true},
+		{math.MaxUint32, 1, true},
+		{math.MaxUint32 - 5, 3, true},
+		{3, math.MaxUint32 - 5, false},
+		{0, math.MaxUint32, false},
+	}
+	for _, c := range cases {
+		if got := SeqLess(c.a, c.b); got != c.less {
+			t.Errorf("SeqLess(%d, %d) = %v, want %v", c.a, c.b, got, c.less)
+		}
+		wantLEq := c.less || c.a == c.b
+		if got := SeqLEq(c.a, c.b); got != wantLEq {
+			t.Errorf("SeqLEq(%d, %d) = %v, want %v", c.a, c.b, got, wantLEq)
+		}
+	}
+}

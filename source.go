@@ -705,6 +705,13 @@ func (s *NetSource) Addr() string { return s.l.Addr() }
 // discarded because the ingest queue was full (always 0 otherwise).
 func (s *NetSource) DroppedChunks() int64 { return s.l.DroppedChunks() }
 
+// DuplicateChunks reports how many replayed chunks the ingest side
+// discarded because the stream's continuity cursor had already
+// consumed them — a router failover replays its unacked buffer, and
+// everything this engine already decoded lands here instead of being
+// fed (and counted) as fresh samples.
+func (s *NetSource) DuplicateChunks() int64 { return s.l.DuplicateChunks() }
+
 // OnHello registers a callback invoked (from the pipeline's pull
 // goroutine) for each node registration — e.g. to register node
 // positions with a track-fusion aggregator. Returns the source for
